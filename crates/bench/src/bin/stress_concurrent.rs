@@ -1,0 +1,137 @@
+//! Highly concurrent updates — the paper's §8 future work ("we plan to
+//! investigate ... highly concurrent updates"). Runs a configurable mix of
+//! writer threads against shared hot records and reports throughput,
+//! conflict/abort rates and version-chain pressure.
+//!
+//! ```sh
+//! THREADS=8 DURATION_MS=2000 HOT=64 cargo run --release -p bench --bin stress_concurrent
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bench::*;
+use graphcore::{DbOptions, GraphDb, PropOwner, Value};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let nthreads = env_u64("THREADS", 4) as usize;
+    let duration = Duration::from_millis(env_u64("DURATION_MS", 2000));
+    let hot = env_u64("HOT", 64) as usize;
+    println!("# Concurrent-update stress: {nthreads} writers, {hot} hot records, {duration:?}");
+
+    let db = GraphDb::create(DbOptions::dram(1 << 30)).expect("db");
+    let mut setup = db.begin();
+    let ids: Vec<u64> = (0..hot)
+        .map(|i| {
+            setup
+                .create_node("Account", &[("balance", Value::Int(1000)), ("idx", Value::Int(i as i64))])
+                .unwrap()
+        })
+        .collect();
+    setup.commit().unwrap();
+    let initial_total: i64 = 1000 * hot as i64;
+
+    let stop = AtomicBool::new(false);
+    let commits = AtomicU64::new(0);
+    let aborts = AtomicU64::new(0);
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..nthreads {
+            let (db, ids, stop, commits, aborts) = (&db, &ids, &stop, &commits, &aborts);
+            scope.spawn(move || {
+                let mut x = (tid as u64 + 1) * 0x9E3779B97F4A7C15;
+                let mut rng = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    // Transfer between two random hot accounts.
+                    let a = ids[(rng() as usize) % ids.len()];
+                    let b = ids[(rng() as usize) % ids.len()];
+                    if a == b {
+                        continue;
+                    }
+                    let amount = (rng() % 10) as i64;
+                    let mut tx = db.begin();
+                    let outcome = (|| -> graphcore::Result<()> {
+                        let va = tx
+                            .prop(PropOwner::Node(a), "balance")?
+                            .and_then(|v| v.as_int())
+                            .unwrap_or(0);
+                        let vb = tx
+                            .prop(PropOwner::Node(b), "balance")?
+                            .and_then(|v| v.as_int())
+                            .unwrap_or(0);
+                        tx.set_prop(PropOwner::Node(a), "balance", Value::Int(va - amount))?;
+                        tx.set_prop(PropOwner::Node(b), "balance", Value::Int(vb + amount))?;
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => match tx.commit() {
+                            Ok(()) => {
+                                commits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                aborts.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(_) => {
+                            aborts.fetch_add(1, Ordering::Relaxed);
+                            tx.abort();
+                        }
+                    }
+                }
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = t0.elapsed();
+
+    let c = commits.load(Ordering::Relaxed);
+    let a = aborts.load(Ordering::Relaxed);
+    println!(
+        "committed {c} txns, aborted {a} ({:.1}% conflict rate) in {elapsed:?}",
+        100.0 * a as f64 / (c + a).max(1) as f64
+    );
+    println!(
+        "throughput: {:.0} commits/s across {nthreads} threads",
+        c as f64 / elapsed.as_secs_f64()
+    );
+
+    // Serializability spot-check: money is conserved.
+    let tx = db.begin();
+    let total: i64 = ids
+        .iter()
+        .map(|&id| {
+            tx.prop(PropOwner::Node(id), "balance")
+                .unwrap()
+                .and_then(|v| v.as_int())
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(total, initial_total, "balance invariant violated!");
+    println!("invariant check: total balance {total} == initial {initial_total}  OK");
+
+    let stats = db.mgr().stats();
+    println!(
+        "mgr: begun={} commits={} aborts={} conflicts={} gc_pruned={} live_versions={}",
+        stats.begun.load(Ordering::Relaxed),
+        stats.commits.load(Ordering::Relaxed),
+        stats.aborts.load(Ordering::Relaxed),
+        stats.conflicts.load(Ordering::Relaxed),
+        stats.gc_pruned.load(Ordering::Relaxed),
+        db.mgr().version_count()
+    );
+    let _ = runs(); // keep the shared-lib import exercised
+}

@@ -1,0 +1,350 @@
+//! The IS/IU workload implemented against the disk baseline engine.
+//!
+//! The paper's DISK contestant is a separate system executing the same
+//! queries; these functions mirror the plan semantics of
+//! [`ldbc::SrQuery`]/[`ldbc::IuQuery`] on [`DiskGraph`]'s API. Each
+//! function returns the number of result rows (used for sanity checks).
+
+use std::path::PathBuf;
+
+use gdisk::{DiskGraph, PropOwnerRef};
+use graphcore::{Dir, Value};
+use gstore::PVal;
+use ldbc::{IuQuery, SrQuery};
+
+use crate::pv_int;
+
+/// A disk-loaded SNB graph.
+pub struct DiskSnb {
+    pub graph: DiskGraph,
+    pub path: PathBuf,
+}
+
+impl Drop for DiskSnb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+        let _ = std::fs::remove_file(self.path.with_extension("wal"));
+    }
+}
+
+fn date_of(g: &DiskGraph, owner: PropOwnerRef) -> i64 {
+    match g.prop(owner, "creationDate") {
+        Some(Value::Date(d)) => d,
+        _ => 0,
+    }
+}
+
+fn messages_of_person(g: &DiskGraph, person: u64, label: &str) -> Vec<u64> {
+    let creator = g.code_of("HAS_CREATOR");
+    let want = g.code_of(label);
+    g.rels_of(person, Dir::In, creator)
+        .into_iter()
+        .filter_map(|(_, r)| {
+            let msg = r.src;
+            (Some(g.node(msg).label) == want).then_some(msg)
+        })
+        .collect()
+}
+
+/// Run one short-read query; returns the result-row count.
+pub fn disk_sr(g: &DiskGraph, q: SrQuery, params: &[PVal]) -> usize {
+    match q {
+        SrQuery::Is1 => {
+            let mut rows = 0;
+            for p in g.lookup("Person", pv_int(&params[0])) {
+                let _f = g.prop(PropOwnerRef::Node(p), "firstName");
+                let _l = g.prop(PropOwnerRef::Node(p), "lastName");
+                let _b = g.prop(PropOwnerRef::Node(p), "birthday");
+                let _ip = g.prop(PropOwnerRef::Node(p), "locationIP");
+                let _br = g.prop(PropOwnerRef::Node(p), "browserUsed");
+                let _g = g.prop(PropOwnerRef::Node(p), "gender");
+                let _c = g.prop(PropOwnerRef::Node(p), "creationDate");
+                let located = g.code_of("IS_LOCATED_IN");
+                for (_, r) in g.rels_of(p, Dir::Out, located) {
+                    let _city = g.prop(PropOwnerRef::Node(r.dst), "id");
+                    rows += 1;
+                }
+            }
+            rows
+        }
+        SrQuery::Is2Post | SrQuery::Is2Cmt => {
+            let label = if q == SrQuery::Is2Post { "Post" } else { "Comment" };
+            let mut out = Vec::new();
+            for p in g.lookup("Person", pv_int(&params[0])) {
+                for m in messages_of_person(g, p, label) {
+                    let d = date_of(g, PropOwnerRef::Node(m));
+                    let _id = g.prop(PropOwnerRef::Node(m), "id");
+                    let _content = g.prop(PropOwnerRef::Node(m), "content");
+                    out.push((d, m));
+                }
+            }
+            out.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+            out.truncate(10);
+            out.len()
+        }
+        SrQuery::Is3 => {
+            let knows = g.code_of("KNOWS");
+            let mut out = Vec::new();
+            for p in g.lookup("Person", pv_int(&params[0])) {
+                for (rid, r) in g.rels_of(p, Dir::Out, knows) {
+                    let friend = r.dst;
+                    let _id = g.prop(PropOwnerRef::Node(friend), "id");
+                    let _f = g.prop(PropOwnerRef::Node(friend), "firstName");
+                    let _l = g.prop(PropOwnerRef::Node(friend), "lastName");
+                    out.push((date_of(g, PropOwnerRef::Rel(rid)), friend));
+                }
+            }
+            out.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+            out.len()
+        }
+        SrQuery::Is4Post | SrQuery::Is4Cmt => {
+            let label = if q == SrQuery::Is4Post { "Post" } else { "Comment" };
+            let mut rows = 0;
+            for m in g.lookup(label, pv_int(&params[0])) {
+                let _d = g.prop(PropOwnerRef::Node(m), "creationDate");
+                let _c = g.prop(PropOwnerRef::Node(m), "content");
+                rows += 1;
+            }
+            rows
+        }
+        SrQuery::Is5Post | SrQuery::Is5Cmt => {
+            let label = if q == SrQuery::Is5Post { "Post" } else { "Comment" };
+            let creator = g.code_of("HAS_CREATOR");
+            let mut rows = 0;
+            for m in g.lookup(label, pv_int(&params[0])) {
+                for (_, r) in g.rels_of(m, Dir::Out, creator) {
+                    let _id = g.prop(PropOwnerRef::Node(r.dst), "id");
+                    let _f = g.prop(PropOwnerRef::Node(r.dst), "firstName");
+                    let _l = g.prop(PropOwnerRef::Node(r.dst), "lastName");
+                    rows += 1;
+                }
+            }
+            rows
+        }
+        SrQuery::Is6Post => is6_for_post_ids(g, &g.lookup("Post", pv_int(&params[0]))),
+        SrQuery::Is6Cmt => {
+            let mut rows = 0;
+            for c in g.lookup("Comment", pv_int(&params[0])) {
+                if let Some(Value::Int(root)) = g.prop(PropOwnerRef::Node(c), "rootPostId") {
+                    rows += is6_for_post_ids(g, &g.lookup("Post", root));
+                }
+            }
+            rows
+        }
+        SrQuery::Is7Post | SrQuery::Is7Cmt => {
+            let label = if q == SrQuery::Is7Post { "Post" } else { "Comment" };
+            let creator = g.code_of("HAS_CREATOR");
+            let reply_of = g.code_of("REPLY_OF");
+            let knows = g.code_of("KNOWS");
+            let mut out = Vec::new();
+            for m in g.lookup(label, pv_int(&params[0])) {
+                let author = g
+                    .rels_of(m, Dir::Out, creator)
+                    .first()
+                    .map(|(_, r)| r.dst);
+                for (_, rep) in g.rels_of(m, Dir::In, reply_of) {
+                    let comment = rep.src;
+                    let _id = g.prop(PropOwnerRef::Node(comment), "id");
+                    let _content = g.prop(PropOwnerRef::Node(comment), "content");
+                    let d = date_of(g, PropOwnerRef::Node(comment));
+                    for (_, cr) in g.rels_of(comment, Dir::Out, creator) {
+                        let replier = cr.dst;
+                        let _f = g.prop(PropOwnerRef::Node(replier), "firstName");
+                        let _l = g.prop(PropOwnerRef::Node(replier), "lastName");
+                        let _knows_flag = author.map(|a| {
+                            g.rels_of(replier, Dir::Out, knows)
+                                .iter()
+                                .any(|(_, k)| k.dst == a)
+                        });
+                        out.push((d, comment));
+                    }
+                }
+            }
+            out.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+            out.len()
+        }
+    }
+}
+
+fn is6_for_post_ids(g: &DiskGraph, posts: &[u64]) -> usize {
+    let container = g.code_of("CONTAINER_OF");
+    let moderator = g.code_of("HAS_MODERATOR");
+    let mut rows = 0;
+    for &post in posts {
+        for (_, c) in g.rels_of(post, Dir::In, container) {
+            let forum = c.src;
+            let _id = g.prop(PropOwnerRef::Node(forum), "id");
+            let _title = g.prop(PropOwnerRef::Node(forum), "title");
+            for (_, m) in g.rels_of(forum, Dir::Out, moderator) {
+                let _mid = g.prop(PropOwnerRef::Node(m.dst), "id");
+                let _f = g.prop(PropOwnerRef::Node(m.dst), "firstName");
+                let _l = g.prop(PropOwnerRef::Node(m.dst), "lastName");
+                rows += 1;
+            }
+        }
+    }
+    rows
+}
+
+fn s(g: &DiskGraph, p: &PVal, dict: &gstore::Dictionary) -> Value {
+    let _ = g;
+    crate::pv_value(p, Some(dict))
+}
+
+/// Run one update query on the disk baseline, committing through the WAL.
+/// Needs the PMem-side dictionary to resolve string parameter codes.
+pub fn disk_iu_with_dict(
+    g: &DiskGraph,
+    q: IuQuery,
+    params: &[PVal],
+    dict: &gstore::Dictionary,
+) -> usize {
+    let date = |p: &PVal| match p {
+        PVal::Date(d) => Value::Date(*d),
+        PVal::Int(d) => Value::Date(*d),
+        _ => Value::Null,
+    };
+    let rows = match q {
+        IuQuery::Iu1 => {
+            let cities = g.lookup("City", pv_int(&params[0]));
+            let mut n = 0;
+            for city in cities {
+                let person = g.create_node(
+                    "Person",
+                    &[
+                        ("id", Value::Int(pv_int(&params[1]))),
+                        ("firstName", s(g, &params[2], dict)),
+                        ("lastName", s(g, &params[3], dict)),
+                        ("gender", s(g, &params[4], dict)),
+                        ("birthday", date(&params[5])),
+                        ("creationDate", date(&params[6])),
+                        ("locationIP", s(g, &params[7], dict)),
+                        ("browserUsed", s(g, &params[8], dict)),
+                    ],
+                );
+                g.create_rel(person, "IS_LOCATED_IN", city, &[]);
+                n += 1;
+            }
+            n
+        }
+        IuQuery::Iu2 | IuQuery::Iu3 => {
+            let target_label = if q == IuQuery::Iu2 { "Post" } else { "Comment" };
+            let mut n = 0;
+            for person in g.lookup("Person", pv_int(&params[0])) {
+                for msg in g.lookup(target_label, pv_int(&params[1])) {
+                    g.create_rel(person, "LIKES", msg, &[("creationDate", date(&params[2]))]);
+                    n += 1;
+                }
+            }
+            n
+        }
+        IuQuery::Iu4 => {
+            let mut n = 0;
+            for person in g.lookup("Person", pv_int(&params[0])) {
+                let forum = g.create_node(
+                    "Forum",
+                    &[
+                        ("id", Value::Int(pv_int(&params[1]))),
+                        ("title", s(g, &params[2], dict)),
+                        ("creationDate", date(&params[3])),
+                    ],
+                );
+                g.create_rel(forum, "HAS_MODERATOR", person, &[]);
+                n += 1;
+            }
+            n
+        }
+        IuQuery::Iu5 => {
+            let mut n = 0;
+            for forum in g.lookup("Forum", pv_int(&params[0])) {
+                for person in g.lookup("Person", pv_int(&params[1])) {
+                    g.create_rel(forum, "HAS_MEMBER", person, &[("joinDate", date(&params[2]))]);
+                    n += 1;
+                }
+            }
+            n
+        }
+        IuQuery::Iu6 => {
+            let mut n = 0;
+            for forum in g.lookup("Forum", pv_int(&params[0])) {
+                for person in g.lookup("Person", pv_int(&params[1])) {
+                    for country in g.lookup("Country", pv_int(&params[2])) {
+                        let post = g.create_node(
+                            "Post",
+                            &[
+                                ("id", Value::Int(pv_int(&params[3]))),
+                                ("content", s(g, &params[4], dict)),
+                                ("length", Value::Int(pv_int(&params[5]))),
+                                ("creationDate", date(&params[6])),
+                                ("language", s(g, &params[7], dict)),
+                                ("locationIP", s(g, &params[8], dict)),
+                                ("browserUsed", s(g, &params[9], dict)),
+                            ],
+                        );
+                        g.create_rel(forum, "CONTAINER_OF", post, &[]);
+                        g.create_rel(post, "HAS_CREATOR", person, &[]);
+                        g.create_rel(post, "IS_LOCATED_IN", country, &[]);
+                        n += 1;
+                    }
+                }
+            }
+            n
+        }
+        IuQuery::Iu7 => {
+            let mut n = 0;
+            for parent in g.lookup("Post", pv_int(&params[0])) {
+                for person in g.lookup("Person", pv_int(&params[1])) {
+                    for country in g.lookup("Country", pv_int(&params[2])) {
+                        let comment = g.create_node(
+                            "Comment",
+                            &[
+                                ("id", Value::Int(pv_int(&params[3]))),
+                                ("content", s(g, &params[4], dict)),
+                                ("length", Value::Int(pv_int(&params[5]))),
+                                ("creationDate", date(&params[6])),
+                                ("locationIP", s(g, &params[7], dict)),
+                                ("browserUsed", s(g, &params[8], dict)),
+                                ("rootPostId", Value::Int(pv_int(&params[0]))),
+                            ],
+                        );
+                        g.create_rel(comment, "REPLY_OF", parent, &[]);
+                        g.create_rel(comment, "HAS_CREATOR", person, &[]);
+                        g.create_rel(comment, "IS_LOCATED_IN", country, &[]);
+                        n += 1;
+                    }
+                }
+            }
+            n
+        }
+        IuQuery::Iu8 => {
+            let mut n = 0;
+            for a in g.lookup("Person", pv_int(&params[0])) {
+                for b in g.lookup("Person", pv_int(&params[1])) {
+                    g.create_rel(a, "KNOWS", b, &[("creationDate", date(&params[2]))]);
+                    g.create_rel(b, "KNOWS", a, &[("creationDate", date(&params[2]))]);
+                    n += 1;
+                }
+            }
+            n
+        }
+    };
+    g.commit();
+    rows
+}
+
+/// Update entry without an external dictionary (string params become
+/// empty; fine for timing-only use).
+pub fn disk_iu(g: &DiskGraph, q: IuQuery, params: &[PVal]) -> usize {
+    thread_local! {
+        static EMPTY_DICT: std::cell::OnceCell<std::sync::Arc<gstore::Dictionary>> =
+            const { std::cell::OnceCell::new() };
+    }
+    let dict = EMPTY_DICT.with(|c| {
+        c.get_or_init(|| {
+            let pool = std::sync::Arc::new(pmem::Pool::volatile(16 << 20).expect("pool"));
+            std::sync::Arc::new(gstore::Dictionary::create(pool).expect("dict"))
+        })
+        .clone()
+    });
+    disk_iu_with_dict(g, q, params, &dict)
+}

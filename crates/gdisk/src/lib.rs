@@ -1,0 +1,26 @@
+//! Disk-based baseline graph store (the paper's DISK contestant, §7.3).
+//!
+//! The paper compares its PMem engine against "an open-source native graph
+//! database where we stored all the primary data on SSD and created an
+//! additional DRAM index" (i.e. a Neo4j-style architecture). This crate is
+//! that baseline, built from scratch:
+//!
+//! * primary data lives in 4 KiB **slotted pages** in a file, reached
+//!   through a fixed-size **LRU buffer pool** — every record access pays
+//!   buffer-pool indirection, and misses pay an (injected) SSD read
+//!   latency plus the real file read;
+//! * commits follow **write-ahead-log discipline**: dirty pages are logged
+//!   and fsync-ed (simulated fsync latency) before being written back;
+//! * lookups go through a **volatile DRAM index** `(label, id) → record`,
+//!   rebuilt at load time — exactly the "additional DRAM index" of the
+//!   paper's setup.
+//!
+//! Record layouts are shared with the PMem engine ([`gstore::records`]),
+//! so the two systems answer identical workloads with identical adjacency
+//! structure; only the storage substrate differs.
+
+mod graph;
+mod pager;
+
+pub use graph::{DiskGraph, DiskStats, PropOwnerRef};
+pub use pager::SsdProfile;

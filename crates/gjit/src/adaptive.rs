@@ -1,0 +1,174 @@
+//! Adaptive query execution (paper §6.2 "Adaptive Execution", Fig. 3).
+//!
+//! Execution always starts in interpretation mode: worker threads pull
+//! chunk morsels and run the AOT pipeline on them. Meanwhile a background
+//! thread compiles the plan; as soon as the compiled function is published
+//! (an atomic pointer swap — the paper's "redirects the static task
+//! function to the compiled function"), the next morsel pulled from the
+//! pool executes machine code instead. Compilation time and PMem latency
+//! are hidden behind useful interpretation work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use gquery::plan::Row;
+use gquery::{execute_prebuffered, run_scan_morsel, Op, Plan, QueryError, Slot};
+use graphcore::{GraphDb, GraphTxn};
+use gstore::PVal;
+
+use crate::engine::{CompiledQuery, JitEngine};
+use crate::runtime::RtCtx;
+
+/// Outcome of an adaptive execution, including how many morsels ran in
+/// each mode (the observable "switch point").
+#[derive(Debug)]
+pub struct AdaptiveReport {
+    pub rows: Vec<Row>,
+    pub interpreted_morsels: usize,
+    pub compiled_morsels: usize,
+    /// True if compilation finished during the run (or was already cached).
+    pub switched: bool,
+}
+
+/// Execute a read-only `NodeScan`-headed plan adaptively across
+/// `nthreads` workers. Other plan shapes run fully interpreted (the paper:
+/// short queries finish before compilation, executing entirely as AOT
+/// code).
+pub fn execute_adaptive(
+    engine: &Arc<JitEngine>,
+    plan: &Plan,
+    db: &GraphDb,
+    snapshot: &GraphTxn<'_>,
+    params: &[PVal],
+    nthreads: usize,
+) -> Result<AdaptiveReport, QueryError> {
+    if plan.is_update() {
+        return Err(QueryError::BadPlan("adaptive execution is read-only".into()));
+    }
+    let cut = plan
+        .ops
+        .iter()
+        .position(Op::is_breaker)
+        .unwrap_or(plan.ops.len());
+    let seg = &plan.ops[..cut];
+    let tail = &plan.ops[cut..];
+
+    if !matches!(seg.first(), Some(Op::NodeScan { .. })) {
+        // Non-scan access path: single short task, interpretation wins the
+        // race by construction.
+        let mut reader = db.reader_at(snapshot.id());
+        let rows = run_headless(seg, tail, &mut reader, params)?;
+        return Ok(AdaptiveReport {
+            rows,
+            interpreted_morsels: 1,
+            compiled_morsels: 0,
+            switched: false,
+        });
+    }
+
+    // Kick off background compilation (cache hit publishes immediately).
+    let compiled: Arc<OnceLock<Option<Arc<CompiledQuery>>>> = Arc::new(OnceLock::new());
+    let chunks = db.nodes().chunk_count();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Vec<Row>>> = (0..chunks).map(|_| Mutex::new(Vec::new())).collect();
+    let error: Mutex<Option<QueryError>> = Mutex::new(None);
+    let interp_count = AtomicUsize::new(0);
+    let jit_count = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        {
+            let engine = engine.clone();
+            let compiled = compiled.clone();
+            let plan = plan.clone();
+            scope.spawn(move || {
+                let result = engine.get_or_compile(&plan).ok();
+                let _ = compiled.set(result);
+            });
+        }
+        for _ in 0..nthreads.max(1) {
+            scope.spawn(|| {
+                let mut txn = db.reader_at(snapshot.id());
+                loop {
+                    let ci = next.fetch_add(1, Ordering::Relaxed);
+                    if ci >= chunks {
+                        break;
+                    }
+                    let outcome = match compiled.get().and_then(|o| o.as_ref()) {
+                        Some(cq) => {
+                            jit_count.fetch_add(1, Ordering::Relaxed);
+                            let mut ctx = RtCtx::new(&mut txn, params);
+                            let st = cq.run(&mut ctx, ci as u64, ci as u64 + 1);
+                            let RtCtx { out, error: e, .. } = ctx;
+                            if st < 0 {
+                                Err(e.unwrap_or_else(|| {
+                                    QueryError::BadPlan("compiled morsel failed".into())
+                                }))
+                            } else {
+                                Ok(out)
+                            }
+                        }
+                        None => {
+                            interp_count.fetch_add(1, Ordering::Relaxed);
+                            run_scan_morsel(seg, ci, &mut txn, params)
+                        }
+                    };
+                    match outcome {
+                        Ok(rows) => *results[ci].lock() = rows,
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+
+    let merged: Vec<Row> = results.into_iter().flat_map(|m| m.into_inner()).collect();
+    let rows = if tail.is_empty() {
+        merged
+    } else {
+        let mut reader = db.reader_at(snapshot.id());
+        let mut out = Vec::new();
+        let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
+            out.push(row.to_vec());
+            Ok(())
+        };
+        execute_prebuffered(tail, &mut reader, params, merged, &mut sink)?;
+        out
+    };
+    let switched = compiled.get().is_some_and(|o| o.is_some());
+    Ok(AdaptiveReport {
+        rows,
+        interpreted_morsels: interp_count.into_inner(),
+        compiled_morsels: jit_count.into_inner(),
+        switched,
+    })
+}
+
+fn run_headless(
+    seg: &[Op],
+    tail: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+) -> Result<Vec<Row>, QueryError> {
+    // Interpret the head segment, then the tail over its buffer.
+    let head_plan = Plan::new(seg.to_vec(), 0);
+    let mut buffered = Vec::new();
+    gquery::execute(&head_plan, txn, params, |r| buffered.push(r.to_vec()))?;
+    if tail.is_empty() {
+        return Ok(buffered);
+    }
+    let mut out = Vec::new();
+    let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
+        out.push(row.to_vec());
+        Ok(())
+    };
+    execute_prebuffered(tail, txn, params, buffered, &mut sink)?;
+    Ok(out)
+}

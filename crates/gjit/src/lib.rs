@@ -1,0 +1,32 @@
+//! Just-in-time query compilation (paper §6.2).
+//!
+//! Graph-algebra pipelines are compiled to native machine code with
+//! Cranelift (standing in for the paper's LLVM 11 — see DESIGN.md). The
+//! compiled function fuses the whole pipeline segment into one loop nest
+//! that keeps tuple elements in registers/stack slots, and *reuses
+//! AOT-compiled database code* — record access, MVTO visibility,
+//! property lookup — through a small `extern "C"` runtime ABI, exactly the
+//! strategy the paper describes ("reusing AOT-compiled code, e.g., access
+//! methods to nodes or methods for transaction processing").
+//!
+//! * [`runtime`] — the `rt_*` helper functions and the [`runtime::RtCtx`]
+//!   execution context handed to generated code.
+//! * [`codegen`] — the operator-at-a-time code generator: every operator
+//!   contributes an entry/consume region, consume branches into the next
+//!   operator's entry, forming one inlined pipeline function (§6.2, Fig. 4).
+//! * [`engine`] — [`JitEngine`]: compilation, the query-code cache keyed by
+//!   the plan fingerprint (persisted metadata so repeated queries skip
+//!   compilation, §6.2 "JIT Compilation"), and the single-threaded JIT
+//!   driver [`engine::execute_jit`].
+//! * [`adaptive`] — morsel-driven adaptive execution (§6.2 "Adaptive
+//!   Execution", Fig. 3): interpretation starts immediately, a background
+//!   thread compiles, and the task function is atomically redirected to the
+//!   compiled code as soon as it is ready.
+
+pub mod adaptive;
+pub mod codegen;
+pub mod engine;
+pub mod runtime;
+
+pub use adaptive::{execute_adaptive, AdaptiveReport};
+pub use engine::{execute_jit, CompiledQuery, JitEngine, JitError};

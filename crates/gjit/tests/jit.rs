@@ -1,0 +1,748 @@
+//! JIT correctness: compiled pipelines must produce exactly the
+//! interpreter's results — including randomized plan/data equivalence —
+//! plus code-cache and adaptive-execution behaviour.
+
+use std::sync::Arc;
+
+use gjit::engine::run_compiled;
+use gjit::{execute_adaptive, execute_jit, JitEngine};
+use gquery::plan::RelEnd;
+use gquery::{execute_collect, CmpOp, Op, PPar, Plan, Pred, Proj};
+use graphcore::{DbOptions, Dir, GraphDb, Value};
+use gstore::{IndexKind, PVal};
+
+struct Fx {
+    db: GraphDb,
+    person: u32,
+    knows: u32,
+    pid: u32,
+    age: u32,
+    since: u32,
+}
+
+fn fixture(n: i64) -> Fx {
+    let db = GraphDb::create(DbOptions::dram(512 << 20)).unwrap();
+    let person = db.intern("Person").unwrap();
+    let knows = db.intern("KNOWS").unwrap();
+    let pid = db.intern("pid").unwrap();
+    let age = db.intern("age").unwrap();
+    let since = db.intern("since").unwrap();
+    let mut tx = db.begin();
+    let ids: Vec<u64> = (0..n)
+        .map(|i| {
+            tx.create_node(
+                "Person",
+                &[("pid", Value::Int(i)), ("age", Value::Int(18 + i % 60))],
+            )
+            .unwrap()
+        })
+        .collect();
+    // Ring + skip-7 chords: varied degree.
+    for i in 0..n as usize {
+        tx.create_rel(
+            ids[i],
+            "KNOWS",
+            ids[(i + 1) % n as usize],
+            &[("since", Value::Int(1990 + (i % 30) as i64))],
+        )
+        .unwrap();
+        if i % 7 == 0 {
+            tx.create_rel(ids[i], "KNOWS", ids[(i + 13) % n as usize], &[])
+                .unwrap();
+        }
+    }
+    tx.commit().unwrap();
+    db.create_index("Person", "pid", IndexKind::Hybrid).unwrap();
+    Fx {
+        db,
+        person,
+        knows,
+        pid,
+        age,
+        since,
+    }
+}
+
+/// Run both engines on the same plan/params and compare rows exactly.
+fn assert_equivalent(fx: &Fx, plan: &Plan, params: &[PVal]) {
+    let engine = JitEngine::new();
+    let mut tx = fx.db.begin();
+    let interp = execute_collect(plan, &mut tx, params).unwrap();
+    drop(tx);
+    let mut tx = fx.db.begin();
+    let jit = execute_jit(&engine, plan, &mut tx, params).unwrap();
+    assert_eq!(jit, interp, "JIT and interpreter must agree");
+}
+
+#[test]
+fn scan_equivalence() {
+    let fx = fixture(300);
+    let plan = Plan::new(vec![Op::NodeScan { label: Some(fx.person) }], 0);
+    assert_equivalent(&fx, &plan, &[]);
+    let plan = Plan::new(vec![Op::NodeScan { label: None }], 0);
+    assert_equivalent(&fx, &plan, &[]);
+}
+
+#[test]
+fn filter_equivalence_all_cmp_ops() {
+    let fx = fixture(200);
+    for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        let plan = Plan::new(
+            vec![
+                Op::NodeScan { label: Some(fx.person) },
+                Op::Filter(Pred::Prop {
+                    col: 0,
+                    key: fx.age,
+                    op,
+                    value: PPar::Const(PVal::Int(40)),
+                }),
+                Op::Project(vec![Proj::Prop { col: 0, key: fx.pid }]),
+            ],
+            0,
+        );
+        assert_equivalent(&fx, &plan, &[]);
+    }
+}
+
+#[test]
+fn traversal_equivalence() {
+    let fx = fixture(150);
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(fx.person) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: fx.pid,
+                op: CmpOp::Lt,
+                value: PPar::Const(PVal::Int(20)),
+            }),
+            Op::ForeachRel {
+                col: 0,
+                dir: Dir::Out,
+                label: Some(fx.knows),
+            },
+            Op::GetNode {
+                col: 1,
+                end: RelEnd::Dst,
+            },
+            Op::Project(vec![
+                Proj::Prop { col: 0, key: fx.pid },
+                Proj::Prop { col: 2, key: fx.pid },
+                Proj::Prop { col: 1, key: fx.since },
+            ]),
+        ],
+        0,
+    );
+    assert_equivalent(&fx, &plan, &[]);
+}
+
+#[test]
+fn incoming_traversal_equivalence() {
+    let fx = fixture(100);
+    let plan = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: fx.person,
+                key: fx.pid,
+                value: PPar::Param(0),
+            },
+            Op::ForeachRel {
+                col: 0,
+                dir: Dir::In,
+                label: Some(fx.knows),
+            },
+            Op::GetNode {
+                col: 1,
+                end: RelEnd::Src,
+            },
+            Op::Project(vec![Proj::Id { col: 2 }]),
+        ],
+        1,
+    );
+    for p in [0i64, 13, 50, 99] {
+        assert_equivalent(&fx, &plan, &[PVal::Int(p)]);
+    }
+}
+
+#[test]
+fn two_hop_equivalence() {
+    let fx = fixture(80);
+    let plan = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: fx.person,
+                key: fx.pid,
+                value: PPar::Const(PVal::Int(0)),
+            },
+            Op::ForeachRel {
+                col: 0,
+                dir: Dir::Out,
+                label: Some(fx.knows),
+            },
+            Op::GetNode {
+                col: 1,
+                end: RelEnd::Dst,
+            },
+            Op::ForeachRel {
+                col: 2,
+                dir: Dir::Out,
+                label: Some(fx.knows),
+            },
+            Op::GetNode {
+                col: 3,
+                end: RelEnd::Dst,
+            },
+            Op::Filter(Pred::ColNe { a: 0, b: 4 }),
+            Op::Project(vec![Proj::Prop { col: 4, key: fx.pid }]),
+        ],
+        0,
+    );
+    assert_equivalent(&fx, &plan, &[]);
+}
+
+#[test]
+fn breakers_run_on_compiled_output() {
+    let fx = fixture(120);
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(fx.person) },
+            Op::OrderBy {
+                key: Proj::Prop { col: 0, key: fx.pid },
+                desc: true,
+            },
+            Op::Limit(7),
+            Op::Project(vec![Proj::Prop { col: 0, key: fx.pid }]),
+        ],
+        0,
+    );
+    assert_equivalent(&fx, &plan, &[]);
+}
+
+#[test]
+fn compound_predicates_equivalence() {
+    let fx = fixture(150);
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(fx.person) },
+            Op::Filter(Pred::And(
+                Box::new(Pred::Prop {
+                    col: 0,
+                    key: fx.age,
+                    op: CmpOp::Ge,
+                    value: PPar::Const(PVal::Int(30)),
+                }),
+                Box::new(Pred::Or(
+                    Box::new(Pred::Prop {
+                        col: 0,
+                        key: fx.pid,
+                        op: CmpOp::Lt,
+                        value: PPar::Const(PVal::Int(50)),
+                    }),
+                    Box::new(Pred::Not(Box::new(Pred::Prop {
+                        col: 0,
+                        key: fx.pid,
+                        op: CmpOp::Lt,
+                        value: PPar::Const(PVal::Int(100)),
+                    }))),
+                )),
+            )),
+            Op::Project(vec![Proj::Prop { col: 0, key: fx.pid }]),
+        ],
+        0,
+    );
+    assert_equivalent(&fx, &plan, &[]);
+}
+
+#[test]
+fn update_pipeline_via_jit() {
+    let fx = fixture(50);
+    let engine = JitEngine::new();
+    let plan = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: fx.person,
+                key: fx.pid,
+                value: PPar::Param(0),
+            },
+            Op::CreateNode {
+                label: fx.person,
+                props: vec![(fx.pid, PPar::Param(1))],
+            },
+            Op::CreateRel {
+                src_col: 1,
+                dst_col: 0,
+                label: fx.knows,
+                props: vec![(fx.since, PPar::Const(PVal::Int(2025)))],
+            },
+            Op::SetProp {
+                col: 1,
+                key: fx.age,
+                value: PPar::Const(PVal::Int(1)),
+            },
+        ],
+        2,
+    );
+    let mut tx = fx.db.begin();
+    let rows = execute_jit(&engine, &plan, &mut tx, &[PVal::Int(5), PVal::Int(8888)]).unwrap();
+    assert_eq!(rows.len(), 1);
+    tx.commit().unwrap();
+
+    // Verify through the interpreter.
+    let check = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: fx.person,
+                key: fx.pid,
+                value: PPar::Const(PVal::Int(8888)),
+            },
+            Op::ForeachRel {
+                col: 0,
+                dir: Dir::Out,
+                label: Some(fx.knows),
+            },
+            Op::GetNode {
+                col: 1,
+                end: RelEnd::Dst,
+            },
+            Op::Project(vec![
+                Proj::Prop { col: 0, key: fx.age },
+                Proj::Prop { col: 2, key: fx.pid },
+                Proj::Prop { col: 1, key: fx.since },
+            ]),
+        ],
+        0,
+    );
+    let mut tx = fx.db.begin();
+    let rows = execute_collect(&check, &mut tx, &[]).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0].as_pval(), Some(PVal::Int(1)));
+    assert_eq!(rows[0][1].as_pval(), Some(PVal::Int(5)));
+    assert_eq!(rows[0][2].as_pval(), Some(PVal::Int(2025)));
+}
+
+#[test]
+fn code_cache_hits_on_same_shape() {
+    let fx = fixture(60);
+    let engine = JitEngine::new();
+    let plan = Plan::new(
+        vec![Op::IndexScan {
+            label: fx.person,
+            key: fx.pid,
+            value: PPar::Param(0),
+        }],
+        1,
+    );
+    for i in 0..10i64 {
+        let mut tx = fx.db.begin();
+        let rows = execute_jit(&engine, &plan, &mut tx, &[PVal::Int(i)]).unwrap();
+        assert_eq!(rows.len(), 1, "i={i}");
+    }
+    assert_eq!(
+        engine.stats().compiles.load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "one compile, nine cache hits"
+    );
+    assert_eq!(
+        engine.stats().cache_hits.load(std::sync::atomic::Ordering::Relaxed),
+        9
+    );
+}
+
+#[test]
+fn persistent_cache_metadata_survives_reopen() {
+    let fx = fixture(30);
+    let pool = fx.db.pool().clone();
+    let (engine, root) = JitEngine::with_persistent_cache(pool.clone()).unwrap();
+    let plan = Plan::new(vec![Op::NodeScan { label: Some(fx.person) }], 0);
+    let mut tx = fx.db.begin();
+    execute_jit(&engine, &plan, &mut tx, &[]).unwrap();
+    drop(tx);
+    assert!(engine.is_known(&plan));
+
+    // "Restart": a fresh engine over the same metadata root.
+    let engine2 = JitEngine::open_persistent_cache(pool, root);
+    assert!(
+        engine2.is_known(&plan),
+        "fingerprint must survive the restart"
+    );
+    let fps = engine2.known_fingerprints();
+    assert_eq!(fps.len(), 1);
+    assert_eq!(fps[0].0, plan.fingerprint());
+}
+
+#[test]
+fn compile_time_is_measured_and_small() {
+    let fx = fixture(10);
+    let engine = JitEngine::new();
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(fx.person) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: fx.age,
+                op: CmpOp::Gt,
+                value: PPar::Const(PVal::Int(20)),
+            }),
+        ],
+        0,
+    );
+    let compiled = engine.compile_uncached(&plan).unwrap();
+    assert!(compiled.compile_time.as_micros() > 0);
+    assert!(
+        compiled.compile_time.as_millis() < 1000,
+        "cranelift compile should be fast, took {:?}",
+        compiled.compile_time
+    );
+    // And the compiled object is runnable.
+    let mut tx = fx.db.begin();
+    let rows = run_compiled(&compiled, &plan, &mut tx, &[]).unwrap();
+    assert!(!rows.is_empty());
+}
+
+#[test]
+fn adaptive_matches_interpreter() {
+    let fx = fixture(500);
+    let engine = Arc::new(JitEngine::new());
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(fx.person) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: fx.age,
+                op: CmpOp::Ge,
+                value: PPar::Const(PVal::Int(40)),
+            }),
+            Op::Project(vec![Proj::Prop { col: 0, key: fx.pid }]),
+        ],
+        0,
+    );
+    let mut tx = fx.db.begin();
+    let interp = execute_collect(&plan, &mut tx, &[]).unwrap();
+    let report = execute_adaptive(&engine, &plan, &fx.db, &tx, &[], 4).unwrap();
+    assert_eq!(report.rows, interp);
+    assert_eq!(
+        report.interpreted_morsels + report.compiled_morsels,
+        fx.db.nodes().chunk_count()
+    );
+
+    // Second run: compilation cached, every morsel runs compiled.
+    let report2 = execute_adaptive(&engine, &plan, &fx.db, &tx, &[], 4).unwrap();
+    assert_eq!(report2.rows, interp);
+    assert!(report2.switched);
+}
+
+#[test]
+fn adaptive_with_order_by_tail() {
+    let fx = fixture(200);
+    let engine = Arc::new(JitEngine::new());
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(fx.person) },
+            Op::OrderBy {
+                key: Proj::Prop { col: 0, key: fx.pid },
+                desc: false,
+            },
+            Op::Limit(10),
+            Op::Project(vec![Proj::Prop { col: 0, key: fx.pid }]),
+        ],
+        0,
+    );
+    let mut tx = fx.db.begin();
+    let interp = execute_collect(&plan, &mut tx, &[]).unwrap();
+    let report = execute_adaptive(&engine, &plan, &fx.db, &tx, &[], 2).unwrap();
+    assert_eq!(report.rows, interp);
+    assert_eq!(report.rows.len(), 10);
+}
+
+#[test]
+fn randomized_plan_equivalence() {
+    // Pseudo-random plans over a fixed schema: JIT must match the
+    // interpreter on every one.
+    let fx = fixture(120);
+    let engine = JitEngine::new();
+    let mut seed = 0xC0FFEEu64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for round in 0..30 {
+        let mut ops = vec![Op::NodeScan { label: Some(fx.person) }];
+        // Random filter.
+        let cmp = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+            [(rng() % 6) as usize];
+        let key = if rng() % 2 == 0 { fx.age } else { fx.pid };
+        ops.push(Op::Filter(Pred::Prop {
+            col: 0,
+            key,
+            op: cmp,
+            value: PPar::Const(PVal::Int((rng() % 100) as i64)),
+        }));
+        // Random traversal depth 0..2.
+        let mut col = 0;
+        for _ in 0..rng() % 3 {
+            let dir = if rng() % 2 == 0 { Dir::Out } else { Dir::In };
+            ops.push(Op::ForeachRel {
+                col,
+                dir,
+                label: Some(fx.knows),
+            });
+            ops.push(Op::GetNode {
+                col: col + 1,
+                end: if dir == Dir::Out { RelEnd::Dst } else { RelEnd::Src },
+            });
+            col += 2;
+        }
+        ops.push(Op::Project(vec![Proj::Prop { col, key: fx.pid }]));
+        let plan = Plan::new(ops, 0);
+
+        let mut tx = fx.db.begin();
+        let interp = execute_collect(&plan, &mut tx, &[]).unwrap();
+        drop(tx);
+        let mut tx = fx.db.begin();
+        let jit = execute_jit(&engine, &plan, &mut tx, &[]).unwrap();
+        assert_eq!(jit, interp, "round {round} plan {plan:?}");
+    }
+}
+
+#[test]
+fn rel_scan_equivalence() {
+    let fx = fixture(100);
+    let plan = Plan::new(
+        vec![
+            Op::RelScan { label: Some(fx.knows) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: fx.since,
+                op: CmpOp::Ge,
+                value: PPar::Const(PVal::Int(2005)),
+            }),
+            Op::GetNode {
+                col: 0,
+                end: RelEnd::Src,
+            },
+            Op::Project(vec![
+                Proj::Prop { col: 1, key: fx.pid },
+                Proj::Prop { col: 0, key: fx.since },
+            ]),
+        ],
+        0,
+    );
+    assert_equivalent(&fx, &plan, &[]);
+
+    // Unlabelled relationship scan + count tail.
+    let plan = Plan::new(vec![Op::RelScan { label: None }, Op::Count], 0);
+    assert_equivalent(&fx, &plan, &[]);
+}
+
+#[test]
+fn node_by_id_equivalence() {
+    let fx = fixture(50);
+    let plan = Plan::new(
+        vec![
+            Op::NodeById { id: PPar::Param(0) },
+            Op::Project(vec![Proj::Prop { col: 0, key: fx.pid }]),
+        ],
+        1,
+    );
+    // Valid physical ids, an out-of-range id, and a non-Int parameter.
+    for p in [PVal::Int(0), PVal::Int(3), PVal::Int(1_000_000), PVal::Int(-5)] {
+        assert_equivalent(&fx, &plan, &[p]);
+    }
+}
+
+#[test]
+fn once_pipeline_equivalence() {
+    let fx = fixture(30);
+    let engine = JitEngine::new();
+    // Pure insert pipeline seeded by Once.
+    let plan = Plan::new(
+        vec![
+            Op::Once,
+            Op::CreateNode {
+                label: fx.person,
+                props: vec![(fx.pid, PPar::Const(PVal::Int(777_777)))],
+            },
+        ],
+        0,
+    );
+    let mut tx = fx.db.begin();
+    let rows = execute_jit(&engine, &plan, &mut tx, &[]).unwrap();
+    assert_eq!(rows.len(), 1);
+    tx.commit().unwrap();
+    let check = Plan::new(
+        vec![Op::IndexScan {
+            label: fx.person,
+            key: fx.pid,
+            value: PPar::Const(PVal::Int(777_777)),
+        }],
+        0,
+    );
+    let mut tx = fx.db.begin();
+    assert_eq!(execute_collect(&check, &mut tx, &[]).unwrap().len(), 1);
+}
+
+#[test]
+fn index_probe_equivalence() {
+    let fx = fixture(60);
+    // Probe joins two independent persons into one row.
+    let plan = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: fx.person,
+                key: fx.pid,
+                value: PPar::Param(0),
+            },
+            Op::IndexProbe {
+                label: fx.person,
+                key: fx.pid,
+                value: PPar::Param(1),
+            },
+            Op::Project(vec![
+                Proj::Prop { col: 0, key: fx.age },
+                Proj::Prop { col: 1, key: fx.age },
+                Proj::ConnectedFlag {
+                    a: 0,
+                    b: 1,
+                    label: fx.knows,
+                },
+            ]),
+        ],
+        2,
+    );
+    for (a, b) in [(0i64, 1i64), (5, 40), (10, 11), (3, 999)] {
+        assert_equivalent(&fx, &plan, &[PVal::Int(a), PVal::Int(b)]);
+    }
+}
+
+#[test]
+fn distinct_tail_after_compiled_segment() {
+    let fx = fixture(90);
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(fx.person) },
+            Op::ForeachRel {
+                col: 0,
+                dir: Dir::Out,
+                label: Some(fx.knows),
+            },
+            Op::GetNode {
+                col: 1,
+                end: RelEnd::Dst,
+            },
+            Op::Project(vec![Proj::Prop { col: 2, key: fx.age }]),
+            Op::Distinct,
+        ],
+        0,
+    );
+    assert_equivalent(&fx, &plan, &[]);
+}
+
+#[test]
+fn jit_runs_on_persistent_pmem_pool() {
+    // Codegen must be agnostic to the backing device: same plan, pmem pool
+    // with the full latency model.
+    let mut path = std::env::temp_dir();
+    path.push(format!("gjit-pmem-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let db = GraphDb::create(
+        graphcore::DbOptions::pmem(&path, 256 << 20), // pmem latency profile
+    )
+    .unwrap();
+    let person = db.intern("Person").unwrap();
+    let pid = db.intern("pid").unwrap();
+    let mut tx = db.begin();
+    for i in 0..100i64 {
+        tx.create_node("Person", &[("pid", Value::Int(i))]).unwrap();
+    }
+    tx.commit().unwrap();
+
+    let engine = JitEngine::new();
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(person) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: pid,
+                op: CmpOp::Lt,
+                value: PPar::Const(PVal::Int(10)),
+            }),
+            Op::Project(vec![Proj::Prop { col: 0, key: pid }]),
+        ],
+        0,
+    );
+    let mut tx = db.begin();
+    let interp = execute_collect(&plan, &mut tx, &[]).unwrap();
+    let jit = execute_jit(&engine, &plan, &mut tx, &[]).unwrap();
+    assert_eq!(jit, interp);
+    assert_eq!(jit.len(), 10);
+    drop(tx);
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn compiled_query_outlives_engine_cache_clear() {
+    // Arc keeps the machine code alive even if the engine cache is cleared
+    // while a caller still holds the compiled query.
+    let fx = fixture(40);
+    let engine = JitEngine::new();
+    let plan = Plan::new(vec![Op::NodeScan { label: Some(fx.person) }], 0);
+    let compiled = engine.get_or_compile(&plan).unwrap();
+    engine.clear_code_cache();
+    let mut tx = fx.db.begin();
+    let rows = run_compiled(&compiled, &plan, &mut tx, &[]).unwrap();
+    assert_eq!(rows.len(), 40);
+    // Re-fetching after the clear compiles again.
+    let _again = engine.get_or_compile(&plan).unwrap();
+    assert_eq!(
+        engine.stats().compiles.load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+}
+
+#[test]
+fn unsupported_plan_reports_cleanly() {
+    let fx = fixture(10);
+    let engine = JitEngine::new();
+    // OrderBy heads the plan: nothing compilable before the breaker — the
+    // compiled segment is empty, which the codegen rejects.
+    let plan = Plan::new(
+        vec![
+            Op::OrderBy {
+                key: Proj::Col(0),
+                desc: false,
+            },
+            Op::NodeScan { label: Some(fx.person) },
+        ],
+        0,
+    );
+    assert!(engine.get_or_compile(&plan).is_err());
+}
+
+#[test]
+fn precompile_known_warms_only_previously_seen_plans() {
+    let fx = fixture(20);
+    let pool = fx.db.pool().clone();
+    let (engine, root) = JitEngine::with_persistent_cache(pool.clone()).unwrap();
+    let hot = Plan::new(vec![Op::NodeScan { label: Some(fx.person) }], 0);
+    let never_run = Plan::new(vec![Op::NodeScan { label: None }], 0);
+    let mut tx = fx.db.begin();
+    execute_jit(&engine, &hot, &mut tx, &[]).unwrap();
+    drop(tx);
+
+    // "Restart": new engine over the same metadata, cold code cache.
+    let engine2 = JitEngine::open_persistent_cache(pool, root);
+    let n = engine2.precompile_known(&[hot.clone(), never_run.clone()]);
+    assert_eq!(n, 1, "only the previously-executed plan is warmed");
+    assert!(engine2.is_known(&hot));
+    // The warmed plan now executes without a fresh compile.
+    let before = engine2.stats().compiles.load(std::sync::atomic::Ordering::Relaxed);
+    let mut tx = fx.db.begin();
+    execute_jit(&engine2, &hot, &mut tx, &[]).unwrap();
+    assert_eq!(
+        engine2.stats().compiles.load(std::sync::atomic::Ordering::Relaxed),
+        before
+    );
+}

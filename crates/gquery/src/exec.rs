@@ -1,0 +1,579 @@
+//! The push-based interpreter — the engine's AOT execution mode (§6.1).
+//!
+//! Every operator is ahead-of-time-compiled Rust; the interpreter walks the
+//! plan per row, pushing tuples from each operator to its successor as
+//! nested calls, exactly the cascade the paper describes for interpretation
+//! mode. Pipeline breakers split the plan into segments with buffers in
+//! between.
+
+use std::fmt;
+
+use graphcore::{Dir, GraphError, GraphTxn, PropOwner};
+use gstore::PVal;
+
+use crate::plan::{CmpOp, Op, Plan, Pred, Proj, RelEnd, Row, Slot};
+
+/// Errors during query execution.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Engine/transaction error (conflicts abort the query's transaction).
+    Graph(GraphError),
+    /// The plan is structurally invalid for the interpreter.
+    BadPlan(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Graph(e) => write!(f, "query failed: {e}"),
+            QueryError::BadPlan(m) => write!(f, "bad plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<GraphError> for QueryError {
+    fn from(e: GraphError) -> Self {
+        QueryError::Graph(e)
+    }
+}
+
+type Sink<'s> = &'s mut dyn FnMut(&[Slot]) -> Result<(), QueryError>;
+
+/// Execute a plan in the given transaction, pushing result rows to `sink`.
+/// Returns the number of emitted rows.
+pub fn execute(
+    plan: &Plan,
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    mut sink: impl FnMut(&[Slot]),
+) -> Result<u64, QueryError> {
+    assert!(
+        params.len() >= plan.n_params,
+        "plan expects {} params, got {}",
+        plan.n_params,
+        params.len()
+    );
+    let mut count = 0u64;
+    let mut wrapped = |row: &[Slot]| -> Result<(), QueryError> {
+        count += 1;
+        sink(row);
+        Ok(())
+    };
+    exec_segments(&plan.ops, txn, params, None, &mut wrapped)?;
+    Ok(count)
+}
+
+/// Execute and collect all rows.
+pub fn execute_collect(
+    plan: &Plan,
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+) -> Result<Vec<Row>, QueryError> {
+    let mut rows = Vec::new();
+    execute(plan, txn, params, |r| rows.push(r.to_vec()))?;
+    Ok(rows)
+}
+
+/// Run the remaining operators (typically breakers and post-breaker
+/// segments) over pre-buffered rows. Used by the parallel executor and by
+/// the JIT driver, which compiles the first pipeline segment to machine
+/// code and hands its output back here.
+pub fn execute_prebuffered(
+    ops: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    rows: Vec<Row>,
+    sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
+) -> Result<(), QueryError> {
+    exec_segments(ops, txn, params, Some(rows), sink)
+}
+
+/// Crate-internal re-export for the parallel executor's tail segments.
+pub(crate) fn exec_segments_pub(
+    ops: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    input: Option<Vec<Row>>,
+    sink: Sink<'_>,
+) -> Result<(), QueryError> {
+    exec_segments(ops, txn, params, input, sink)
+}
+
+/// Execute operator list split at pipeline breakers. `input` is `None` for
+/// the first segment (which must start with an access path) and the
+/// buffered rows afterwards.
+fn exec_segments(
+    ops: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    input: Option<Vec<Row>>,
+    sink: Sink<'_>,
+) -> Result<(), QueryError> {
+    match ops.iter().position(Op::is_breaker) {
+        None => exec_pipeline(ops, txn, params, input, sink),
+        Some(i) => {
+            let mut buf: Vec<Row> = Vec::new();
+            {
+                let mut collect = |row: &[Slot]| -> Result<(), QueryError> {
+                    buf.push(row.to_vec());
+                    Ok(())
+                };
+                exec_pipeline(&ops[..i], txn, params, input, &mut collect)?;
+            }
+            let buf = apply_breaker(&ops[i], buf, txn, params)?;
+            exec_segments(&ops[i + 1..], txn, params, Some(buf), sink)
+        }
+    }
+}
+
+fn apply_breaker(
+    op: &Op,
+    mut buf: Vec<Row>,
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+) -> Result<Vec<Row>, QueryError> {
+    match op {
+        Op::OrderBy { key, desc } => {
+            let mut keyed: Vec<(u64, Row)> = buf
+                .into_iter()
+                .map(|row| {
+                    let k = eval_proj(key, &row, txn, params)?;
+                    Ok((sort_key(&k), row))
+                })
+                .collect::<Result<_, QueryError>>()?;
+            keyed.sort_by_key(|(k, _)| *k);
+            if *desc {
+                keyed.reverse();
+            }
+            Ok(keyed.into_iter().map(|(_, r)| r).collect())
+        }
+        Op::Limit(n) => {
+            buf.truncate(*n);
+            Ok(buf)
+        }
+        Op::Count => Ok(vec![vec![Slot::val(PVal::Int(buf.len() as i64))]]),
+        Op::Distinct => {
+            let mut seen = std::collections::HashSet::new();
+            buf.retain(|row| {
+                let key: Vec<(u8, u64)> = row.iter().map(|s| (s.tag, s.val)).collect();
+                seen.insert(key)
+            });
+            Ok(buf)
+        }
+        _ => unreachable!("not a breaker"),
+    }
+}
+
+/// Stable total order for sort keys: nulls first, then entities by id,
+/// then values by order-preserving encoding.
+fn sort_key(s: &Slot) -> u64 {
+    match s.as_pval() {
+        Some(p) => p.index_key(),
+        None => s.val,
+    }
+}
+
+fn exec_pipeline(
+    ops: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    input: Option<Vec<Row>>,
+    sink: Sink<'_>,
+) -> Result<(), QueryError> {
+    match input {
+        Some(rows) => {
+            for row in rows {
+                push(ops, txn, params, &row, sink)?;
+            }
+            Ok(())
+        }
+        None => {
+            if ops.is_empty() {
+                return Err(QueryError::BadPlan("empty pipeline".into()));
+            }
+            exec_access_path(ops, txn, params, sink)
+        }
+    }
+}
+
+/// Run the access-path operator (first in the pipeline) and push rows
+/// through the rest.
+fn exec_access_path(
+    ops: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    sink: Sink<'_>,
+) -> Result<(), QueryError> {
+    let rest = &ops[1..];
+    match &ops[0] {
+        Op::Once => push(rest, txn, params, &[], sink),
+        Op::NodeScan { label } => {
+            let chunks = txn.db().nodes().chunk_count();
+            for ci in 0..chunks {
+                scan_node_chunk(ci, *label, rest, txn, params, sink)?;
+            }
+            Ok(())
+        }
+        Op::RelScan { label } => {
+            let chunks = txn.db().rels().chunk_count();
+            for ci in 0..chunks {
+                let mut ids = Vec::new();
+                txn.db().rels().for_each_live_id(ci, &mut |id| ids.push(id));
+                for id in ids {
+                    if let Some(r) = txn.rel(id)? {
+                        if label.is_none_or(|l| r.label == l) {
+                            push(rest, txn, params, &[Slot::rel(id)], sink)?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        Op::IndexScan { label, key, value } => {
+            let pv = value.resolve(params);
+            let ids = index_candidates(txn, *label, *key, pv)?;
+            for id in ids {
+                if let Some(n) = txn.node(id)? {
+                    if n.label == *label
+                        && txn.prop_pval(PropOwner::Node(id), *key)? == Some(pv)
+                    {
+                        push(rest, txn, params, &[Slot::node(id)], sink)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        Op::NodeById { id } => {
+            let pv = id.resolve(params);
+            let PVal::Int(raw) = pv else {
+                return Err(QueryError::BadPlan("NodeById expects an Int id".into()));
+            };
+            if raw >= 0
+                && txn.node(raw as u64)?.is_some() {
+                    push(rest, txn, params, &[Slot::node(raw as u64)], sink)?;
+                }
+            Ok(())
+        }
+        other => Err(QueryError::BadPlan(format!(
+            "operator {other:?} cannot start a pipeline"
+        ))),
+    }
+}
+
+/// Public morsel entry point: run a NodeScan-headed pipeline segment on one
+/// node-table chunk, collecting its rows. Used by the adaptive executor,
+/// which interleaves interpreted and compiled morsels (§6.2).
+pub fn run_scan_morsel(
+    ops: &[Op],
+    chunk: usize,
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+) -> Result<Vec<Row>, QueryError> {
+    let Some(Op::NodeScan { label }) = ops.first() else {
+        return Err(QueryError::BadPlan("morsel pipeline must start with NodeScan".into()));
+    };
+    let mut rows = Vec::new();
+    let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
+        rows.push(row.to_vec());
+        Ok(())
+    };
+    scan_node_chunk(chunk, *label, &ops[1..], txn, params, &mut sink)?;
+    Ok(rows)
+}
+
+/// Morsel entry point: run the pipeline on one node-table chunk (used by
+/// the parallel executor and by the adaptive JIT scheduler).
+pub(crate) fn scan_node_chunk(
+    chunk: usize,
+    label: Option<u32>,
+    rest: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    sink: Sink<'_>,
+) -> Result<(), QueryError> {
+    let mut ids = Vec::with_capacity(64);
+    txn.db().nodes().for_each_live_id(chunk, &mut |id| ids.push(id));
+    for id in ids {
+        if let Some(n) = txn.node(id)? {
+            if label.is_none_or(|l| n.label == l) {
+                push(rest, txn, params, &[Slot::node(id)], sink)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn index_candidates(
+    txn: &GraphTxn<'_>,
+    label: u32,
+    key: u32,
+    pv: PVal,
+) -> Result<Vec<u64>, QueryError> {
+    if let Some(tree) = txn.db().index_for(label, key) {
+        Ok(tree.lookup(pv.index_key()))
+    } else {
+        // No index: scan fallback (candidates filtered by the caller).
+        let mut out = Vec::new();
+        let nodes = txn.db().nodes();
+        for ci in 0..nodes.chunk_count() {
+            nodes.for_each_live_id(ci, &mut |id| out.push(id));
+        }
+        Ok(out)
+    }
+}
+
+/// Push one row through the (non-breaker) operator chain.
+fn push(
+    ops: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    row: &[Slot],
+    sink: Sink<'_>,
+) -> Result<(), QueryError> {
+    let Some((op, rest)) = ops.split_first() else {
+        return sink(row);
+    };
+    match op {
+        Op::ForeachRel { col, dir, label } => {
+            let node = entity(row, *col, "ForeachRel")?;
+            // Collect first: the traversal borrows txn immutably while the
+            // continuation may need it mutably (update pipelines).
+            let rels = txn.rels_of(node, *dir, *label)?;
+            for (rid, _) in rels {
+                let mut next = row.to_vec();
+                next.push(Slot::rel(rid));
+                push(rest, txn, params, &next, sink)?;
+            }
+            Ok(())
+        }
+        Op::GetNode { col, end } => {
+            let rid = row
+                .get(*col)
+                .and_then(Slot::as_rel)
+                .ok_or_else(|| QueryError::BadPlan(format!("column {col} is not a rel")))?;
+            let r = txn.rel(rid)?.ok_or(GraphError::RelNotFound(rid))?;
+            let node = match end {
+                RelEnd::Src => r.src,
+                RelEnd::Dst => r.dst,
+                RelEnd::Other(c) => {
+                    let anchor = entity(row, *c, "GetNode::Other")?;
+                    if r.src == anchor {
+                        r.dst
+                    } else {
+                        r.src
+                    }
+                }
+            };
+            let mut next = row.to_vec();
+            next.push(Slot::node(node));
+            push(rest, txn, params, &next, sink)
+        }
+        Op::IndexProbe { label, key, value } => {
+            let pv = value.resolve(params);
+            let ids = index_candidates(txn, *label, *key, pv)?;
+            for id in ids {
+                if let Some(n) = txn.node(id)? {
+                    if n.label == *label
+                        && txn.prop_pval(PropOwner::Node(id), *key)? == Some(pv)
+                    {
+                        let mut next = row.to_vec();
+                        next.push(Slot::node(id));
+                        push(rest, txn, params, &next, sink)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        Op::Filter(pred) => {
+            if eval_pred(pred, row, txn, params)? {
+                push(rest, txn, params, row, sink)
+            } else {
+                Ok(())
+            }
+        }
+        Op::Project(projs) => {
+            let mut next = Vec::with_capacity(projs.len());
+            for p in projs {
+                next.push(eval_proj(p, row, txn, params)?);
+            }
+            push(rest, txn, params, &next, sink)
+        }
+        Op::CreateNode { label, props } => {
+            let resolved: Vec<(u32, PVal)> =
+                props.iter().map(|(k, v)| (*k, v.resolve(params))).collect();
+            let id = txn.create_node_coded(*label, &resolved)?;
+            let mut next = row.to_vec();
+            next.push(Slot::node(id));
+            push(rest, txn, params, &next, sink)
+        }
+        Op::CreateRel {
+            src_col,
+            dst_col,
+            label,
+            props,
+        } => {
+            let src = entity(row, *src_col, "CreateRel.src")?;
+            let dst = entity(row, *dst_col, "CreateRel.dst")?;
+            let resolved: Vec<(u32, PVal)> =
+                props.iter().map(|(k, v)| (*k, v.resolve(params))).collect();
+            let id = txn.create_rel_coded(src, *label, dst, &resolved)?;
+            let mut next = row.to_vec();
+            next.push(Slot::rel(id));
+            push(rest, txn, params, &next, sink)
+        }
+        Op::SetProp { col, key, value } => {
+            let owner = owner_of(row, *col)?;
+            txn.set_prop_coded(owner, *key, value.resolve(params))?;
+            push(rest, txn, params, row, sink)
+        }
+        other => Err(QueryError::BadPlan(format!(
+            "operator {other:?} not valid mid-pipeline"
+        ))),
+    }
+}
+
+fn entity(row: &[Slot], col: usize, what: &str) -> Result<u64, QueryError> {
+    row.get(col)
+        .and_then(Slot::as_node)
+        .ok_or_else(|| QueryError::BadPlan(format!("{what}: column {col} is not a node")))
+}
+
+fn owner_of(row: &[Slot], col: usize) -> Result<PropOwner, QueryError> {
+    let slot = row
+        .get(col)
+        .ok_or_else(|| QueryError::BadPlan(format!("column {col} out of range")))?;
+    if let Some(id) = slot.as_node() {
+        Ok(PropOwner::Node(id))
+    } else if let Some(id) = slot.as_rel() {
+        Ok(PropOwner::Rel(id))
+    } else {
+        Err(QueryError::BadPlan(format!(
+            "column {col} is not an entity"
+        )))
+    }
+}
+
+fn prop_of(
+    row: &[Slot],
+    col: usize,
+    key: u32,
+    txn: &GraphTxn<'_>,
+) -> Result<Option<PVal>, QueryError> {
+    let owner = owner_of(row, col)?;
+    Ok(txn.prop_pval(owner, key)?)
+}
+
+/// Evaluate a predicate on a row.
+pub(crate) fn eval_pred(
+    pred: &Pred,
+    row: &[Slot],
+    txn: &GraphTxn<'_>,
+    params: &[PVal],
+) -> Result<bool, QueryError> {
+    Ok(match pred {
+        Pred::Prop {
+            col,
+            key,
+            op,
+            value,
+        } => match prop_of(row, *col, *key, txn)? {
+            Some(actual) => {
+                let expect = value.resolve(params);
+                if *op == CmpOp::Eq {
+                    actual == expect
+                } else if *op == CmpOp::Ne {
+                    actual != expect
+                } else {
+                    op.eval_u64(actual.index_key(), expect.index_key())
+                }
+            }
+            None => false,
+        },
+        Pred::LabelIs { col, label } => {
+            let owner = owner_of(row, *col)?;
+            match owner {
+                PropOwner::Node(id) => txn.node(id)?.is_some_and(|n| n.label == *label),
+                PropOwner::Rel(id) => txn.rel(id)?.is_some_and(|r| r.label == *label),
+            }
+        }
+        Pred::ColEq { a, b } => {
+            let sa = row.get(*a).ok_or_else(|| bad_col(*a))?;
+            let sb = row.get(*b).ok_or_else(|| bad_col(*b))?;
+            sa.tag == sb.tag && sa.val == sb.val
+        }
+        Pred::ColNe { a, b } => {
+            let sa = row.get(*a).ok_or_else(|| bad_col(*a))?;
+            let sb = row.get(*b).ok_or_else(|| bad_col(*b))?;
+            !(sa.tag == sb.tag && sa.val == sb.val)
+        }
+        Pred::Connected { a, b, label } => {
+            connected(row, *a, *b, *label, txn)?
+        }
+        Pred::And(l, r) => {
+            eval_pred(l, row, txn, params)? && eval_pred(r, row, txn, params)?
+        }
+        Pred::Or(l, r) => eval_pred(l, row, txn, params)? || eval_pred(r, row, txn, params)?,
+        Pred::Not(x) => !eval_pred(x, row, txn, params)?,
+    })
+}
+
+fn connected(
+    row: &[Slot],
+    a: usize,
+    b: usize,
+    label: u32,
+    txn: &GraphTxn<'_>,
+) -> Result<bool, QueryError> {
+    let na = entity(row, a, "Connected.a")?;
+    let nb = entity(row, b, "Connected.b")?;
+    for (_, r) in txn.rels_of(na, Dir::Out, Some(label))? {
+        if r.dst == nb {
+            return Ok(true);
+        }
+    }
+    for (_, r) in txn.rels_of(na, Dir::In, Some(label))? {
+        if r.src == nb {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn bad_col(col: usize) -> QueryError {
+    QueryError::BadPlan(format!("column {col} out of range"))
+}
+
+/// Evaluate a projection expression on a row.
+pub(crate) fn eval_proj(
+    proj: &Proj,
+    row: &[Slot],
+    txn: &GraphTxn<'_>,
+    _params: &[PVal],
+) -> Result<Slot, QueryError> {
+    Ok(match proj {
+        Proj::Col(c) => *row.get(*c).ok_or_else(|| bad_col(*c))?,
+        Proj::Prop { col, key } => match prop_of(row, *col, *key, txn)? {
+            Some(p) => Slot::val(p),
+            None => Slot::NULL,
+        },
+        Proj::Label { col } => {
+            let owner = owner_of(row, *col)?;
+            let label = match owner {
+                PropOwner::Node(id) => {
+                    txn.node(id)?.ok_or(GraphError::NodeNotFound(id))?.label
+                }
+                PropOwner::Rel(id) => txn.rel(id)?.ok_or(GraphError::RelNotFound(id))?.label,
+            };
+            Slot::val(PVal::Int(label as i64))
+        }
+        Proj::Id { col } => {
+            let slot = row.get(*col).ok_or_else(|| bad_col(*col))?;
+            Slot::val(PVal::Int(slot.val as i64))
+        }
+        Proj::ConnectedFlag { a, b, label } => {
+            Slot::val(PVal::Bool(connected(row, *a, *b, *label, txn)?))
+        }
+    })
+}

@@ -1,0 +1,22 @@
+//! Push-based graph-algebra query engine (paper §6.1) — the AOT execution
+//! mode.
+//!
+//! Queries are linear operator pipelines over [`Slot`] rows, pushed from an
+//! access path (`NodeScan`, `IndexScan`, `NodeById`, `Once`) through
+//! traversal ([`Op::ForeachRel`], [`Op::GetNode`]), filter, projection and
+//! update operators. Pipeline breakers (`OrderBy`, `Limit`, `Count`) buffer
+//! between pipeline segments, exactly the structure the JIT compiler in
+//! `gjit` turns into one machine-code function per segment.
+//!
+//! Parallel execution follows the paper's morsel-driven approach (§6.1,
+//! Leis et al.): table chunks are the morsels; worker threads pull chunk
+//! ranges from a shared counter and run the whole pipeline segment on each
+//! morsel.
+
+pub mod exec;
+pub mod parallel;
+pub mod plan;
+
+pub use exec::{execute, execute_collect, execute_prebuffered, run_scan_morsel, QueryError};
+pub use parallel::execute_parallel;
+pub use plan::{CmpOp, Op, PPar, Plan, Pred, Proj, Slot, SlotTag};

@@ -1,0 +1,580 @@
+//! Graph-algebra plans: operators, predicates, projections, parameters.
+//!
+//! Plans are *parameterised*: literal positions may reference a parameter
+//! slot instead of a constant, so one plan shape serves many invocations.
+//! The [`Plan::fingerprint`] hashes only the shape — this is the paper's
+//! "unique query identifier that comprises the operators' identifiers",
+//! used as the key of the persistent query-code cache (§6.2).
+
+use graphcore::Dir;
+use gstore::hash::fnv1a;
+use gstore::PVal;
+
+/// A tagged 64-bit tuple element. `#[repr(C)]` so JIT-compiled code can
+/// build rows on the stack and hand them to the runtime unchanged.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slot {
+    pub tag: u8,
+    pub val: u64,
+}
+
+/// Slot tag values (kept u8-stable for the JIT ABI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SlotTag {
+    Null = 0,
+    Node = 1,
+    Rel = 2,
+    /// Property value: `tag = 8 + PVal tag`, `val` = PVal payload.
+    Val = 8,
+}
+
+impl Slot {
+    pub const NULL: Slot = Slot { tag: 0, val: 0 };
+
+    pub fn node(id: u64) -> Slot {
+        Slot {
+            tag: SlotTag::Node as u8,
+            val: id,
+        }
+    }
+
+    pub fn rel(id: u64) -> Slot {
+        Slot {
+            tag: SlotTag::Rel as u8,
+            val: id,
+        }
+    }
+
+    pub fn val(p: PVal) -> Slot {
+        let (tag, val) = p.encode();
+        Slot { tag: 8 + tag, val }
+    }
+
+    /// The node id, if this is a node slot.
+    pub fn as_node(&self) -> Option<u64> {
+        (self.tag == SlotTag::Node as u8).then_some(self.val)
+    }
+
+    /// The relationship id, if this is a relationship slot.
+    pub fn as_rel(&self) -> Option<u64> {
+        (self.tag == SlotTag::Rel as u8).then_some(self.val)
+    }
+
+    /// The property value, if this is a value slot.
+    pub fn as_pval(&self) -> Option<PVal> {
+        if self.tag >= 8 {
+            PVal::decode(self.tag - 8, self.val)
+        } else {
+            None
+        }
+    }
+}
+
+/// A row of slots.
+pub type Row = Vec<Slot>;
+
+/// A literal or a parameter reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PPar {
+    Const(PVal),
+    /// Index into the parameter vector supplied at execution time.
+    Param(usize),
+}
+
+impl PPar {
+    /// Resolve against the parameter vector.
+    pub fn resolve(&self, params: &[PVal]) -> PVal {
+        match self {
+            PPar::Const(p) => *p,
+            PPar::Param(i) => params[*i],
+        }
+    }
+
+    fn shape_hash(&self, h: &mut Vec<u8>) {
+        match self {
+            // Constants are part of the shape; parameters are holes.
+            PPar::Const(p) => {
+                let (t, v) = p.encode();
+                h.push(1);
+                h.push(t);
+                h.extend_from_slice(&v.to_le_bytes());
+            }
+            PPar::Param(i) => {
+                h.push(2);
+                h.extend_from_slice(&(*i as u64).to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Comparison operators for property predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate on order-preserving u64 encodings.
+    pub fn eval_u64(&self, a: u64, b: u64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// Filter predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// Compare a property of the node/rel in column `col` against a value.
+    /// Missing property ⇒ false.
+    Prop {
+        col: usize,
+        key: u32,
+        op: CmpOp,
+        value: PPar,
+    },
+    /// The node in `col` has the given label.
+    LabelIs { col: usize, label: u32 },
+    /// The entity ids in two columns are equal.
+    ColEq { a: usize, b: usize },
+    /// The entity ids in two columns differ.
+    ColNe { a: usize, b: usize },
+    /// There is a visible relationship (any direction) with `label`
+    /// between the nodes in columns `a` and `b` (IS7's "knows" flag).
+    Connected { a: usize, b: usize, label: u32 },
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+/// Projection expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Proj {
+    /// Copy a column.
+    Col(usize),
+    /// A property of the node/rel in `col` (missing ⇒ Null slot).
+    Prop { col: usize, key: u32 },
+    /// The label code of the node/rel in `col` as an Int value.
+    Label { col: usize },
+    /// The id of the entity in `col` as an Int value.
+    Id { col: usize },
+    /// Whether `Connected` holds, as a Bool value (projected flag).
+    ConnectedFlag { a: usize, b: usize, label: u32 },
+}
+
+/// Which end of a relationship to fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelEnd {
+    Src,
+    Dst,
+    /// The endpoint that is NOT the node in the given column.
+    Other(usize),
+}
+
+/// Pipeline operators. A plan is a linear `Vec<Op>`; rows flow from the
+/// first operator (the access path) to the last.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Access path: emit one empty row (seed for update pipelines).
+    Once,
+    /// Access path: scan the node table, emitting visible nodes with the
+    /// label (or all).
+    NodeScan { label: Option<u32> },
+    /// Access path: scan the relationship table.
+    RelScan { label: Option<u32> },
+    /// Access path: B+-tree lookup on `(:label {key} = value)`; falls back
+    /// to a scan when no index exists (PMem-s/p vs PMem-i in Fig. 5).
+    IndexScan { label: u32, key: u32, value: PPar },
+    /// Access path: single node by physical id.
+    NodeById { id: PPar },
+    /// Mid-pipeline index lookup: for each input row, append every node
+    /// matching `(:label {key} = value)` (an index nested-loop join; used
+    /// by the IU update pipelines to bind a second entity).
+    IndexProbe { label: u32, key: u32, value: PPar },
+    /// Traverse relationships of the node in `col`; appends a Rel slot.
+    ForeachRel {
+        col: usize,
+        dir: Dir,
+        label: Option<u32>,
+    },
+    /// Fetch an endpoint of the relationship in `col`; appends a Node slot.
+    GetNode { col: usize, end: RelEnd },
+    /// Keep rows satisfying the predicate.
+    Filter(Pred),
+    /// Replace the row with projected slots.
+    Project(Vec<Proj>),
+    /// Pipeline breaker: sort by a projected key.
+    OrderBy {
+        key: Proj,
+        desc: bool,
+    },
+    /// Pipeline breaker: keep the first `n` rows.
+    Limit(usize),
+    /// Pipeline breaker: replace all rows with one count row.
+    Count,
+    /// Remove duplicate rows (breaker).
+    Distinct,
+    /// Update: create a node; appends its Node slot.
+    CreateNode {
+        label: u32,
+        props: Vec<(u32, PPar)>,
+    },
+    /// Update: create a relationship between the nodes in two columns;
+    /// appends its Rel slot.
+    CreateRel {
+        src_col: usize,
+        dst_col: usize,
+        label: u32,
+        props: Vec<(u32, PPar)>,
+    },
+    /// Update: set a property on the node/rel in `col`.
+    SetProp {
+        col: usize,
+        key: u32,
+        value: PPar,
+    },
+}
+
+impl Op {
+    /// Breakers buffer all upstream rows before continuing.
+    pub fn is_breaker(&self) -> bool {
+        matches!(
+            self,
+            Op::OrderBy { .. } | Op::Limit(_) | Op::Count | Op::Distinct
+        )
+    }
+
+    /// Update operators mutate the graph.
+    pub fn is_update(&self) -> bool {
+        matches!(
+            self,
+            Op::CreateNode { .. } | Op::CreateRel { .. } | Op::SetProp { .. }
+        )
+    }
+}
+
+/// A query plan: a linear operator pipeline plus the number of parameters
+/// it expects.
+///
+/// ```
+/// use gquery::{Op, PPar, Plan, Pred, CmpOp};
+/// use gstore::PVal;
+///
+/// // MATCH (n:1) WHERE n.k < $0 — same shape for any parameter value:
+/// let plan = Plan::new(
+///     vec![
+///         Op::NodeScan { label: Some(1) },
+///         Op::Filter(Pred::Prop { col: 0, key: 2, op: CmpOp::Lt, value: PPar::Param(0) }),
+///     ],
+///     1,
+/// );
+/// let fp = plan.fingerprint();
+/// assert_eq!(fp, plan.clone().fingerprint()); // stable: the code-cache key
+/// assert!(!plan.is_update());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub ops: Vec<Op>,
+    pub n_params: usize,
+}
+
+impl Plan {
+    /// Build a plan, validating basic shape invariants.
+    pub fn new(ops: Vec<Op>, n_params: usize) -> Plan {
+        assert!(!ops.is_empty(), "plan must have at least one operator");
+        Plan { ops, n_params }
+    }
+
+    /// True if any operator mutates the graph.
+    pub fn is_update(&self) -> bool {
+        self.ops.iter().any(Op::is_update)
+    }
+
+    /// Shape hash: identifies the operator structure with parameter values
+    /// masked out. Two invocations of the same query template share a
+    /// fingerprint — the key of the JIT code cache (§6.2).
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(64);
+        for op in &self.ops {
+            hash_op(op, &mut bytes);
+        }
+        fnv1a(&bytes)
+    }
+}
+
+fn hash_op(op: &Op, h: &mut Vec<u8>) {
+    match op {
+        Op::Once => h.push(0),
+        Op::NodeScan { label } => {
+            h.push(1);
+            h.extend_from_slice(&label.unwrap_or(0).to_le_bytes());
+        }
+        Op::RelScan { label } => {
+            h.push(2);
+            h.extend_from_slice(&label.unwrap_or(0).to_le_bytes());
+        }
+        Op::IndexScan { label, key, value } => {
+            h.push(3);
+            h.extend_from_slice(&label.to_le_bytes());
+            h.extend_from_slice(&key.to_le_bytes());
+            value.shape_hash(h);
+        }
+        Op::NodeById { id } => {
+            h.push(4);
+            id.shape_hash(h);
+        }
+        Op::IndexProbe { label, key, value } => {
+            h.push(16);
+            h.extend_from_slice(&label.to_le_bytes());
+            h.extend_from_slice(&key.to_le_bytes());
+            value.shape_hash(h);
+        }
+        Op::ForeachRel { col, dir, label } => {
+            h.push(5);
+            h.push(*col as u8);
+            h.push(matches!(dir, Dir::Out) as u8);
+            h.extend_from_slice(&label.unwrap_or(0).to_le_bytes());
+        }
+        Op::GetNode { col, end } => {
+            h.push(6);
+            h.push(*col as u8);
+            match end {
+                RelEnd::Src => h.push(0),
+                RelEnd::Dst => h.push(1),
+                RelEnd::Other(c) => {
+                    h.push(2);
+                    h.push(*c as u8);
+                }
+            }
+        }
+        Op::Filter(p) => {
+            h.push(7);
+            hash_pred(p, h);
+        }
+        Op::Project(ps) => {
+            h.push(8);
+            for p in ps {
+                hash_proj(p, h);
+            }
+        }
+        Op::OrderBy { key, desc } => {
+            h.push(9);
+            hash_proj(key, h);
+            h.push(*desc as u8);
+        }
+        Op::Limit(n) => {
+            h.push(10);
+            h.extend_from_slice(&(*n as u64).to_le_bytes());
+        }
+        Op::Count => h.push(11),
+        Op::Distinct => h.push(12),
+        Op::CreateNode { label, props } => {
+            h.push(13);
+            h.extend_from_slice(&label.to_le_bytes());
+            for (k, v) in props {
+                h.extend_from_slice(&k.to_le_bytes());
+                v.shape_hash(h);
+            }
+        }
+        Op::CreateRel {
+            src_col,
+            dst_col,
+            label,
+            props,
+        } => {
+            h.push(14);
+            h.push(*src_col as u8);
+            h.push(*dst_col as u8);
+            h.extend_from_slice(&label.to_le_bytes());
+            for (k, v) in props {
+                h.extend_from_slice(&k.to_le_bytes());
+                v.shape_hash(h);
+            }
+        }
+        Op::SetProp { col, key, value } => {
+            h.push(15);
+            h.push(*col as u8);
+            h.extend_from_slice(&key.to_le_bytes());
+            value.shape_hash(h);
+        }
+    }
+    h.push(0xFE); // op separator
+}
+
+fn hash_pred(p: &Pred, h: &mut Vec<u8>) {
+    match p {
+        Pred::Prop {
+            col,
+            key,
+            op,
+            value,
+        } => {
+            h.push(20);
+            h.push(*col as u8);
+            h.extend_from_slice(&key.to_le_bytes());
+            h.push(*op as u8);
+            value.shape_hash(h);
+        }
+        Pred::LabelIs { col, label } => {
+            h.push(21);
+            h.push(*col as u8);
+            h.extend_from_slice(&label.to_le_bytes());
+        }
+        Pred::ColEq { a, b } => {
+            h.push(22);
+            h.push(*a as u8);
+            h.push(*b as u8);
+        }
+        Pred::ColNe { a, b } => {
+            h.push(23);
+            h.push(*a as u8);
+            h.push(*b as u8);
+        }
+        Pred::Connected { a, b, label } => {
+            h.push(24);
+            h.push(*a as u8);
+            h.push(*b as u8);
+            h.extend_from_slice(&label.to_le_bytes());
+        }
+        Pred::And(l, r) => {
+            h.push(25);
+            hash_pred(l, h);
+            hash_pred(r, h);
+        }
+        Pred::Or(l, r) => {
+            h.push(26);
+            hash_pred(l, h);
+            hash_pred(r, h);
+        }
+        Pred::Not(x) => {
+            h.push(27);
+            hash_pred(x, h);
+        }
+    }
+}
+
+fn hash_proj(p: &Proj, h: &mut Vec<u8>) {
+    match p {
+        Proj::Col(c) => {
+            h.push(30);
+            h.push(*c as u8);
+        }
+        Proj::Prop { col, key } => {
+            h.push(31);
+            h.push(*col as u8);
+            h.extend_from_slice(&key.to_le_bytes());
+        }
+        Proj::Label { col } => {
+            h.push(32);
+            h.push(*col as u8);
+        }
+        Proj::Id { col } => {
+            h.push(33);
+            h.push(*col as u8);
+        }
+        Proj::ConnectedFlag { a, b, label } => {
+            h.push(34);
+            h.push(*a as u8);
+            h.push(*b as u8);
+            h.extend_from_slice(&label.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_roundtrips() {
+        assert_eq!(Slot::node(7).as_node(), Some(7));
+        assert_eq!(Slot::node(7).as_rel(), None);
+        assert_eq!(Slot::rel(3).as_rel(), Some(3));
+        let s = Slot::val(PVal::Int(-5));
+        assert_eq!(s.as_pval(), Some(PVal::Int(-5)));
+        assert_eq!(Slot::NULL.as_pval(), None);
+    }
+
+    #[test]
+    fn fingerprint_ignores_param_values_but_not_shape() {
+        let p1 = Plan::new(
+            vec![Op::IndexScan {
+                label: 1,
+                key: 2,
+                value: PPar::Param(0),
+            }],
+            1,
+        );
+        let p2 = p1.clone();
+        assert_eq!(p1.fingerprint(), p2.fingerprint());
+
+        let p3 = Plan::new(
+            vec![Op::IndexScan {
+                label: 1,
+                key: 3, // different key
+                value: PPar::Param(0),
+            }],
+            1,
+        );
+        assert_ne!(p1.fingerprint(), p3.fingerprint());
+
+        // Constants ARE part of the shape.
+        let c1 = Plan::new(
+            vec![Op::IndexScan {
+                label: 1,
+                key: 2,
+                value: PPar::Const(PVal::Int(5)),
+            }],
+            0,
+        );
+        let c2 = Plan::new(
+            vec![Op::IndexScan {
+                label: 1,
+                key: 2,
+                value: PPar::Const(PVal::Int(6)),
+            }],
+            0,
+        );
+        assert_ne!(c1.fingerprint(), c2.fingerprint());
+    }
+
+    #[test]
+    fn update_detection() {
+        let read = Plan::new(vec![Op::NodeScan { label: None }], 0);
+        assert!(!read.is_update());
+        let write = Plan::new(
+            vec![
+                Op::Once,
+                Op::CreateNode {
+                    label: 1,
+                    props: vec![],
+                },
+            ],
+            0,
+        );
+        assert!(write.is_update());
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Eq.eval_u64(5, 5));
+        assert!(CmpOp::Ne.eval_u64(5, 6));
+        assert!(CmpOp::Lt.eval_u64(4, 5));
+        assert!(CmpOp::Le.eval_u64(5, 5));
+        assert!(CmpOp::Gt.eval_u64(6, 5));
+        assert!(CmpOp::Ge.eval_u64(5, 5));
+        assert!(!CmpOp::Lt.eval_u64(5, 5));
+    }
+}

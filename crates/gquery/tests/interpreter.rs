@@ -1,0 +1,660 @@
+//! Interpreter tests: every operator, breakers, update pipelines, and
+//! parallel-vs-sequential equivalence.
+
+use graphcore::{DbOptions, Dir, GraphDb, Value};
+use gquery::{execute, execute_collect, execute_parallel, CmpOp, Op, PPar, Plan, Pred, Proj};
+use gstore::{IndexKind, PVal};
+
+/// Small social graph: persons with pid/age, cities, KNOWS and LIVES_IN.
+struct Fx {
+    db: GraphDb,
+    person: u32,
+    city: u32,
+    knows: u32,
+    lives_in: u32,
+    pid: u32,
+    age: u32,
+    name: u32,
+    persons: Vec<u64>,
+    cities: Vec<u64>,
+}
+
+fn fixture() -> Fx {
+    let db = GraphDb::create(DbOptions::dram(256 << 20)).unwrap();
+    let person = db.intern("Person").unwrap();
+    let city = db.intern("City").unwrap();
+    let knows = db.intern("KNOWS").unwrap();
+    let lives_in = db.intern("LIVES_IN").unwrap();
+    let pid = db.intern("pid").unwrap();
+    let age = db.intern("age").unwrap();
+    let name = db.intern("name").unwrap();
+
+    let mut tx = db.begin();
+    let cities: Vec<u64> = ["Ilmenau", "Berlin"]
+        .iter()
+        .map(|n| tx.create_node("City", &[("name", Value::from(*n))]).unwrap())
+        .collect();
+    let persons: Vec<u64> = (0..20i64)
+        .map(|i| {
+            tx.create_node(
+                "Person",
+                &[
+                    ("pid", Value::Int(i)),
+                    ("age", Value::Int(20 + i % 5)),
+                    ("name", Value::Str(format!("p{i}"))),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    // KNOWS ring + some chords.
+    for i in 0..20 {
+        tx.create_rel(
+            persons[i],
+            "KNOWS",
+            persons[(i + 1) % 20],
+            &[("since", Value::Int(2000 + i as i64))],
+        )
+        .unwrap();
+    }
+    tx.create_rel(persons[0], "KNOWS", persons[10], &[]).unwrap();
+    for (i, &p) in persons.iter().enumerate() {
+        tx.create_rel(p, "LIVES_IN", cities[i % 2], &[]).unwrap();
+    }
+    tx.commit().unwrap();
+    Fx {
+        db,
+        person,
+        city,
+        knows,
+        lives_in,
+        pid,
+        age,
+        name,
+        persons,
+        cities,
+    }
+}
+
+#[test]
+fn node_scan_with_label() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(vec![Op::NodeScan { label: Some(f.person) }], 0);
+    let rows = execute_collect(&plan, &mut tx, &[]).unwrap();
+    assert_eq!(rows.len(), 20);
+    let plan = Plan::new(vec![Op::NodeScan { label: Some(f.city) }], 0);
+    assert_eq!(execute_collect(&plan, &mut tx, &[]).unwrap().len(), 2);
+    let plan = Plan::new(vec![Op::NodeScan { label: None }], 0);
+    assert_eq!(execute_collect(&plan, &mut tx, &[]).unwrap().len(), 22);
+}
+
+#[test]
+fn filter_on_property() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(f.person) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: f.age,
+                op: CmpOp::Eq,
+                value: PPar::Const(PVal::Int(21)),
+            }),
+        ],
+        0,
+    );
+    let rows = execute_collect(&plan, &mut tx, &[]).unwrap();
+    assert_eq!(rows.len(), 4); // ages cycle 20..24 over 20 persons
+}
+
+#[test]
+fn filter_with_range_and_params() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(f.person) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: f.pid,
+                op: CmpOp::Lt,
+                value: PPar::Param(0),
+            }),
+        ],
+        1,
+    );
+    let rows = execute_collect(&plan, &mut tx, &[PVal::Int(5)]).unwrap();
+    assert_eq!(rows.len(), 5);
+    let rows = execute_collect(&plan, &mut tx, &[PVal::Int(100)]).unwrap();
+    assert_eq!(rows.len(), 20);
+}
+
+#[test]
+fn traversal_expand() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    // persons -> KNOWS -> other end, projected to the destination pid.
+    let plan = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: f.person,
+                key: f.pid,
+                value: PPar::Const(PVal::Int(0)),
+            },
+            Op::ForeachRel {
+                col: 0,
+                dir: Dir::Out,
+                label: Some(f.knows),
+            },
+            Op::GetNode {
+                col: 1,
+                end: gquery::plan::RelEnd::Dst,
+            },
+            Op::Project(vec![Proj::Prop { col: 2, key: f.pid }]),
+        ],
+        0,
+    );
+    let mut pids: Vec<i64> = execute_collect(&plan, &mut tx, &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_pval().unwrap().as_int())
+        .collect();
+    pids.sort_unstable();
+    assert_eq!(pids, vec![1, 10]); // ring successor + chord
+}
+
+trait PValExt {
+    fn as_int(&self) -> i64;
+}
+impl PValExt for PVal {
+    fn as_int(&self) -> i64 {
+        match self {
+            PVal::Int(v) => *v,
+            other => panic!("not an int: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn incoming_traversal() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: f.city,
+                key: f.name,
+                value: PPar::Const(PVal::Str(
+                    f.db.dict().code_of("Ilmenau").unwrap(),
+                )),
+            },
+            Op::ForeachRel {
+                col: 0,
+                dir: Dir::In,
+                label: Some(f.lives_in),
+            },
+            Op::GetNode {
+                col: 1,
+                end: gquery::plan::RelEnd::Src,
+            },
+        ],
+        0,
+    );
+    let rows = execute_collect(&plan, &mut tx, &[]).unwrap();
+    assert_eq!(rows.len(), 10); // even-indexed persons
+}
+
+#[test]
+fn order_by_and_limit() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(f.person) },
+            Op::OrderBy {
+                key: Proj::Prop { col: 0, key: f.pid },
+                desc: true,
+            },
+            Op::Limit(3),
+            Op::Project(vec![Proj::Prop { col: 0, key: f.pid }]),
+        ],
+        0,
+    );
+    let pids: Vec<i64> = execute_collect(&plan, &mut tx, &[])
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_pval().unwrap().as_int())
+        .collect();
+    assert_eq!(pids, vec![19, 18, 17]);
+}
+
+#[test]
+fn count_rows() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(
+        vec![Op::RelScan { label: Some(f.knows) }, Op::Count],
+        0,
+    );
+    let rows = execute_collect(&plan, &mut tx, &[]).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0].as_pval().unwrap().as_int(), 21);
+}
+
+#[test]
+fn distinct_removes_duplicates() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    // Project city of every person: only 2 distinct rows remain.
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(f.person) },
+            Op::ForeachRel {
+                col: 0,
+                dir: Dir::Out,
+                label: Some(f.lives_in),
+            },
+            Op::GetNode {
+                col: 1,
+                end: gquery::plan::RelEnd::Dst,
+            },
+            Op::Project(vec![Proj::Col(2)]),
+            Op::Distinct,
+        ],
+        0,
+    );
+    assert_eq!(execute_collect(&plan, &mut tx, &[]).unwrap().len(), 2);
+}
+
+#[test]
+fn connected_predicate_and_flag() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    // Pairs (p0, successor-of-p5) are not connected; (p0, p1) are.
+    let plan = Plan::new(
+        vec![
+            Op::NodeById { id: PPar::Param(0) },
+            Op::NodeById { id: PPar::Param(1) }, // appends second node? No —
+        ],
+        2,
+    );
+    // NodeById is an access path; compose differently: scan then filter.
+    drop(plan);
+    let plan = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: f.person,
+                key: f.pid,
+                value: PPar::Const(PVal::Int(0)),
+            },
+            Op::ForeachRel {
+                col: 0,
+                dir: Dir::Out,
+                label: Some(f.knows),
+            },
+            Op::GetNode {
+                col: 1,
+                end: gquery::plan::RelEnd::Dst,
+            },
+            Op::Project(vec![
+                Proj::Col(0),
+                Proj::Col(2),
+                Proj::ConnectedFlag {
+                    a: 0,
+                    b: 2,
+                    label: f.knows,
+                },
+            ]),
+        ],
+        0,
+    );
+    let rows = execute_collect(&plan, &mut tx, &[]).unwrap();
+    for row in rows {
+        assert_eq!(row[2].as_pval(), Some(PVal::Bool(true)));
+    }
+}
+
+#[test]
+fn update_pipeline_create_node_and_rel() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let since = f.db.intern("since").unwrap();
+    // IU-style: create a person, connect it to pid=3.
+    let plan = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: f.person,
+                key: f.pid,
+                value: PPar::Const(PVal::Int(3)),
+            },
+            Op::CreateNode {
+                label: f.person,
+                props: vec![(f.pid, PPar::Param(0))],
+            },
+            Op::CreateRel {
+                src_col: 1,
+                dst_col: 0,
+                label: f.knows,
+                props: vec![(since, PPar::Param(1))],
+            },
+        ],
+        2,
+    );
+    let n = execute(&plan, &mut tx, &[PVal::Int(999), PVal::Int(2024)], |_| {}).unwrap();
+    assert_eq!(n, 1);
+    tx.commit().unwrap();
+
+    let mut tx = f.db.begin();
+    let check = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: f.person,
+                key: f.pid,
+                value: PPar::Const(PVal::Int(999)),
+            },
+            Op::ForeachRel {
+                col: 0,
+                dir: Dir::Out,
+                label: Some(f.knows),
+            },
+            Op::GetNode {
+                col: 1,
+                end: gquery::plan::RelEnd::Dst,
+            },
+            Op::Project(vec![Proj::Prop { col: 2, key: f.pid }]),
+        ],
+        0,
+    );
+    let rows = execute_collect(&check, &mut tx, &[]).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0].as_pval().unwrap().as_int(), 3);
+}
+
+#[test]
+fn set_prop_pipeline() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(
+        vec![
+            Op::IndexScan {
+                label: f.person,
+                key: f.pid,
+                value: PPar::Const(PVal::Int(7)),
+            },
+            Op::SetProp {
+                col: 0,
+                key: f.age,
+                value: PPar::Const(PVal::Int(99)),
+            },
+        ],
+        0,
+    );
+    execute(&plan, &mut tx, &[], |_| {}).unwrap();
+    tx.commit().unwrap();
+
+    let tx = f.db.begin();
+    assert_eq!(
+        tx.prop(graphcore::PropOwner::Node(f.persons[7]), "age")
+            .unwrap(),
+        Some(Value::Int(99))
+    );
+}
+
+#[test]
+fn index_scan_uses_index_when_present() {
+    let f = fixture();
+    f.db.create_index("Person", "pid", IndexKind::Hybrid).unwrap();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(
+        vec![Op::IndexScan {
+            label: f.person,
+            key: f.pid,
+            value: PPar::Param(0),
+        }],
+        1,
+    );
+    for i in 0..20i64 {
+        let rows = execute_collect(&plan, &mut tx, &[PVal::Int(i)]).unwrap();
+        assert_eq!(rows.len(), 1, "pid={i}");
+        assert_eq!(rows[0][0].as_node(), Some(f.persons[i as usize]));
+    }
+}
+
+#[test]
+fn parallel_matches_sequential() {
+    let f = fixture();
+    // Grow the data so multiple chunks exist.
+    let mut tx = f.db.begin();
+    for i in 100..400i64 {
+        tx.create_node("Person", &[("pid", Value::Int(i)), ("age", Value::Int(30))])
+            .unwrap();
+    }
+    tx.commit().unwrap();
+
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(f.person) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: f.age,
+                op: CmpOp::Ge,
+                value: PPar::Const(PVal::Int(23)),
+            }),
+            Op::Project(vec![Proj::Prop { col: 0, key: f.pid }]),
+        ],
+        0,
+    );
+    let mut tx = f.db.begin();
+    let seq = execute_collect(&plan, &mut tx, &[]).unwrap();
+    for threads in [1, 2, 4, 8] {
+        let par = execute_parallel(&plan, &f.db, &tx, &[], threads).unwrap();
+        assert_eq!(par, seq, "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_with_breaker_tail() {
+    let f = fixture();
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(f.person) },
+            Op::OrderBy {
+                key: Proj::Prop { col: 0, key: f.pid },
+                desc: true,
+            },
+            Op::Limit(5),
+            Op::Project(vec![Proj::Prop { col: 0, key: f.pid }]),
+        ],
+        0,
+    );
+    let mut tx = f.db.begin();
+    let seq = execute_collect(&plan, &mut tx, &[]).unwrap();
+    let par = execute_parallel(&plan, &f.db, &tx, &[], 4).unwrap();
+    assert_eq!(par, seq);
+    assert_eq!(seq.len(), 5);
+    assert_eq!(seq[0][0].as_pval().unwrap().as_int(), 19);
+}
+
+#[test]
+fn parallel_rejects_updates() {
+    let f = fixture();
+    let plan = Plan::new(
+        vec![
+            Op::Once,
+            Op::CreateNode {
+                label: f.person,
+                props: vec![],
+            },
+        ],
+        0,
+    );
+    let tx = f.db.begin();
+    assert!(execute_parallel(&plan, &f.db, &tx, &[], 2).is_err());
+}
+
+#[test]
+fn snapshot_isolation_during_scan() {
+    let f = fixture();
+    let tx_old = f.db.begin();
+    // Commit 5 more persons after tx_old began.
+    let mut tx_new = f.db.begin();
+    for i in 0..5 {
+        tx_new
+            .create_node("Person", &[("pid", Value::Int(1000 + i))])
+            .unwrap();
+    }
+    tx_new.commit().unwrap();
+
+    // tx_old's scan must not see them.
+    let plan = Plan::new(vec![Op::NodeScan { label: Some(f.person) }, Op::Count], 0);
+    let mut reader = f.db.reader_at(tx_old.id());
+    let rows = execute_collect(&plan, &mut reader, &[]).unwrap();
+    assert_eq!(rows[0][0].as_pval().unwrap().as_int(), 20);
+
+    let mut fresh = f.db.begin();
+    let rows = execute_collect(&plan, &mut fresh, &[]).unwrap();
+    assert_eq!(rows[0][0].as_pval().unwrap().as_int(), 25);
+}
+
+#[test]
+fn empty_scan_yields_nothing() {
+    let db = GraphDb::create(DbOptions::dram(64 << 20)).unwrap();
+    let mut tx = db.begin();
+    let plan = Plan::new(vec![Op::NodeScan { label: None }], 0);
+    assert!(execute_collect(&plan, &mut tx, &[]).unwrap().is_empty());
+}
+
+#[test]
+fn cities_unused_fields_exercised() {
+    // Silence-by-use for fixture fields (also sanity checks them).
+    let f = fixture();
+    assert_eq!(f.cities.len(), 2);
+    assert!(f.persons.len() == 20);
+}
+
+#[test]
+fn bad_plan_errors_are_reported_not_panicked() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    // Mid-pipeline op as access path.
+    let plan = Plan::new(vec![Op::Filter(Pred::ColEq { a: 0, b: 1 })], 0);
+    assert!(matches!(
+        execute_collect(&plan, &mut tx, &[]),
+        Err(gquery::QueryError::BadPlan(_))
+    ));
+    // Column out of range.
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(f.person) },
+            Op::Project(vec![Proj::Col(7)]),
+        ],
+        0,
+    );
+    assert!(execute_collect(&plan, &mut tx, &[]).is_err());
+    // GetNode on a non-rel column.
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(f.person) },
+            Op::GetNode {
+                col: 0,
+                end: gquery::plan::RelEnd::Dst,
+            },
+        ],
+        0,
+    );
+    assert!(execute_collect(&plan, &mut tx, &[]).is_err());
+}
+
+#[test]
+#[should_panic(expected = "plan expects")]
+fn missing_params_panic_loudly() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(
+        vec![Op::IndexScan {
+            label: f.person,
+            key: f.pid,
+            value: PPar::Param(0),
+        }],
+        1,
+    );
+    let _ = gquery::execute(&plan, &mut tx, &[], |_| {});
+}
+
+#[test]
+fn node_by_id_access_path() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(
+        vec![
+            Op::NodeById { id: PPar::Param(0) },
+            Op::Project(vec![Proj::Prop { col: 0, key: f.pid }]),
+        ],
+        1,
+    );
+    // Physical id of the first person.
+    let rows = execute_collect(&plan, &mut tx, &[PVal::Int(f.persons[0] as i64)]).unwrap();
+    assert_eq!(rows.len(), 1);
+    // Out-of-range and negative ids yield empty results, not errors.
+    assert!(execute_collect(&plan, &mut tx, &[PVal::Int(10_000)])
+        .unwrap()
+        .is_empty());
+    assert!(execute_collect(&plan, &mut tx, &[PVal::Int(-1)])
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn label_is_and_not_predicates() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: None },
+            Op::Filter(Pred::Not(Box::new(Pred::LabelIs {
+                col: 0,
+                label: f.person,
+            }))),
+            Op::Count,
+        ],
+        0,
+    );
+    let rows = execute_collect(&plan, &mut tx, &[]).unwrap();
+    // Everything that is not a Person: the two cities.
+    assert_eq!(rows[0][0].as_pval(), Some(PVal::Int(2)));
+}
+
+#[test]
+fn index_probe_cross_product_semantics() {
+    let f = fixture();
+    let mut tx = f.db.begin();
+    // Scan persons with age 21, probe a fixed person: row per (match, probe).
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(f.person) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: f.age,
+                op: CmpOp::Eq,
+                value: PPar::Const(PVal::Int(21)),
+            }),
+            Op::IndexProbe {
+                label: f.person,
+                key: f.pid,
+                value: PPar::Const(PVal::Int(0)),
+            },
+            Op::Project(vec![
+                Proj::Prop { col: 0, key: f.pid },
+                Proj::Prop { col: 1, key: f.pid },
+            ]),
+        ],
+        0,
+    );
+    let rows = execute_collect(&plan, &mut tx, &[]).unwrap();
+    assert_eq!(rows.len(), 4, "4 persons aged 21 × 1 probed person");
+    for r in rows {
+        assert_eq!(r[1].as_pval(), Some(PVal::Int(0)));
+    }
+}

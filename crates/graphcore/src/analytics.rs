@@ -1,0 +1,260 @@
+//! Snapshot graph analytics (the paper's future work, §8: "we plan to
+//! investigate the behavior of complex graph analytics").
+//!
+//! Analytics run over an MVCC snapshot: a [`GraphView`] materialises the
+//! adjacency visible to one transaction into a compact CSR in DRAM — the
+//! same "read-optimised copy, transactional base" split the paper cites
+//! from Sage (its reference 9) — and the algorithms (BFS, PageRank, connected
+//! components, triangle counting) run over that view at DRAM speed while
+//! OLTP continues against the PMem tables.
+
+use std::collections::HashMap;
+
+use crate::txn::{Dir, GraphTxn};
+use crate::{NodeId, Result};
+
+/// A compressed-sparse-row snapshot of the graph (or of one relationship
+/// type) as visible to the transaction that built it.
+pub struct GraphView {
+    /// Dense index → node id.
+    pub nodes: Vec<NodeId>,
+    /// Node id → dense index.
+    pub index: HashMap<NodeId, u32>,
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_targets: Vec<u32>,
+}
+
+impl GraphView {
+    /// Materialise the snapshot visible to `txn`, optionally restricted to
+    /// one node label and/or one relationship label.
+    pub fn build(
+        txn: &GraphTxn<'_>,
+        node_label: Option<u32>,
+        rel_label: Option<u32>,
+    ) -> Result<GraphView> {
+        let db = txn.db();
+        // Collect visible nodes.
+        let mut nodes = Vec::new();
+        let chunks = db.nodes().chunk_count();
+        for ci in 0..chunks {
+            let mut ids = Vec::new();
+            db.nodes().for_each_live_id(ci, &mut |id| ids.push(id));
+            for id in ids {
+                if let Some(rec) = txn.node(id)? {
+                    if node_label.is_none_or(|l| rec.label == l) {
+                        nodes.push(id);
+                    }
+                }
+            }
+        }
+        let index: HashMap<NodeId, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+
+        // Degree pass, then fill (classic two-pass CSR build).
+        let n = nodes.len();
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (i, &id) in nodes.iter().enumerate() {
+            txn.for_each_rel(id, Dir::Out, rel_label, |_, rel| {
+                if let Some(&j) = index.get(&rel.dst) {
+                    edges.push((i as u32, j));
+                    out_deg[i] += 1;
+                    in_deg[j as usize] += 1;
+                }
+            })?;
+        }
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            out_offsets[i + 1] = out_offsets[i] + out_deg[i];
+            in_offsets[i + 1] = in_offsets[i] + in_deg[i];
+        }
+        let mut out_targets = vec![0u32; edges.len()];
+        let mut in_targets = vec![0u32; edges.len()];
+        let mut out_cur = out_offsets.clone();
+        let mut in_cur = in_offsets.clone();
+        for &(s, d) in &edges {
+            out_targets[out_cur[s as usize] as usize] = d;
+            out_cur[s as usize] += 1;
+            in_targets[in_cur[d as usize] as usize] = s;
+            in_cur[d as usize] += 1;
+        }
+        Ok(GraphView {
+            nodes,
+            index,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        })
+    }
+
+    /// Number of nodes in the view.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (directed) edges in the view.
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Outgoing neighbours (dense indexes) of dense index `i`.
+    pub fn out(&self, i: u32) -> &[u32] {
+        let (a, b) = (
+            self.out_offsets[i as usize] as usize,
+            self.out_offsets[i as usize + 1] as usize,
+        );
+        &self.out_targets[a..b]
+    }
+
+    /// Incoming neighbours (dense indexes) of dense index `i`.
+    pub fn inc(&self, i: u32) -> &[u32] {
+        let (a, b) = (
+            self.in_offsets[i as usize] as usize,
+            self.in_offsets[i as usize + 1] as usize,
+        );
+        &self.in_targets[a..b]
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithms
+    // ------------------------------------------------------------------
+
+    /// Breadth-first search from `start` (node id) along outgoing edges.
+    /// Returns depth per reached node id.
+    pub fn bfs(&self, start: NodeId) -> HashMap<NodeId, u32> {
+        let mut depth = HashMap::new();
+        let Some(&s) = self.index.get(&start) else {
+            return depth;
+        };
+        let mut seen = vec![false; self.nodes.len()];
+        let mut frontier = vec![s];
+        seen[s as usize] = true;
+        depth.insert(start, 0);
+        let mut d = 0u32;
+        while !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.out(u) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        depth.insert(self.nodes[v as usize], d);
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        depth
+    }
+
+    /// PageRank with uniform teleport; `iters` synchronous iterations.
+    /// Returns scores aligned with [`GraphView::nodes`].
+    pub fn pagerank(&self, iters: usize, damping: f64) -> Vec<f64> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut rank = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0f64; n];
+        for _ in 0..iters {
+            let mut dangling = 0.0;
+            next.iter_mut().for_each(|x| *x = 0.0);
+            for (u, r) in rank.iter().enumerate() {
+                let outs = self.out(u as u32);
+                if outs.is_empty() {
+                    dangling += r;
+                } else {
+                    let share = r / outs.len() as f64;
+                    for &v in outs {
+                        next[v as usize] += share;
+                    }
+                }
+            }
+            let teleport = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+            for x in next.iter_mut() {
+                *x = teleport + damping * *x;
+            }
+            std::mem::swap(&mut rank, &mut next);
+        }
+        rank
+    }
+
+    /// Weakly connected components (union over both edge directions).
+    /// Returns a representative dense index per node, aligned with
+    /// [`GraphView::nodes`].
+    pub fn connected_components(&self) -> Vec<u32> {
+        let n = self.nodes.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for u in 0..n as u32 {
+            for &v in self.out(u) {
+                let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+                if ru != rv {
+                    parent[ru.max(rv) as usize] = ru.min(rv);
+                }
+            }
+        }
+        (0..n as u32).map(|u| find(&mut parent, u)).collect()
+    }
+
+    /// Triangle count treating edges as undirected (each triangle counted
+    /// once).
+    pub fn triangles(&self) -> u64 {
+        let n = self.nodes.len();
+        // Undirected neighbour sets, deduplicated, ordered by dense index.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for u in 0..n as u32 {
+            for &v in self.out(u) {
+                if u != v {
+                    adj[u as usize].push(v);
+                    adj[v as usize].push(u);
+                }
+            }
+        }
+        for l in adj.iter_mut() {
+            l.sort_unstable();
+            l.dedup();
+        }
+        let mut count = 0u64;
+        for u in 0..n as u32 {
+            for &v in &adj[u as usize] {
+                if v <= u {
+                    continue;
+                }
+                // Intersect the higher-index parts of both adjacency lists.
+                let (mut i, mut j) = (0, 0);
+                let (a, b) = (&adj[u as usize], &adj[v as usize]);
+                while i < a.len() && j < b.len() {
+                    use std::cmp::Ordering::*;
+                    match a[i].cmp(&b[j]) {
+                        Less => i += 1,
+                        Greater => j += 1,
+                        Equal => {
+                            if a[i] > v {
+                                count += 1;
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+}

@@ -1,0 +1,508 @@
+//! [`GraphDb`]: the engine object owning pool, tables, dictionary,
+//! transaction manager and index directory.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use pmem::{DeviceProfile, Pool};
+
+use gstore::{
+    BPlusTree, ChunkedTable, Dictionary, IndexKind, NodeRecord, PVal, PropRecord, RecId,
+    RelRecord,
+};
+use gtxn::{TableTag, TxnManager};
+
+use crate::error::GraphError;
+use crate::index::IndexDef;
+use crate::txn::GraphTxn;
+use crate::{NodeId, Result};
+
+/// Persistent engine root, referenced by the pool root pointer.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct GraphRoot {
+    pub node_root: u64,
+    pub rel_root: u64,
+    pub prop_root: u64,
+    pub dict_root: u64,
+    pub ts_slot: u64,
+    pub index_dir: u64,
+    pub index_cap: u64,
+    pub index_count: u64,
+}
+
+pmem::impl_pod!(GraphRoot);
+
+const INDEX_DIR_CAP: u64 = 64;
+/// Index directory entry: `{label u32, key u32, kind u64, btree_root u64, _pad u64}`.
+const INDEX_ENTRY: u64 = 32;
+const R_INDEX_COUNT: u64 = std::mem::offset_of!(GraphRoot, index_count) as u64;
+
+/// Configuration for creating a database.
+pub struct DbOptions {
+    path: Option<PathBuf>,
+    size: usize,
+    profile: DeviceProfile,
+    log_cap: u64,
+    crash_tracking: bool,
+}
+
+impl DbOptions {
+    /// A volatile, DRAM-only database (the paper's DRAM baseline).
+    pub fn dram(size: usize) -> DbOptions {
+        DbOptions {
+            path: None,
+            size,
+            profile: DeviceProfile::dram(),
+            log_cap: 1 << 20,
+            crash_tracking: false,
+        }
+    }
+
+    /// A persistent database on an emulated PMem device.
+    pub fn pmem(path: impl AsRef<Path>, size: usize) -> DbOptions {
+        DbOptions {
+            path: Some(path.as_ref().to_path_buf()),
+            size,
+            profile: DeviceProfile::pmem(),
+            log_cap: 1 << 20,
+            crash_tracking: false,
+        }
+    }
+
+    /// Override the injected-latency profile (e.g. zero latencies to
+    /// isolate algorithmic costs).
+    pub fn profile(mut self, profile: DeviceProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Enable cache-line crash tracking (for crash-recovery tests).
+    pub fn crash_tracking(mut self, on: bool) -> Self {
+        self.crash_tracking = on;
+        self
+    }
+
+    /// Undo-log capacity in bytes.
+    pub fn log_cap(mut self, cap: u64) -> Self {
+        self.log_cap = cap;
+        self
+    }
+}
+
+/// The transactional property-graph database.
+///
+/// ```
+/// use graphcore::{DbOptions, GraphDb, Value, PropOwner, Dir};
+///
+/// let db = GraphDb::create(DbOptions::dram(64 << 20))?;
+/// let mut tx = db.begin();
+/// let ada = tx.create_node("Person", &[("name", Value::from("Ada"))])?;
+/// let bob = tx.create_node("Person", &[("name", Value::from("Bob"))])?;
+/// tx.create_rel(ada, "KNOWS", bob, &[("since", Value::Int(2021))])?;
+/// tx.commit()?;
+///
+/// let tx = db.begin();
+/// assert_eq!(tx.degree(ada, Dir::Out)?, 1);
+/// assert_eq!(
+///     tx.prop(PropOwner::Node(bob), "name")?,
+///     Some(Value::Str("Bob".into()))
+/// );
+/// # Ok::<(), graphcore::GraphError>(())
+/// ```
+pub struct GraphDb {
+    pool: Arc<Pool>,
+    nodes: ChunkedTable<NodeRecord>,
+    rels: ChunkedTable<RelRecord>,
+    props: ChunkedTable<PropRecord>,
+    dict: Dictionary,
+    mgr: TxnManager,
+    indexes: RwLock<Vec<IndexDef>>,
+    root_off: u64,
+    /// Slots of deleted records awaiting reclamation once no snapshot can
+    /// reach them (§5.3: bitmap-free, never deallocate).
+    deferred_slots: Mutex<Vec<(u64, TableTag, RecId)>>,
+}
+
+impl GraphDb {
+    /// Create a fresh database.
+    pub fn create(opts: DbOptions) -> Result<GraphDb> {
+        let pool = match &opts.path {
+            Some(p) => {
+                let pool = Pool::create_with_log(p, opts.size, opts.profile, opts.log_cap)?;
+                if opts.crash_tracking {
+                    pool.with_crash_tracking()
+                } else {
+                    pool
+                }
+            }
+            None => {
+                let pool = Pool::volatile(opts.size)?;
+                if opts.crash_tracking {
+                    pool.with_crash_tracking()
+                } else {
+                    pool
+                }
+            }
+        };
+        let pool = Arc::new(pool);
+        let nodes = ChunkedTable::create(pool.clone())?;
+        let rels = ChunkedTable::create(pool.clone())?;
+        let props = ChunkedTable::create(pool.clone())?;
+        let dict = Dictionary::create(pool.clone())?;
+        let mgr = TxnManager::create(pool.clone())?;
+        let index_dir = pool.alloc_zeroed((INDEX_DIR_CAP * INDEX_ENTRY) as usize)?;
+        let root = GraphRoot {
+            node_root: nodes.root_off(),
+            rel_root: rels.root_off(),
+            prop_root: props.root_off(),
+            dict_root: dict.root_off(),
+            ts_slot: mgr.ts_slot(),
+            index_dir,
+            index_cap: INDEX_DIR_CAP,
+            index_count: 0,
+        };
+        let root_off = pool.alloc_zeroed(std::mem::size_of::<GraphRoot>())?;
+        pool.write(pmem::POff::new(root_off), &root);
+        pool.persist(root_off, std::mem::size_of::<GraphRoot>());
+        pool.set_root::<GraphRoot>(pmem::POff::new(root_off));
+        Ok(GraphDb {
+            pool,
+            nodes,
+            rels,
+            props,
+            dict,
+            mgr,
+            indexes: RwLock::new(Vec::new()),
+            root_off,
+            deferred_slots: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Open an existing persistent database, running full recovery:
+    /// undo-log rollback, stale-lock clearing, uncommitted-insert
+    /// reclamation, and index reopening (hybrid indexes rebuild their DRAM
+    /// inner levels from the persistent leaf chain).
+    pub fn open(path: impl AsRef<Path>, profile: DeviceProfile) -> Result<GraphDb> {
+        let pool = Arc::new(Pool::open(path, profile)?);
+        let root_off = pool.root::<GraphRoot>().raw();
+        if root_off == 0 {
+            return Err(GraphError::Pmem(pmem::PmemError::BadPool(
+                "pool has no graph root".into(),
+            )));
+        }
+        let root: GraphRoot = pool.read(pmem::POff::new(root_off));
+        let nodes = ChunkedTable::open(pool.clone(), root.node_root)?;
+        let rels = ChunkedTable::open(pool.clone(), root.rel_root)?;
+        let props = ChunkedTable::open(pool.clone(), root.prop_root)?;
+        let dict = Dictionary::open(pool.clone(), root.dict_root)?;
+        let mgr = TxnManager::open(pool.clone(), root.ts_slot);
+        mgr.recover_table(&nodes);
+        mgr.recover_table(&rels);
+        let db = GraphDb {
+            pool: pool.clone(),
+            nodes,
+            rels,
+            props,
+            dict,
+            mgr,
+            indexes: RwLock::new(Vec::new()),
+            root_off,
+            deferred_slots: Mutex::new(Vec::new()),
+        };
+        // Reopen persisted index definitions.
+        let mut defs = Vec::new();
+        for i in 0..root.index_count {
+            let e = root.index_dir + i * INDEX_ENTRY;
+            let lk = pool.read_u64(e);
+            let kind_raw = pool.read_u64(e + 8);
+            let btree_root = pool.read_u64(e + 16);
+            let (label, key) = ((lk & 0xFFFF_FFFF) as u32, (lk >> 32) as u32);
+            let kind = match kind_raw {
+                1 => IndexKind::Persistent,
+                2 => IndexKind::Hybrid,
+                _ => IndexKind::Volatile,
+            };
+            let tree = match kind {
+                IndexKind::Volatile => {
+                    // Full rebuild from the primary data: the slow recovery
+                    // path quantified in Fig. 8.
+                    let tree = BPlusTree::create(IndexKind::Volatile, None)?;
+                    db.fill_index(&tree, label, key)?;
+                    tree
+                }
+                _ => BPlusTree::open(pool.clone(), btree_root)?,
+            };
+            defs.push(IndexDef {
+                label,
+                key,
+                tree: Arc::new(tree),
+            });
+        }
+        *db.indexes.write() = defs;
+        Ok(db)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors used by the query layers
+    // ------------------------------------------------------------------
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// The node table.
+    pub fn nodes(&self) -> &ChunkedTable<NodeRecord> {
+        &self.nodes
+    }
+
+    /// The relationship table.
+    pub fn rels(&self) -> &ChunkedTable<RelRecord> {
+        &self.rels
+    }
+
+    /// The property table.
+    pub fn props(&self) -> &ChunkedTable<PropRecord> {
+        &self.props
+    }
+
+    /// The string dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The transaction manager.
+    pub fn mgr(&self) -> &TxnManager {
+        &self.mgr
+    }
+
+    /// Intern a label/key/string-value, returning its dictionary code.
+    pub fn intern(&self, s: &str) -> Result<u32> {
+        Ok(self.dict.get_or_insert(s)?)
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> GraphTxn<'_> {
+        GraphTxn::new(self, self.mgr.begin())
+    }
+
+    /// A reader handle sharing an existing transaction's snapshot id (for
+    /// morsel-driven parallel workers). Read-only; dropping it is a no-op —
+    /// the parent transaction owns the lifecycle.
+    pub fn reader_at(&self, snapshot_id: u64) -> GraphTxn<'_> {
+        GraphTxn::new(self, self.mgr.reader_at(snapshot_id))
+    }
+
+    // ------------------------------------------------------------------
+    // Indexes (§4.2 "Hybrid Indexes")
+    // ------------------------------------------------------------------
+
+    /// Create a secondary index on `(:label {key})` of the given kind and
+    /// bulk-load it from the latest committed data.
+    pub fn create_index(&self, label: &str, key: &str, kind: IndexKind) -> Result<()> {
+        let label_code = self.dict.get_or_insert(label)?;
+        let key_code = self.dict.get_or_insert(key)?;
+        if self
+            .indexes
+            .read()
+            .iter()
+            .any(|d| d.label == label_code && d.key == key_code)
+        {
+            return Err(GraphError::IndexExists {
+                label: label.into(),
+                key: key.into(),
+            });
+        }
+        let tree = match kind {
+            IndexKind::Volatile => BPlusTree::create(kind, None)?,
+            _ => BPlusTree::create(kind, Some(self.pool.clone()))?,
+        };
+        self.fill_index(&tree, label_code, key_code)?;
+        // Persist the definition.
+        let root: GraphRoot = self.pool.read(pmem::POff::new(self.root_off));
+        assert!(root.index_count < root.index_cap, "index directory full");
+        let e = root.index_dir + root.index_count * INDEX_ENTRY;
+        self.pool
+            .write_u64(e, (key_code as u64) << 32 | label_code as u64);
+        self.pool.write_u64(
+            e + 8,
+            match kind {
+                IndexKind::Volatile => 0,
+                IndexKind::Persistent => 1,
+                IndexKind::Hybrid => 2,
+            },
+        );
+        self.pool.write_u64(e + 16, tree.root_off());
+        self.pool.persist(e, INDEX_ENTRY as usize);
+        self.pool
+            .write_u64(self.root_off + R_INDEX_COUNT, root.index_count + 1);
+        self.pool.persist(self.root_off + R_INDEX_COUNT, 8);
+        self.indexes.write().push(IndexDef {
+            label: label_code,
+            key: key_code,
+            tree: Arc::new(tree),
+        });
+        Ok(())
+    }
+
+    /// Bulk-load an index from the latest committed node versions.
+    fn fill_index(&self, tree: &BPlusTree, label: u32, key: u32) -> Result<()> {
+        let mut pending: Vec<(u64, NodeId)> = Vec::new();
+        self.nodes.for_each_live(|id, _| {
+            if let Some(rec) = self.mgr.read_latest_committed(&self.nodes, id) {
+                if rec.label == label {
+                    if let Some(pv) = self.committed_prop(rec.props, key) {
+                        pending.push((pv.index_key(), id));
+                    }
+                }
+            }
+        });
+        for (k, id) in pending {
+            tree.insert(k, id)?;
+        }
+        Ok(())
+    }
+
+    /// Read property `key` out of a committed property chain (used by
+    /// index maintenance and by benchmark harnesses extracting keys).
+    pub fn committed_prop(&self, mut head: u64, key: u32) -> Option<PVal> {
+        while head != gstore::NIL {
+            let rec = self.props.get(head);
+            for slot in rec.slots {
+                if slot.key == key {
+                    return PVal::decode(slot.tag, slot.val);
+                }
+            }
+            head = rec.next;
+        }
+        None
+    }
+
+    /// The index over `(label_code, key_code)`, if one exists.
+    pub fn index_for(&self, label: u32, key: u32) -> Option<Arc<BPlusTree>> {
+        self.indexes
+            .read()
+            .iter()
+            .find(|d| d.label == label && d.key == key)
+            .map(|d| d.tree.clone())
+    }
+
+    /// All index definitions (for diagnostics and benches).
+    pub fn index_defs(&self) -> Vec<(u32, u32, IndexKind)> {
+        self.indexes
+            .read()
+            .iter()
+            .map(|d| (d.label, d.key, d.tree.kind()))
+            .collect()
+    }
+
+    pub(crate) fn apply_index_updates(
+        &self,
+        adds: &[(u32, u32, u64, NodeId)],
+        removes: &[(u32, u32, u64, NodeId)],
+    ) {
+        if adds.is_empty() && removes.is_empty() {
+            return;
+        }
+        let indexes = self.indexes.read();
+        for def in indexes.iter() {
+            for &(label, key, ikey, id) in removes {
+                if def.label == label && def.key == key {
+                    def.tree.remove(ikey, id);
+                }
+            }
+            for &(label, key, ikey, id) in adds {
+                if def.label == label && def.key == key {
+                    let _ = def.tree.insert(ikey, id);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred slot reclamation (§5.3)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn defer_slot_free(&self, ets: u64, tag: TableTag, id: RecId) {
+        self.deferred_slots.lock().push((ets, tag, id));
+    }
+
+    /// Reclaim slots of deleted records that no snapshot can reach anymore.
+    /// Called after each commit; also available for explicit maintenance.
+    pub fn reclaim_deleted(&self) -> usize {
+        let horizon = self.mgr.oldest_active_ts();
+        let mut guard = self.deferred_slots.lock();
+        let mut reclaimed = 0;
+        let mut i = 0;
+        while i < guard.len() {
+            let (ets, tag, id) = guard[i];
+            if ets < horizon {
+                match tag {
+                    TableTag::Node => self.nodes.delete(id),
+                    TableTag::Rel => self.rels.delete(id),
+                }
+                guard.swap_remove(i);
+                reclaimed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Mark-and-sweep reclamation of unreachable property records (e.g.
+    /// chains leaked by crashed transactions whose owners were reclaimed).
+    /// Must run quiesced: returns 0 without touching anything if any
+    /// transaction is active. Returns the number of reclaimed records.
+    pub fn vacuum_props(&self) -> usize {
+        if self.mgr.active_count() > 0 || self.mgr.version_count() > 0 {
+            // Conservative: active snapshots or live version chains may
+            // still reference superseded property chains.
+            return 0;
+        }
+        let mut reachable = std::collections::HashSet::new();
+        let mut mark = |mut head: u64| {
+            while head != gstore::NIL {
+                if !reachable.insert(head) {
+                    break;
+                }
+                head = self.props.get(head).next;
+            }
+        };
+        self.nodes.for_each_live(|_, rec| mark(rec.props));
+        self.rels.for_each_live(|_, rec| mark(rec.props));
+        let mut dead = Vec::new();
+        self.props.for_each_live(|id, _| {
+            if !reachable.contains(&id) {
+                dead.push(id);
+            }
+        });
+        for id in &dead {
+            self.props.delete(*id);
+        }
+        dead.len()
+    }
+
+    /// Number of live nodes (committed or not — table-level count).
+    pub fn node_count(&self) -> usize {
+        self.nodes.live_count()
+    }
+
+    /// Number of live relationships.
+    pub fn rel_count(&self) -> usize {
+        self.rels.live_count()
+    }
+}
+
+impl std::fmt::Debug for GraphDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphDb")
+            .field("pool", &self.pool)
+            .field("nodes", &self.nodes.live_count())
+            .field("rels", &self.rels.live_count())
+            .field("indexes", &self.indexes.read().len())
+            .finish()
+    }
+}

@@ -1,0 +1,69 @@
+//! Engine-level errors.
+
+use std::fmt;
+
+/// Errors surfaced by the graph engine.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Transactional conflict or protocol error (abort and retry).
+    Txn(gtxn::TxnError),
+    /// Pool-level failure.
+    Pmem(pmem::PmemError),
+    /// A referenced node does not exist in this snapshot.
+    NodeNotFound(u64),
+    /// A referenced relationship does not exist in this snapshot.
+    RelNotFound(u64),
+    /// Deleting a node that still has visible relationships.
+    NodeHasRelationships(u64),
+    /// An index over this (label, property) pair already exists.
+    IndexExists { label: String, key: String },
+    /// The transaction handle was already committed or aborted.
+    TxnFinished,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Txn(e) => write!(f, "transaction error: {e}"),
+            GraphError::Pmem(e) => write!(f, "pool error: {e}"),
+            GraphError::NodeNotFound(id) => write!(f, "node {id} not found"),
+            GraphError::RelNotFound(id) => write!(f, "relationship {id} not found"),
+            GraphError::NodeHasRelationships(id) => {
+                write!(f, "node {id} still has relationships (detach first)")
+            }
+            GraphError::IndexExists { label, key } => {
+                write!(f, "index on (:{label} {{{key}}}) already exists")
+            }
+            GraphError::TxnFinished => write!(f, "transaction already finished"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Txn(e) => Some(e),
+            GraphError::Pmem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gtxn::TxnError> for GraphError {
+    fn from(e: gtxn::TxnError) -> Self {
+        GraphError::Txn(e)
+    }
+}
+
+impl From<pmem::PmemError> for GraphError {
+    fn from(e: pmem::PmemError) -> Self {
+        GraphError::Pmem(e)
+    }
+}
+
+impl GraphError {
+    /// True for conflicts worth retrying with a fresh transaction.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, GraphError::Txn(e) if e.is_retryable())
+    }
+}

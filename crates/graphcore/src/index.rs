@@ -1,0 +1,17 @@
+//! Secondary-index definitions.
+
+use std::sync::Arc;
+
+use gstore::BPlusTree;
+
+/// A registered secondary index over `(:label {key})` node properties.
+/// The property values (order-preservingly encoded to u64) are the tree
+/// keys; node ids are the values (§4.2).
+pub struct IndexDef {
+    /// Dictionary code of the node label.
+    pub label: u32,
+    /// Dictionary code of the property key.
+    pub key: u32,
+    /// The tree itself (volatile / persistent / hybrid).
+    pub tree: Arc<BPlusTree>,
+}

@@ -1,0 +1,141 @@
+//! API-level property values.
+//!
+//! [`Value`] is what applications read and write; the storage layer keeps
+//! the tagged 8-byte encoding of [`gstore::PVal`], with strings replaced by
+//! dictionary codes (DD3). Conversion happens at the engine boundary.
+
+use gstore::{Dictionary, PVal};
+
+/// A property value as seen by the application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Double(f64),
+    Bool(bool),
+    Str(String),
+    /// Milliseconds since the Unix epoch (LDBC `creationDate` etc.).
+    Date(i64),
+    Null,
+}
+
+impl Value {
+    /// Encode for storage, interning strings through the dictionary.
+    pub(crate) fn to_pval(&self, dict: &Dictionary) -> pmem::Result<PVal> {
+        Ok(match self {
+            Value::Int(v) => PVal::Int(*v),
+            Value::Double(v) => PVal::Double(*v),
+            Value::Bool(v) => PVal::Bool(*v),
+            Value::Str(s) => PVal::Str(dict.get_or_insert(s)?),
+            Value::Date(v) => PVal::Date(*v),
+            Value::Null => PVal::Null,
+        })
+    }
+
+    /// Encode for *lookup only*: an unknown string yields `None` (the value
+    /// cannot match anything) instead of polluting the dictionary.
+    pub(crate) fn to_pval_lookup(&self, dict: &Dictionary) -> Option<PVal> {
+        Some(match self {
+            Value::Int(v) => PVal::Int(*v),
+            Value::Double(v) => PVal::Double(*v),
+            Value::Bool(v) => PVal::Bool(*v),
+            Value::Str(s) => PVal::Str(dict.code_of(s)?),
+            Value::Date(v) => PVal::Date(*v),
+            Value::Null => PVal::Null,
+        })
+    }
+
+    /// Decode from storage, resolving dictionary codes back to strings.
+    pub(crate) fn from_pval(p: PVal, dict: &Dictionary) -> Value {
+        match p {
+            PVal::Int(v) => Value::Int(v),
+            PVal::Double(v) => Value::Double(v),
+            PVal::Bool(v) => Value::Bool(v),
+            PVal::Str(code) => Value::Str(dict.string_of(code).unwrap_or_default()),
+            PVal::Date(v) => Value::Date(v),
+            PVal::Null => Value::Null,
+        }
+    }
+
+    /// Convenience accessor for integer values.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for string values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for date values.
+    pub fn as_date(&self) -> Option<i64> {
+        match self {
+            Value::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn roundtrip_through_dictionary() {
+        let pool = Arc::new(pmem::Pool::volatile(16 << 20).unwrap());
+        let dict = Dictionary::create(pool).unwrap();
+        for v in [
+            Value::Int(5),
+            Value::Double(2.5),
+            Value::Bool(true),
+            Value::Str("hello".into()),
+            Value::Date(123456),
+            Value::Null,
+        ] {
+            let p = v.to_pval(&dict).unwrap();
+            assert_eq!(Value::from_pval(p, &dict), v);
+        }
+    }
+
+    #[test]
+    fn lookup_encoding_does_not_intern() {
+        let pool = Arc::new(pmem::Pool::volatile(16 << 20).unwrap());
+        let dict = Dictionary::create(pool).unwrap();
+        assert!(Value::Str("ghost".into()).to_pval_lookup(&dict).is_none());
+        assert!(dict.is_empty());
+        dict.get_or_insert("real").unwrap();
+        assert!(Value::Str("real".into()).to_pval_lookup(&dict).is_some());
+    }
+}

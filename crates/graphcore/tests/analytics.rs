@@ -1,0 +1,168 @@
+//! Analytics-over-snapshot tests: CSR view construction, BFS, PageRank,
+//! connected components, triangles, and snapshot stability under
+//! concurrent updates (the HTAP claim).
+
+use graphcore::{DbOptions, GraphDb, GraphView, Value};
+
+fn db() -> GraphDb {
+    GraphDb::create(DbOptions::dram(256 << 20)).unwrap()
+}
+
+/// Build a small known graph:
+///
+/// ```text
+/// 0 -> 1 -> 2 -> 0      (triangle)
+/// 2 -> 3 -> 4           (tail)
+/// 5 -> 6                (separate component)
+/// 7                     (isolated)
+/// ```
+fn known_graph(db: &GraphDb) -> Vec<u64> {
+    let mut tx = db.begin();
+    let ids: Vec<u64> = (0..8)
+        .map(|i| tx.create_node("V", &[("i", Value::Int(i))]).unwrap())
+        .collect();
+    for (s, d) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 6)] {
+        tx.create_rel(ids[s], "E", ids[d], &[]).unwrap();
+    }
+    tx.commit().unwrap();
+    ids
+}
+
+#[test]
+fn view_counts() {
+    let db = db();
+    let ids = known_graph(&db);
+    let tx = db.begin();
+    let view = GraphView::build(&tx, None, None).unwrap();
+    assert_eq!(view.node_count(), 8);
+    assert_eq!(view.edge_count(), 6);
+    let i2 = view.index[&ids[2]];
+    assert_eq!(view.out(i2).len(), 2); // -> 0, -> 3
+    assert_eq!(view.inc(i2).len(), 1); // <- 1
+}
+
+#[test]
+fn bfs_depths() {
+    let db = db();
+    let ids = known_graph(&db);
+    let tx = db.begin();
+    let view = GraphView::build(&tx, None, None).unwrap();
+    let depth = view.bfs(ids[0]);
+    assert_eq!(depth[&ids[0]], 0);
+    assert_eq!(depth[&ids[1]], 1);
+    assert_eq!(depth[&ids[2]], 2);
+    assert_eq!(depth[&ids[3]], 3);
+    assert_eq!(depth[&ids[4]], 4);
+    assert!(!depth.contains_key(&ids[5]), "other component unreachable");
+    assert!(!depth.contains_key(&ids[7]));
+}
+
+#[test]
+fn connected_components_counts() {
+    let db = db();
+    let ids = known_graph(&db);
+    let tx = db.begin();
+    let view = GraphView::build(&tx, None, None).unwrap();
+    let comp = view.connected_components();
+    let reps: std::collections::HashSet<u32> = comp.iter().copied().collect();
+    assert_eq!(reps.len(), 3, "three weakly-connected components");
+    // 0..=4 share a component.
+    let c0 = comp[view.index[&ids[0]] as usize];
+    for i in 1..=4 {
+        assert_eq!(comp[view.index[&ids[i]] as usize], c0);
+    }
+    assert_ne!(comp[view.index[&ids[5]] as usize], c0);
+}
+
+#[test]
+fn triangle_count() {
+    let db = db();
+    known_graph(&db);
+    let tx = db.begin();
+    let view = GraphView::build(&tx, None, None).unwrap();
+    assert_eq!(view.triangles(), 1);
+}
+
+#[test]
+fn pagerank_sums_to_one_and_ranks_hubs() {
+    let db = db();
+    let mut tx = db.begin();
+    // Star: many nodes point at a hub.
+    let hub = tx.create_node("V", &[]).unwrap();
+    let spokes: Vec<u64> = (0..20)
+        .map(|_| tx.create_node("V", &[]).unwrap())
+        .collect();
+    for &s in &spokes {
+        tx.create_rel(s, "E", hub, &[]).unwrap();
+    }
+    tx.commit().unwrap();
+
+    let tx = db.begin();
+    let view = GraphView::build(&tx, None, None).unwrap();
+    let pr = view.pagerank(30, 0.85);
+    let sum: f64 = pr.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9, "probability mass conserved: {sum}");
+    let hub_rank = pr[view.index[&hub] as usize];
+    for &s in &spokes {
+        assert!(hub_rank > pr[view.index[&s] as usize] * 5.0);
+    }
+}
+
+#[test]
+fn label_filtered_view() {
+    let db = db();
+    let mut tx = db.begin();
+    let a = tx.create_node("A", &[]).unwrap();
+    let b = tx.create_node("A", &[]).unwrap();
+    let c = tx.create_node("B", &[]).unwrap();
+    tx.create_rel(a, "X", b, &[]).unwrap();
+    tx.create_rel(a, "Y", b, &[]).unwrap();
+    tx.create_rel(a, "X", c, &[]).unwrap();
+    tx.commit().unwrap();
+
+    let a_label = db.dict().code_of("A").unwrap();
+    let x = db.dict().code_of("X").unwrap();
+    let tx = db.begin();
+    let view = GraphView::build(&tx, Some(a_label), Some(x)).unwrap();
+    assert_eq!(view.node_count(), 2, "only A-labelled nodes");
+    assert_eq!(view.edge_count(), 1, "only X edges between A nodes");
+}
+
+#[test]
+fn snapshot_stability_under_concurrent_updates() {
+    // The HTAP story: an analytical view built at snapshot S must not see
+    // transactions that commit after S — even while they stream in.
+    let db = db();
+    let ids = known_graph(&db);
+
+    let analytic_txn = db.begin();
+
+    // OLTP continues: add edges and nodes after the analytics snapshot.
+    let mut tx = db.begin();
+    let n = tx.create_node("V", &[]).unwrap();
+    tx.create_rel(ids[7], "E", n, &[]).unwrap();
+    tx.create_rel(ids[4], "E", ids[0], &[]).unwrap();
+    tx.commit().unwrap();
+
+    let view = GraphView::build(&analytic_txn, None, None).unwrap();
+    assert_eq!(view.node_count(), 8, "new node invisible to the snapshot");
+    assert_eq!(view.edge_count(), 6, "new edges invisible to the snapshot");
+
+    // A fresh snapshot sees everything.
+    let tx2 = db.begin();
+    let view2 = GraphView::build(&tx2, None, None).unwrap();
+    assert_eq!(view2.node_count(), 9);
+    assert_eq!(view2.edge_count(), 8);
+}
+
+#[test]
+fn empty_view() {
+    let db = db();
+    let tx = db.begin();
+    let view = GraphView::build(&tx, None, None).unwrap();
+    assert_eq!(view.node_count(), 0);
+    assert_eq!(view.edge_count(), 0);
+    assert!(view.pagerank(10, 0.85).is_empty());
+    assert!(view.bfs(0).is_empty());
+    assert_eq!(view.triangles(), 0);
+}

@@ -1,0 +1,943 @@
+//! B+-tree secondary indexes in three storage flavours (§4.2, Fig. 8).
+//!
+//! One insertion/lookup algorithm runs over pluggable node arenas:
+//!
+//! * [`IndexKind::Volatile`] — all nodes in DRAM (the paper's DRAM baseline);
+//! * [`IndexKind::Persistent`] — all nodes in the PMem pool;
+//! * [`IndexKind::Hybrid`] — *selective persistence* as in the FPTree line
+//!   of work the paper follows: leaves in PMem, inner nodes in DRAM, so a
+//!   lookup reads at most one PMem-resident node, and recovery rebuilds
+//!   only the inner levels by walking the persistent leaf chain
+//!   ([`BPlusTree::rebuild`]) instead of re-scanning the primary data.
+//!
+//! The index maps `u64` keys (order-preserving encodings from
+//! [`crate::records::PVal::index_key`]) to `u64` record ids, duplicates
+//! allowed. Nodes are 512 bytes — cache-line aligned and a multiple of the
+//! 256-byte device block (DG3). Indexes are *secondary, rebuildable*
+//! structures (the paper's argument for selective persistence), so node
+//! writes are persisted but not failure-atomic; a crash mid-split is
+//! repaired by [`BPlusTree::rebuild`], which [`BPlusTree::open`] runs for
+//! the hybrid flavour anyway.
+
+#![allow(clippy::field_reassign_with_default)] // node builders fill fixed arrays
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pmem::{Pool, Result};
+
+use crate::chunked::ChunkedTable;
+
+/// Keys per node.
+pub const FANOUT: usize = 30;
+/// Null node reference.
+const NIL_REF: u64 = u64::MAX;
+
+/// A leaf node: sorted `(key, val)` entries plus the sibling link used by
+/// range scans and recovery rebuilds. 512 bytes.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct LeafNode {
+    n: u32,
+    _pad: u32,
+    next: u64,
+    keys: [u64; FANOUT],
+    vals: [u64; FANOUT],
+    _pad2: [u8; 16],
+}
+
+impl Default for LeafNode {
+    fn default() -> Self {
+        LeafNode {
+            n: 0,
+            _pad: 0,
+            next: NIL_REF,
+            keys: [0; FANOUT],
+            vals: [0; FANOUT],
+            _pad2: [0; 16],
+        }
+    }
+}
+
+/// An inner node: separator keys and child references. 512 bytes.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct InnerNode {
+    n: u32,
+    _pad: u32,
+    keys: [u64; FANOUT],
+    children: [u64; FANOUT + 1],
+    _pad2: [u8; 16],
+}
+
+impl Default for InnerNode {
+    fn default() -> Self {
+        InnerNode {
+            n: 0,
+            _pad: 0,
+            keys: [0; FANOUT],
+            children: [NIL_REF; FANOUT + 1],
+            _pad2: [0; 16],
+        }
+    }
+}
+
+pmem::impl_pod!(LeafNode, InnerNode);
+
+/// Which storage flavour an index uses (§7.4's three contestants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// All nodes in DRAM; rebuilt from primary data after restart.
+    Volatile,
+    /// All nodes in PMem.
+    Persistent,
+    /// Leaves in PMem, inner nodes in DRAM (selective persistence).
+    Hybrid,
+}
+
+enum LeafStore {
+    Dram(RwLock<Vec<LeafNode>>),
+    Pmem(ChunkedTable<LeafNode>),
+}
+
+enum InnerStore {
+    Dram(RwLock<Vec<InnerNode>>),
+    Pmem(ChunkedTable<InnerNode>),
+}
+
+impl LeafStore {
+    fn alloc(&self) -> Result<u64> {
+        match self {
+            LeafStore::Dram(v) => {
+                let mut g = v.write();
+                g.push(LeafNode::default());
+                Ok((g.len() - 1) as u64)
+            }
+            LeafStore::Pmem(t) => t.insert(&LeafNode::default()),
+        }
+    }
+
+    fn read(&self, r: u64) -> LeafNode {
+        match self {
+            LeafStore::Dram(v) => v.read()[r as usize],
+            LeafStore::Pmem(t) => t.get(r),
+        }
+    }
+
+    fn write(&self, r: u64, n: &LeafNode) {
+        match self {
+            LeafStore::Dram(v) => v.write()[r as usize] = *n,
+            LeafStore::Pmem(t) => t.write(r, n),
+        }
+    }
+}
+
+impl InnerStore {
+    fn alloc(&self) -> Result<u64> {
+        match self {
+            InnerStore::Dram(v) => {
+                let mut g = v.write();
+                g.push(InnerNode::default());
+                Ok((g.len() - 1) as u64)
+            }
+            InnerStore::Pmem(t) => t.insert(&InnerNode::default()),
+        }
+    }
+
+    fn read(&self, r: u64) -> InnerNode {
+        match self {
+            InnerStore::Dram(v) => v.read()[r as usize],
+            InnerStore::Pmem(t) => t.get(r),
+        }
+    }
+
+    fn write(&self, r: u64, n: &InnerNode) {
+        match self {
+            InnerStore::Dram(v) => v.write()[r as usize] = *n,
+            InnerStore::Pmem(t) => t.write(r, n),
+        }
+    }
+
+    fn clear(&self) {
+        match self {
+            InnerStore::Dram(v) => v.write().clear(),
+            InnerStore::Pmem(_) => {
+                // PMem inner arena entries are simply abandoned on rebuild;
+                // the table's slots are reusable storage, not reachable state.
+            }
+        }
+    }
+}
+
+/// Persistent index root (persistent/hybrid flavours).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct BTreeRoot {
+    kind: u64,
+    leaf_table_root: u64,
+    inner_table_root: u64, // 0 for hybrid
+    root_ref: u64,
+    height: u64,
+    first_leaf: u64,
+}
+
+pmem::impl_pod!(BTreeRoot);
+
+const R_ROOT_REF: u64 = std::mem::offset_of!(BTreeRoot, root_ref) as u64;
+const R_HEIGHT: u64 = std::mem::offset_of!(BTreeRoot, height) as u64;
+
+struct Meta {
+    root: u64,
+    height: u32,
+    first_leaf: u64,
+}
+
+/// A B+-tree index over `(u64 key, u64 value)` pairs, duplicates allowed.
+/// Duplicate keys are returned completely by [`BPlusTree::lookup`];
+/// ordering *among values of one key* is unspecified.
+///
+/// ```
+/// use gstore::{BPlusTree, IndexKind};
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(pmem::Pool::volatile(32 << 20)?);
+/// let tree = BPlusTree::create(IndexKind::Hybrid, Some(pool))?;
+/// for k in 0..1000 {
+///     tree.insert(k, k * 2)?;
+/// }
+/// assert_eq!(tree.lookup_one(21), Some(42));
+/// let mut seen = Vec::new();
+/// tree.range(10, 12, |k, v| seen.push((k, v)));
+/// assert_eq!(seen, vec![(10, 20), (11, 22), (12, 24)]);
+/// # Ok::<(), pmem::PmemError>(())
+/// ```
+pub struct BPlusTree {
+    kind: IndexKind,
+    pool: Option<Arc<Pool>>,
+    proot: u64, // offset of BTreeRoot, 0 for volatile
+    leaves: LeafStore,
+    inners: InnerStore,
+    meta: RwLock<Meta>,
+}
+
+impl BPlusTree {
+    /// Create an empty index of the given flavour. `pool` is required for
+    /// the persistent and hybrid kinds.
+    pub fn create(kind: IndexKind, pool: Option<Arc<Pool>>) -> Result<BPlusTree> {
+        let (leaves, inners, proot) = match kind {
+            IndexKind::Volatile => (
+                LeafStore::Dram(RwLock::new(Vec::new())),
+                InnerStore::Dram(RwLock::new(Vec::new())),
+                0,
+            ),
+            IndexKind::Persistent => {
+                let pool = pool.clone().expect("persistent index needs a pool");
+                let lt = ChunkedTable::create(pool.clone())?;
+                let it = ChunkedTable::create(pool.clone())?;
+                let proot = pool.alloc_zeroed(std::mem::size_of::<BTreeRoot>())?;
+                (LeafStore::Pmem(lt), InnerStore::Pmem(it), proot)
+            }
+            IndexKind::Hybrid => {
+                let pool = pool.clone().expect("hybrid index needs a pool");
+                let lt = ChunkedTable::create(pool.clone())?;
+                let proot = pool.alloc_zeroed(std::mem::size_of::<BTreeRoot>())?;
+                (
+                    LeafStore::Pmem(lt),
+                    InnerStore::Dram(RwLock::new(Vec::new())),
+                    proot,
+                )
+            }
+        };
+        let tree = BPlusTree {
+            kind,
+            pool,
+            proot,
+            leaves,
+            inners,
+            meta: RwLock::new(Meta {
+                root: 0,
+                height: 0,
+                first_leaf: 0,
+            }),
+        };
+        let first = tree.leaves.alloc()?;
+        {
+            let mut m = tree.meta.write();
+            m.root = first;
+            m.first_leaf = first;
+        }
+        tree.persist_root_struct()?;
+        Ok(tree)
+    }
+
+    fn persist_root_struct(&self) -> Result<()> {
+        let Some(pool) = &self.pool else { return Ok(()) };
+        if self.proot == 0 {
+            return Ok(());
+        }
+        let m = self.meta.read();
+        let (lt, it) = match (&self.leaves, &self.inners) {
+            (LeafStore::Pmem(lt), InnerStore::Pmem(it)) => (lt.root_off(), it.root_off()),
+            (LeafStore::Pmem(lt), InnerStore::Dram(_)) => (lt.root_off(), 0),
+            _ => (0, 0),
+        };
+        let r = BTreeRoot {
+            kind: match self.kind {
+                IndexKind::Volatile => 0,
+                IndexKind::Persistent => 1,
+                IndexKind::Hybrid => 2,
+            },
+            leaf_table_root: lt,
+            inner_table_root: it,
+            root_ref: m.root,
+            height: m.height as u64,
+            first_leaf: m.first_leaf,
+        };
+        pool.write(pmem::POff::new(self.proot), &r);
+        pool.persist(self.proot, std::mem::size_of::<BTreeRoot>());
+        Ok(())
+    }
+
+    fn persist_meta_words(&self) {
+        let Some(pool) = &self.pool else { return };
+        if self.proot == 0 {
+            return;
+        }
+        let m = self.meta.read();
+        pool.write_u64(self.proot + R_ROOT_REF, m.root);
+        pool.write_u64(self.proot + R_HEIGHT, m.height as u64);
+        pool.persist(self.proot + R_ROOT_REF, 16);
+    }
+
+    /// Offset of the persistent root struct (0 for volatile indexes).
+    pub fn root_off(&self) -> u64 {
+        self.proot
+    }
+
+    /// Flavour of this index.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Reopen a persistent or hybrid index from its persisted root. The
+    /// hybrid flavour rebuilds its DRAM inner levels from the leaf chain —
+    /// the fast recovery path measured in Fig. 8.
+    pub fn open(pool: Arc<Pool>, proot: u64) -> Result<BPlusTree> {
+        let r: BTreeRoot = pool.read(pmem::POff::new(proot));
+        match r.kind {
+            1 => {
+                let lt = ChunkedTable::open(pool.clone(), r.leaf_table_root)?;
+                let it = ChunkedTable::open(pool.clone(), r.inner_table_root)?;
+                Ok(BPlusTree {
+                    kind: IndexKind::Persistent,
+                    pool: Some(pool),
+                    proot,
+                    leaves: LeafStore::Pmem(lt),
+                    inners: InnerStore::Pmem(it),
+                    meta: RwLock::new(Meta {
+                        root: r.root_ref,
+                        height: r.height as u32,
+                        first_leaf: r.first_leaf,
+                    }),
+                })
+            }
+            2 => {
+                let lt = ChunkedTable::open(pool.clone(), r.leaf_table_root)?;
+                let tree = BPlusTree {
+                    kind: IndexKind::Hybrid,
+                    pool: Some(pool),
+                    proot,
+                    leaves: LeafStore::Pmem(lt),
+                    inners: InnerStore::Dram(RwLock::new(Vec::new())),
+                    meta: RwLock::new(Meta {
+                        root: r.root_ref,
+                        height: r.height as u32,
+                        first_leaf: r.first_leaf,
+                    }),
+                };
+                tree.rebuild()?;
+                Ok(tree)
+            }
+            k => Err(pmem::PmemError::BadPool(format!(
+                "not a persistable index root (kind={k})"
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Core operations
+    // ------------------------------------------------------------------
+
+    /// Insert `(key, val)`.
+    pub fn insert(&self, key: u64, val: u64) -> Result<()> {
+        let mut m = self.meta.write();
+        if let Some((sep, right)) = self.insert_rec(m.root, m.height, key, val)? {
+            let new_root = self.inners.alloc()?;
+            let mut inner = InnerNode::default();
+            inner.n = 1;
+            inner.keys[0] = sep;
+            inner.children[0] = m.root;
+            inner.children[1] = right;
+            self.inners.write(new_root, &inner);
+            m.root = new_root;
+            m.height += 1;
+            drop(m);
+            self.persist_meta_words();
+        }
+        Ok(())
+    }
+
+    fn insert_rec(
+        &self,
+        node: u64,
+        height: u32,
+        key: u64,
+        val: u64,
+    ) -> Result<Option<(u64, u64)>> {
+        if height == 0 {
+            return self.insert_leaf(node, key, val);
+        }
+        let mut inner = self.inners.read(node);
+        let n = inner.n as usize;
+        let idx = inner.keys[..n].partition_point(|&k| k < key);
+        let child = inner.children[idx];
+        let Some((sep, right)) = self.insert_rec(child, height - 1, key, val)? else {
+            return Ok(None);
+        };
+        if n < FANOUT {
+            // Shift and insert the new separator/child.
+            for i in (idx..n).rev() {
+                inner.keys[i + 1] = inner.keys[i];
+                inner.children[i + 2] = inner.children[i + 1];
+            }
+            inner.keys[idx] = sep;
+            inner.children[idx + 1] = right;
+            inner.n += 1;
+            self.inners.write(node, &inner);
+            return Ok(None);
+        }
+        // Split the inner node.
+        let mut keys = [0u64; FANOUT + 1];
+        let mut children = [NIL_REF; FANOUT + 2];
+        keys[..idx].copy_from_slice(&inner.keys[..idx]);
+        keys[idx] = sep;
+        keys[idx + 1..].copy_from_slice(&inner.keys[idx..n]);
+        children[..idx + 1].copy_from_slice(&inner.children[..idx + 1]);
+        children[idx + 1] = right;
+        children[idx + 2..].copy_from_slice(&inner.children[idx + 1..n + 1]);
+        let mid = FANOUT.div_ceil(2);
+        let promote = keys[mid];
+        let mut left = InnerNode::default();
+        left.n = mid as u32;
+        left.keys[..mid].copy_from_slice(&keys[..mid]);
+        left.children[..mid + 1].copy_from_slice(&children[..mid + 1]);
+        let right_n = FANOUT - mid;
+        let mut rnode = InnerNode::default();
+        rnode.n = right_n as u32;
+        rnode.keys[..right_n].copy_from_slice(&keys[mid + 1..]);
+        rnode.children[..right_n + 1].copy_from_slice(&children[mid + 1..]);
+        let rref = self.inners.alloc()?;
+        self.inners.write(rref, &rnode);
+        self.inners.write(node, &left);
+        Ok(Some((promote, rref)))
+    }
+
+    fn insert_leaf(&self, node: u64, key: u64, val: u64) -> Result<Option<(u64, u64)>> {
+        let mut leaf = self.leaves.read(node);
+        let n = leaf.n as usize;
+        let pos = (0..n)
+            .position(|i| (leaf.keys[i], leaf.vals[i]) >= (key, val))
+            .unwrap_or(n);
+        if n < FANOUT {
+            for i in (pos..n).rev() {
+                leaf.keys[i + 1] = leaf.keys[i];
+                leaf.vals[i + 1] = leaf.vals[i];
+            }
+            leaf.keys[pos] = key;
+            leaf.vals[pos] = val;
+            leaf.n += 1;
+            self.leaves.write(node, &leaf);
+            return Ok(None);
+        }
+        // Split: distribute FANOUT+1 entries.
+        let mut keys = [0u64; FANOUT + 1];
+        let mut vals = [0u64; FANOUT + 1];
+        keys[..pos].copy_from_slice(&leaf.keys[..pos]);
+        vals[..pos].copy_from_slice(&leaf.vals[..pos]);
+        keys[pos] = key;
+        vals[pos] = val;
+        keys[pos + 1..].copy_from_slice(&leaf.keys[pos..n]);
+        vals[pos + 1..].copy_from_slice(&leaf.vals[pos..n]);
+        let mid = FANOUT.div_ceil(2);
+        let rref = self.leaves.alloc()?;
+        let mut rleaf = LeafNode::default();
+        rleaf.n = (FANOUT + 1 - mid) as u32;
+        rleaf.keys[..FANOUT + 1 - mid].copy_from_slice(&keys[mid..]);
+        rleaf.vals[..FANOUT + 1 - mid].copy_from_slice(&vals[mid..]);
+        rleaf.next = leaf.next;
+        // Write order matters for the rebuildable-leaf-chain guarantee: the
+        // right leaf becomes durable before the left one links to it.
+        self.leaves.write(rref, &rleaf);
+        let mut lleaf = LeafNode::default();
+        lleaf.n = mid as u32;
+        lleaf.keys[..mid].copy_from_slice(&keys[..mid]);
+        lleaf.vals[..mid].copy_from_slice(&vals[..mid]);
+        lleaf.next = rref;
+        self.leaves.write(node, &lleaf);
+        Ok(Some((rleaf.keys[0], rref)))
+    }
+
+    /// Find the leftmost leaf that may contain `key`.
+    fn find_leaf(&self, key: u64) -> u64 {
+        let m = self.meta.read();
+        let mut node = m.root;
+        let mut h = m.height;
+        while h > 0 {
+            let inner = self.inners.read(node);
+            let n = inner.n as usize;
+            let idx = inner.keys[..n].partition_point(|&k| k < key);
+            node = inner.children[idx];
+            h -= 1;
+        }
+        node
+    }
+
+    /// All values stored under `key`.
+    pub fn lookup(&self, key: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.scan_from(key, |k, v| {
+            if k == key {
+                out.push(v);
+                true
+            } else {
+                false
+            }
+        });
+        out
+    }
+
+    /// First value stored under `key`, if any (the common unique-index case).
+    pub fn lookup_one(&self, key: u64) -> Option<u64> {
+        let mut out = None;
+        self.scan_from(key, |k, v| {
+            if k == key {
+                out = Some(v);
+            }
+            false
+        });
+        out
+    }
+
+    /// Visit `(key, val)` pairs with `lo <= key <= hi` in key order.
+    pub fn range(&self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64)) {
+        self.scan_from(lo, |k, v| {
+            if k > hi {
+                return false;
+            }
+            f(k, v);
+            true
+        });
+    }
+
+    /// Scan entries with key >= `from` until `f` returns false.
+    fn scan_from(&self, from: u64, mut f: impl FnMut(u64, u64) -> bool) {
+        let mut leaf_ref = self.find_leaf(from);
+        loop {
+            let leaf = self.leaves.read(leaf_ref);
+            let n = leaf.n as usize;
+            let start = leaf.keys[..n].partition_point(|&k| k < from);
+            for i in start..n {
+                if !f(leaf.keys[i], leaf.vals[i]) {
+                    return;
+                }
+            }
+            if leaf.next == NIL_REF {
+                return;
+            }
+            leaf_ref = leaf.next;
+        }
+    }
+
+    /// Remove one `(key, val)` entry. Returns true if found. Leaves are not
+    /// rebalanced (lazy deletion): underfull leaves stay linked, which is
+    /// harmless for a secondary index and avoids PMem write amplification.
+    pub fn remove(&self, key: u64, val: u64) -> bool {
+        let _m = self.meta.write();
+        let mut leaf_ref = {
+            // Inline find under the write lock.
+            let m = &*_m;
+            let mut node = m.root;
+            let mut h = m.height;
+            while h > 0 {
+                let inner = self.inners.read(node);
+                let n = inner.n as usize;
+                let idx = inner.keys[..n].partition_point(|&k| k < key);
+                node = inner.children[idx];
+                h -= 1;
+            }
+            node
+        };
+        loop {
+            let mut leaf = self.leaves.read(leaf_ref);
+            let n = leaf.n as usize;
+            for i in 0..n {
+                if leaf.keys[i] > key {
+                    return false;
+                }
+                if leaf.keys[i] == key && leaf.vals[i] == val {
+                    for j in i..n - 1 {
+                        leaf.keys[j] = leaf.keys[j + 1];
+                        leaf.vals[j] = leaf.vals[j + 1];
+                    }
+                    leaf.n -= 1;
+                    self.leaves.write(leaf_ref, &leaf);
+                    return true;
+                }
+            }
+            if n > 0 && leaf.keys[n - 1] > key {
+                return false;
+            }
+            if leaf.next == NIL_REF {
+                return false;
+            }
+            leaf_ref = leaf.next;
+        }
+    }
+
+    /// Total number of entries (walks all leaves).
+    pub fn count_entries(&self) -> usize {
+        let m = self.meta.read();
+        let mut count = 0;
+        let mut leaf_ref = m.first_leaf;
+        loop {
+            let leaf = self.leaves.read(leaf_ref);
+            count += leaf.n as usize;
+            if leaf.next == NIL_REF {
+                return count;
+            }
+            leaf_ref = leaf.next;
+        }
+    }
+
+    /// Rebuild the inner levels from the persistent leaf chain. This is the
+    /// hybrid index's recovery path (milliseconds) measured in Fig. 8
+    /// against the volatile index's full re-insert (hundreds of ms).
+    pub fn rebuild(&self) -> Result<()> {
+        let mut m = self.meta.write();
+        self.inners.clear();
+        // Collect (min_key, ref) for all non-empty leaves, chain order.
+        let mut level: Vec<(u64, u64)> = Vec::new();
+        let mut leaf_ref = m.first_leaf;
+        loop {
+            let leaf = self.leaves.read(leaf_ref);
+            if leaf.n > 0 {
+                level.push((leaf.keys[0], leaf_ref));
+            }
+            if leaf.next == NIL_REF {
+                break;
+            }
+            leaf_ref = leaf.next;
+        }
+        if level.is_empty() {
+            m.root = m.first_leaf;
+            m.height = 0;
+            drop(m);
+            self.persist_meta_words();
+            return Ok(());
+        }
+        let mut height = 0u32;
+        while level.len() > 1 {
+            let mut next_level = Vec::with_capacity(level.len() / FANOUT + 1);
+            for group in level.chunks(FANOUT + 1) {
+                let iref = self.inners.alloc()?;
+                let mut inner = InnerNode::default();
+                inner.n = (group.len() - 1) as u32;
+                for (i, &(min_key, child)) in group.iter().enumerate() {
+                    inner.children[i] = child;
+                    if i > 0 {
+                        inner.keys[i - 1] = min_key;
+                    }
+                }
+                self.inners.write(iref, &inner);
+                next_level.push((group[0].0, iref));
+            }
+            level = next_level;
+            height += 1;
+        }
+        m.root = level[0].1;
+        m.height = height;
+        drop(m);
+        self.persist_meta_words();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Arc<Pool> {
+        Arc::new(Pool::volatile(256 << 20).unwrap())
+    }
+
+    fn tree(kind: IndexKind) -> BPlusTree {
+        match kind {
+            IndexKind::Volatile => BPlusTree::create(kind, None).unwrap(),
+            _ => BPlusTree::create(kind, Some(pool())).unwrap(),
+        }
+    }
+
+    fn all_kinds() -> [BPlusTree; 3] {
+        [
+            tree(IndexKind::Volatile),
+            tree(IndexKind::Persistent),
+            tree(IndexKind::Hybrid),
+        ]
+    }
+
+    #[test]
+    fn node_sizes_are_512() {
+        assert_eq!(std::mem::size_of::<LeafNode>(), 512);
+        assert_eq!(std::mem::size_of::<InnerNode>(), 512);
+    }
+
+    #[test]
+    fn empty_lookup_is_empty() {
+        for t in all_kinds() {
+            assert!(t.lookup(5).is_empty());
+            assert_eq!(t.lookup_one(5), None);
+            assert_eq!(t.count_entries(), 0);
+        }
+    }
+
+    #[test]
+    fn insert_lookup_small() {
+        for t in all_kinds() {
+            t.insert(10, 100).unwrap();
+            t.insert(5, 50).unwrap();
+            t.insert(20, 200).unwrap();
+            assert_eq!(t.lookup(5), vec![50]);
+            assert_eq!(t.lookup(10), vec![100]);
+            assert_eq!(t.lookup_one(20), Some(200));
+            assert!(t.lookup(15).is_empty());
+            assert_eq!(t.count_entries(), 3);
+        }
+    }
+
+    #[test]
+    fn many_inserts_with_splits_match_model() {
+        for t in all_kinds() {
+            let mut model = std::collections::BTreeMap::new();
+            // Deterministic pseudo-random order.
+            let mut x = 12345u64;
+            for _ in 0..5000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let k = x >> 33;
+                t.insert(k, k * 2).unwrap();
+                model.insert(k, k * 2);
+            }
+            for (&k, &v) in model.iter().step_by(97) {
+                assert_eq!(t.lookup(k), vec![v], "kind={:?} key={k}", t.kind());
+            }
+            assert_eq!(t.count_entries(), model.len());
+        }
+    }
+
+    #[test]
+    fn duplicates_are_all_returned() {
+        for t in all_kinds() {
+            for v in 0..100u64 {
+                t.insert(7, v).unwrap();
+            }
+            t.insert(6, 1).unwrap();
+            t.insert(8, 2).unwrap();
+            let mut vals = t.lookup(7);
+            vals.sort_unstable();
+            assert_eq!(vals, (0..100).collect::<Vec<_>>());
+            assert_eq!(t.lookup(6), vec![1]);
+            assert_eq!(t.lookup(8), vec![2]);
+        }
+    }
+
+    #[test]
+    fn range_scan_is_ordered_and_bounded() {
+        for t in all_kinds() {
+            for k in (0..1000u64).rev() {
+                t.insert(k, k).unwrap();
+            }
+            let mut seen = Vec::new();
+            t.range(100, 199, |k, v| {
+                assert_eq!(k, v);
+                seen.push(k);
+            });
+            assert_eq!(seen, (100..200).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_pair() {
+        for t in all_kinds() {
+            t.insert(1, 10).unwrap();
+            t.insert(1, 11).unwrap();
+            t.insert(2, 20).unwrap();
+            assert!(t.remove(1, 10));
+            assert!(!t.remove(1, 10), "double remove must fail");
+            assert_eq!(t.lookup(1), vec![11]);
+            assert!(t.remove(2, 20));
+            assert!(t.lookup(2).is_empty());
+            assert!(!t.remove(3, 30));
+        }
+    }
+
+    #[test]
+    fn remove_across_split_leaves() {
+        for t in all_kinds() {
+            for v in 0..200u64 {
+                t.insert(42, v).unwrap();
+            }
+            for v in 0..200u64 {
+                assert!(t.remove(42, v), "kind={:?} v={v}", t.kind());
+            }
+            assert!(t.lookup(42).is_empty());
+        }
+    }
+
+    #[test]
+    fn hybrid_rebuild_preserves_contents() {
+        let t = tree(IndexKind::Hybrid);
+        for k in 0..3000u64 {
+            t.insert(k * 3, k).unwrap();
+        }
+        t.rebuild().unwrap();
+        for k in (0..3000u64).step_by(113) {
+            assert_eq!(t.lookup(k * 3), vec![k]);
+        }
+        assert_eq!(t.count_entries(), 3000);
+    }
+
+    #[test]
+    fn hybrid_survives_reopen_with_rebuild() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gstore-btree-reopen-{}", std::process::id()));
+        let proot;
+        {
+            let pool = Arc::new(
+                Pool::create(&path, 256 << 20, pmem::DeviceProfile::dram()).unwrap(),
+            );
+            let t = BPlusTree::create(IndexKind::Hybrid, Some(pool)).unwrap();
+            proot = t.root_off();
+            for k in 0..5000u64 {
+                t.insert(k, k + 1).unwrap();
+            }
+        }
+        {
+            let pool = Arc::new(Pool::open(&path, pmem::DeviceProfile::dram()).unwrap());
+            let t = BPlusTree::open(pool, proot).unwrap();
+            assert_eq!(t.kind(), IndexKind::Hybrid);
+            for k in (0..5000u64).step_by(271) {
+                assert_eq!(t.lookup(k), vec![k + 1]);
+            }
+            assert_eq!(t.count_entries(), 5000);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn persistent_survives_reopen_without_rebuild() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gstore-btree-preopen-{}", std::process::id()));
+        let proot;
+        {
+            let pool = Arc::new(
+                Pool::create(&path, 256 << 20, pmem::DeviceProfile::dram()).unwrap(),
+            );
+            let t = BPlusTree::create(IndexKind::Persistent, Some(pool)).unwrap();
+            proot = t.root_off();
+            for k in 0..2000u64 {
+                t.insert(k, k).unwrap();
+            }
+        }
+        {
+            let pool = Arc::new(Pool::open(&path, pmem::DeviceProfile::dram()).unwrap());
+            let t = BPlusTree::open(pool, proot).unwrap();
+            assert_eq!(t.kind(), IndexKind::Persistent);
+            assert_eq!(t.lookup(1234), vec![1234]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn min_and_max_keys() {
+        for t in all_kinds() {
+            t.insert(0, 1).unwrap();
+            t.insert(u64::MAX, 2).unwrap();
+            assert_eq!(t.lookup(0), vec![1]);
+            assert_eq!(t.lookup(u64::MAX), vec![2]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn rebuild_skips_emptied_leaves() {
+        let pool = Arc::new(Pool::volatile(256 << 20).unwrap());
+        let t = BPlusTree::create(IndexKind::Hybrid, Some(pool)).unwrap();
+        for k in 0..500u64 {
+            t.insert(k, k).unwrap();
+        }
+        // Empty out a band of keys so whole leaves become empty.
+        for k in 100..200u64 {
+            assert!(t.remove(k, k));
+        }
+        t.rebuild().unwrap();
+        assert_eq!(t.count_entries(), 400);
+        assert!(t.lookup(150).is_empty());
+        assert_eq!(t.lookup(99), vec![99]);
+        assert_eq!(t.lookup(200), vec![200]);
+        // Inserts into the emptied band still work post-rebuild.
+        t.insert(150, 1500).unwrap();
+        assert_eq!(t.lookup(150), vec![1500]);
+    }
+
+    #[test]
+    fn range_over_duplicates_spanning_leaves() {
+        let t = BPlusTree::create(IndexKind::Volatile, None).unwrap();
+        for v in 0..100u64 {
+            t.insert(10, v).unwrap();
+            t.insert(20, v).unwrap();
+        }
+        let mut tens = 0;
+        let mut twenties = 0;
+        t.range(10, 20, |k, _| match k {
+            10 => tens += 1,
+            20 => twenties += 1,
+            other => panic!("unexpected key {other}"),
+        });
+        assert_eq!(tens, 100);
+        assert_eq!(twenties, 100);
+        // Exclusive band between the keys.
+        let mut none = 0;
+        t.range(11, 19, |_, _| none += 1);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn rebuild_on_totally_emptied_tree() {
+        let pool = Arc::new(Pool::volatile(128 << 20).unwrap());
+        let t = BPlusTree::create(IndexKind::Hybrid, Some(pool)).unwrap();
+        for k in 0..100u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 0..100u64 {
+            assert!(t.remove(k, k));
+        }
+        t.rebuild().unwrap();
+        assert_eq!(t.count_entries(), 0);
+        assert!(t.lookup(5).is_empty());
+        t.insert(5, 50).unwrap();
+        assert_eq!(t.lookup(5), vec![50]);
+    }
+}

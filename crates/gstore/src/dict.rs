@@ -1,0 +1,557 @@
+//! Persistent string dictionary (design decision DD3).
+//!
+//! All variable-length data — labels, property keys, string property values
+//! — is dictionary-encoded so records stay fixed-size and comparisons
+//! operate on integer codes. As in the paper, the dictionary consists of
+//! two persistent hash-indexed tables for bidirectional translation:
+//!
+//! * the *forward* table maps string → code (open addressing, linear
+//!   probing, entries published with a final 8-byte atomic store);
+//! * the *reverse* table is a persistent array indexed by code.
+//!
+//! Both sides are persistent by default, so nothing must be rebuilt during
+//! recovery. The paper's conclusion names "more hybrid DRAM/PMem
+//! approaches such as for dictionaries" as future work; this module also
+//! implements that **hybrid mode** ([`Dictionary::create_hybrid`]): the
+//! forward table lives in DRAM (fewer flushed lines per insert, faster
+//! probes) and is rebuilt from the persistent reverse table at open — the
+//! ablation bench quantifies the trade-off.
+//!
+//! Crash consistency: a code is *reserved* first (8-byte bump of
+//! `next_code`), then the string bytes and the reverse entry are persisted,
+//! and only then is the forward entry published by atomically storing its
+//! `str_off`. A crash in between leaks one code/string but never exposes a
+//! half-built mapping.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use pmem::{Pool, Result};
+
+use crate::hash::fnv1a;
+
+const INITIAL_FWD_CAP: u64 = 1024; // entries, power of two
+const INITIAL_REV_CAP: u64 = 1024; // entries
+
+/// Persistent dictionary root.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct DictRoot {
+    fwd_off: u64,
+    fwd_cap: u64,
+    fwd_count: u64,
+    rev_off: u64,
+    rev_cap: u64,
+    next_code: u64,
+    /// 0 = both tables persistent, 1 = hybrid (DRAM forward table).
+    mode: u64,
+}
+
+pmem::impl_pod!(DictRoot);
+
+const R_FWD_OFF: u64 = std::mem::offset_of!(DictRoot, fwd_off) as u64;
+const R_FWD_CAP: u64 = std::mem::offset_of!(DictRoot, fwd_cap) as u64;
+const R_FWD_COUNT: u64 = std::mem::offset_of!(DictRoot, fwd_count) as u64;
+const R_REV_OFF: u64 = std::mem::offset_of!(DictRoot, rev_off) as u64;
+const R_REV_CAP: u64 = std::mem::offset_of!(DictRoot, rev_cap) as u64;
+const R_NEXT_CODE: u64 = std::mem::offset_of!(DictRoot, next_code) as u64;
+
+/// Forward-table entry: 24 bytes. Occupied iff `str_off != 0`.
+const FWD_ENTRY: u64 = 24;
+const F_HASH: u64 = 0;
+const F_LEN_CODE: u64 = 8;
+const F_STR_OFF: u64 = 16;
+
+/// Reverse-table entry: 16 bytes `{str_off, len}`.
+const REV_ENTRY: u64 = 16;
+
+/// Volatile mirror of the table locations (DG6: resolve persistent
+/// locations once, then use plain values).
+#[derive(Clone, Copy)]
+struct Dims {
+    fwd_off: u64,
+    fwd_cap: u64,
+    rev_off: u64,
+    rev_cap: u64,
+}
+
+/// Bidirectional persistent string↔code dictionary.
+pub struct Dictionary {
+    pool: Arc<Pool>,
+    root: u64,
+    dims: RwLock<Dims>,
+    insert_lock: Mutex<()>,
+    /// Hybrid mode: the DRAM-resident forward table (string → code),
+    /// rebuilt from the persistent reverse table at open.
+    volatile_fwd: Option<RwLock<std::collections::HashMap<String, u32>>>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary; persist [`root_off`](Self::root_off) to
+    /// reopen it.
+    pub fn create(pool: Arc<Pool>) -> Result<Dictionary> {
+        Self::create_mode(pool, 0)
+    }
+
+    /// Create a dictionary in hybrid mode: the forward table is
+    /// DRAM-resident (the paper's future-work optimisation). Inserts flush
+    /// fewer cache lines; recovery rebuilds the forward table by walking
+    /// the persistent reverse table.
+    pub fn create_hybrid(pool: Arc<Pool>) -> Result<Dictionary> {
+        Self::create_mode(pool, 1)
+    }
+
+    fn create_mode(pool: Arc<Pool>, mode: u64) -> Result<Dictionary> {
+        let root = pool.alloc_zeroed(std::mem::size_of::<DictRoot>())?;
+        let fwd = if mode == 0 {
+            pool.alloc_zeroed((INITIAL_FWD_CAP * FWD_ENTRY) as usize)?
+        } else {
+            0
+        };
+        let rev = pool.alloc_zeroed((INITIAL_REV_CAP * REV_ENTRY) as usize)?;
+        let dr = DictRoot {
+            fwd_off: fwd,
+            fwd_cap: INITIAL_FWD_CAP,
+            fwd_count: 0,
+            rev_off: rev,
+            rev_cap: INITIAL_REV_CAP,
+            next_code: 1, // 0 = "no code"
+            mode,
+        };
+        pool.write(pmem::POff::new(root), &dr);
+        pool.persist(root, std::mem::size_of::<DictRoot>());
+        Ok(Dictionary {
+            pool,
+            root,
+            dims: RwLock::new(Dims {
+                fwd_off: fwd,
+                fwd_cap: INITIAL_FWD_CAP,
+                rev_off: rev,
+                rev_cap: INITIAL_REV_CAP,
+            }),
+            insert_lock: Mutex::new(()),
+            volatile_fwd: (mode == 1)
+                .then(|| RwLock::new(std::collections::HashMap::new())),
+        })
+    }
+
+    /// Reopen from a persisted root. Fully-persistent dictionaries rebuild
+    /// nothing (the near-instant-recovery argument of §4.2); hybrid ones
+    /// rebuild their DRAM forward table from the persistent reverse table.
+    pub fn open(pool: Arc<Pool>, root: u64) -> Result<Dictionary> {
+        let dr: DictRoot = pool.read(pmem::POff::new(root));
+        let dict = Dictionary {
+            pool,
+            root,
+            dims: RwLock::new(Dims {
+                fwd_off: dr.fwd_off,
+                fwd_cap: dr.fwd_cap,
+                rev_off: dr.rev_off,
+                rev_cap: dr.rev_cap,
+            }),
+            insert_lock: Mutex::new(()),
+            volatile_fwd: (dr.mode == 1)
+                .then(|| RwLock::new(std::collections::HashMap::new())),
+        };
+        if let Some(fwd) = &dict.volatile_fwd {
+            // Hybrid recovery: rebuild the DRAM forward table from the
+            // persistent reverse table (one pass over the codes).
+            let next = dict.pool.read_u64(dict.root + R_NEXT_CODE);
+            let mut map = std::collections::HashMap::with_capacity(next as usize);
+            for code in 1..next {
+                if let Some(s) = dict.string_of(code as u32) {
+                    map.insert(s, code as u32);
+                }
+            }
+            *fwd.write() = map;
+        }
+        Ok(dict)
+    }
+
+    /// True if this dictionary keeps its forward table in DRAM.
+    pub fn is_hybrid(&self) -> bool {
+        self.volatile_fwd.is_some()
+    }
+
+    /// Offset of the persistent dictionary root.
+    pub fn root_off(&self) -> u64 {
+        self.root
+    }
+
+    /// Number of codes handed out.
+    pub fn len(&self) -> usize {
+        (self.pool.read_u64(self.root + R_NEXT_CODE) - 1) as usize
+    }
+
+    /// True if no string was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up the code for `s` without inserting.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        if let Some(fwd) = &self.volatile_fwd {
+            return fwd.read().get(s).copied();
+        }
+        let dims = *self.dims.read();
+        self.probe(&dims, s).1
+    }
+
+    /// Return the code for `s`, inserting it if new.
+    pub fn get_or_insert(&self, s: &str) -> Result<u32> {
+        if let Some(code) = self.code_of(s) {
+            return Ok(code);
+        }
+        let _g = self.insert_lock.lock();
+        // Re-check under the lock (another thread may have inserted, or a
+        // resize may have moved entries).
+        if let Some(code) = self.code_of(s) {
+            return Ok(code);
+        }
+        self.insert_locked(s)
+    }
+
+    /// Resolve a code back to its string. `None` for unknown codes.
+    pub fn string_of(&self, code: u32) -> Option<String> {
+        if code == 0 {
+            return None;
+        }
+        let dims = *self.dims.read();
+        if code as u64 >= dims.rev_cap {
+            return None;
+        }
+        let entry = dims.rev_off + code as u64 * REV_ENTRY;
+        let str_off = self.pool.read_u64(entry);
+        if str_off == 0 {
+            return None;
+        }
+        let len = self.pool.read_u64(entry + 8) as usize;
+        let mut buf = vec![0u8; len];
+        self.pool.read_slice(str_off, &mut buf);
+        Some(String::from_utf8_lossy(&buf).into_owned())
+    }
+
+    /// Probe the forward table: returns (first empty slot index, found code).
+    fn probe(&self, dims: &Dims, s: &str) -> (u64, Option<u32>) {
+        let hash = fnv1a(s.as_bytes());
+        let mask = dims.fwd_cap - 1;
+        let mut idx = hash & mask;
+        loop {
+            let entry = dims.fwd_off + idx * FWD_ENTRY;
+            let str_off = self.pool.read_u64(entry + F_STR_OFF);
+            if str_off == 0 {
+                return (idx, None);
+            }
+            if self.pool.read_u64(entry + F_HASH) == hash {
+                let len_code = self.pool.read_u64(entry + F_LEN_CODE);
+                let len = (len_code >> 32) as usize;
+                if len == s.len() {
+                    let mut buf = vec![0u8; len];
+                    self.pool.read_slice(str_off, &mut buf);
+                    if buf == s.as_bytes() {
+                        return (idx, Some(len_code as u32));
+                    }
+                }
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    fn insert_locked(&self, s: &str) -> Result<u32> {
+        // 1. Reserve the code (crash ⇒ leaked code, never reuse).
+        let code = self.pool.read_u64(self.root + R_NEXT_CODE);
+        self.pool.write_u64(self.root + R_NEXT_CODE, code + 1);
+        self.pool.persist(self.root + R_NEXT_CODE, 8);
+
+        // 2. Persist the string bytes.
+        let str_off = self.pool.alloc(s.len().max(1))?;
+        self.pool.write_bytes(str_off, s.as_bytes());
+        self.pool.persist(str_off, s.len().max(1));
+
+        // 3. Reverse entry (code → string), growing the array if needed.
+        self.ensure_rev_capacity(code)?;
+        let dims = *self.dims.read();
+        let rev_entry = dims.rev_off + code * REV_ENTRY;
+        self.pool.write_u64(rev_entry + 8, s.len() as u64);
+        self.pool.write_u64(rev_entry, str_off);
+        self.pool.persist(rev_entry, REV_ENTRY as usize);
+
+        // 4. Forward entry. Hybrid mode: one DRAM map insert, zero flushes
+        // (DG1 — the flushed-line saving the paper's future work targets).
+        if let Some(fwd) = &self.volatile_fwd {
+            fwd.write().insert(s.to_owned(), code as u32);
+            return Ok(code as u32);
+        }
+        let count = self.pool.read_u64(self.root + R_FWD_COUNT);
+        if (count + 1) * 4 > self.dims.read().fwd_cap * 3 {
+            self.grow_fwd()?;
+        }
+        let dims = *self.dims.read();
+        let (slot, existing) = self.probe(&dims, s);
+        debug_assert!(existing.is_none());
+        let entry = dims.fwd_off + slot * FWD_ENTRY;
+        self.pool.write_u64(entry + F_HASH, fnv1a(s.as_bytes()));
+        self.pool
+            .write_u64(entry + F_LEN_CODE, (s.len() as u64) << 32 | code);
+        self.pool.persist(entry, 16);
+        // Publication point: a nonzero str_off makes the entry visible.
+        self.pool.atomic_store_u64(entry + F_STR_OFF, str_off, std::sync::atomic::Ordering::Release);
+        self.pool.persist(entry + F_STR_OFF, 8);
+        self.pool.write_u64(self.root + R_FWD_COUNT, count + 1);
+        self.pool.persist(self.root + R_FWD_COUNT, 8);
+        Ok(code as u32)
+    }
+
+    fn ensure_rev_capacity(&self, code: u64) -> Result<()> {
+        let dims = *self.dims.read();
+        if code < dims.rev_cap {
+            return Ok(());
+        }
+        let mut new_cap = dims.rev_cap * 2;
+        while code >= new_cap {
+            new_cap *= 2;
+        }
+        let new_off = self.pool.alloc_zeroed((new_cap * REV_ENTRY) as usize)?;
+        for i in 0..dims.rev_cap * REV_ENTRY / 8 {
+            self.pool
+                .write_u64(new_off + i * 8, self.pool.read_u64(dims.rev_off + i * 8));
+        }
+        self.pool.persist(new_off, (dims.rev_cap * REV_ENTRY) as usize);
+        self.pool.write_u64(self.root + R_REV_OFF, new_off);
+        self.pool.persist(self.root + R_REV_OFF, 8);
+        self.pool.write_u64(self.root + R_REV_CAP, new_cap);
+        self.pool.persist(self.root + R_REV_CAP, 8);
+        let mut d = self.dims.write();
+        d.rev_off = new_off;
+        d.rev_cap = new_cap;
+        let _ = self.pool.free(dims.rev_off, (dims.rev_cap * REV_ENTRY) as usize);
+        Ok(())
+    }
+
+    fn grow_fwd(&self) -> Result<()> {
+        let dims = *self.dims.read();
+        let new_cap = dims.fwd_cap * 2;
+        let new_off = self.pool.alloc_zeroed((new_cap * FWD_ENTRY) as usize)?;
+        let mask = new_cap - 1;
+        for i in 0..dims.fwd_cap {
+            let old = dims.fwd_off + i * FWD_ENTRY;
+            let str_off = self.pool.read_u64(old + F_STR_OFF);
+            if str_off == 0 {
+                continue;
+            }
+            let hash = self.pool.read_u64(old + F_HASH);
+            let len_code = self.pool.read_u64(old + F_LEN_CODE);
+            let mut idx = hash & mask;
+            loop {
+                let entry = new_off + idx * FWD_ENTRY;
+                if self.pool.read_u64(entry + F_STR_OFF) == 0 {
+                    self.pool.write_u64(entry + F_HASH, hash);
+                    self.pool.write_u64(entry + F_LEN_CODE, len_code);
+                    self.pool.write_u64(entry + F_STR_OFF, str_off);
+                    break;
+                }
+                idx = (idx + 1) & mask;
+            }
+        }
+        self.pool.persist(new_off, (new_cap * FWD_ENTRY) as usize);
+        // Publish: new table first, then capacity. A crash in between makes
+        // the next open read a consistent (off, cap) pair because open reads
+        // the root in one shot after recovery — both words sit in one cache
+        // line and are rewritten below in program order with fences.
+        self.pool.write_u64(self.root + R_FWD_OFF, new_off);
+        self.pool.persist(self.root + R_FWD_OFF, 8);
+        self.pool.write_u64(self.root + R_FWD_CAP, new_cap);
+        self.pool.persist(self.root + R_FWD_CAP, 8);
+        let mut d = self.dims.write();
+        d.fwd_off = new_off;
+        d.fwd_cap = new_cap;
+        let _ = self.pool.free(dims.fwd_off, (dims.fwd_cap * FWD_ENTRY) as usize);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> Dictionary {
+        let pool = Arc::new(Pool::volatile(64 << 20).unwrap());
+        Dictionary::create(pool).unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup_roundtrip() {
+        let d = dict();
+        let a = d.get_or_insert("Person").unwrap();
+        let b = d.get_or_insert("knows").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(d.get_or_insert("Person").unwrap(), a);
+        assert_eq!(d.code_of("Person"), Some(a));
+        assert_eq!(d.code_of("nonexistent"), None);
+        assert_eq!(d.string_of(a).as_deref(), Some("Person"));
+        assert_eq!(d.string_of(b).as_deref(), Some("knows"));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn codes_start_at_one() {
+        let d = dict();
+        assert_eq!(d.get_or_insert("x").unwrap(), 1);
+        assert_eq!(d.string_of(0), None);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_entry() {
+        let d = dict();
+        let c = d.get_or_insert("").unwrap();
+        assert_eq!(d.code_of(""), Some(c));
+        assert_eq!(d.string_of(c).as_deref(), Some(""));
+    }
+
+    #[test]
+    fn grows_past_initial_capacities() {
+        let d = dict();
+        let n = 3000; // > both initial capacities with resizes
+        let codes: Vec<u32> = (0..n)
+            .map(|i| d.get_or_insert(&format!("string-{i}")).unwrap())
+            .collect();
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(d.code_of(&format!("string-{i}")), Some(c), "i={i}");
+            assert_eq!(d.string_of(c).unwrap(), format!("string-{i}"));
+        }
+        assert_eq!(d.len(), n);
+    }
+
+    #[test]
+    fn unknown_code_resolves_to_none() {
+        let d = dict();
+        d.get_or_insert("a").unwrap();
+        assert_eq!(d.string_of(999), None);
+        assert_eq!(d.string_of(u32::MAX), None);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gstore-dict-reopen-{}", std::process::id()));
+        let root;
+        let code;
+        {
+            let pool = Arc::new(
+                Pool::create(&path, 64 << 20, pmem::DeviceProfile::dram()).unwrap(),
+            );
+            let d = Dictionary::create(pool).unwrap();
+            root = d.root_off();
+            code = d.get_or_insert("persistent-string").unwrap();
+            for i in 0..2000 {
+                d.get_or_insert(&format!("k{i}")).unwrap();
+            }
+        }
+        {
+            let pool = Arc::new(Pool::open(&path, pmem::DeviceProfile::dram()).unwrap());
+            let d = Dictionary::open(pool, root).unwrap();
+            assert_eq!(d.code_of("persistent-string"), Some(code));
+            assert_eq!(d.string_of(code).as_deref(), Some("persistent-string"));
+            assert_eq!(d.code_of("k1999"), Some(d.code_of("k1999").unwrap()));
+            assert_eq!(d.len(), 2001);
+            // New inserts continue from the persisted next_code.
+            let nc = d.get_or_insert("after-reopen").unwrap();
+            assert!(nc as usize > 2001);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_get_or_insert_converges() {
+        let pool = Arc::new(Pool::volatile(64 << 20).unwrap());
+        let d = Arc::new(Dictionary::create(pool).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| d.get_or_insert(&format!("shared-{}", i % 50)).unwrap())
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Same string must map to the same code in every thread.
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(d.len(), 50);
+    }
+
+    #[test]
+    fn hybrid_mode_roundtrip_and_recovery() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gstore-dict-hybrid-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let root;
+        let codes: Vec<u32>;
+        {
+            let pool = Arc::new(
+                Pool::create(&path, 64 << 20, pmem::DeviceProfile::dram()).unwrap(),
+            );
+            let d = Dictionary::create_hybrid(pool).unwrap();
+            assert!(d.is_hybrid());
+            root = d.root_off();
+            codes = (0..500)
+                .map(|i| d.get_or_insert(&format!("hy-{i}")).unwrap())
+                .collect();
+            assert_eq!(d.code_of("hy-123"), Some(codes[123]));
+            assert_eq!(d.string_of(codes[7]).as_deref(), Some("hy-7"));
+        }
+        {
+            let pool = Arc::new(Pool::open(&path, pmem::DeviceProfile::dram()).unwrap());
+            let d = Dictionary::open(pool, root).unwrap();
+            assert!(d.is_hybrid());
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(d.code_of(&format!("hy-{i}")), Some(c), "i={i}");
+                assert_eq!(d.string_of(c).unwrap(), format!("hy-{i}"));
+            }
+            // Inserts continue after the rebuild.
+            let n = d.get_or_insert("hy-new").unwrap();
+            assert!(n as usize > codes.len());
+            assert_eq!(d.code_of("hy-new"), Some(n));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hybrid_insert_flushes_fewer_lines() {
+        let pool_p = Arc::new(Pool::volatile(64 << 20).unwrap());
+        let pool_h = Arc::new(Pool::volatile(64 << 20).unwrap());
+        let dp = Dictionary::create(pool_p.clone()).unwrap();
+        let dh = Dictionary::create_hybrid(pool_h.clone()).unwrap();
+        let before_p = pool_p.stats().snapshot();
+        let before_h = pool_h.stats().snapshot();
+        for i in 0..200 {
+            dp.get_or_insert(&format!("w-{i}")).unwrap();
+            dh.get_or_insert(&format!("w-{i}")).unwrap();
+        }
+        let p = pool_p.stats().snapshot() - before_p;
+        let h = pool_h.stats().snapshot() - before_h;
+        assert!(
+            h.lines_flushed < p.lines_flushed,
+            "hybrid must flush fewer lines: {} !< {}",
+            h.lines_flushed,
+            p.lines_flushed
+        );
+    }
+
+    #[test]
+    fn collision_heavy_strings_resolve() {
+        // Many strings of the same length stress linear probing.
+        let d = dict();
+        let codes: Vec<u32> = (0..500)
+            .map(|i| d.get_or_insert(&format!("{i:08}")).unwrap())
+            .collect();
+        let unique: std::collections::HashSet<_> = codes.iter().collect();
+        assert_eq!(unique.len(), 500);
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(d.code_of(&format!("{i:08}")), Some(c));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Small deterministic hash functions used by the persistent hash tables.
+//!
+//! Persistent structures must hash identically across process restarts, so
+//! we use fixed-seed FNV-1a rather than std's randomly-seeded hasher.
+
+/// FNV-1a over a byte slice (64-bit).
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Mix a u64 (splitmix64 finaliser) — used to spread sequential keys.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic_and_spreads() {
+        assert_eq!(fnv1a(b"person"), fnv1a(b"person"));
+        assert_ne!(fnv1a(b"person"), fnv1a(b"Person"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+    }
+
+    #[test]
+    fn mix_changes_low_bits_of_sequential_input() {
+        let a = mix64(1) & 0xFFFF;
+        let b = mix64(2) & 0xFFFF;
+        assert_ne!(a, b);
+    }
+}

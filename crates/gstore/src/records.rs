@@ -1,0 +1,377 @@
+//! On-media record layouts (paper Fig. 1 and Fig. 2).
+//!
+//! Nodes and relationships are equally-sized `#[repr(C)]` records so they
+//! can be addressed by array offset (DD2); properties are outsourced to a
+//! separate table of cache-line-sized batches (DD3); all connections are
+//! stored as 8-byte record offsets rather than 16-byte persistent pointers
+//! (DD4, DG6). Every node/relationship record carries the MVTO fields of
+//! §5.1 (`txn_id`, `bts`, `ets`, `rts`); the paper's *volatile* dirty-list
+//! pointer is not part of the persistent record — it lives in a DRAM side
+//! table owned by the transaction manager.
+
+use pmem::impl_pod;
+
+/// Sentinel for "no record": record ids are array offsets where 0 is valid,
+/// so NIL is all-ones.
+pub const NIL: u64 = u64::MAX;
+
+/// "End of time" timestamp (`INF` in the paper's commit protocol).
+pub const TS_INF: u64 = u64::MAX;
+
+/// A node record: one CPU cache line (the paper reports 56 B payload; we
+/// pad to 64 B so records never straddle lines, DG3).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRecord {
+    /// Write lock: 0 = unlocked, otherwise the owning transaction id (§5.1).
+    pub txn_id: u64,
+    /// Begin timestamp: the version is visible to transactions with
+    /// `bts <= id(T) < ets`.
+    pub bts: u64,
+    /// End timestamp ([`TS_INF`] while current).
+    pub ets: u64,
+    /// Read timestamp: the most recent transaction that read this version.
+    pub rts: u64,
+    /// Dictionary-coded label (type descriptor).
+    pub label: u32,
+    pub _pad: u32,
+    /// First outgoing relationship (record id in the relationship table).
+    pub first_out: u64,
+    /// First incoming relationship.
+    pub first_in: u64,
+    /// First property batch (record id in the property table).
+    pub props: u64,
+}
+
+impl NodeRecord {
+    /// A fresh unlocked node with no relationships or properties.
+    pub fn new(label: u32) -> NodeRecord {
+        NodeRecord {
+            txn_id: 0,
+            bts: 0,
+            ets: TS_INF,
+            rts: 0,
+            label,
+            _pad: 0,
+            first_out: NIL,
+            first_in: NIL,
+            props: NIL,
+        }
+    }
+}
+
+/// A relationship record (88 B; the paper reports 72 B payload — ours adds
+/// one pad word so 64 records tile exactly into 256-byte device blocks:
+/// 64 × 88 = 5632 = 22 × 256).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelRecord {
+    /// Write lock (see [`NodeRecord::txn_id`]).
+    pub txn_id: u64,
+    /// Begin timestamp.
+    pub bts: u64,
+    /// End timestamp.
+    pub ets: u64,
+    /// Read timestamp.
+    pub rts: u64,
+    /// Dictionary-coded relationship type.
+    pub label: u32,
+    pub _pad: u32,
+    /// Source node record id.
+    pub src: u64,
+    /// Destination node record id.
+    pub dst: u64,
+    /// Next relationship in the source node's outgoing list.
+    pub next_src: u64,
+    /// Next relationship in the destination node's incoming list.
+    pub next_dst: u64,
+    /// First property batch.
+    pub props: u64,
+    pub _pad2: u64,
+}
+
+impl RelRecord {
+    /// A fresh unlocked relationship between `src` and `dst`.
+    pub fn new(label: u32, src: u64, dst: u64) -> RelRecord {
+        RelRecord {
+            txn_id: 0,
+            bts: 0,
+            ets: TS_INF,
+            rts: 0,
+            label,
+            _pad: 0,
+            src,
+            dst,
+            next_src: NIL,
+            next_dst: NIL,
+            props: NIL,
+            _pad2: 0,
+        }
+    }
+}
+
+/// One key/value slot inside a property batch. 16 bytes.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PropSlot {
+    /// Dictionary-coded property key; 0 = empty slot.
+    pub key: u32,
+    /// Value type tag (see [`PVal`]).
+    pub tag: u8,
+    pub _pad: [u8; 3],
+    /// Value payload, interpretation depends on `tag`.
+    pub val: u64,
+}
+
+/// Number of key/value slots per property batch record.
+pub const PROP_SLOTS: usize = 3;
+
+/// A property batch: one cache line holding up to [`PROP_SLOTS`] properties
+/// of a single node or relationship, with an overflow link (paper Fig. 1:
+/// "grouped in batches ... the property record links to the next entry").
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropRecord {
+    /// Owning node/relationship record id (for integrity checks and GC).
+    pub owner: u64,
+    /// Next overflow batch ([`NIL`] = end of chain).
+    pub next: u64,
+    /// The key/value slots.
+    pub slots: [PropSlot; PROP_SLOTS],
+}
+
+impl PropRecord {
+    /// An empty batch owned by `owner`.
+    pub fn new(owner: u64) -> PropRecord {
+        PropRecord {
+            owner,
+            next: NIL,
+            slots: [PropSlot::default(); PROP_SLOTS],
+        }
+    }
+}
+
+impl_pod!(NodeRecord, RelRecord, PropRecord, PropSlot);
+
+/// Value-type tags used in [`PropSlot::tag`].
+pub mod tags {
+    pub const EMPTY: u8 = 0;
+    pub const INT: u8 = 1;
+    pub const DOUBLE: u8 = 2;
+    pub const BOOL: u8 = 3;
+    pub const STR: u8 = 4;
+    pub const DATE: u8 = 5;
+    pub const NULL: u8 = 6;
+}
+
+/// A decoded property value. Strings are dictionary codes at this layer;
+/// the engine facade translates to/from `&str`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PVal {
+    Int(i64),
+    Double(f64),
+    Bool(bool),
+    /// Dictionary-coded string (DD3).
+    Str(u32),
+    /// Milliseconds since epoch (LDBC creationDate etc.).
+    Date(i64),
+    Null,
+}
+
+impl PVal {
+    /// Encode into (tag, payload) for storage in a [`PropSlot`].
+    pub fn encode(self) -> (u8, u64) {
+        match self {
+            PVal::Int(v) => (tags::INT, v as u64),
+            PVal::Double(v) => (tags::DOUBLE, v.to_bits()),
+            PVal::Bool(v) => (tags::BOOL, v as u64),
+            PVal::Str(c) => (tags::STR, c as u64),
+            PVal::Date(v) => (tags::DATE, v as u64),
+            PVal::Null => (tags::NULL, 0),
+        }
+    }
+
+    /// Decode from (tag, payload). Returns `None` for the empty tag or an
+    /// unknown tag value (corrupt slot).
+    pub fn decode(tag: u8, val: u64) -> Option<PVal> {
+        Some(match tag {
+            tags::INT => PVal::Int(val as i64),
+            tags::DOUBLE => PVal::Double(f64::from_bits(val)),
+            tags::BOOL => PVal::Bool(val != 0),
+            tags::STR => PVal::Str(val as u32),
+            tags::DATE => PVal::Date(val as i64),
+            tags::NULL => PVal::Null,
+            _ => return None,
+        })
+    }
+
+    /// Order-preserving mapping to u64, used as B+-tree key. Ints and dates
+    /// are sign-flipped; doubles use the IEEE total-order trick; strings
+    /// order by dictionary code (equality lookups only — documented in
+    /// DESIGN.md).
+    pub fn index_key(self) -> u64 {
+        match self {
+            PVal::Int(v) => (v as u64) ^ (1 << 63),
+            PVal::Date(v) => (v as u64) ^ (1 << 63),
+            PVal::Double(v) => {
+                let bits = v.to_bits();
+                if bits >> 63 == 0 {
+                    bits | (1 << 63)
+                } else {
+                    !bits
+                }
+            }
+            PVal::Bool(v) => v as u64,
+            PVal::Str(c) => c as u64,
+            PVal::Null => 0,
+        }
+    }
+}
+
+/// Records that carry the MVTO concurrency-control fields. Field byte
+/// offsets are exposed so the transaction manager can operate on the fields
+/// with 8-byte atomic stores directly in the pool (C4/DG4).
+pub trait Versioned: pmem::Pod {
+    /// Byte offset of `txn_id` within the record.
+    const TXN_ID_OFF: usize;
+    /// Byte offset of `bts`.
+    const BTS_OFF: usize;
+    /// Byte offset of `ets`.
+    const ETS_OFF: usize;
+    /// Byte offset of `rts`.
+    const RTS_OFF: usize;
+
+    fn txn_id(&self) -> u64;
+    fn bts(&self) -> u64;
+    fn ets(&self) -> u64;
+    fn rts(&self) -> u64;
+    fn set_txn_id(&mut self, v: u64);
+    fn set_bts(&mut self, v: u64);
+    fn set_ets(&mut self, v: u64);
+    fn set_rts(&mut self, v: u64);
+}
+
+macro_rules! impl_versioned {
+    ($t:ty) => {
+        impl Versioned for $t {
+            const TXN_ID_OFF: usize = std::mem::offset_of!($t, txn_id);
+            const BTS_OFF: usize = std::mem::offset_of!($t, bts);
+            const ETS_OFF: usize = std::mem::offset_of!($t, ets);
+            const RTS_OFF: usize = std::mem::offset_of!($t, rts);
+
+            fn txn_id(&self) -> u64 {
+                self.txn_id
+            }
+            fn bts(&self) -> u64 {
+                self.bts
+            }
+            fn ets(&self) -> u64 {
+                self.ets
+            }
+            fn rts(&self) -> u64 {
+                self.rts
+            }
+            fn set_txn_id(&mut self, v: u64) {
+                self.txn_id = v;
+            }
+            fn set_bts(&mut self, v: u64) {
+                self.bts = v;
+            }
+            fn set_ets(&mut self, v: u64) {
+                self.ets = v;
+            }
+            fn set_rts(&mut self, v: u64) {
+                self.rts = v;
+            }
+        }
+    };
+}
+
+impl_versioned!(NodeRecord);
+impl_versioned!(RelRecord);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_sizes_tile_into_device_blocks() {
+        assert_eq!(std::mem::size_of::<NodeRecord>(), 64);
+        assert_eq!(std::mem::size_of::<RelRecord>(), 88);
+        assert_eq!(std::mem::size_of::<PropRecord>(), 64);
+        // 64 records per chunk must be a multiple of the 256 B block (DG3).
+        assert_eq!(std::mem::size_of::<NodeRecord>() * 64 % 256, 0);
+        assert_eq!(std::mem::size_of::<RelRecord>() * 64 % 256, 0);
+        assert_eq!(std::mem::size_of::<PropRecord>() * 64 % 256, 0);
+    }
+
+    #[test]
+    fn txn_field_offsets_are_8_byte_aligned() {
+        assert_eq!(NodeRecord::TXN_ID_OFF % 8, 0);
+        assert_eq!(NodeRecord::BTS_OFF % 8, 0);
+        assert_eq!(RelRecord::ETS_OFF % 8, 0);
+        assert_eq!(RelRecord::RTS_OFF % 8, 0);
+    }
+
+    #[test]
+    fn pval_roundtrip() {
+        for v in [
+            PVal::Int(-42),
+            PVal::Int(i64::MAX),
+            PVal::Double(3.5),
+            PVal::Double(-0.0),
+            PVal::Bool(true),
+            PVal::Bool(false),
+            PVal::Str(7),
+            PVal::Date(1_600_000_000_000),
+            PVal::Null,
+        ] {
+            let (tag, raw) = v.encode();
+            assert_eq!(PVal::decode(tag, raw), Some(v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        assert_eq!(PVal::decode(99, 0), None);
+        assert_eq!(PVal::decode(tags::EMPTY, 0), None);
+    }
+
+    #[test]
+    fn index_key_preserves_int_order() {
+        let vals = [i64::MIN, -5, -1, 0, 1, 5, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(
+                PVal::Int(w[0]).index_key() < PVal::Int(w[1]).index_key(),
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn index_key_preserves_double_order() {
+        let vals = [f64::NEG_INFINITY, -1e10, -1.0, -0.5, 0.0, 0.5, 1.0, 1e10, f64::INFINITY];
+        for w in vals.windows(2) {
+            assert!(
+                PVal::Double(w[0]).index_key() < PVal::Double(w[1]).index_key(),
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_records_are_unlocked_and_current() {
+        let n = NodeRecord::new(3);
+        assert_eq!(n.txn_id, 0);
+        assert_eq!(n.ets, TS_INF);
+        assert_eq!(n.first_out, NIL);
+        let r = RelRecord::new(1, 10, 20);
+        assert_eq!(r.src, 10);
+        assert_eq!(r.dst, 20);
+        assert_eq!(r.next_src, NIL);
+    }
+}

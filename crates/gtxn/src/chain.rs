@@ -1,0 +1,217 @@
+//! Volatile version chains (paper §5.2).
+//!
+//! The paper gives every node/relationship record a *volatile* pointer to a
+//! DRAM list of dirty versions. We realise that as a sharded hash map from
+//! record identity to a [`Chain`]: at most one uncommitted version (at the
+//! front, owned by the locking transaction) plus superseded committed
+//! versions kept for older readers until GC reclaims them.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use gstore::RecId;
+
+/// Maximum record size storable in a chain entry (NodeRecord 64, RelRecord
+/// 88).
+pub(crate) const MAX_REC: usize = 96;
+
+/// Which primary table a record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableTag {
+    Node,
+    Rel,
+}
+
+/// Identity of a versioned object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjKey {
+    pub tag: TableTag,
+    pub id: RecId,
+}
+
+/// One version held in DRAM.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct VersionEntry {
+    pub bytes: [u8; MAX_REC],
+    /// Begin timestamp (copied out of the record for generic GC).
+    pub bts: u64,
+    /// End timestamp; `TS_INF` for an uncommitted new version.
+    pub ets: u64,
+    /// Creating transaction (0 for committed history entries). Kept for
+    /// diagnostics and the `Debug` output of chain dumps.
+    #[allow(dead_code)]
+    pub by: u64,
+}
+
+impl VersionEntry {
+    pub(crate) fn decode<R: pmem::Pod>(&self) -> R {
+        let size = std::mem::size_of::<R>();
+        debug_assert!(size <= MAX_REC);
+        unsafe { (self.bytes.as_ptr() as *const R).read_unaligned() }
+    }
+
+    pub(crate) fn encode<R: pmem::Pod>(rec: &R, bts: u64, ets: u64, by: u64) -> VersionEntry {
+        let size = std::mem::size_of::<R>();
+        assert!(size <= MAX_REC, "record too large for version chain");
+        let mut bytes = [0u8; MAX_REC];
+        unsafe {
+            std::ptr::copy_nonoverlapping(rec as *const R as *const u8, bytes.as_mut_ptr(), size);
+        }
+        VersionEntry { bytes, bts, ets, by }
+    }
+}
+
+/// The dirty list of one object.
+#[derive(Debug, Default)]
+pub(crate) struct Chain {
+    /// The in-flight version created by the locking transaction, if any.
+    pub uncommitted: Option<VersionEntry>,
+    /// Superseded committed versions, newest first.
+    pub history: Vec<VersionEntry>,
+}
+
+impl Chain {
+    fn is_empty(&self) -> bool {
+        self.uncommitted.is_none() && self.history.is_empty()
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// Sharded map of all version chains.
+pub(crate) struct ChainMap {
+    shards: [Mutex<HashMap<ObjKey, Chain>>; SHARDS],
+}
+
+impl ChainMap {
+    pub fn new() -> ChainMap {
+        ChainMap {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, key: &ObjKey) -> &Mutex<HashMap<ObjKey, Chain>> {
+        let h = gstore::hash::mix64(key.id ^ ((key.tag as u64) << 56));
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// Run `f` on the (possibly fresh) chain of `key`; drops the chain if it
+    /// ends up empty.
+    pub fn with<R>(&self, key: ObjKey, f: impl FnOnce(&mut Chain) -> R) -> R {
+        let mut guard = self.shard(&key).lock();
+        let chain = guard.entry(key).or_default();
+        let r = f(chain);
+        if chain.is_empty() {
+            guard.remove(&key);
+        }
+        r
+    }
+
+    /// Read-only peek; returns `None` when the object has no chain.
+    pub fn peek<R>(&self, key: ObjKey, f: impl FnOnce(&Chain) -> R) -> Option<R> {
+        let guard = self.shard(&key).lock();
+        guard.get(&key).map(f)
+    }
+
+    /// Prune history entries no longer visible to any transaction with
+    /// `id >= oldest_active`. Returns the number of pruned entries.
+    pub fn gc_key(&self, key: ObjKey, oldest_active: u64) -> usize {
+        let mut guard = self.shard(&key).lock();
+        let Some(chain) = guard.get_mut(&key) else {
+            return 0;
+        };
+        let before = chain.history.len();
+        chain.history.retain(|v| v.ets > oldest_active);
+        let pruned = before - chain.history.len();
+        if chain.is_empty() {
+            guard.remove(&key);
+        }
+        pruned
+    }
+
+    /// Full sweep over all chains (periodic GC). Returns pruned count.
+    pub fn gc_all(&self, oldest_active: u64) -> usize {
+        let mut pruned = 0;
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            guard.retain(|_, chain| {
+                let before = chain.history.len();
+                chain.history.retain(|v| v.ets > oldest_active);
+                pruned += before - chain.history.len();
+                !chain.is_empty()
+            });
+        }
+        pruned
+    }
+
+    /// Total number of chains (test/stat helper).
+    #[allow(dead_code)]
+    pub fn chain_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Total number of history versions (test/stat helper).
+    pub fn version_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .map(|c| c.history.len() + c.uncommitted.is_some() as usize)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore::NodeRecord;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let n = NodeRecord::new(5);
+        let e = VersionEntry::encode(&n, 1, 2, 3);
+        let back: NodeRecord = e.decode();
+        assert_eq!(back, n);
+        assert_eq!((e.bts, e.ets, e.by), (1, 2, 3));
+    }
+
+    #[test]
+    fn empty_chains_are_dropped() {
+        let m = ChainMap::new();
+        let key = ObjKey {
+            tag: TableTag::Node,
+            id: 7,
+        };
+        m.with(key, |c| {
+            assert!(c.uncommitted.is_none());
+        });
+        assert_eq!(m.chain_count(), 0);
+        m.with(key, |c| {
+            c.uncommitted = Some(VersionEntry::encode(&NodeRecord::new(1), 1, u64::MAX, 1));
+        });
+        assert_eq!(m.chain_count(), 1);
+    }
+
+    #[test]
+    fn gc_prunes_by_ets() {
+        let m = ChainMap::new();
+        let key = ObjKey {
+            tag: TableTag::Rel,
+            id: 1,
+        };
+        m.with(key, |c| {
+            for ets in [5u64, 10, 15] {
+                c.history
+                    .push(VersionEntry::encode(&NodeRecord::new(0), 1, ets, 0));
+            }
+        });
+        assert_eq!(m.gc_key(key, 10), 2); // ets 5 and 10 invisible to id>=10
+        assert_eq!(m.version_count(), 1);
+        assert_eq!(m.gc_all(100), 1);
+        assert_eq!(m.chain_count(), 0);
+    }
+}

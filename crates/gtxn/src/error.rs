@@ -1,0 +1,53 @@
+//! Transaction errors. Any error aborts the transaction (the paper's MVTO
+//! aborts on every conflict; there is no waiting).
+
+use std::fmt;
+
+/// Why a transactional operation failed.
+#[derive(Debug)]
+pub enum TxnError {
+    /// The record is write-locked by another active transaction (§5.1:
+    /// "In case of a lock held by another transaction, the transaction is
+    /// aborted").
+    Locked,
+    /// A write conflicted: the latest version was created or read by a
+    /// newer transaction, or the object was deleted.
+    WriteConflict,
+    /// Operation on a transaction that already committed or aborted.
+    Finished,
+    /// Underlying pool error (out of space etc.).
+    Pmem(pmem::PmemError),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Locked => write!(f, "record locked by another transaction"),
+            TxnError::WriteConflict => write!(f, "write conflict (newer version or reader)"),
+            TxnError::Finished => write!(f, "transaction already finished"),
+            TxnError::Pmem(e) => write!(f, "pool error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TxnError::Pmem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pmem::PmemError> for TxnError {
+    fn from(e: pmem::PmemError) -> Self {
+        TxnError::Pmem(e)
+    }
+}
+
+impl TxnError {
+    /// True for conflicts that a caller may retry with a fresh transaction.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TxnError::Locked | TxnError::WriteConflict)
+    }
+}

@@ -1,0 +1,98 @@
+//! SNB schema: dictionary codes for every label, relationship type and
+//! property key, resolved once per database.
+
+use graphcore::GraphDb;
+
+/// All dictionary codes the workload uses.
+#[derive(Debug, Clone, Copy)]
+pub struct SnbCodes {
+    // Node labels
+    pub person: u32,
+    pub city: u32,
+    pub country: u32,
+    pub tag: u32,
+    pub forum: u32,
+    pub post: u32,
+    pub comment: u32,
+    pub university: u32,
+    pub company: u32,
+    // Relationship types
+    pub knows: u32,
+    pub is_located_in: u32,
+    pub is_part_of: u32,
+    pub study_at: u32,
+    pub work_at: u32,
+    pub has_interest: u32,
+    pub has_moderator: u32,
+    pub has_member: u32,
+    pub container_of: u32,
+    pub has_creator: u32,
+    pub reply_of: u32,
+    pub has_tag: u32,
+    pub likes: u32,
+    // Property keys
+    pub id: u32,
+    pub first_name: u32,
+    pub last_name: u32,
+    pub gender: u32,
+    pub birthday: u32,
+    pub creation_date: u32,
+    pub location_ip: u32,
+    pub browser_used: u32,
+    pub name: u32,
+    pub title: u32,
+    pub content: u32,
+    pub length: u32,
+    pub language: u32,
+    pub class_year: u32,
+    pub work_from: u32,
+    pub join_date: u32,
+    pub root_post_id: u32,
+}
+
+impl SnbCodes {
+    /// Intern every schema string in the database dictionary.
+    pub fn resolve(db: &GraphDb) -> graphcore::Result<SnbCodes> {
+        Ok(SnbCodes {
+            person: db.intern("Person")?,
+            city: db.intern("City")?,
+            country: db.intern("Country")?,
+            tag: db.intern("Tag")?,
+            forum: db.intern("Forum")?,
+            post: db.intern("Post")?,
+            comment: db.intern("Comment")?,
+            university: db.intern("University")?,
+            company: db.intern("Company")?,
+            knows: db.intern("KNOWS")?,
+            is_located_in: db.intern("IS_LOCATED_IN")?,
+            is_part_of: db.intern("IS_PART_OF")?,
+            study_at: db.intern("STUDY_AT")?,
+            work_at: db.intern("WORK_AT")?,
+            has_interest: db.intern("HAS_INTEREST")?,
+            has_moderator: db.intern("HAS_MODERATOR")?,
+            has_member: db.intern("HAS_MEMBER")?,
+            container_of: db.intern("CONTAINER_OF")?,
+            has_creator: db.intern("HAS_CREATOR")?,
+            reply_of: db.intern("REPLY_OF")?,
+            has_tag: db.intern("HAS_TAG")?,
+            likes: db.intern("LIKES")?,
+            id: db.intern("id")?,
+            first_name: db.intern("firstName")?,
+            last_name: db.intern("lastName")?,
+            gender: db.intern("gender")?,
+            birthday: db.intern("birthday")?,
+            creation_date: db.intern("creationDate")?,
+            location_ip: db.intern("locationIP")?,
+            browser_used: db.intern("browserUsed")?,
+            name: db.intern("name")?,
+            title: db.intern("title")?,
+            content: db.intern("content")?,
+            length: db.intern("length")?,
+            language: db.intern("language")?,
+            class_year: db.intern("classYear")?,
+            work_from: db.intern("workFrom")?,
+            join_date: db.intern("joinDate")?,
+            root_post_id: db.intern("rootPostId")?,
+        })
+    }
+}

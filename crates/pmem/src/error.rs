@@ -1,0 +1,61 @@
+//! Error type shared by all pool operations.
+
+use std::fmt;
+
+/// Errors produced by the persistent-memory layer.
+#[derive(Debug)]
+pub enum PmemError {
+    /// Underlying file/mmap operation failed.
+    Io(std::io::Error),
+    /// The pool file does not carry the expected magic/version.
+    BadPool(String),
+    /// The pool is out of space.
+    OutOfSpace {
+        /// Bytes requested from the allocator.
+        requested: usize,
+    },
+    /// An offset was outside the pool or misaligned for the access.
+    BadOffset {
+        /// The offending offset.
+        off: u64,
+        /// Human-readable description of the violated constraint.
+        why: &'static str,
+    },
+    /// The undo log is too small for the transaction being built.
+    LogFull,
+    /// Operation requires a persistent pool but this pool is volatile.
+    VolatilePool,
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::Io(e) => write!(f, "pool I/O error: {e}"),
+            PmemError::BadPool(msg) => write!(f, "not a valid pool: {msg}"),
+            PmemError::OutOfSpace { requested } => {
+                write!(f, "pool out of space (requested {requested} bytes)")
+            }
+            PmemError::BadOffset { off, why } => write!(f, "bad pool offset {off:#x}: {why}"),
+            PmemError::LogFull => write!(f, "undo log capacity exceeded"),
+            PmemError::VolatilePool => write!(f, "operation requires a persistent pool"),
+        }
+    }
+}
+
+impl std::error::Error for PmemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PmemError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PmemError {
+    fn from(e: std::io::Error) -> Self {
+        PmemError::Io(e)
+    }
+}
+
+/// Convenient result alias for pool operations.
+pub type Result<T> = std::result::Result<T, PmemError>;

@@ -1,0 +1,207 @@
+//! Typed persistent offsets and persistent pointers.
+//!
+//! Design decision DD2/DD4 of the paper: connections between records are
+//! 8-byte array offsets, not 16-byte PMDK persistent pointers — offsets fit
+//! into one failure-atomic store and avoid costly dereferencing (DG6).
+//! [`POff`] is that 8-byte offset, typed for safety. [`PPtr`] is the 16-byte
+//! PMDK-style `{pool_id, offset}` pair; it exists so the DG6 ablation bench
+//! can measure what the paper argues against, and for cross-pool roots.
+
+use std::marker::PhantomData;
+
+use crate::Pod;
+
+/// Typed 8-byte offset into a pool. `0` is the null offset (the first bytes
+/// of every pool hold the header, so no object ever lives at offset 0).
+#[repr(transparent)]
+pub struct POff<T> {
+    raw: u64,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> POff<T> {
+    /// The null offset.
+    pub const NULL: POff<T> = POff {
+        raw: 0,
+        _marker: PhantomData,
+    };
+
+    /// Construct from a raw byte offset.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        POff {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The raw byte offset.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.raw
+    }
+
+    /// True if this is the null offset.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.raw == 0
+    }
+
+    /// Offset `count` records of size `size_of::<T>()` further.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // offset arithmetic, not ops::Add
+    pub fn add(self, count: u64) -> Self
+    where
+        T: Sized,
+    {
+        POff::new(self.raw + count * std::mem::size_of::<T>() as u64)
+    }
+
+    /// Reinterpret as an offset to a different type (same byte position).
+    #[inline]
+    pub const fn cast<U>(self) -> POff<U> {
+        POff {
+            raw: self.raw,
+            _marker: PhantomData,
+        }
+    }
+}
+
+// Manual impls: derive would bound on `T`.
+impl<T> Clone for POff<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for POff<T> {}
+impl<T> PartialEq for POff<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<T> Eq for POff<T> {}
+impl<T> std::hash::Hash for POff<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+impl<T> std::fmt::Debug for POff<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "POff({:#x})", self.raw)
+    }
+}
+impl<T> Default for POff<T> {
+    fn default() -> Self {
+        Self::NULL
+    }
+}
+unsafe impl<T: 'static> Pod for POff<T> {}
+
+/// 16-byte PMDK-style persistent pointer: pool identity plus offset.
+///
+/// Dereferencing requires a lookup of the pool base address, which is why
+/// the paper's design goal DG6 says to avoid them on hot paths. Stored only
+/// in cold locations (chunk links, roots) and exercised by the ablation
+/// bench `dg6_offsets_vs_pptr`.
+#[repr(C)]
+pub struct PPtr<T> {
+    /// Identifier of the owning pool (assigned at open, persisted at create).
+    pub pool_id: u64,
+    /// Byte offset within that pool.
+    pub off: u64,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> PPtr<T> {
+    /// The null persistent pointer.
+    pub const NULL: PPtr<T> = PPtr {
+        pool_id: 0,
+        off: 0,
+        _marker: PhantomData,
+    };
+
+    /// Construct a persistent pointer.
+    pub const fn new(pool_id: u64, off: u64) -> Self {
+        PPtr {
+            pool_id,
+            off,
+            _marker: PhantomData,
+        }
+    }
+
+    /// True if null.
+    pub const fn is_null(self) -> bool {
+        self.off == 0
+    }
+
+    /// Drop the pool identity, keeping the in-pool offset.
+    pub const fn to_off(self) -> POff<T> {
+        POff::new(self.off)
+    }
+}
+
+impl<T> Clone for PPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PPtr<T> {}
+impl<T> PartialEq for PPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.pool_id == other.pool_id && self.off == other.off
+    }
+}
+impl<T> Eq for PPtr<T> {}
+impl<T> std::hash::Hash for PPtr<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.pool_id.hash(state);
+        self.off.hash(state);
+    }
+}
+impl<T> std::fmt::Debug for PPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PPtr({:#x}:{:#x})", self.pool_id, self.off)
+    }
+}
+impl<T> Default for PPtr<T> {
+    fn default() -> Self {
+        Self::NULL
+    }
+}
+unsafe impl<T: 'static> Pod for PPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_roundtrip() {
+        let n: POff<u64> = POff::NULL;
+        assert!(n.is_null());
+        assert_eq!(n.raw(), 0);
+        let p: PPtr<u64> = PPtr::NULL;
+        assert!(p.is_null());
+        assert!(p.to_off().is_null());
+    }
+
+    #[test]
+    fn add_scales_by_type_size() {
+        let o: POff<u64> = POff::new(64);
+        assert_eq!(o.add(3).raw(), 64 + 24);
+        let b: POff<u8> = POff::new(64);
+        assert_eq!(b.add(3).raw(), 67);
+    }
+
+    #[test]
+    fn cast_preserves_position() {
+        let o: POff<u64> = POff::new(128);
+        let c: POff<u8> = o.cast();
+        assert_eq!(c.raw(), 128);
+    }
+
+    #[test]
+    fn pptr_is_16_bytes_and_poff_is_8() {
+        assert_eq!(std::mem::size_of::<PPtr<u64>>(), 16);
+        assert_eq!(std::mem::size_of::<POff<u64>>(), 8);
+    }
+}

@@ -1,0 +1,27 @@
+//! Facade crate re-exporting the whole workspace.
+//!
+//! This is the reproduction of *"JIT happens: Transactional Graph Processing
+//! in Persistent Memory meets Just-In-Time Compilation"* (EDBT 2021). See
+//! README.md for the architecture overview and DESIGN.md for the
+//! paper-to-module mapping.
+//!
+//! The individual layers are available both as standalone crates and as
+//! re-exported modules here:
+//!
+//! * [`pmem`] — persistent-memory emulation (pools, flushes, crash sim).
+//! * [`gstore`] — chunked tables, dictionary, B+-tree indexes.
+//! * [`gtxn`] — MVTO multi-version concurrency control.
+//! * [`graphcore`] — the transactional property-graph engine.
+//! * [`gquery`] — push-based graph-algebra interpreter (AOT mode).
+//! * [`gjit`] — Cranelift JIT query compiler + adaptive execution.
+//! * [`ldbc`] — LDBC-SNB-like generator and interactive workloads.
+//! * [`gdisk`] — disk-based baseline engine.
+
+pub use gdisk;
+pub use gjit;
+pub use gquery;
+pub use graphcore;
+pub use gstore;
+pub use gtxn;
+pub use ldbc;
+pub use pmem;
