@@ -1,0 +1,161 @@
+//! Network load driver for the query server: starts an in-process
+//! `gserver` on an ephemeral port, then hammers it over real TCP with a
+//! configurable client fleet mixing LDBC short reads and updates. Reports
+//! throughput, retryable-rejection rates and tail latencies — the
+//! saturation behaviour the admission-control design targets (degrade
+//! into fast `SERVER_BUSY` rejections, never unbounded queueing).
+//!
+//! ```sh
+//! SCALE=tiny CLIENTS=8 DURATION_MS=3000 WORKERS=4 \
+//!   cargo run --release -p bench --bin stress_server
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::*;
+use gjit::JitEngine;
+use gserver::{serve, Client, ClientError, Param, ServerConfig};
+use rand::Rng;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let clients = env_u64("CLIENTS", 8) as usize;
+    let duration = Duration::from_millis(env_u64("DURATION_MS", 3000));
+    let workers = env_u64("WORKERS", 4) as usize;
+    let write_pct = env_u64("WRITE_PCT", 30).min(100);
+
+    let params = scale_params(3);
+    println!(
+        "# Server stress: {clients} clients vs {workers} workers, {write_pct}% writes, {duration:?}"
+    );
+    let snb = Arc::new(setup_dram(&params));
+    println!("# data: {}", describe(&snb));
+    let engine = Arc::new(JitEngine::new());
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        max_sessions: clients + 8,
+        admission_wait: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    let handle = serve(snb.clone(), engine, config).expect("bind server");
+    let addr = handle.local_addr();
+    println!("# listening on {addr}");
+
+    let stop = AtomicBool::new(false);
+    let ok_reads = AtomicU64::new(0);
+    let ok_writes = AtomicU64::new(0);
+    let busy = AtomicU64::new(0);
+    let conflicts = AtomicU64::new(0);
+    let lat_us_total = AtomicU64::new(0);
+    let lat_us_max = AtomicU64::new(0);
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..clients {
+            let (snb, stop) = (&snb, &stop);
+            let (ok_reads, ok_writes, busy, conflicts) = (&ok_reads, &ok_writes, &busy, &conflicts);
+            let (lat_us_total, lat_us_max) = (&lat_us_total, &lat_us_max);
+            scope.spawn(move || {
+                let mut rng = seeded_rng(77 ^ tid as u64);
+                let mut client = Client::connect(addr).expect("connect");
+                client.prepare("read", "is1").expect("prepare");
+                let persons = &snb.data.person_ids;
+                let posts = &snb.data.post_ids;
+                while !stop.load(Ordering::Relaxed) {
+                    let person = persons[rng.random_range(0..persons.len())];
+                    let is_write = rng.random_range(0..100) < write_pct;
+                    let start = Instant::now();
+                    let outcome = if is_write {
+                        let post = posts[rng.random_range(0..posts.len())];
+                        client
+                            .query(
+                                "iu2",
+                                &[
+                                    Param::Int(person),
+                                    Param::Int(post),
+                                    Param::Date(1_600_000_000_000),
+                                ],
+                            )
+                            .map(|_| ())
+                    } else {
+                        client.execute("read", &[Param::Int(person)]).map(|_| ())
+                    };
+                    let us = start.elapsed().as_micros() as u64;
+                    match outcome {
+                        Ok(()) => {
+                            lat_us_total.fetch_add(us, Ordering::Relaxed);
+                            lat_us_max.fetch_max(us, Ordering::Relaxed);
+                            if is_write {
+                                ok_writes.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                ok_reads.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(ClientError::Server { code, .. })
+                            if code == gserver::ErrorCode::ServerBusy =>
+                        {
+                            busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Server { code, .. })
+                            if code == gserver::ErrorCode::TxnConflict =>
+                        {
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("client {tid}: {e}"),
+                    }
+                }
+                client.quit().expect("quit");
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = t0.elapsed();
+
+    let r = ok_reads.load(Ordering::Relaxed);
+    let w = ok_writes.load(Ordering::Relaxed);
+    let b = busy.load(Ordering::Relaxed);
+    let cf = conflicts.load(Ordering::Relaxed);
+    let total_ok = r + w;
+    println!(
+        "reads={r} writes={w} busy_rejections={b} conflicts={cf} in {elapsed:?}"
+    );
+    println!(
+        "throughput: {:.0} req/s ok ({:.1}% rejected under saturation)",
+        total_ok as f64 / elapsed.as_secs_f64(),
+        100.0 * b as f64 / (total_ok + b).max(1) as f64
+    );
+    println!(
+        "latency: mean {:.0}us, max {}us",
+        lat_us_total.load(Ordering::Relaxed) as f64 / total_ok.max(1) as f64,
+        lat_us_max.load(Ordering::Relaxed)
+    );
+
+    let s = handle.stats();
+    println!(
+        "server: admitted={} rejected={} errors={} sessions_opened={} maintenance_runs={}",
+        s.admitted.load(Ordering::Relaxed),
+        s.rejected.load(Ordering::Relaxed),
+        s.errors.load(Ordering::Relaxed),
+        s.sessions_opened.load(Ordering::Relaxed),
+        s.maintenance_runs.load(Ordering::Relaxed),
+    );
+    // `quit` is acknowledged before the conn thread deregisters, so give
+    // the session table a moment to drain before asserting.
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    while handle.active_sessions() > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.active_sessions(), 0, "sessions must drain");
+    handle.shutdown();
+    println!("clean shutdown OK");
+}

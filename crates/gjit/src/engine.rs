@@ -107,11 +107,81 @@ impl std::fmt::Debug for CompiledQuery {
 const PCACHE_ENTRY: u64 = 24;
 const PCACHE_CAP: u64 = 1024;
 
+/// Default bound on the in-process code cache, counted in compiled plan
+/// shapes. A long-lived server process must not grow JIT code memory
+/// without limit, so the cache evicts least-recently-used entries beyond
+/// this capacity (tunable via [`JitEngine::set_code_cache_capacity`]).
+pub const DEFAULT_CODE_CACHE_CAP: usize = 256;
+
 /// JIT compilation counters.
 #[derive(Debug, Default)]
 pub struct JitStats {
     pub compiles: AtomicU64,
     pub cache_hits: AtomicU64,
+    /// Compiled queries evicted from the bounded in-process code cache.
+    pub evictions: AtomicU64,
+}
+
+/// The bounded in-process code cache: fingerprint → compiled query, with a
+/// logical-clock LRU stamp per entry. Eviction scans for the minimum stamp;
+/// the cache is small (hundreds of shapes) so the O(n) scan is noise next
+/// to a compilation.
+struct CodeCache {
+    map: HashMap<u64, (Arc<CompiledQuery>, u64)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl CodeCache {
+    fn new(capacity: usize) -> CodeCache {
+        CodeCache {
+            map: HashMap::new(),
+            clock: 0,
+            capacity,
+        }
+    }
+
+    /// Fetch an entry, refreshing its LRU stamp.
+    fn touch(&mut self, fp: u64) -> Option<Arc<CompiledQuery>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&fp).map(|e| {
+            e.1 = clock;
+            e.0.clone()
+        })
+    }
+
+    /// Insert an entry and evict down to capacity. Returns the number of
+    /// evicted entries.
+    fn insert(&mut self, fp: u64, cq: Arc<CompiledQuery>) -> usize {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.insert(fp, (cq, clock));
+        self.evict_to_capacity()
+    }
+
+    /// Evict least-recently-used entries until within capacity. At least
+    /// one entry is always retained so a capacity of zero cannot thrash
+    /// the entry being inserted.
+    fn evict_to_capacity(&mut self) -> usize {
+        let keep = self.capacity.max(1);
+        let mut evicted = 0;
+        while self.map.len() > keep {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(fp, _)| *fp);
+            match victim {
+                Some(fp) => {
+                    self.map.remove(&fp);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
 }
 
 /// The JIT engine: owns the code cache.
@@ -138,7 +208,7 @@ pub struct JitStats {
 /// assert_eq!(jit.len(), 50);
 /// ```
 pub struct JitEngine {
-    cache: Mutex<HashMap<u64, Arc<CompiledQuery>>>,
+    cache: Mutex<CodeCache>,
     persist: Option<(Arc<Pool>, u64)>,
     stats: JitStats,
 }
@@ -147,7 +217,7 @@ impl JitEngine {
     /// An engine with an in-process cache only.
     pub fn new() -> JitEngine {
         JitEngine {
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
             persist: None,
             stats: JitStats::default(),
         }
@@ -159,7 +229,7 @@ impl JitEngine {
         let root = pool.alloc_zeroed((PCACHE_CAP * PCACHE_ENTRY) as usize)?;
         Ok((
             JitEngine {
-                cache: Mutex::new(HashMap::new()),
+                cache: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
                 persist: Some((pool, root)),
                 stats: JitStats::default(),
             },
@@ -171,7 +241,7 @@ impl JitEngine {
     /// is regenerated lazily on first use (see module docs).
     pub fn open_persistent_cache(pool: Arc<Pool>, root: u64) -> JitEngine {
         JitEngine {
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
             persist: Some((pool, root)),
             stats: JitStats::default(),
         }
@@ -180,6 +250,32 @@ impl JitEngine {
     /// Counters.
     pub fn stats(&self) -> &JitStats {
         &self.stats
+    }
+
+    /// Bound the in-process code cache at `capacity` compiled plan shapes,
+    /// evicting least-recently-used entries immediately if the cache is
+    /// already above the new bound. A capacity of zero keeps at most one
+    /// entry (the most recent compilation).
+    pub fn set_code_cache_capacity(&self, capacity: usize) {
+        let mut cache = self.cache.lock();
+        cache.capacity = capacity;
+        let evicted = cache.evict_to_capacity();
+        drop(cache);
+        if evicted > 0 {
+            self.stats
+                .evictions
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured code-cache bound.
+    pub fn code_cache_capacity(&self) -> usize {
+        self.cache.lock().capacity
+    }
+
+    /// Number of compiled plan shapes currently resident.
+    pub fn code_cache_len(&self) -> usize {
+        self.cache.lock().map.len()
     }
 
     /// Fingerprints recorded by previous sessions (persistent metadata),
@@ -224,7 +320,7 @@ impl JitEngine {
     /// persistent cache, any previous session).
     pub fn is_known(&self, plan: &Plan) -> bool {
         let fp = plan.fingerprint();
-        if self.cache.lock().contains_key(&fp) {
+        if self.cache.lock().map.contains_key(&fp) {
             return true;
         }
         self.known_fingerprints().iter().any(|(f, _, _)| *f == fp)
@@ -233,13 +329,18 @@ impl JitEngine {
     /// Compile (or fetch from cache) the plan's first pipeline segment.
     pub fn get_or_compile(&self, plan: &Plan) -> Result<Arc<CompiledQuery>, JitError> {
         let fp = plan.fingerprint();
-        if let Some(c) = self.cache.lock().get(&fp) {
+        if let Some(c) = self.cache.lock().touch(fp) {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.persist_record(fp, false);
-            return Ok(c.clone());
+            return Ok(c);
         }
         let compiled = Arc::new(self.compile_uncached(plan)?);
-        self.cache.lock().insert(fp, compiled.clone());
+        let evicted = self.cache.lock().insert(fp, compiled.clone());
+        if evicted > 0 {
+            self.stats
+                .evictions
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
         self.persist_record(fp, true);
         Ok(compiled)
     }
@@ -272,7 +373,7 @@ impl JitEngine {
 
     /// Drop all in-process compiled code (cold-cache measurements).
     pub fn clear_code_cache(&self) {
-        self.cache.lock().clear();
+        self.cache.lock().map.clear();
     }
 
     /// Eagerly compile every plan whose fingerprint appears in the

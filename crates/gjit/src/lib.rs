@@ -29,4 +29,4 @@ pub mod engine;
 pub mod runtime;
 
 pub use adaptive::{execute_adaptive, AdaptiveReport};
-pub use engine::{execute_jit, CompiledQuery, JitEngine, JitError};
+pub use engine::{execute_jit, CompiledQuery, JitEngine, JitError, DEFAULT_CODE_CACHE_CAP};

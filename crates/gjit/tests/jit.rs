@@ -746,3 +746,56 @@ fn precompile_known_warms_only_previously_seen_plans() {
         before
     );
 }
+
+#[test]
+fn code_cache_is_bounded_with_lru_eviction() {
+    use std::sync::atomic::Ordering;
+    let fx = fixture(30);
+    let engine = JitEngine::new();
+    engine.set_code_cache_capacity(2);
+    assert_eq!(engine.code_cache_capacity(), 2);
+
+    // Three distinct plan shapes (different filter keys).
+    let shape = |key: u32| {
+        Plan::new(
+            vec![
+                Op::NodeScan { label: Some(fx.person) },
+                Op::Filter(Pred::Prop {
+                    col: 0,
+                    key,
+                    op: CmpOp::Ge,
+                    value: PPar::Param(0),
+                }),
+            ],
+            1,
+        )
+    };
+    let (a, b, c) = (shape(fx.pid), shape(fx.age), shape(fx.since));
+
+    let mut tx = fx.db.begin();
+    execute_jit(&engine, &a, &mut tx, &[PVal::Int(0)]).unwrap();
+    execute_jit(&engine, &b, &mut tx, &[PVal::Int(0)]).unwrap();
+    assert_eq!(engine.code_cache_len(), 2);
+    assert_eq!(engine.stats().evictions.load(Ordering::Relaxed), 0);
+
+    // `a` is LRU; compiling `c` must evict it.
+    execute_jit(&engine, &c, &mut tx, &[PVal::Int(0)]).unwrap();
+    assert_eq!(engine.code_cache_len(), 2);
+    assert_eq!(engine.stats().evictions.load(Ordering::Relaxed), 1);
+
+    // `b` and `c` are still hot (cache hit, no compile)...
+    let compiles = engine.stats().compiles.load(Ordering::Relaxed);
+    execute_jit(&engine, &b, &mut tx, &[PVal::Int(0)]).unwrap();
+    execute_jit(&engine, &c, &mut tx, &[PVal::Int(0)]).unwrap();
+    assert_eq!(engine.stats().compiles.load(Ordering::Relaxed), compiles);
+
+    // ...while `a` was evicted and recompiles.
+    execute_jit(&engine, &a, &mut tx, &[PVal::Int(0)]).unwrap();
+    assert_eq!(engine.stats().compiles.load(Ordering::Relaxed), compiles + 1);
+    assert_eq!(engine.stats().evictions.load(Ordering::Relaxed), 2);
+
+    // Shrinking the capacity evicts immediately.
+    engine.set_code_cache_capacity(1);
+    assert_eq!(engine.code_cache_len(), 1);
+    assert_eq!(engine.stats().evictions.load(Ordering::Relaxed), 3);
+}

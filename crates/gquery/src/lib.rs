@@ -19,4 +19,4 @@ pub mod plan;
 
 pub use exec::{execute, execute_collect, execute_prebuffered, run_scan_morsel, QueryError};
 pub use parallel::execute_parallel;
-pub use plan::{CmpOp, Op, PPar, Plan, Pred, Proj, Slot, SlotTag};
+pub use plan::{CmpOp, Op, PPar, Plan, Pred, Proj, Row, Slot, SlotTag};

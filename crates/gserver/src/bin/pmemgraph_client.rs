@@ -1,0 +1,165 @@
+//! `pmemgraph-client` — scriptable command-line client.
+//!
+//! Usage: `pmemgraph-client <addr>` then one command per stdin line;
+//! responses print one per line on stdout. Lines starting with `{` are
+//! sent as raw protocol frames; otherwise a small command language:
+//!
+//! ```text
+//! ping | begin | commit | rollback | stats | quit | shutdown
+//! query <catalog-name-or-adhoc-text>
+//! run <name> <param>...          # execute with int/'str'/d:ms params
+//! prepare <name> <query-text>
+//! sleep <ms>
+//! # comment
+//! ```
+
+use std::io::BufRead;
+
+use gserver::{Client, Json, Param};
+
+fn parse_param(tok: &str) -> Param {
+    if let Some(s) = tok.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+        return Param::Str(s.to_string());
+    }
+    if let Some(ms) = tok.strip_prefix("d:").and_then(|s| s.parse().ok()) {
+        return Param::Date(ms);
+    }
+    match tok {
+        "true" => return Param::Bool(true),
+        "false" => return Param::Bool(false),
+        "null" => return Param::Null,
+        _ => {}
+    }
+    if let Ok(i) = tok.parse::<i64>() {
+        return Param::Int(i);
+    }
+    if let Ok(f) = tok.parse::<f64>() {
+        return Param::Float(f);
+    }
+    Param::Str(tok.to_string())
+}
+
+fn show(result: Result<Json, gserver::ClientError>) {
+    match result {
+        Ok(v) => {
+            let mut s = String::new();
+            v.write(&mut s);
+            println!("{s}");
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7687".into());
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("connected to {addr} (session {})", client.session_id());
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('{') {
+            match client.raw_request(line) {
+                Ok(resp) => println!("{resp}"),
+                Err(e) => {
+                    println!("error: {e}");
+                    break;
+                }
+            }
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let cmd = toks.next().unwrap_or("");
+        match cmd {
+            "ping" => match client.ping() {
+                Ok(()) => println!("pong"),
+                Err(e) => println!("error: {e}"),
+            },
+            "begin" => match client.begin() {
+                Ok(id) => println!("txn {id}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "commit" => match client.commit() {
+                Ok(()) => println!("committed"),
+                Err(e) => println!("error: {e}"),
+            },
+            "rollback" => match client.rollback() {
+                Ok(()) => println!("rolled back"),
+                Err(e) => println!("error: {e}"),
+            },
+            "stats" => {
+                show(client.stats());
+            }
+            "prepare" => {
+                let name = toks.next().unwrap_or("");
+                let query: Vec<&str> = toks.collect();
+                match client.prepare(name, &query.join(" ")) {
+                    Ok(n) => println!("prepared {name} ({n} params)"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "run" => {
+                let name = toks.next().unwrap_or("");
+                let params: Vec<Param> = toks.map(parse_param).collect();
+                match client.execute(name, &params) {
+                    Ok(r) => print_rows(&r),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "query" => {
+                let text: Vec<&str> = toks.collect();
+                match client.query(&text.join(" "), &[]) {
+                    Ok(r) => print_rows(&r),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "sleep" => {
+                let ms = toks.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                match client.sleep(ms) {
+                    Ok(()) => println!("slept {ms}ms"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "quit" => {
+                match client.quit() {
+                    Ok(()) => println!("bye"),
+                    Err(e) => println!("error: {e}"),
+                }
+                return;
+            }
+            "shutdown" => {
+                match client.shutdown_server() {
+                    Ok(()) => println!("server shutting down"),
+                    Err(e) => println!("error: {e}"),
+                }
+                return;
+            }
+            other => println!("unknown command {other:?}"),
+        }
+    }
+}
+
+fn print_rows(r: &gserver::QueryResult) {
+    for row in &r.rows {
+        let mut s = String::new();
+        Json::Arr(row.clone()).write(&mut s);
+        println!("{s}");
+    }
+    println!(
+        "({} row(s){})",
+        r.row_count,
+        if r.truncated { ", truncated" } else { "" }
+    );
+}

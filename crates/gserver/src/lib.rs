@@ -1,0 +1,42 @@
+//! gserver — the concurrent network query-serving subsystem.
+//!
+//! Turns the embedded engine (PMem pool → MVTO transactions → graph store
+//! → adaptive JIT execution) into a multi-client server, the deployment
+//! shape the paper's evaluation implies (many LDBC interactive clients
+//! against one persistent graph):
+//!
+//! * **Wire protocol** ([`proto`]) — newline-delimited JSON frames; one
+//!   synchronous request/response conversation per connection.
+//! * **Sessions** ([`session`]) — one per connection, with idle-timeout
+//!   kill; an open MVTO transaction belongs to its session and *provably
+//!   rolls back on disconnect* (the transaction handle lives on the
+//!   connection thread's stack).
+//! * **Query catalog** ([`catalog`]) — clients name server-side LDBC
+//!   plans (`"is1"`, `"iu8"`, `:scan` variants) or use a small ad-hoc
+//!   grammar; plans never travel over the wire, so every client shares
+//!   the same plan fingerprints and the same JIT code cache.
+//! * **Admission control** ([`server`]) — a bounded worker-slot semaphore;
+//!   saturation yields a fast, retryable `SERVER_BUSY`, never unbounded
+//!   queueing; per-request deadlines are enforced at pipeline-step
+//!   granularity.
+//! * **Maintenance** — a background tick sweeps idle sessions and drives
+//!   storage reclamation (`reclaim_deleted` + `vacuum_props`).
+//! * **Client** ([`client`]) — a small blocking [`Client`] used by the
+//!   CLI binary, the integration tests and the bench load driver.
+//!
+//! See DESIGN.md §7 for the protocol reference and README.md for a
+//! quickstart.
+
+pub mod catalog;
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use catalog::{Catalog, NamedQuery};
+pub use client::{Client, ClientError, Param, QueryResult};
+pub use json::Json;
+pub use proto::{ErrorCode, ProtoError, Request};
+pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use session::SessionTable;

@@ -1,0 +1,359 @@
+//! Wire protocol: newline-delimited JSON request/response frames.
+//!
+//! One request per line, one response per line, always in order — the
+//! protocol is strictly synchronous per connection (a session is a single
+//! conversation, like the PostgreSQL simple-query sub-protocol). See
+//! DESIGN.md §7 for the full reference and the mapping onto the paper's
+//! architecture.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"hello"}
+//! {"op":"begin"}
+//! {"op":"commit"}
+//! {"op":"rollback"}
+//! {"op":"prepare","name":"q1","query":"is1"}
+//! {"op":"execute","name":"q1","params":[17],"deadline_ms":250}
+//! {"op":"query","query":"count nodes Person"}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! {"op":"quit"}
+//! {"op":"shutdown"}            // only honoured when enabled in config
+//! {"op":"sleep","ms":50}       // debug op, only when enabled in config
+//! ```
+//!
+//! ## Responses
+//!
+//! Success: `{"ok":true, ...}` with op-specific fields (`rows`, `stats`,
+//! `session`). Failure: `{"ok":false,"error":{"code":"SERVER_BUSY",
+//! "message":"...","retryable":true}}`.
+
+use gstore::PVal;
+use graphcore::GraphDb;
+use gquery::Slot;
+
+use crate::json::{obj, Json};
+
+/// Machine-readable error codes carried in failure responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The worker pool is saturated; retry after a backoff.
+    ServerBusy,
+    /// The request's deadline elapsed before execution finished.
+    DeadlineExceeded,
+    /// Malformed frame or arguments.
+    BadRequest,
+    /// `prepare`/`execute` referenced an unknown statement or query id.
+    UnknownQuery,
+    /// MVTO conflict aborted the transaction; the client may retry it.
+    TxnConflict,
+    /// `commit`/`rollback` without an open transaction.
+    NoTransaction,
+    /// `begin` while a transaction is already open.
+    TxnAlreadyOpen,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// Anything else (execution error, internal invariant).
+    Internal,
+}
+
+impl ErrorCode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::ServerBusy => "SERVER_BUSY",
+            ErrorCode::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            ErrorCode::BadRequest => "BAD_REQUEST",
+            ErrorCode::UnknownQuery => "UNKNOWN_QUERY",
+            ErrorCode::TxnConflict => "TXN_CONFLICT",
+            ErrorCode::NoTransaction => "NO_TRANSACTION",
+            ErrorCode::TxnAlreadyOpen => "TXN_ALREADY_OPEN",
+            ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::Internal => "INTERNAL",
+        }
+    }
+
+    /// Whether the client may transparently retry the same request.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            ErrorCode::ServerBusy | ErrorCode::TxnConflict | ErrorCode::ShuttingDown
+        )
+    }
+
+    pub fn from_str(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "SERVER_BUSY" => ErrorCode::ServerBusy,
+            "DEADLINE_EXCEEDED" => ErrorCode::DeadlineExceeded,
+            "BAD_REQUEST" => ErrorCode::BadRequest,
+            "UNKNOWN_QUERY" => ErrorCode::UnknownQuery,
+            "TXN_CONFLICT" => ErrorCode::TxnConflict,
+            "NO_TRANSACTION" => ErrorCode::NoTransaction,
+            "TXN_ALREADY_OPEN" => ErrorCode::TxnAlreadyOpen,
+            "SHUTTING_DOWN" => ErrorCode::ShuttingDown,
+            "INTERNAL" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A protocol-level failure: code plus human-readable message.
+#[derive(Debug, Clone)]
+pub struct ProtoError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl ProtoError {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    pub fn bad_request(message: impl Into<String>) -> ProtoError {
+        ProtoError::new(ErrorCode::BadRequest, message)
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A parsed request frame.
+#[derive(Debug, Clone)]
+pub enum Request {
+    Hello,
+    Begin,
+    Commit,
+    Rollback,
+    Prepare {
+        name: String,
+        query: String,
+    },
+    Execute {
+        /// Prepared-statement name (`name`) or inline query text (`query`);
+        /// exactly one is set.
+        name: Option<String>,
+        query: Option<String>,
+        params: Vec<Json>,
+        deadline_ms: Option<u64>,
+    },
+    Stats,
+    Ping,
+    Quit,
+    Shutdown,
+    /// Debug op (test/benchmark only): hold a worker permit for `ms`.
+    Sleep {
+        ms: u64,
+    },
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        let v = Json::parse(line.trim())
+            .map_err(|e| ProtoError::bad_request(format!("invalid JSON frame: {e}")))?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError::bad_request("missing \"op\" field"))?;
+        let deadline_ms = v
+            .get("deadline_ms")
+            .and_then(Json::as_i64)
+            .map(|d| d.max(0) as u64);
+        Ok(match op {
+            "hello" => Request::Hello,
+            "begin" => Request::Begin,
+            "commit" => Request::Commit,
+            "rollback" => Request::Rollback,
+            "prepare" => Request::Prepare {
+                name: v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtoError::bad_request("prepare needs \"name\""))?
+                    .to_string(),
+                query: v
+                    .get("query")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtoError::bad_request("prepare needs \"query\""))?
+                    .to_string(),
+            },
+            "execute" | "query" => {
+                let name = v.get("name").and_then(Json::as_str).map(str::to_string);
+                let query = v.get("query").and_then(Json::as_str).map(str::to_string);
+                if name.is_none() && query.is_none() {
+                    return Err(ProtoError::bad_request(
+                        "execute needs \"name\" or \"query\"",
+                    ));
+                }
+                let params = match v.get("params") {
+                    None => Vec::new(),
+                    Some(Json::Arr(items)) => items.clone(),
+                    Some(_) => {
+                        return Err(ProtoError::bad_request("\"params\" must be an array"))
+                    }
+                };
+                Request::Execute {
+                    name,
+                    query,
+                    params,
+                    deadline_ms,
+                }
+            }
+            "stats" => Request::Stats,
+            "ping" => Request::Ping,
+            "quit" => Request::Quit,
+            "shutdown" => Request::Shutdown,
+            "sleep" => Request::Sleep {
+                ms: v.get("ms").and_then(Json::as_i64).unwrap_or(0).max(0) as u64,
+            },
+            other => {
+                return Err(ProtoError::bad_request(format!("unknown op {other:?}")))
+            }
+        })
+    }
+}
+
+/// Encode a success response with extra fields.
+pub fn ok_response(fields: Vec<(&str, Json)>) -> String {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(fields);
+    let mut s = String::new();
+    obj(all).write(&mut s);
+    s
+}
+
+/// Encode a failure response.
+pub fn err_response(err: &ProtoError) -> String {
+    let mut s = String::new();
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("code", Json::Str(err.code.as_str().into())),
+                ("message", Json::Str(err.message.clone())),
+                ("retryable", Json::Bool(err.code.retryable())),
+            ]),
+        ),
+    ])
+    .write(&mut s);
+    s
+}
+
+/// Convert a request parameter into a storage value, interning strings
+/// through the server's dictionary. `{"date": ms}` distinguishes LDBC
+/// dates from plain integers.
+pub fn json_to_pval(db: &GraphDb, v: &Json) -> Result<PVal, ProtoError> {
+    Ok(match v {
+        Json::Null => PVal::Null,
+        Json::Bool(b) => PVal::Bool(*b),
+        Json::Int(i) => PVal::Int(*i),
+        Json::Float(f) => PVal::Double(*f),
+        Json::Str(s) => PVal::Str(db.intern(s).map_err(|e| {
+            ProtoError::new(ErrorCode::Internal, format!("intern failed: {e}"))
+        })?),
+        Json::Obj(_) => match v.get("date").and_then(Json::as_i64) {
+            Some(ms) => PVal::Date(ms),
+            None => {
+                return Err(ProtoError::bad_request(
+                    "object parameters must be {\"date\": ms}",
+                ))
+            }
+        },
+        Json::Arr(_) => return Err(ProtoError::bad_request("array parameter unsupported")),
+    })
+}
+
+/// Convert a result slot into JSON, resolving dictionary codes to strings.
+pub fn slot_to_json(db: &GraphDb, slot: &Slot) -> Json {
+    if let Some(id) = slot.as_node() {
+        return obj(vec![("node", Json::Int(id as i64))]);
+    }
+    if let Some(id) = slot.as_rel() {
+        return obj(vec![("rel", Json::Int(id as i64))]);
+    }
+    match slot.as_pval() {
+        Some(PVal::Int(v)) => Json::Int(v),
+        Some(PVal::Double(v)) => Json::Float(v),
+        Some(PVal::Bool(v)) => Json::Bool(v),
+        Some(PVal::Date(v)) => obj(vec![("date", Json::Int(v))]),
+        Some(PVal::Str(code)) => Json::Str(db.dict().string_of(code).unwrap_or_default()),
+        Some(PVal::Null) | None => Json::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parsing() {
+        assert!(matches!(
+            Request::parse("{\"op\":\"begin\"}").unwrap(),
+            Request::Begin
+        ));
+        let r = Request::parse(
+            "{\"op\":\"execute\",\"name\":\"q\",\"params\":[1,\"x\"],\"deadline_ms\":50}",
+        )
+        .unwrap();
+        match r {
+            Request::Execute {
+                name,
+                params,
+                deadline_ms,
+                ..
+            } => {
+                assert_eq!(name.as_deref(), Some("q"));
+                assert_eq!(params.len(), 2);
+                assert_eq!(deadline_ms, Some(50));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(Request::parse("{\"op\":\"execute\"}").is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"op\":\"warp\"}").is_err());
+    }
+
+    #[test]
+    fn error_codes_roundtrip_and_retryability() {
+        for code in [
+            ErrorCode::ServerBusy,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownQuery,
+            ErrorCode::TxnConflict,
+            ErrorCode::NoTransaction,
+            ErrorCode::TxnAlreadyOpen,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_str(code.as_str()), Some(code));
+        }
+        assert!(ErrorCode::ServerBusy.retryable());
+        assert!(ErrorCode::TxnConflict.retryable());
+        assert!(!ErrorCode::BadRequest.retryable());
+        assert!(!ErrorCode::DeadlineExceeded.retryable());
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let ok = ok_response(vec![("rows", Json::Arr(vec![]))]);
+        assert!(!ok.contains('\n'));
+        let parsed = Json::parse(&ok).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+
+        let err = err_response(&ProtoError::new(ErrorCode::ServerBusy, "full"));
+        let parsed = Json::parse(&err).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        let e = parsed.get("error").unwrap();
+        assert_eq!(e.get("code").and_then(Json::as_str), Some("SERVER_BUSY"));
+        assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(true));
+    }
+}

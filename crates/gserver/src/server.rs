@@ -1,0 +1,873 @@
+//! The query server: accept loop, per-connection sessions, admission
+//! control, request dispatch, maintenance, graceful shutdown.
+//!
+//! Threading model: **thread per connection**. A session's open
+//! transaction is a `GraphTxn<'db>` borrowing the shared database, so it
+//! lives on the connection thread's stack for exactly as long as the
+//! connection — dropping the thread's state rolls back any uncommitted
+//! write transaction, which makes client crash, idle-timeout kill and
+//! server shutdown one code path (see DESIGN.md §7).
+//!
+//! Concurrency is bounded twice:
+//!
+//! * the **session table** caps concurrent connections (`max_sessions`);
+//! * the **worker pool** caps concurrent query executions (`workers`) —
+//!   a counting semaphore, not a queue. A request that cannot get an
+//!   execution slot within `admission_wait` is rejected with a retryable
+//!   `SERVER_BUSY`, so overload degrades into fast rejections instead of
+//!   unbounded queueing.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use gjit::JitEngine;
+use gquery::QueryError;
+use graphcore::{GraphDb, GraphError, GraphTxn};
+use gtxn::TxnError;
+use ldbc::{Mode, QuerySpec, SnbDb};
+use parking_lot::{Condvar, Mutex};
+
+use crate::catalog::{Catalog, NamedQuery};
+use crate::json::{obj, Json};
+use crate::proto::{
+    err_response, json_to_pval, ok_response, slot_to_json, ErrorCode, ProtoError, Request,
+};
+use crate::session::SessionTable;
+
+/// Longest accepted request line (1 MiB) — a runaway frame is a protocol
+/// error, not an allocation.
+const MAX_LINE: usize = 1 << 20;
+
+/// How often blocked reads wake up to check the stop flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Server tuning knobs. `Default` is sized for tests and small
+/// deployments; the binary overrides from the environment.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Concurrent query-execution slots (admission-control semaphore).
+    pub workers: usize,
+    /// Maximum concurrent sessions; further connects get `SERVER_BUSY`.
+    pub max_sessions: usize,
+    /// Sessions idle longer than this are force-closed (open transactions
+    /// roll back).
+    pub idle_timeout: Duration,
+    /// Cadence of the maintenance tick (idle sweep + storage reclamation).
+    pub maintenance_interval: Duration,
+    /// Deadline applied when a request doesn't carry `deadline_ms`.
+    pub default_deadline: Duration,
+    /// How long a request may wait for an execution slot before being
+    /// rejected with `SERVER_BUSY`.
+    pub admission_wait: Duration,
+    /// Morsel threads for adaptive execution of scan-headed plans.
+    pub exec_threads: usize,
+    /// Rows returned per response; larger results are truncated.
+    pub max_result_rows: usize,
+    /// How long shutdown waits for in-flight sessions before force-closing.
+    pub drain_timeout: Duration,
+    /// Honour the `shutdown` op (CI smoke / embedded use).
+    pub allow_remote_shutdown: bool,
+    /// Honour the `sleep` debug op (load tests).
+    pub enable_debug_ops: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_sessions: 64,
+            idle_timeout: Duration::from_secs(60),
+            maintenance_interval: Duration::from_millis(500),
+            default_deadline: Duration::from_secs(5),
+            admission_wait: Duration::from_millis(100),
+            exec_threads: 2,
+            max_result_rows: 1024,
+            drain_timeout: Duration::from_secs(5),
+            allow_remote_shutdown: false,
+            enable_debug_ops: false,
+        }
+    }
+}
+
+/// Server-level counters (monotonic; exposed through `STATS`).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub requests: AtomicU64,
+    pub admitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub errors: AtomicU64,
+    pub deadline_misses: AtomicU64,
+    pub sessions_opened: AtomicU64,
+    pub sessions_expired: AtomicU64,
+    pub disconnect_rollbacks: AtomicU64,
+    pub maintenance_runs: AtomicU64,
+    pub reclaimed_slots: AtomicU64,
+    pub vacuumed_props: AtomicU64,
+}
+
+// ---------------------------------------------------------------------
+// Worker pool: a counting semaphore with timed acquire.
+// ---------------------------------------------------------------------
+
+struct WorkerPool {
+    slots: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// RAII execution slot; releasing wakes one waiter.
+struct Permit {
+    pool: Arc<WorkerPool>,
+}
+
+impl WorkerPool {
+    fn new(n: usize) -> Arc<WorkerPool> {
+        Arc::new(WorkerPool {
+            slots: Mutex::new(n),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Acquire a slot, waiting at most `wait`; `None` means saturated.
+    fn try_acquire(self: &Arc<WorkerPool>, wait: Duration) -> Option<Permit> {
+        let deadline = Instant::now() + wait;
+        let mut slots = self.slots.lock();
+        loop {
+            if *slots > 0 {
+                *slots -= 1;
+                return Some(Permit { pool: self.clone() });
+            }
+            if self.cv.wait_until(&mut slots, deadline).timed_out() {
+                if *slots > 0 {
+                    *slots -= 1;
+                    return Some(Permit { pool: self.clone() });
+                }
+                return None;
+            }
+        }
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        *self.pool.slots.lock() += 1;
+        self.pool.cv.notify_one();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared server state
+// ---------------------------------------------------------------------
+
+struct Shared {
+    snb: Arc<SnbDb>,
+    engine: Arc<JitEngine>,
+    catalog: Catalog,
+    config: ServerConfig,
+    stats: ServerStats,
+    sessions: SessionTable,
+    pool: Arc<WorkerPool>,
+    stop: AtomicBool,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Handle to a running server. `wait()` blocks until the server stops
+/// (via [`ServerHandle::request_shutdown`] from a clone-free context — the
+/// stats/addr accessors — or a remote `shutdown` op), then joins every
+/// thread. Dropping the handle stops the server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    maint: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    pub fn active_sessions(&self) -> usize {
+        self.shared.sessions.active_count()
+    }
+
+    /// Ask the server to stop; returns immediately.
+    pub fn request_shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the server stops, then drain in-flight sessions and
+    /// join all threads.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    /// Stop and drain: `request_shutdown` + `wait`.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.wait();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Connection threads notice the stop flag within one READ_TICK and
+        // finish their in-flight request first; force-close whatever is
+        // still around after the drain window.
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        loop {
+            if self.shared.conns.lock().iter().all(JoinHandle::is_finished) {
+                break;
+            }
+            if Instant::now() >= deadline {
+                self.shared.sessions.shutdown_all();
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.conns.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(h) = self.maint.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.join_all();
+    }
+}
+
+/// Start the server. Returns once the listener is bound; all work happens
+/// on background threads.
+pub fn serve(
+    snb: Arc<SnbDb>,
+    engine: Arc<JitEngine>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let catalog = Catalog::new(&snb.codes);
+    let pool = WorkerPool::new(config.workers);
+    let shared = Arc::new(Shared {
+        snb,
+        engine,
+        catalog,
+        config,
+        stats: ServerStats::default(),
+        sessions: SessionTable::new(),
+        pool,
+        stop: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+    });
+
+    let accept = {
+        let shared = shared.clone();
+        thread::Builder::new()
+            .name("gserver-accept".into())
+            .spawn(move || accept_loop(listener, shared))?
+    };
+    let maint = {
+        let shared = shared.clone();
+        thread::Builder::new()
+            .name("gserver-maint".into())
+            .spawn(move || maintenance_loop(shared))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        maint: Some(maint),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Accept + maintenance threads
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let sh = shared.clone();
+                let spawned = thread::Builder::new()
+                    .name("gserver-conn".into())
+                    .spawn(move || handle_conn(stream, sh));
+                if let Ok(h) = spawned {
+                    let mut conns = shared.conns.lock();
+                    conns.retain(|h| !h.is_finished());
+                    conns.push(h);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Background maintenance (satellite of the paper's GC design, §5.2):
+/// sweep idle sessions, then reclaim storage — deferred node/rel slots
+/// past the MVTO horizon, and superseded property chains when the engine
+/// is fully quiesced (`vacuum_props` self-gates on active transactions
+/// and live version chains).
+fn maintenance_loop(shared: Arc<Shared>) {
+    let mut last = Instant::now();
+    while !shared.stop.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(20));
+        if last.elapsed() < shared.config.maintenance_interval {
+            continue;
+        }
+        last = Instant::now();
+        let expired = shared.sessions.sweep_idle(shared.config.idle_timeout);
+        shared
+            .stats
+            .sessions_expired
+            .fetch_add(expired as u64, Ordering::Relaxed);
+        let reclaimed = shared.snb.db.reclaim_deleted();
+        let vacuumed = shared.snb.db.vacuum_props();
+        shared
+            .stats
+            .reclaimed_slots
+            .fetch_add(reclaimed as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .vacuumed_props
+            .fetch_add(vacuumed as u64, Ordering::Relaxed);
+        shared.stats.maintenance_runs.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+/// Per-connection state: the open transaction (if any) and this session's
+/// prepared statements.
+struct ConnState<'db> {
+    txn: Option<GraphTxn<'db>>,
+    prepared: HashMap<String, Arc<NamedQuery>>,
+}
+
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(kill_handle) = stream.try_clone() else {
+        return;
+    };
+    let Some(sid) = shared
+        .sessions
+        .try_register(kill_handle, shared.config.max_sessions)
+    else {
+        let _ = writeln!(
+            &stream,
+            "{}",
+            err_response(&ProtoError::new(
+                ErrorCode::ServerBusy,
+                "session table full",
+            ))
+        );
+        return;
+    };
+    shared.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = writeln!(
+        &stream,
+        "{}",
+        ok_response(vec![
+            ("server", Json::Str("pmemgraph".into())),
+            ("session", Json::Int(sid as i64)),
+            ("queries", Json::Int(shared.catalog.len() as i64)),
+        ])
+    );
+
+    let db = &shared.snb.db;
+    let mut state = ConnState {
+        txn: None,
+        prepared: HashMap::new(),
+    };
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+
+    loop {
+        line.clear();
+        match read_request_line(&mut reader, &mut line, &shared.stop) {
+            ReadOutcome::Line => {}
+            ReadOutcome::Eof | ReadOutcome::Stopped => break,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        shared.sessions.touch(sid);
+        let (response, flow) = match Request::parse(&line) {
+            Ok(req) => dispatch(&shared, db, sid, &mut state, req),
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                (err_response(&e), Flow::Continue)
+            }
+        };
+        if writeln!(&stream, "{response}").is_err() {
+            break;
+        }
+        if matches!(flow, Flow::Close) {
+            break;
+        }
+    }
+
+    // Disconnect cleanup — the rollback-on-disconnect guarantee. Explicit
+    // abort (rather than relying on Drop) so the path is auditable and
+    // counted.
+    if let Some(txn) = state.txn.take() {
+        txn.abort();
+        shared
+            .stats
+            .disconnect_rollbacks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    shared.sessions.deregister(sid);
+}
+
+enum ReadOutcome {
+    Line,
+    Eof,
+    Stopped,
+}
+
+/// Read one `\n`-terminated request line, preserving partial data across
+/// read-timeout ticks so the stop flag is observed even on an idle
+/// connection.
+fn read_request_line(
+    reader: &mut BufReader<&TcpStream>,
+    line: &mut String,
+    stop: &AtomicBool,
+) -> ReadOutcome {
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => {
+                // EOF; a final unterminated line is still a request.
+                return if line.trim().is_empty() {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Line
+                };
+            }
+            Ok(_) if line.ends_with('\n') => return ReadOutcome::Line,
+            Ok(_) => {} // partial (no newline yet): keep reading
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return ReadOutcome::Stopped;
+                }
+                if line.len() > MAX_LINE {
+                    return ReadOutcome::Eof;
+                }
+            }
+            Err(_) => return ReadOutcome::Eof, // reset / forced close
+        }
+    }
+}
+
+fn dispatch<'db>(
+    shared: &Shared,
+    db: &'db GraphDb,
+    sid: u64,
+    state: &mut ConnState<'db>,
+    req: Request,
+) -> (String, Flow) {
+    let result: Result<(String, Flow), ProtoError> = match req {
+        Request::Hello => Ok((
+            ok_response(vec![
+                ("server", Json::Str("pmemgraph".into())),
+                ("session", Json::Int(sid as i64)),
+                ("queries", Json::Int(shared.catalog.len() as i64)),
+            ]),
+            Flow::Continue,
+        )),
+        Request::Ping => Ok((ok_response(vec![]), Flow::Continue)),
+        Request::Quit => Ok((ok_response(vec![]), Flow::Close)),
+        Request::Begin => do_begin(shared, db, sid, state),
+        Request::Commit => do_commit(shared, sid, state),
+        Request::Rollback => do_rollback(shared, sid, state),
+        Request::Prepare { name, query } => {
+            shared.catalog.resolve(db, &query).map(|q| {
+                let n_params = q.n_params;
+                state.prepared.insert(name, q);
+                (
+                    ok_response(vec![("params", Json::Int(n_params as i64))]),
+                    Flow::Continue,
+                )
+            })
+        }
+        Request::Execute {
+            name,
+            query,
+            params,
+            deadline_ms,
+        } => do_execute(shared, db, state, name, query, &params, deadline_ms)
+            .map(|resp| (resp, Flow::Continue)),
+        Request::Stats => Ok((stats_response(shared, db), Flow::Continue)),
+        Request::Shutdown => {
+            if shared.config.allow_remote_shutdown {
+                shared.stop.store(true, Ordering::SeqCst);
+                Ok((ok_response(vec![]), Flow::Close))
+            } else {
+                Err(ProtoError::bad_request("remote shutdown is disabled"))
+            }
+        }
+        Request::Sleep { ms } => do_sleep(shared, ms),
+    };
+    match result {
+        Ok(out) => out,
+        Err(e) => {
+            if e.code == ErrorCode::DeadlineExceeded {
+                shared.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            (err_response(&e), Flow::Continue)
+        }
+    }
+}
+
+fn do_begin<'db>(
+    shared: &Shared,
+    db: &'db GraphDb,
+    sid: u64,
+    state: &mut ConnState<'db>,
+) -> Result<(String, Flow), ProtoError> {
+    if state.txn.is_some() {
+        return Err(ProtoError::new(
+            ErrorCode::TxnAlreadyOpen,
+            "a transaction is already open on this session",
+        ));
+    }
+    if shared.stop.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        ));
+    }
+    let txn = db.begin();
+    let id = txn.id();
+    state.txn = Some(txn);
+    shared.sessions.set_in_txn(sid, true);
+    Ok((
+        ok_response(vec![("txn", Json::Int(id as i64))]),
+        Flow::Continue,
+    ))
+}
+
+fn do_commit(
+    shared: &Shared,
+    sid: u64,
+    state: &mut ConnState<'_>,
+) -> Result<(String, Flow), ProtoError> {
+    let txn = state.txn.take().ok_or_else(|| {
+        ProtoError::new(ErrorCode::NoTransaction, "no open transaction")
+    })?;
+    shared.sessions.set_in_txn(sid, false);
+    txn.commit().map_err(graph_err)?;
+    Ok((ok_response(vec![]), Flow::Continue))
+}
+
+fn do_rollback(
+    shared: &Shared,
+    sid: u64,
+    state: &mut ConnState<'_>,
+) -> Result<(String, Flow), ProtoError> {
+    let txn = state.txn.take().ok_or_else(|| {
+        ProtoError::new(ErrorCode::NoTransaction, "no open transaction")
+    })?;
+    shared.sessions.set_in_txn(sid, false);
+    txn.abort();
+    Ok((ok_response(vec![]), Flow::Continue))
+}
+
+fn do_execute(
+    shared: &Shared,
+    db: &GraphDb,
+    state: &mut ConnState<'_>,
+    name: Option<String>,
+    query: Option<String>,
+    params_json: &[Json],
+    deadline_ms: Option<u64>,
+) -> Result<String, ProtoError> {
+    let start = Instant::now();
+    let q: Arc<NamedQuery> = match (&name, &query) {
+        (Some(n), _) => state.prepared.get(n).cloned().ok_or_else(|| {
+            ProtoError::new(
+                ErrorCode::UnknownQuery,
+                format!("no prepared statement named {n:?}"),
+            )
+        })?,
+        (None, Some(text)) => shared.catalog.resolve(db, text)?,
+        (None, None) => unreachable!("parser guarantees name or query"),
+    };
+    let mut params = Vec::with_capacity(params_json.len());
+    for p in params_json {
+        params.push(json_to_pval(db, p)?);
+    }
+    if params.len() < q.n_params {
+        return Err(ProtoError::bad_request(format!(
+            "query {:?} needs {} parameter(s), got {}",
+            q.spec.name,
+            q.n_params,
+            params.len()
+        )));
+    }
+    // Clamp client-supplied deadlines to an hour so a bogus u64 cannot
+    // overflow Instant arithmetic.
+    let deadline = start
+        + deadline_ms
+            .map(|ms| Duration::from_millis(ms.min(3_600_000)))
+            .unwrap_or(shared.config.default_deadline);
+
+    if shared.stop.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        ));
+    }
+
+    // Admission control: a bounded wait for an execution slot, clipped to
+    // the request deadline. Saturation is an immediate, retryable error.
+    let wait = shared
+        .config
+        .admission_wait
+        .min(deadline.saturating_duration_since(Instant::now()));
+    let Some(_permit) = shared.pool.try_acquire(wait) else {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return Err(ProtoError::new(
+            ErrorCode::ServerBusy,
+            "worker pool saturated",
+        ));
+    };
+    shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+
+    let mode = Mode::Adaptive(&shared.engine, shared.config.exec_threads.max(1));
+    let rows = match state.txn.as_mut() {
+        Some(txn) => run_steps(&q.spec, txn, &params, &mode, deadline)?,
+        None => {
+            // Autocommit: reads commit trivially, updates commit here; an
+            // error (including a missed deadline) drops the transaction,
+            // aborting any partial writes.
+            let mut txn = db.begin();
+            let rows = run_steps(&q.spec, &mut txn, &params, &mode, deadline)?;
+            if q.is_update {
+                txn.commit().map_err(graph_err)?;
+            }
+            rows
+        }
+    };
+
+    let total = rows.len();
+    let cap = shared.config.max_result_rows;
+    let jrows: Vec<Json> = rows
+        .iter()
+        .take(cap)
+        .map(|row| Json::Arr(row.iter().map(|s| slot_to_json(db, s)).collect()))
+        .collect();
+    Ok(ok_response(vec![
+        ("rows", Json::Arr(jrows)),
+        ("row_count", Json::Int(total as i64)),
+        ("truncated", Json::Bool(total > cap)),
+        ("elapsed_us", Json::Int(start.elapsed().as_micros() as i64)),
+    ]))
+}
+
+/// The [`ldbc::run_spec_txn`] loop with a deadline check between pipeline
+/// steps (a plan itself is not interruptible; multi-step specs are the
+/// natural preemption points) and a final check so a result that arrives
+/// late is reported as missed, not returned.
+fn run_steps(
+    spec: &QuerySpec,
+    txn: &mut GraphTxn<'_>,
+    params: &[gstore::PVal],
+    mode: &Mode<'_>,
+    deadline: Instant,
+) -> Result<Vec<gquery::Row>, ProtoError> {
+    let mut rows: Vec<gquery::Row> = Vec::new();
+    let mut cur_params = params.to_vec();
+    for step in &spec.steps {
+        if Instant::now() >= deadline {
+            return Err(deadline_err());
+        }
+        if let Some(col) = step.feed_col {
+            let Some(first) = rows.first() else {
+                return Ok(Vec::new());
+            };
+            cur_params.push(ldbc::slot_to_pval(&first[col]));
+        }
+        rows = ldbc::run_plan(&step.plan, txn, &cur_params, mode).map_err(query_err)?;
+    }
+    if Instant::now() >= deadline {
+        return Err(deadline_err());
+    }
+    Ok(rows)
+}
+
+fn deadline_err() -> ProtoError {
+    ProtoError::new(
+        ErrorCode::DeadlineExceeded,
+        "request deadline elapsed during execution",
+    )
+}
+
+fn query_err(e: QueryError) -> ProtoError {
+    match &e {
+        QueryError::Graph(GraphError::Txn(TxnError::Locked | TxnError::WriteConflict)) => {
+            ProtoError::new(ErrorCode::TxnConflict, e.to_string())
+        }
+        _ => ProtoError::new(ErrorCode::Internal, e.to_string()),
+    }
+}
+
+fn graph_err(e: GraphError) -> ProtoError {
+    match &e {
+        GraphError::Txn(TxnError::Locked | TxnError::WriteConflict) => {
+            ProtoError::new(ErrorCode::TxnConflict, e.to_string())
+        }
+        _ => ProtoError::new(ErrorCode::Internal, e.to_string()),
+    }
+}
+
+fn do_sleep(shared: &Shared, ms: u64) -> Result<(String, Flow), ProtoError> {
+    if !shared.config.enable_debug_ops {
+        return Err(ProtoError::bad_request("debug ops are disabled"));
+    }
+    let Some(_permit) = shared.pool.try_acquire(shared.config.admission_wait) else {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return Err(ProtoError::new(
+            ErrorCode::ServerBusy,
+            "worker pool saturated",
+        ));
+    };
+    shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+    let until = Instant::now() + Duration::from_millis(ms.min(60_000));
+    loop {
+        let left = until.saturating_duration_since(Instant::now());
+        if left.is_zero() || shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        thread::sleep(left.min(Duration::from_millis(5)));
+    }
+    Ok((
+        ok_response(vec![("slept_ms", Json::Int(ms as i64))]),
+        Flow::Continue,
+    ))
+}
+
+/// Assemble the `STATS` response: one JSON object per subsystem, all
+/// counters monotonic except the gauges under `sessions`/`jit`.
+fn stats_response(shared: &Shared, db: &GraphDb) -> String {
+    let s = &shared.stats;
+    let ld = |a: &AtomicU64| Json::Int(a.load(Ordering::Relaxed) as i64);
+    let txn = db.mgr().stats();
+    let jit = shared.engine.stats();
+    let pm = db.pool().stats();
+    ok_response(vec![
+        (
+            "sessions",
+            obj(vec![
+                ("active", Json::Int(shared.sessions.active_count() as i64)),
+                ("in_txn", Json::Int(shared.sessions.in_txn_count() as i64)),
+                ("opened", ld(&s.sessions_opened)),
+                ("expired", ld(&s.sessions_expired)),
+                ("disconnect_rollbacks", ld(&s.disconnect_rollbacks)),
+            ]),
+        ),
+        (
+            "admission",
+            obj(vec![
+                ("workers", Json::Int(shared.config.workers as i64)),
+                ("admitted", ld(&s.admitted)),
+                ("rejected", ld(&s.rejected)),
+            ]),
+        ),
+        (
+            "requests",
+            obj(vec![
+                ("total", ld(&s.requests)),
+                ("errors", ld(&s.errors)),
+                ("deadline_misses", ld(&s.deadline_misses)),
+            ]),
+        ),
+        (
+            "txn",
+            obj(vec![
+                ("begun", ld(&txn.begun)),
+                ("commits", ld(&txn.commits)),
+                ("aborts", ld(&txn.aborts)),
+                ("conflicts", ld(&txn.conflicts)),
+                ("gc_pruned", ld(&txn.gc_pruned)),
+            ]),
+        ),
+        (
+            "jit",
+            obj(vec![
+                ("compiles", ld(&jit.compiles)),
+                ("cache_hits", ld(&jit.cache_hits)),
+                ("evictions", ld(&jit.evictions)),
+                (
+                    "cache_len",
+                    Json::Int(shared.engine.code_cache_len() as i64),
+                ),
+                (
+                    "cache_capacity",
+                    Json::Int(shared.engine.code_cache_capacity() as i64),
+                ),
+            ]),
+        ),
+        (
+            "maintenance",
+            obj(vec![
+                ("runs", ld(&s.maintenance_runs)),
+                ("reclaimed_slots", ld(&s.reclaimed_slots)),
+                ("vacuumed_props", ld(&s.vacuumed_props)),
+            ]),
+        ),
+        (
+            "pmem",
+            obj(vec![
+                ("lines_flushed", ld(&pm.lines_flushed)),
+                ("fences", ld(&pm.fences)),
+                ("write_bytes", ld(&pm.write_bytes)),
+                ("read_bytes", ld(&pm.read_bytes)),
+            ]),
+        ),
+        (
+            "graph",
+            obj(vec![
+                ("nodes", Json::Int(db.node_count() as i64)),
+                ("rels", Json::Int(db.rel_count() as i64)),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,114 @@
+//! The session table: one entry per live connection.
+//!
+//! Each entry holds a clone of the connection's `TcpStream` so that the
+//! maintenance sweep and shutdown can *force* a blocked connection thread
+//! out of its read by closing the socket under it (`shutdown(Both)`); the
+//! thread then unwinds through its normal cleanup path, which rolls back
+//! any open transaction — idle-timeout kill and client crash are the same
+//! code path.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+struct SessionEntry {
+    stream: TcpStream,
+    last_activity: Instant,
+    in_txn: bool,
+}
+
+/// Registry of live sessions, keyed by server-assigned session id.
+pub struct SessionTable {
+    inner: Mutex<HashMap<u64, SessionEntry>>,
+    next_id: AtomicU64,
+}
+
+impl SessionTable {
+    pub fn new() -> SessionTable {
+        SessionTable {
+            inner: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Register a connection if the table is below `max`; returns the new
+    /// session id, or `None` when the server is at capacity.
+    pub fn try_register(&self, stream: TcpStream, max: usize) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        if inner.len() >= max {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        inner.insert(
+            id,
+            SessionEntry {
+                stream,
+                last_activity: Instant::now(),
+                in_txn: false,
+            },
+        );
+        Some(id)
+    }
+
+    /// Record activity (called once per request).
+    pub fn touch(&self, id: u64) {
+        if let Some(e) = self.inner.lock().get_mut(&id) {
+            e.last_activity = Instant::now();
+        }
+    }
+
+    /// Track whether the session has an open transaction (STATS reporting).
+    pub fn set_in_txn(&self, id: u64, in_txn: bool) {
+        if let Some(e) = self.inner.lock().get_mut(&id) {
+            e.in_txn = in_txn;
+        }
+    }
+
+    /// Remove a session (connection thread cleanup).
+    pub fn deregister(&self, id: u64) {
+        self.inner.lock().remove(&id);
+    }
+
+    pub fn active_count(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn in_txn_count(&self) -> usize {
+        self.inner.lock().values().filter(|e| e.in_txn).count()
+    }
+
+    /// Force-close every session idle longer than `timeout`; returns how
+    /// many sockets were shut down. The entries stay in the table until
+    /// their connection threads notice the dead socket and deregister —
+    /// that path is also what rolls back any open transaction.
+    pub fn sweep_idle(&self, timeout: Duration) -> usize {
+        let now = Instant::now();
+        let inner = self.inner.lock();
+        let mut killed = 0;
+        for e in inner.values() {
+            if now.duration_since(e.last_activity) >= timeout {
+                let _ = e.stream.shutdown(Shutdown::Both);
+                killed += 1;
+            }
+        }
+        killed
+    }
+
+    /// Force-close every session (final phase of server shutdown).
+    pub fn shutdown_all(&self) -> usize {
+        let inner = self.inner.lock();
+        for e in inner.values() {
+            let _ = e.stream.shutdown(Shutdown::Both);
+        }
+        inner.len()
+    }
+}
+
+impl Default for SessionTable {
+    fn default() -> Self {
+        SessionTable::new()
+    }
+}

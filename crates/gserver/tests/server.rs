@@ -1,0 +1,426 @@
+//! End-to-end server tests over real TCP sockets: concurrent sessions,
+//! rollback-on-disconnect, admission control, idle reaping, deadlines,
+//! graceful shutdown.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gjit::JitEngine;
+use graphcore::DbOptions;
+use gserver::{serve, Client, ClientError, ErrorCode, Json, Param, ServerConfig, ServerHandle};
+use ldbc::{SnbDb, SnbParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn start(config: ServerConfig) -> (Arc<SnbDb>, ServerHandle) {
+    let snb = Arc::new(
+        ldbc::generate(&SnbParams::tiny(11), DbOptions::dram(128 << 20)).expect("generate"),
+    );
+    let engine = Arc::new(JitEngine::new());
+    let handle = serve(snb.clone(), engine, config).expect("bind");
+    (snb, handle)
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    }
+}
+
+/// Run `f`, retrying on retryable server errors (SERVER_BUSY under load,
+/// TXN_CONFLICT between concurrent writers).
+fn with_retry<T>(
+    mut f: impl FnMut() -> Result<T, ClientError>,
+    what: &str,
+) -> Result<T, ClientError> {
+    let mut backoff = Duration::from_millis(5);
+    for _ in 0..50 {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(80));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    panic!("{what}: retries exhausted");
+}
+
+fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cond()
+}
+
+// ---------------------------------------------------------------------
+
+#[test]
+fn concurrent_sessions_mixed_reads_and_updates() {
+    let (snb, handle) = start(test_config());
+    let addr = handle.local_addr();
+    let persons = snb.data.person_ids.clone();
+    let posts = snb.data.post_ids.clone();
+    let baseline_commits = snb
+        .db
+        .mgr()
+        .stats()
+        .commits
+        .load(std::sync::atomic::Ordering::Relaxed);
+
+    const THREADS: usize = 5;
+    const ITERS: usize = 12;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let persons = persons.clone();
+            let posts = posts.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + t as u64);
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .prepare("profile", "is1")
+                    .expect("prepare is1");
+                let mut reads = 0usize;
+                let mut writes = 0usize;
+                for i in 0..ITERS {
+                    let person = persons[rng.random_range(0..persons.len())];
+                    let post = posts[rng.random_range(0..posts.len())];
+                    match i % 3 {
+                        // Autocommit read through the prepared statement.
+                        0 => {
+                            let r = with_retry(
+                                || client.execute("profile", &[Param::Int(person)]),
+                                "is1",
+                            )
+                            .expect("is1");
+                            assert_eq!(r.row_count, 1, "person {person} should have a profile");
+                            reads += 1;
+                        }
+                        // Autocommit update (IU2: person likes a post).
+                        1 => {
+                            with_retry(
+                                || {
+                                    client.query(
+                                        "iu2",
+                                        &[
+                                            Param::Int(person),
+                                            Param::Int(post),
+                                            Param::Date(1_600_000_000_000 + i as i64),
+                                        ],
+                                    )
+                                },
+                                "iu2",
+                            )
+                            .expect("iu2");
+                            writes += 1;
+                        }
+                        // Explicit transaction: read + update + commit,
+                        // restarted wholesale on conflict.
+                        _ => {
+                            with_retry(
+                                || {
+                                    client.begin()?;
+                                    let step = (|| {
+                                        client.execute("profile", &[Param::Int(person)])?;
+                                        client.query(
+                                            "iu2",
+                                            &[
+                                                Param::Int(person),
+                                                Param::Int(post),
+                                                Param::Date(1_700_000_000_000 + i as i64),
+                                            ],
+                                        )?;
+                                        client.commit()
+                                    })();
+                                    if step.is_err() {
+                                        let _ = client.rollback();
+                                    }
+                                    step
+                                },
+                                "txn",
+                            )
+                            .expect("explicit txn");
+                            writes += 1;
+                        }
+                    }
+                }
+                client.quit().expect("quit");
+                (reads, writes)
+            })
+        })
+        .collect();
+
+    let mut total_reads = 0;
+    let mut total_writes = 0;
+    for w in workers {
+        let (r, u) = w.join().expect("worker thread");
+        total_reads += r;
+        total_writes += u;
+    }
+    assert_eq!(total_reads, THREADS * ITERS.div_ceil(3));
+    assert!(total_writes >= THREADS * ITERS / 2);
+
+    // All sessions drained after quit; every update really committed.
+    assert!(
+        poll_until(Duration::from_secs(2), || handle.active_sessions() == 0),
+        "sessions leaked: {}",
+        handle.active_sessions()
+    );
+    let commits = snb
+        .db
+        .mgr()
+        .stats()
+        .commits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        commits - baseline_commits >= total_writes as u64,
+        "expected >= {total_writes} commits, got {}",
+        commits - baseline_commits
+    );
+    let stats = handle.stats();
+    assert!(stats.admitted.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_mid_transaction_rolls_back() {
+    let (snb, handle) = start(test_config());
+    let addr = handle.local_addr();
+    let nodes_before = snb.db.node_count();
+
+    // Build IU1 params by hand: a fresh person inserted under an explicit,
+    // never-committed transaction.
+    let city = snb.data.city_ids[0];
+    let fresh_pid = snb.data.fresh_person_id();
+    let iu1_params = vec![
+        Param::Int(city),
+        Param::Int(fresh_pid),
+        Param::Str("Ghost".into()),
+        Param::Str("Writer".into()),
+        Param::Str("female".into()),
+        Param::Date(631_152_000_000),
+        Param::Date(1_600_000_000_000),
+        Param::Str("10.0.0.1".into()),
+        Param::Str("Firefox".into()),
+    ];
+
+    let mut victim = Client::connect(addr).expect("connect victim");
+    victim.begin().expect("begin");
+    victim.query("iu1", &iu1_params).expect("iu1 in txn");
+    // The uncommitted insert is visible to its own transaction through the
+    // scan-shaped access path (index entries only land at commit).
+    let seen = victim
+        .query("is1:scan", &[Param::Int(fresh_pid)])
+        .expect("is1:scan own write");
+    assert_eq!(seen.row_count, 1, "own uncommitted insert must be visible");
+
+    // Kill the client mid-transaction: raw socket drop, no rollback sent.
+    drop(victim);
+
+    // The server must notice, roll back, and free the session.
+    assert!(
+        poll_until(Duration::from_secs(3), || {
+            handle
+                .stats()
+                .disconnect_rollbacks
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        }),
+        "disconnect rollback not recorded"
+    );
+    assert!(
+        poll_until(Duration::from_secs(3), || handle.active_sessions() == 0),
+        "victim session leaked"
+    );
+
+    // A fresh session must not see the phantom person, and the node table
+    // must be back to its pre-transaction size.
+    let mut checker = Client::connect(addr).expect("connect checker");
+    let seen = checker
+        .query("is1:scan", &[Param::Int(fresh_pid)])
+        .expect("is1:scan after rollback");
+    assert_eq!(seen.row_count, 0, "rolled-back insert must be invisible");
+    assert_eq!(snb.db.node_count(), nodes_before, "node count must revert");
+    checker.quit().expect("quit");
+
+    assert!(poll_until(Duration::from_secs(2), || {
+        handle.active_sessions() == 0
+    }));
+    handle.shutdown();
+}
+
+#[test]
+fn saturation_yields_retryable_server_busy() {
+    let config = ServerConfig {
+        workers: 1,
+        admission_wait: Duration::from_millis(30),
+        enable_debug_ops: true,
+        ..test_config()
+    };
+    let (snb, handle) = start(config);
+    let addr = handle.local_addr();
+    let person = snb.data.person_ids[0];
+
+    // Occupy the single execution slot for a while.
+    let blocker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect blocker");
+        c.sleep(800).expect("sleep");
+        c.quit().expect("quit");
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // While the slot is held, execution requests must be rejected quickly
+    // with a retryable SERVER_BUSY — not queued, not hung. (Preparing a
+    // statement needs no execution slot, so it works even when saturated.)
+    let mut c = Client::connect(addr).expect("connect probe");
+    c.prepare("is1", "is1").expect("prepare");
+    let t0 = Instant::now();
+    let err = c
+        .execute_with_deadline("is1", &[Param::Int(person)], Duration::from_secs(5))
+        .expect_err("must be rejected while saturated");
+    assert!(t0.elapsed() < Duration::from_secs(1), "rejection must be fast");
+    assert_eq!(err.code(), Some(ErrorCode::ServerBusy), "got {err}");
+    assert!(err.is_retryable());
+    assert!(
+        handle
+            .stats()
+            .rejected
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+
+    // Once the blocker releases the slot, the same request succeeds.
+    blocker.join().expect("blocker");
+    let r = with_retry(|| c.query("is1", &[Param::Int(person)]), "is1 after drain")
+        .expect("is1 after drain");
+    assert_eq!(r.row_count, 1);
+    c.quit().expect("quit");
+    handle.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_reaped() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(250),
+        maintenance_interval: Duration::from_millis(50),
+        ..test_config()
+    };
+    let (_snb, handle) = start(config);
+    let addr = handle.local_addr();
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.ping().expect("ping");
+    assert_eq!(handle.active_sessions(), 1);
+
+    // Go idle past the timeout: the maintenance sweep closes the socket
+    // and the session is deregistered.
+    assert!(
+        poll_until(Duration::from_secs(3), || handle.active_sessions() == 0),
+        "idle session was not reaped"
+    );
+    assert!(
+        handle
+            .stats()
+            .sessions_expired
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    assert!(c.ping().is_err(), "reaped session must be unusable");
+    handle.shutdown();
+}
+
+#[test]
+fn deadlines_are_enforced() {
+    let (snb, handle) = start(test_config());
+    let addr = handle.local_addr();
+    let person = snb.data.person_ids[0];
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.prepare("is1", "is1").expect("prepare");
+    let err = c
+        .execute_with_deadline("is1", &[Param::Int(person)], Duration::ZERO)
+        .expect_err("zero deadline must miss");
+    assert_eq!(err.code(), Some(ErrorCode::DeadlineExceeded));
+    assert!(!err.is_retryable());
+    assert!(
+        handle
+            .stats()
+            .deadline_misses
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    // The session is still healthy afterwards.
+    let r = c.query("is1", &[Param::Int(person)]).expect("is1");
+    assert_eq!(r.row_count, 1);
+    c.quit().expect("quit");
+    handle.shutdown();
+}
+
+#[test]
+fn stats_and_maintenance_counters() {
+    let config = ServerConfig {
+        maintenance_interval: Duration::from_millis(50),
+        ..test_config()
+    };
+    let (snb, handle) = start(config);
+    let addr = handle.local_addr();
+    let person = snb.data.person_ids[0];
+
+    let mut c = Client::connect(addr).expect("connect");
+    // Run the same query a few times so the JIT cache sees repeats.
+    for _ in 0..3 {
+        c.query("is1:scan", &[Param::Int(person)]).expect("is1:scan");
+    }
+    let stats = c.stats().expect("stats");
+    let jit = stats.get("jit").expect("jit section");
+    assert!(jit.get("cache_capacity").and_then(Json::as_i64).unwrap() > 0);
+    assert!(stats.get("sessions").is_some());
+    assert!(stats.get("admission").is_some());
+    assert!(stats.get("txn").is_some());
+    assert!(stats.get("pmem").is_some());
+    assert_eq!(
+        stats
+            .get("graph")
+            .and_then(|g| g.get("nodes"))
+            .and_then(Json::as_i64)
+            .unwrap(),
+        snb.db.node_count() as i64
+    );
+    // The maintenance tick has run at least once.
+    assert!(poll_until(Duration::from_secs(2), || {
+        handle
+            .stats()
+            .maintenance_runs
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    }));
+    c.quit().expect("quit");
+    handle.shutdown();
+}
+
+#[test]
+fn remote_shutdown_drains_cleanly() {
+    let config = ServerConfig {
+        allow_remote_shutdown: true,
+        drain_timeout: Duration::from_secs(2),
+        ..test_config()
+    };
+    let (_snb, handle) = start(config);
+    let addr = handle.local_addr();
+
+    // A bystander session is connected when shutdown arrives.
+    let bystander = Client::connect(addr).expect("connect bystander");
+
+    let c = Client::connect(addr).expect("connect admin");
+    c.shutdown_server().expect("shutdown op");
+    handle.wait(); // must return: drain + force-close of the bystander
+
+    assert!(Client::connect(addr).is_err(), "listener must be closed");
+    drop(bystander);
+}

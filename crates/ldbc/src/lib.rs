@@ -25,5 +25,7 @@ pub mod queries;
 pub mod schema;
 
 pub use gen::{generate, reopen, SnbData, SnbDb, SnbParams};
-pub use queries::{run_spec, run_spec_txn, IuQuery, Mode, QuerySpec, SrQuery, Step};
+pub use queries::{
+    run_plan, run_spec, run_spec_txn, slot_to_pval, IuQuery, Mode, QuerySpec, SrQuery, Step,
+};
 pub use schema::SnbCodes;

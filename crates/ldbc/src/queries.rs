@@ -111,7 +111,7 @@ pub fn run_spec_txn(
 ) -> Result<Vec<Row>, QueryError> {
     let mut rows: Vec<Row> = Vec::new();
     let mut cur_params = params.to_vec();
-    for (i, step) in spec.steps.iter().enumerate() {
+    for step in &spec.steps {
         if let Some(col) = step.feed_col {
             let Some(first) = rows.first() else {
                 return Ok(Vec::new()); // chain broke: empty result
@@ -119,7 +119,7 @@ pub fn run_spec_txn(
             let v = slot_to_pval(&first[col]);
             cur_params.push(v);
         }
-        rows = run_plan(&step.plan, txn, &cur_params, mode, i == spec.steps.len() - 1)?;
+        rows = run_plan(&step.plan, txn, &cur_params, mode)?;
     }
     Ok(rows)
 }
@@ -139,16 +139,22 @@ pub fn run_spec(
     Ok(rows)
 }
 
-fn slot_to_pval(s: &Slot) -> PVal {
+/// Slot → parameter value, as used by the feed chain: property slots keep
+/// their typed value, node/rel slots feed their id as an Int.
+pub fn slot_to_pval(s: &Slot) -> PVal {
     s.as_pval().unwrap_or(PVal::Int(s.val as i64))
 }
 
-fn run_plan(
+/// Run one plan in the given mode. Update plans and non-scan-headed plans
+/// stay single-threaded (JIT or interpreted); `NodeScan`-headed read plans
+/// use the morsel-parallel paths. Exposed so drivers that need per-step
+/// control (deadlines, feed-chain instrumentation — e.g. the query server)
+/// can reimplement the [`run_spec_txn`] loop.
+pub fn run_plan(
     plan: &Plan,
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
     mode: &Mode<'_>,
-    _last: bool,
 ) -> Result<Vec<Row>, QueryError> {
     match mode {
         Mode::Interp => execute_collect(plan, txn, params),

@@ -1,0 +1,104 @@
+//! Query server round-trip: embed the network server in-process, then act
+//! as a client — sessions, transactions, prepared statements, ad-hoc
+//! queries and the stats surface, all over real TCP.
+//!
+//! ```sh
+//! cargo run --release --example query_server
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pmemgraph::gjit::JitEngine;
+use pmemgraph::graphcore::DbOptions;
+use pmemgraph::gserver::{serve, Client, Param, ServerConfig};
+use pmemgraph::ldbc::{generate, SnbParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a small LDBC-SNB-like graph and start the server on an
+    //    ephemeral port. In production you would use DbOptions::pmem(..)
+    //    and a fixed ADDR — see crates/gserver/src/bin/pmemgraph_server.rs.
+    let snb = Arc::new(generate(&SnbParams::tiny(7), DbOptions::dram(128 << 20))?);
+    let person = snb.data.person_ids[0];
+    let post = snb.data.post_ids[0];
+    let engine = Arc::new(JitEngine::new());
+    let handle = serve(
+        snb,
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = handle.local_addr();
+    println!("server listening on {addr}");
+
+    // 2. Connect. The greeting carries a session id; every connection is
+    //    one session with its own transaction state.
+    let mut client = Client::connect(addr)?;
+    println!("connected, session {}", client.session_id());
+
+    // 3. Ad-hoc queries against the plan surface.
+    let persons = client.query("count nodes Person", &[])?;
+    println!("count nodes Person -> {:?}", persons.scalar());
+    let sample = client.query(
+        "scan Person where birthday > ?0 project firstName,lastName limit 3",
+        &[Param::Date(631_152_000_000)],
+    )?;
+    for row in &sample.rows {
+        println!("  person row: {row:?}");
+    }
+
+    // 4. Prepared statements resolve against the LDBC query library once,
+    //    then execute by name (the plan cache lives behind the JIT engine).
+    client.prepare("profile", "is1")?;
+    let profile = client.execute("profile", &[Param::Int(person)])?;
+    println!("is1({person}) -> {} row(s)", profile.row_count);
+
+    // 5. Explicit transactions: BEGIN maps to one MVTO transaction pinned
+    //    to this session. Roll it back and nothing is visible.
+    let txn = client.begin()?;
+    client.query(
+        "iu2",
+        &[
+            Param::Int(person),
+            Param::Int(post),
+            Param::Date(1_600_000_000_000),
+        ],
+    )?;
+    client.rollback()?;
+    println!("txn {txn} rolled back (LIKES edge discarded)");
+
+    // 6. And commit one for real.
+    client.begin()?;
+    client.query(
+        "iu2",
+        &[
+            Param::Int(person),
+            Param::Int(post),
+            Param::Date(1_600_000_000_000),
+        ],
+    )?;
+    client.commit()?;
+    println!("second txn committed");
+
+    // 7. The stats surface: engine + server counters as one JSON object.
+    let stats = client.stats()?;
+    if let (Some(txn), Some(jit)) = (stats.get("txn"), stats.get("jit")) {
+        println!(
+            "stats: commits={:?} aborts={:?} jit_compiles={:?} cache_hits={:?}",
+            txn.get("commits").and_then(|j| j.as_i64()),
+            txn.get("aborts").and_then(|j| j.as_i64()),
+            jit.get("compiles").and_then(|j| j.as_i64()),
+            jit.get("cache_hits").and_then(|j| j.as_i64()),
+        );
+    }
+
+    // 8. Clean shutdown: stop accepting, drain in-flight sessions, join.
+    client.quit()?;
+    std::thread::sleep(Duration::from_millis(50));
+    handle.shutdown();
+    println!("server drained and stopped");
+    Ok(())
+}

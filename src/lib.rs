@@ -16,11 +16,14 @@
 //! * [`gjit`] — Cranelift JIT query compiler + adaptive execution.
 //! * [`ldbc`] — LDBC-SNB-like generator and interactive workloads.
 //! * [`gdisk`] — disk-based baseline engine.
+//! * [`gserver`] — concurrent network query server (sessions, admission
+//!   control, wire protocol, blocking client).
 
 pub use gdisk;
 pub use gjit;
 pub use gquery;
 pub use graphcore;
+pub use gserver;
 pub use gstore;
 pub use gtxn;
 pub use ldbc;
