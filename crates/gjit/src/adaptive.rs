@@ -1,25 +1,26 @@
-//! Adaptive query execution (paper §6.2 "Adaptive Execution", Fig. 3).
+//! Adaptive query execution (paper §6.2 "Adaptive Execution", Fig. 3) — a
+//! thin client of the unified morsel scheduler in `gquery::sched`.
 //!
-//! Execution always starts in interpretation mode: worker threads pull
-//! chunk morsels and run the AOT pipeline on them. Meanwhile a background
-//! thread compiles the plan; as soon as the compiled function is published
-//! (an atomic pointer swap — the paper's "redirects the static task
-//! function to the compiled function"), the next morsel pulled from the
-//! pool executes machine code instead. Compilation time and PMem latency
-//! are hidden behind useful interpretation work.
+//! Execution always starts in interpretation mode: scheduler workers pull
+//! morsels and run the AOT pipeline on them. Meanwhile a background thread
+//! compiles the plan; as soon as the compiled task is published into the
+//! shared [`TaskSlot`] (a single atomic publication — the paper's
+//! "redirects the static task function to the compiled function"), the
+//! next morsel pulled from the pool executes machine code instead.
+//! Compilation time and PMem latency are hidden behind useful
+//! interpretation work.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
-
-use parking_lot::Mutex;
+use std::sync::Arc;
 
 use gquery::plan::Row;
-use gquery::{execute_prebuffered, run_scan_morsel, Op, Plan, QueryError, Slot};
+use gquery::{
+    execute_collect_ctx, execute_morsels, morsel_eligible, ExecCtx, ExecMode, ExecProfile,
+    FallbackReason, Plan, QueryError, TaskSlot,
+};
 use graphcore::{GraphDb, GraphTxn};
 use gstore::PVal;
 
-use crate::engine::{CompiledQuery, JitEngine};
-use crate::runtime::RtCtx;
+use crate::engine::{run_compiled_range, JitEngine};
 
 /// Outcome of an adaptive execution, including how many morsels ran in
 /// each mode (the observable "switch point").
@@ -30,12 +31,15 @@ pub struct AdaptiveReport {
     pub compiled_morsels: usize,
     /// True if compilation finished during the run (or was already cached).
     pub switched: bool,
+    /// The full execution profile (morsel counts, per-segment timings,
+    /// fallback reason if the plan could not be compiled or morsel-split).
+    pub profile: ExecProfile,
 }
 
-/// Execute a read-only `NodeScan`-headed plan adaptively across
-/// `nthreads` workers. Other plan shapes run fully interpreted (the paper:
-/// short queries finish before compilation, executing entirely as AOT
-/// code).
+/// Execute a read-only plan adaptively across `nthreads` workers. Plans
+/// without a morsel-splittable access path run fully interpreted (the
+/// paper: short queries finish before compilation, executing entirely as
+/// AOT code).
 pub fn execute_adaptive(
     engine: &Arc<JitEngine>,
     plan: &Plan,
@@ -44,131 +48,80 @@ pub fn execute_adaptive(
     params: &[PVal],
     nthreads: usize,
 ) -> Result<AdaptiveReport, QueryError> {
+    let mut ctx = ExecCtx::new(params);
+    execute_adaptive_ctx(engine, plan, db, snapshot, &mut ctx, nthreads)
+}
+
+/// [`execute_adaptive`] with an explicit [`ExecCtx`]: honours the
+/// context's deadline and cancellation flag and accumulates into its
+/// profile. The report's morsel counts cover this call only, even when the
+/// context already carries earlier steps.
+pub fn execute_adaptive_ctx(
+    engine: &Arc<JitEngine>,
+    plan: &Plan,
+    db: &GraphDb,
+    snapshot: &GraphTxn<'_>,
+    ctx: &mut ExecCtx<'_>,
+    nthreads: usize,
+) -> Result<AdaptiveReport, QueryError> {
     if plan.is_update() {
         return Err(QueryError::BadPlan("adaptive execution is read-only".into()));
     }
-    let cut = plan
-        .ops
-        .iter()
-        .position(Op::is_breaker)
-        .unwrap_or(plan.ops.len());
-    let seg = &plan.ops[..cut];
-    let tail = &plan.ops[cut..];
+    ctx.profile.mode.get_or_insert(ExecMode::Adaptive);
+    let interp_before = ctx.profile.interpreted_morsels;
+    let jit_before = ctx.profile.compiled_morsels;
 
-    if !matches!(seg.first(), Some(Op::NodeScan { .. })) {
-        // Non-scan access path: single short task, interpretation wins the
-        // race by construction.
+    if !morsel_eligible(plan) {
+        // Non-morsel access path: a single short task — interpretation
+        // wins the compile race by construction, so don't start one.
+        ctx.profile.note_fallback(FallbackReason::AccessPath);
         let mut reader = db.reader_at(snapshot.id());
-        let rows = run_headless(seg, tail, &mut reader, params)?;
+        let rows = execute_collect_ctx(plan, &mut reader, ctx)?;
         return Ok(AdaptiveReport {
             rows,
-            interpreted_morsels: 1,
+            interpreted_morsels: (ctx.profile.interpreted_morsels - interp_before) as usize,
             compiled_morsels: 0,
             switched: false,
+            profile: ctx.profile.clone(),
         });
     }
 
-    // Kick off background compilation (cache hit publishes immediately).
-    let compiled: Arc<OnceLock<Option<Arc<CompiledQuery>>>> = Arc::new(OnceLock::new());
-    let chunks = db.nodes().chunk_count();
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Vec<Row>>> = (0..chunks).map(|_| Mutex::new(Vec::new())).collect();
-    let error: Mutex<Option<QueryError>> = Mutex::new(None);
-    let interp_count = AtomicUsize::new(0);
-    let jit_count = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
+    // The swappable task slot: empty (interpret) until the background
+    // compiler publishes the compiled task or a permanent failure.
+    let task = Arc::new(TaskSlot::new());
+    let scheduled = std::thread::scope(|scope| {
         {
             let engine = engine.clone();
-            let compiled = compiled.clone();
+            let task = task.clone();
             let plan = plan.clone();
-            scope.spawn(move || {
-                let result = engine.get_or_compile(&plan).ok();
-                let _ = compiled.set(result);
+            scope.spawn(move || match engine.get_or_compile(&plan) {
+                Ok(cq) => task.publish(Box::new(
+                    move |txn: &mut GraphTxn<'_>, params: &[PVal], c0: u64, c1: u64| {
+                        run_compiled_range(&cq, txn, params, c0, c1)
+                    },
+                )),
+                Err(_) => task.publish_failure(),
             });
         }
-        for _ in 0..nthreads.max(1) {
-            scope.spawn(|| {
-                let mut txn = db.reader_at(snapshot.id());
-                loop {
-                    let ci = next.fetch_add(1, Ordering::Relaxed);
-                    if ci >= chunks {
-                        break;
-                    }
-                    let outcome = match compiled.get().and_then(|o| o.as_ref()) {
-                        Some(cq) => {
-                            jit_count.fetch_add(1, Ordering::Relaxed);
-                            let mut ctx = RtCtx::new(&mut txn, params);
-                            let st = cq.run(&mut ctx, ci as u64, ci as u64 + 1);
-                            let RtCtx { out, error: e, .. } = ctx;
-                            if st < 0 {
-                                Err(e.unwrap_or_else(|| {
-                                    QueryError::BadPlan("compiled morsel failed".into())
-                                }))
-                            } else {
-                                Ok(out)
-                            }
-                        }
-                        None => {
-                            interp_count.fetch_add(1, Ordering::Relaxed);
-                            run_scan_morsel(seg, ci, &mut txn, params)
-                        }
-                    };
-                    match outcome {
-                        Ok(rows) => *results[ci].lock() = rows,
-                        Err(e) => {
-                            *error.lock() = Some(e);
-                            break;
-                        }
-                    }
-                }
-            });
-        }
-    });
-    if let Some(e) = error.into_inner() {
-        return Err(e);
-    }
+        execute_morsels(plan, db, snapshot, ctx, nthreads, Some(&task))
+    })?;
 
-    let merged: Vec<Row> = results.into_iter().flat_map(|m| m.into_inner()).collect();
-    let rows = if tail.is_empty() {
-        merged
-    } else {
-        let mut reader = db.reader_at(snapshot.id());
-        let mut out = Vec::new();
-        let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
-            out.push(row.to_vec());
-            Ok(())
-        };
-        execute_prebuffered(tail, &mut reader, params, merged, &mut sink)?;
-        out
+    if task.compile_failed() {
+        ctx.profile.note_fallback(FallbackReason::JitUnsupported);
+    }
+    let rows = match scheduled {
+        Some(rows) => rows,
+        // Unreachable given the eligibility check above, but stay safe.
+        None => {
+            let mut reader = db.reader_at(snapshot.id());
+            execute_collect_ctx(plan, &mut reader, ctx)?
+        }
     };
-    let switched = compiled.get().is_some_and(|o| o.is_some());
     Ok(AdaptiveReport {
         rows,
-        interpreted_morsels: interp_count.into_inner(),
-        compiled_morsels: jit_count.into_inner(),
-        switched,
+        interpreted_morsels: (ctx.profile.interpreted_morsels - interp_before) as usize,
+        compiled_morsels: (ctx.profile.compiled_morsels - jit_before) as usize,
+        switched: task.is_compiled(),
+        profile: ctx.profile.clone(),
     })
-}
-
-fn run_headless(
-    seg: &[Op],
-    tail: &[Op],
-    txn: &mut GraphTxn<'_>,
-    params: &[PVal],
-) -> Result<Vec<Row>, QueryError> {
-    // Interpret the head segment, then the tail over its buffer.
-    let head_plan = Plan::new(seg.to_vec(), 0);
-    let mut buffered = Vec::new();
-    gquery::execute(&head_plan, txn, params, |r| buffered.push(r.to_vec()))?;
-    if tail.is_empty() {
-        return Ok(buffered);
-    }
-    let mut out = Vec::new();
-    let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
-        out.push(row.to_vec());
-        Ok(())
-    };
-    execute_prebuffered(tail, txn, params, buffered, &mut sink)?;
-    Ok(out)
 }

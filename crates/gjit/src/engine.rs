@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use pmem::Pool;
 
 use gquery::plan::Row;
-use gquery::{execute_prebuffered, Op, Plan, QueryError, Slot};
+use gquery::{execute_prebuffered, ExecCtx, ExecMode, Op, Plan, QueryError, Slot};
 use graphcore::GraphTxn;
 use gstore::PVal;
 
@@ -50,6 +50,12 @@ impl std::fmt::Display for JitError {
 }
 
 impl std::error::Error for JitError {}
+
+impl From<JitError> for QueryError {
+    fn from(e: JitError) -> QueryError {
+        QueryError::Jit(e.to_string())
+    }
+}
 
 type PipelineFn = unsafe extern "C" fn(*mut RtCtx<'static, 'static>, u64, u64) -> i64;
 
@@ -211,6 +217,11 @@ pub struct JitEngine {
     cache: Mutex<CodeCache>,
     persist: Option<(Arc<Pool>, u64)>,
     stats: JitStats,
+    /// Artificial delay added to every cache-miss compilation, in
+    /// nanoseconds (0 = none). Test/bench knob: emulates an expensive
+    /// compile so the adaptive interpret-vs-compile race has a
+    /// controllable outcome.
+    compile_delay_ns: AtomicU64,
 }
 
 impl JitEngine {
@@ -220,6 +231,7 @@ impl JitEngine {
             cache: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
             persist: None,
             stats: JitStats::default(),
+            compile_delay_ns: AtomicU64::new(0),
         }
     }
 
@@ -232,6 +244,7 @@ impl JitEngine {
                 cache: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
                 persist: Some((pool, root)),
                 stats: JitStats::default(),
+                compile_delay_ns: AtomicU64::new(0),
             },
             root,
         ))
@@ -244,7 +257,17 @@ impl JitEngine {
             cache: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
             persist: Some((pool, root)),
             stats: JitStats::default(),
+            compile_delay_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Add an artificial delay to every cache-miss compilation. Tests and
+    /// benches use this to force the adaptive scheduler to interpret some
+    /// morsels before the compiled task is published; `Duration::ZERO`
+    /// disables it.
+    pub fn set_compile_delay(&self, delay: Duration) {
+        self.compile_delay_ns
+            .store(delay.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
     }
 
     /// Counters.
@@ -347,13 +370,12 @@ impl JitEngine {
 
     /// Compile without touching the cache (used to measure compile times).
     pub fn compile_uncached(&self, plan: &Plan) -> Result<CompiledQuery, JitError> {
+        let delay_ns = self.compile_delay_ns.load(Ordering::Relaxed);
+        if delay_ns > 0 {
+            std::thread::sleep(Duration::from_nanos(delay_ns));
+        }
         let start = Instant::now();
-        let cut = plan
-            .ops
-            .iter()
-            .position(Op::is_breaker)
-            .unwrap_or(plan.ops.len());
-        let seg = &plan.ops[..cut];
+        let (seg, _) = plan.split_first_segment();
         let mut module = new_module()?;
         let func_id = build_function(&mut module, seg)?;
         module
@@ -366,7 +388,7 @@ impl JitEngine {
             module: Some(module),
             func,
             fingerprint: plan.fingerprint(),
-            seg_len: cut,
+            seg_len: seg.len(),
             compile_time: start.elapsed(),
         })
     }
@@ -420,10 +442,29 @@ pub fn execute_jit(
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
 ) -> Result<Vec<Row>, QueryError> {
-    let compiled = engine
-        .get_or_compile(plan)
-        .map_err(|e| QueryError::BadPlan(e.to_string()))?;
+    let compiled = engine.get_or_compile(plan)?;
     run_compiled(&compiled, plan, txn, params)
+}
+
+/// [`execute_jit`] under an [`ExecCtx`]: honours deadline/cancellation at
+/// the boundaries and records the run in the context's profile (a one-shot
+/// JIT run counts as one compiled morsel).
+pub fn execute_jit_ctx(
+    engine: &JitEngine,
+    plan: &Plan,
+    txn: &mut GraphTxn<'_>,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<Vec<Row>, QueryError> {
+    ctx.check_interrupt()?;
+    ctx.profile.mode.get_or_insert(ExecMode::Jit);
+    let start = Instant::now();
+    let rows = execute_jit(engine, plan, txn, ctx.params)?;
+    ctx.profile.morsels += 1;
+    ctx.profile.compiled_morsels += 1;
+    ctx.profile.segments.push(("jit", start.elapsed()));
+    ctx.profile.rows += rows.len() as u64;
+    ctx.check_interrupt()?;
+    Ok(rows)
 }
 
 /// Run an already-compiled query (used by benches to separate compile and
@@ -435,14 +476,7 @@ pub fn run_compiled(
     params: &[PVal],
 ) -> Result<Vec<Row>, QueryError> {
     let (c0, c1) = full_range(&plan.ops[0], txn);
-    let mut ctx = RtCtx::new(txn, params);
-    let status = compiled.run(&mut ctx, c0, c1);
-    let RtCtx { out, error, .. } = ctx;
-    if status < 0 {
-        return Err(error
-            .unwrap_or_else(|| QueryError::BadPlan("compiled pipeline failed".into())));
-    }
-    debug_assert!(error.is_none());
+    let out = run_compiled_range(compiled, txn, params, c0, c1)?;
     let tail = &plan.ops[compiled.seg_len..];
     if tail.is_empty() {
         return Ok(out);
@@ -454,4 +488,24 @@ pub fn run_compiled(
     };
     execute_prebuffered(tail, txn, params, out, &mut sink)?;
     Ok(rows)
+}
+
+/// Run the compiled first segment over the chunk range `[c0, c1)` only —
+/// the task-function body the morsel scheduler swaps in: each morsel gets
+/// a fresh `RtCtx` and returns its rows for morsel-ordered merging.
+pub fn run_compiled_range(
+    compiled: &CompiledQuery,
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    c0: u64,
+    c1: u64,
+) -> Result<Vec<Row>, QueryError> {
+    let mut ctx = RtCtx::new(txn, params);
+    let status = compiled.run(&mut ctx, c0, c1);
+    let RtCtx { out, error, .. } = ctx;
+    if status < 0 {
+        return Err(error.unwrap_or_else(|| QueryError::Jit("compiled pipeline failed".into())));
+    }
+    debug_assert!(error.is_none());
+    Ok(out)
 }

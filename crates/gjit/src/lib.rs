@@ -28,5 +28,8 @@ pub mod codegen;
 pub mod engine;
 pub mod runtime;
 
-pub use adaptive::{execute_adaptive, AdaptiveReport};
-pub use engine::{execute_jit, CompiledQuery, JitEngine, JitError, DEFAULT_CODE_CACHE_CAP};
+pub use adaptive::{execute_adaptive, execute_adaptive_ctx, AdaptiveReport};
+pub use engine::{
+    execute_jit, execute_jit_ctx, run_compiled_range, CompiledQuery, JitEngine, JitError,
+    DEFAULT_CODE_CACHE_CAP,
+};

@@ -11,7 +11,7 @@ use std::fmt;
 use graphcore::{Dir, GraphError, GraphTxn, PropOwner};
 use gstore::PVal;
 
-use crate::plan::{CmpOp, Op, Plan, Pred, Proj, RelEnd, Row, Slot};
+use crate::plan::{split_first_segment, CmpOp, Op, Plan, Pred, Proj, RelEnd, Row, Slot};
 
 /// Errors during query execution.
 #[derive(Debug)]
@@ -20,6 +20,14 @@ pub enum QueryError {
     Graph(GraphError),
     /// The plan is structurally invalid for the interpreter.
     BadPlan(String),
+    /// JIT compilation or compiled execution failed (converted from
+    /// `gjit::JitError` so servers can match on it structurally).
+    Jit(String),
+    /// The execution context's deadline elapsed mid-query. Maps to the
+    /// retryable `DEADLINE_EXCEEDED` protocol error.
+    DeadlineExceeded,
+    /// The execution context's cancellation flag was raised.
+    Cancelled,
 }
 
 impl fmt::Display for QueryError {
@@ -27,6 +35,9 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::Graph(e) => write!(f, "query failed: {e}"),
             QueryError::BadPlan(m) => write!(f, "bad plan: {m}"),
+            QueryError::Jit(m) => write!(f, "jit error: {m}"),
+            QueryError::DeadlineExceeded => write!(f, "deadline elapsed during execution"),
+            QueryError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }
@@ -111,19 +122,20 @@ fn exec_segments(
     input: Option<Vec<Row>>,
     sink: Sink<'_>,
 ) -> Result<(), QueryError> {
-    match ops.iter().position(Op::is_breaker) {
-        None => exec_pipeline(ops, txn, params, input, sink),
-        Some(i) => {
+    let (pipe, tail) = split_first_segment(ops);
+    match tail.split_first() {
+        None => exec_pipeline(pipe, txn, params, input, sink),
+        Some((breaker, rest)) => {
             let mut buf: Vec<Row> = Vec::new();
             {
                 let mut collect = |row: &[Slot]| -> Result<(), QueryError> {
                     buf.push(row.to_vec());
                     Ok(())
                 };
-                exec_pipeline(&ops[..i], txn, params, input, &mut collect)?;
+                exec_pipeline(pipe, txn, params, input, &mut collect)?;
             }
-            let buf = apply_breaker(&ops[i], buf, txn, params)?;
-            exec_segments(&ops[i + 1..], txn, params, Some(buf), sink)
+            let buf = apply_breaker(breaker, buf, txn, params)?;
+            exec_segments(rest, txn, params, Some(buf), sink)
         }
     }
 }
@@ -219,15 +231,15 @@ fn exec_access_path(
         Op::RelScan { label } => {
             let chunks = txn.db().rels().chunk_count();
             for ci in 0..chunks {
-                let mut ids = Vec::new();
-                txn.db().rels().for_each_live_id(ci, &mut |id| ids.push(id));
-                for id in ids {
-                    if let Some(r) = txn.rel(id)? {
-                        if label.is_none_or(|l| r.label == l) {
-                            push(rest, txn, params, &[Slot::rel(id)], sink)?;
-                        }
-                    }
-                }
+                scan_rel_chunk(ci, *label, rest, txn, params, sink)?;
+            }
+            Ok(())
+        }
+        Op::IndexRangeScan { label, key, lo, hi } => {
+            let lo = lo.resolve(params).index_key();
+            let hi = hi.resolve(params).index_key();
+            for id in range_candidates(txn, *label, *key, lo, hi) {
+                push_range_candidate(id, *label, *key, lo, hi, rest, txn, params, sink)?;
             }
             Ok(())
         }
@@ -262,29 +274,8 @@ fn exec_access_path(
     }
 }
 
-/// Public morsel entry point: run a NodeScan-headed pipeline segment on one
-/// node-table chunk, collecting its rows. Used by the adaptive executor,
-/// which interleaves interpreted and compiled morsels (§6.2).
-pub fn run_scan_morsel(
-    ops: &[Op],
-    chunk: usize,
-    txn: &mut GraphTxn<'_>,
-    params: &[PVal],
-) -> Result<Vec<Row>, QueryError> {
-    let Some(Op::NodeScan { label }) = ops.first() else {
-        return Err(QueryError::BadPlan("morsel pipeline must start with NodeScan".into()));
-    };
-    let mut rows = Vec::new();
-    let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
-        rows.push(row.to_vec());
-        Ok(())
-    };
-    scan_node_chunk(chunk, *label, &ops[1..], txn, params, &mut sink)?;
-    Ok(rows)
-}
-
 /// Morsel entry point: run the pipeline on one node-table chunk (used by
-/// the parallel executor and by the adaptive JIT scheduler).
+/// the morsel scheduler in [`crate::sched`]).
 pub(crate) fn scan_node_chunk(
     chunk: usize,
     label: Option<u32>,
@@ -301,6 +292,86 @@ pub(crate) fn scan_node_chunk(
                 push(rest, txn, params, &[Slot::node(id)], sink)?;
             }
         }
+    }
+    Ok(())
+}
+
+/// Morsel entry point: run the pipeline on one relationship-table chunk.
+pub(crate) fn scan_rel_chunk(
+    chunk: usize,
+    label: Option<u32>,
+    rest: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    sink: Sink<'_>,
+) -> Result<(), QueryError> {
+    let mut ids = Vec::with_capacity(64);
+    txn.db().rels().for_each_live_id(chunk, &mut |id| ids.push(id));
+    for id in ids {
+        if let Some(r) = txn.rel(id)? {
+            if label.is_none_or(|l| r.label == l) {
+                push(rest, txn, params, &[Slot::rel(id)], sink)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Candidate node ids for an `IndexRangeScan` with resolved key bounds, in
+/// deterministic order: key order from the B+-tree, or id order from the
+/// whole-table fallback when no index exists. Candidates are raw (caller
+/// re-checks visibility, label, and the actual property value) — the same
+/// contract as [`index_candidates`]. Both the sequential interpreter and
+/// the morsel scheduler build their work lists here, so parallel batches
+/// concatenate to exactly the sequential order.
+pub(crate) fn range_candidates(
+    txn: &GraphTxn<'_>,
+    label: u32,
+    key: u32,
+    lo: u64,
+    hi: u64,
+) -> Vec<u64> {
+    if lo > hi {
+        return Vec::new();
+    }
+    if let Some(ids) = txn.db().index_range(label, key, lo, hi) {
+        return ids;
+    }
+    let mut out = Vec::new();
+    let nodes = txn.db().nodes();
+    for ci in 0..nodes.chunk_count() {
+        nodes.for_each_live_id(ci, &mut |id| out.push(id));
+    }
+    out
+}
+
+/// Re-check one range candidate (visibility, label, key within bounds) and
+/// push it through the pipeline — shared by the sequential path and the
+/// index-range morsel source.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn push_range_candidate(
+    id: u64,
+    label: u32,
+    key: u32,
+    lo: u64,
+    hi: u64,
+    rest: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    sink: Sink<'_>,
+) -> Result<(), QueryError> {
+    let Some(n) = txn.node(id)? else {
+        return Ok(());
+    };
+    if n.label != label {
+        return Ok(());
+    }
+    let Some(pv) = txn.prop_pval(PropOwner::Node(id), key)? else {
+        return Ok(());
+    };
+    let k = pv.index_key();
+    if k >= lo && k <= hi {
+        push(rest, txn, params, &[Slot::node(id)], sink)?;
     }
     Ok(())
 }
@@ -325,7 +396,7 @@ fn index_candidates(
 }
 
 /// Push one row through the (non-breaker) operator chain.
-fn push(
+pub(crate) fn push(
     ops: &[Op],
     txn: &mut GraphTxn<'_>,
     params: &[PVal],

@@ -2,21 +2,30 @@
 //! mode.
 //!
 //! Queries are linear operator pipelines over [`Slot`] rows, pushed from an
-//! access path (`NodeScan`, `IndexScan`, `NodeById`, `Once`) through
-//! traversal ([`Op::ForeachRel`], [`Op::GetNode`]), filter, projection and
-//! update operators. Pipeline breakers (`OrderBy`, `Limit`, `Count`) buffer
-//! between pipeline segments, exactly the structure the JIT compiler in
-//! `gjit` turns into one machine-code function per segment.
+//! access path (`NodeScan`, `RelScan`, `IndexScan`, `IndexRangeScan`,
+//! `NodeById`, `Once`) through traversal ([`Op::ForeachRel`],
+//! [`Op::GetNode`]), filter, projection and update operators. Pipeline
+//! breakers (`OrderBy`, `Limit`, `Count`) buffer between pipeline segments,
+//! exactly the structure the JIT compiler in `gjit` turns into one
+//! machine-code function per segment.
 //!
 //! Parallel execution follows the paper's morsel-driven approach (§6.1,
-//! Leis et al.): table chunks are the morsels; worker threads pull chunk
-//! ranges from a shared counter and run the whole pipeline segment on each
-//! morsel.
+//! Leis et al.) and lives in [`sched`]: one scheduler with pluggable
+//! [`sched::MorselSource`]s (node chunks, relationship chunks, index-range
+//! batches) and a swappable task function, consumed by the parallel
+//! interpreter, the adaptive JIT driver and the query server alike. An
+//! [`sched::ExecCtx`] threads parameters, deadline, cancellation and a
+//! per-query [`sched::ExecProfile`] through every mode.
 
 pub mod exec;
 pub mod parallel;
 pub mod plan;
+pub mod sched;
 
-pub use exec::{execute, execute_collect, execute_prebuffered, run_scan_morsel, QueryError};
-pub use parallel::execute_parallel;
-pub use plan::{CmpOp, Op, PPar, Plan, Pred, Proj, Row, Slot, SlotTag};
+pub use exec::{execute, execute_collect, execute_prebuffered, QueryError};
+pub use parallel::{execute_parallel, execute_parallel_ctx};
+pub use plan::{split_first_segment, CmpOp, Op, PPar, Plan, Pred, Proj, Row, Slot, SlotTag};
+pub use sched::{
+    execute_collect_ctx, execute_morsels, morsel_eligible, CompiledTask, ExecCtx, ExecMode,
+    ExecProfile, FallbackReason, MorselSource, TaskSlot,
+};

@@ -1,24 +1,24 @@
 //! Morsel-driven parallel execution (paper §6.1, following its reference
-//! to Leis et al.'s morsel-driven parallelism).
+//! to Leis et al.'s morsel-driven parallelism) — a thin client of the
+//! unified scheduler in [`crate::sched`].
 //!
-//! Table chunks are the morsels. Worker threads pull chunk indexes from a
-//! shared atomic counter and run the first pipeline segment on each morsel
-//! with a *reader* transaction that shares the caller's snapshot id, so
-//! every worker observes one consistent snapshot. Results are collected per
-//! chunk and merged in chunk order (deterministic output), then the
-//! remaining segments (pipeline breakers onward) run sequentially.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! Worker threads share the caller's snapshot id via reader transactions,
+//! so every morsel observes one consistent snapshot; per-morsel results
+//! merge in morsel order (deterministic output), then the remaining
+//! segments (pipeline breakers onward) run sequentially. All of that
+//! machinery lives in [`sched::execute_morsels`]; this module only picks
+//! the mode and the fallback.
 
 use graphcore::{GraphDb, GraphTxn};
 use gstore::PVal;
-use parking_lot::Mutex;
 
-use crate::exec::{scan_node_chunk, QueryError};
-use crate::plan::{Op, Plan, Row, Slot};
+use crate::exec::QueryError;
+use crate::plan::{Plan, Row};
+use crate::sched::{self, ExecCtx, ExecMode};
 
-/// Execute a read-only plan starting with `NodeScan` across `nthreads`
-/// workers. Falls back to sequential execution for other plan shapes.
+/// Execute a read-only plan across `nthreads` workers. Plans whose access
+/// path cannot be morsel-split fall back to sequential execution on a
+/// snapshot-sharing reader.
 pub fn execute_parallel(
     plan: &Plan,
     db: &GraphDb,
@@ -26,79 +26,32 @@ pub fn execute_parallel(
     params: &[PVal],
     nthreads: usize,
 ) -> Result<Vec<Row>, QueryError> {
+    let mut ctx = ExecCtx::new(params);
+    execute_parallel_ctx(plan, db, snapshot, &mut ctx, nthreads)
+}
+
+/// [`execute_parallel`] with an explicit [`ExecCtx`]: honours the context's
+/// deadline and cancellation flag and records the run in its profile.
+pub fn execute_parallel_ctx(
+    plan: &Plan,
+    db: &GraphDb,
+    snapshot: &GraphTxn<'_>,
+    ctx: &mut ExecCtx<'_>,
+    nthreads: usize,
+) -> Result<Vec<Row>, QueryError> {
     if plan.is_update() {
         return Err(QueryError::BadPlan(
             "parallel execution is read-only".into(),
         ));
     }
-    let Some(Op::NodeScan { label }) = plan.ops.first().cloned() else {
-        // Not a parallel-scannable access path: run sequentially on a
-        // snapshot-sharing reader.
-        let mut reader = reader_txn(db, snapshot);
-        return crate::exec::execute_collect(plan, &mut reader, params);
-    };
-
-    // First segment: everything before the first breaker.
-    let cut = plan
-        .ops
-        .iter()
-        .position(Op::is_breaker)
-        .unwrap_or(plan.ops.len());
-    let pipe = &plan.ops[1..cut];
-    let tail = &plan.ops[cut..];
-
-    let chunks = db.nodes().chunk_count();
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Vec<Row>>> = (0..chunks).map(|_| Mutex::new(Vec::new())).collect();
-    let error: Mutex<Option<QueryError>> = Mutex::new(None);
-
-    let workers = nthreads.max(1).min(chunks.max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut txn = reader_txn(db, snapshot);
-                loop {
-                    let ci = next.fetch_add(1, Ordering::Relaxed);
-                    if ci >= chunks {
-                        break;
-                    }
-                    let mut local: Vec<Row> = Vec::new();
-                    let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
-                        local.push(row.to_vec());
-                        Ok(())
-                    };
-                    if let Err(e) = scan_node_chunk(ci, label, pipe, &mut txn, params, &mut sink)
-                    {
-                        *error.lock() = Some(e);
-                        break;
-                    }
-                    *results[ci].lock() = local;
-                }
-            });
+    ctx.profile.mode.get_or_insert(ExecMode::Parallel);
+    match sched::execute_morsels(plan, db, snapshot, ctx, nthreads, None)? {
+        Some(rows) => Ok(rows),
+        None => {
+            // No morsel source (reason already recorded in the profile):
+            // run sequentially on a snapshot-sharing reader.
+            let mut reader = db.reader_at(snapshot.id());
+            sched::execute_collect_ctx(plan, &mut reader, ctx)
         }
-    });
-    if let Some(e) = error.into_inner() {
-        return Err(e);
     }
-
-    let merged: Vec<Row> = results
-        .into_iter()
-        .flat_map(|m| m.into_inner())
-        .collect();
-    if tail.is_empty() {
-        return Ok(merged);
-    }
-    // Remaining segments run sequentially on a reader.
-    let mut reader = reader_txn(db, snapshot);
-    let mut out = Vec::new();
-    let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
-        out.push(row.to_vec());
-        Ok(())
-    };
-    crate::exec::exec_segments_pub(tail, &mut reader, params, Some(merged), &mut sink)?;
-    Ok(out)
-}
-
-fn reader_txn<'db>(db: &'db GraphDb, snapshot: &GraphTxn<'_>) -> GraphTxn<'db> {
-    db.reader_at(snapshot.id())
 }

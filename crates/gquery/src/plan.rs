@@ -197,6 +197,16 @@ pub enum Op {
     /// Access path: B+-tree lookup on `(:label {key} = value)`; falls back
     /// to a scan when no index exists (PMem-s/p vs PMem-i in Fig. 5).
     IndexScan { label: u32, key: u32, value: PPar },
+    /// Access path: B+-tree range `(:label {lo <= key <= hi})`, inclusive
+    /// on both ends over the order-preserving u64 key encoding. Candidates
+    /// come out in key order; without an index the node table is scanned
+    /// and filtered. Morsel-parallelisable (candidates are batched).
+    IndexRangeScan {
+        label: u32,
+        key: u32,
+        lo: PPar,
+        hi: PPar,
+    },
     /// Access path: single node by physical id.
     NodeById { id: PPar },
     /// Mid-pipeline index lookup: for each input row, append every node
@@ -302,6 +312,15 @@ impl Plan {
         self.ops.iter().any(Op::is_update)
     }
 
+    /// Split at the first pipeline breaker: `(first segment, tail)`. The
+    /// first segment is the streaming pipeline every executor compiles or
+    /// morsel-parallelises; the tail (the breaker onward) buffers and runs
+    /// sequentially. The single source of truth for the cut — executors
+    /// must not re-derive it.
+    pub fn split_first_segment(&self) -> (&[Op], &[Op]) {
+        split_first_segment(&self.ops)
+    }
+
     /// Shape hash: identifies the operator structure with parameter values
     /// masked out. Two invocations of the same query template share a
     /// fingerprint — the key of the JIT code cache (§6.2).
@@ -312,6 +331,13 @@ impl Plan {
         }
         fnv1a(&bytes)
     }
+}
+
+/// [`Plan::split_first_segment`] over a raw operator slice (for executors
+/// working on sub-pipelines).
+pub fn split_first_segment(ops: &[Op]) -> (&[Op], &[Op]) {
+    let cut = ops.iter().position(Op::is_breaker).unwrap_or(ops.len());
+    ops.split_at(cut)
 }
 
 fn hash_op(op: &Op, h: &mut Vec<u8>) {
@@ -334,6 +360,13 @@ fn hash_op(op: &Op, h: &mut Vec<u8>) {
         Op::NodeById { id } => {
             h.push(4);
             id.shape_hash(h);
+        }
+        Op::IndexRangeScan { label, key, lo, hi } => {
+            h.push(17);
+            h.extend_from_slice(&label.to_le_bytes());
+            h.extend_from_slice(&key.to_le_bytes());
+            lo.shape_hash(h);
+            hi.shape_hash(h);
         }
         Op::IndexProbe { label, key, value } => {
             h.push(16);
@@ -565,6 +598,52 @@ mod tests {
             0,
         );
         assert!(write.is_update());
+    }
+
+    #[test]
+    fn split_first_segment_cuts_at_breaker() {
+        let plan = Plan::new(
+            vec![
+                Op::NodeScan { label: None },
+                Op::Filter(Pred::LabelIs { col: 0, label: 1 }),
+                Op::Count,
+                Op::Limit(1),
+            ],
+            0,
+        );
+        let (seg, tail) = plan.split_first_segment();
+        assert_eq!(seg.len(), 2);
+        assert!(matches!(tail[0], Op::Count));
+        assert_eq!(tail.len(), 2);
+
+        let no_breaker = Plan::new(vec![Op::NodeScan { label: None }], 0);
+        let (seg, tail) = no_breaker.split_first_segment();
+        assert_eq!(seg.len(), 1);
+        assert!(tail.is_empty());
+    }
+
+    #[test]
+    fn index_range_scan_fingerprint_masks_params() {
+        let r1 = Plan::new(
+            vec![Op::IndexRangeScan {
+                label: 1,
+                key: 2,
+                lo: PPar::Param(0),
+                hi: PPar::Param(1),
+            }],
+            2,
+        );
+        assert_eq!(r1.fingerprint(), r1.clone().fingerprint());
+        let r2 = Plan::new(
+            vec![Op::IndexRangeScan {
+                label: 1,
+                key: 3,
+                lo: PPar::Param(0),
+                hi: PPar::Param(1),
+            }],
+            2,
+        );
+        assert_ne!(r1.fingerprint(), r2.fingerprint());
     }
 
     #[test]

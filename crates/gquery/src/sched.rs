@@ -1,0 +1,605 @@
+//! The unified morsel scheduler — one execution loop for every mode.
+//!
+//! The paper's central mechanism (§6.1–6.2, Fig. 3) is a single
+//! morsel-driven pipeline whose *task function* is swapped between the AOT
+//! interpreter and JIT-compiled code. This module is that pipeline:
+//!
+//! * a [`MorselSource`] splits the first pipeline segment's access path
+//!   into morsels — node-table chunks, relationship-table chunks, or
+//!   batches of index-range candidates;
+//! * a [`TaskSlot`] holds the pipeline task. Workers run the interpreter
+//!   until a compiled task is published into the slot (a single atomic
+//!   publication — the paper's "redirects the static task function to the
+//!   compiled function"), after which every subsequent morsel runs machine
+//!   code;
+//! * an [`ExecCtx`] threads parameters, a deadline, a cancellation flag
+//!   and an [`ExecProfile`] through every executor, so callers observe
+//!   morsel counts per mode, per-segment timings and fallback reasons
+//!   instead of silent mode switches.
+//!
+//! `gquery::parallel`, `gjit::adaptive`, `ldbc::run_plan` and the query
+//! server are thin clients of [`execute_morsels`]; none of them owns a
+//! morsel loop or breaker-splitting logic of its own.
+//!
+//! Determinism: morsel `m`'s rows land in buffer `m` and buffers merge in
+//! morsel order, so parallel, adaptive and sequential runs of the same
+//! read-only plan produce identical row orders (chunk order for table
+//! scans, key/candidate order for index ranges).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use graphcore::{GraphDb, GraphTxn};
+use gstore::PVal;
+use parking_lot::Mutex;
+
+use crate::exec::{self, QueryError};
+use crate::plan::{Op, Plan, Row, Slot};
+
+/// Which executor drove a query — the four configurations of the paper's
+/// evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    Interp,
+    Parallel,
+    Jit,
+    Adaptive,
+}
+
+impl ExecMode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecMode::Interp => "interp",
+            ExecMode::Parallel => "parallel",
+            ExecMode::Jit => "jit",
+            ExecMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Why a plan could not run through the morsel scheduler (or could not be
+/// compiled) and fell back to a slower path. Recorded in the profile
+/// instead of being dropped silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Update pipelines run single-threaded in the caller's transaction
+    /// (an MVTO write transaction cannot be shared across workers).
+    UpdatePlan,
+    /// The first segment's access path has no morsel source (e.g. `Once`,
+    /// `NodeById`, point `IndexScan`).
+    AccessPath,
+    /// The code generator rejected the plan; morsels stayed interpreted.
+    JitUnsupported,
+}
+
+impl FallbackReason {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FallbackReason::UpdatePlan => "update-plan",
+            FallbackReason::AccessPath => "access-path",
+            FallbackReason::JitUnsupported => "jit-unsupported",
+        }
+    }
+}
+
+/// Per-query execution profile: what actually ran, where the time went,
+/// and why any fallback happened. Aggregated across feed-chain steps with
+/// [`ExecProfile::absorb`]; surfaced through the query server's response
+/// metadata and `STATS`.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    /// Driving mode (first one recorded wins when steps are absorbed).
+    pub mode: Option<ExecMode>,
+    /// Total morsels scheduled (a sequential run counts as one).
+    pub morsels: u64,
+    /// Morsels that ran through the AOT interpreter.
+    pub interpreted_morsels: u64,
+    /// Morsels that ran through JIT-compiled code.
+    pub compiled_morsels: u64,
+    /// Rows produced (after breakers).
+    pub rows: u64,
+    /// Per-segment wall-clock timings, in execution order.
+    pub segments: Vec<(&'static str, Duration)>,
+    /// First fallback hit, if any.
+    pub fallback: Option<FallbackReason>,
+}
+
+impl ExecProfile {
+    /// Record a fallback; the first reason sticks.
+    pub fn note_fallback(&mut self, reason: FallbackReason) {
+        self.fallback.get_or_insert(reason);
+    }
+
+    /// Fold another step's profile into this one.
+    pub fn absorb(&mut self, other: ExecProfile) {
+        if self.mode.is_none() {
+            self.mode = other.mode;
+        }
+        self.morsels += other.morsels;
+        self.interpreted_morsels += other.interpreted_morsels;
+        self.compiled_morsels += other.compiled_morsels;
+        self.rows += other.rows;
+        self.segments.extend(other.segments);
+        if self.fallback.is_none() {
+            self.fallback = other.fallback;
+        }
+    }
+}
+
+/// Execution context threaded through every mode: parameters, deadline,
+/// cancellation, pacing (test knob) and the accumulating profile.
+pub struct ExecCtx<'a> {
+    pub params: &'a [PVal],
+    /// Hard deadline; expiry surfaces as [`QueryError::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation; raised flag surfaces as
+    /// [`QueryError::Cancelled`].
+    pub cancel: Option<&'a AtomicBool>,
+    /// Injected delay before each *interpreted* morsel. A test/benchmark
+    /// knob that emulates slow media so the compile-vs-interpret race has
+    /// a controllable outcome (pairs with `JitEngine::set_compile_delay`).
+    pub morsel_pace: Option<Duration>,
+    pub profile: ExecProfile,
+}
+
+impl<'a> ExecCtx<'a> {
+    pub fn new(params: &'a [PVal]) -> ExecCtx<'a> {
+        ExecCtx {
+            params,
+            deadline: None,
+            cancel: None,
+            morsel_pace: None,
+            profile: ExecProfile::default(),
+        }
+    }
+
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    pub fn with_cancel(mut self, flag: &'a AtomicBool) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    pub fn with_morsel_pace(mut self, pace: Duration) -> Self {
+        self.morsel_pace = Some(pace);
+        self
+    }
+
+    /// Fail fast if the query was cancelled or its deadline elapsed.
+    pub fn check_interrupt(&self) -> Result<(), QueryError> {
+        self.interrupt().check()
+    }
+
+    fn interrupt(&self) -> Interrupt<'a> {
+        Interrupt {
+            deadline: self.deadline,
+            cancel: self.cancel,
+        }
+    }
+}
+
+/// The copyable interrupt controls, shared by value with worker threads so
+/// they can check without borrowing the (mutably held) context.
+#[derive(Clone, Copy)]
+struct Interrupt<'a> {
+    deadline: Option<Instant>,
+    cancel: Option<&'a AtomicBool>,
+}
+
+impl Interrupt<'_> {
+    fn check(&self) -> Result<(), QueryError> {
+        if let Some(flag) = self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(QueryError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(QueryError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parallelisable access path, split into morsels. Implementations
+/// exist for node-table chunks, relationship-table chunks, and batches of
+/// index-range candidates.
+pub trait MorselSource: Send + Sync {
+    /// How many morsels this source splits into.
+    fn morsel_count(&self) -> usize;
+
+    /// Run `rest` (the pipeline after the access path) interpreted over
+    /// morsel `morsel`, pushing rows to `sink`.
+    fn run_interpreted(
+        &self,
+        morsel: usize,
+        rest: &[Op],
+        txn: &mut GraphTxn<'_>,
+        params: &[PVal],
+        sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError>;
+
+    /// The `[c0, c1)` chunk range a compiled task covers for this morsel,
+    /// or `None` when compiled code cannot address this source (the morsel
+    /// then always interprets).
+    fn compiled_range(&self, morsel: usize) -> Option<(u64, u64)>;
+
+    /// Access-path name for profiles and diagnostics.
+    fn kind(&self) -> &'static str;
+}
+
+/// Index-range candidates per morsel. Matches the table chunk capacity so
+/// range and scan morsels have comparable granularity.
+const RANGE_BATCH: usize = 64;
+
+struct NodeChunks {
+    label: Option<u32>,
+    chunks: usize,
+}
+
+impl MorselSource for NodeChunks {
+    fn morsel_count(&self) -> usize {
+        self.chunks
+    }
+
+    fn run_interpreted(
+        &self,
+        morsel: usize,
+        rest: &[Op],
+        txn: &mut GraphTxn<'_>,
+        params: &[PVal],
+        sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError> {
+        exec::scan_node_chunk(morsel, self.label, rest, txn, params, sink)
+    }
+
+    fn compiled_range(&self, morsel: usize) -> Option<(u64, u64)> {
+        Some((morsel as u64, morsel as u64 + 1))
+    }
+
+    fn kind(&self) -> &'static str {
+        "node-chunks"
+    }
+}
+
+struct RelChunks {
+    label: Option<u32>,
+    chunks: usize,
+}
+
+impl MorselSource for RelChunks {
+    fn morsel_count(&self) -> usize {
+        self.chunks
+    }
+
+    fn run_interpreted(
+        &self,
+        morsel: usize,
+        rest: &[Op],
+        txn: &mut GraphTxn<'_>,
+        params: &[PVal],
+        sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError> {
+        exec::scan_rel_chunk(morsel, self.label, rest, txn, params, sink)
+    }
+
+    fn compiled_range(&self, morsel: usize) -> Option<(u64, u64)> {
+        Some((morsel as u64, morsel as u64 + 1))
+    }
+
+    fn kind(&self) -> &'static str {
+        "rel-chunks"
+    }
+}
+
+struct IndexRange {
+    label: u32,
+    key: u32,
+    lo: u64,
+    hi: u64,
+    /// Candidate ids pre-partitioned in deterministic (key or id) order.
+    batches: Vec<Vec<u64>>,
+}
+
+impl MorselSource for IndexRange {
+    fn morsel_count(&self) -> usize {
+        self.batches.len()
+    }
+
+    fn run_interpreted(
+        &self,
+        morsel: usize,
+        rest: &[Op],
+        txn: &mut GraphTxn<'_>,
+        params: &[PVal],
+        sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
+    ) -> Result<(), QueryError> {
+        for &id in &self.batches[morsel] {
+            exec::push_range_candidate(
+                id, self.label, self.key, self.lo, self.hi, rest, txn, params, sink,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn compiled_range(&self, _morsel: usize) -> Option<(u64, u64)> {
+        // Compiled pipelines address table chunks, not candidate batches;
+        // range morsels always interpret (recorded as `jit-unsupported`
+        // by the adaptive driver).
+        None
+    }
+
+    fn kind(&self) -> &'static str {
+        "index-range"
+    }
+}
+
+/// Build the morsel source for a first-segment access path, or `None` if
+/// the operator cannot be morsel-split.
+fn source_for(
+    head: &Op,
+    db: &GraphDb,
+    snapshot: &GraphTxn<'_>,
+    params: &[PVal],
+) -> Option<Box<dyn MorselSource>> {
+    match head {
+        Op::NodeScan { label } => Some(Box::new(NodeChunks {
+            label: *label,
+            chunks: db.nodes().chunk_count(),
+        })),
+        Op::RelScan { label } => Some(Box::new(RelChunks {
+            label: *label,
+            chunks: db.rels().chunk_count(),
+        })),
+        Op::IndexRangeScan { label, key, lo, hi } => {
+            let lo = lo.resolve(params).index_key();
+            let hi = hi.resolve(params).index_key();
+            let ids = exec::range_candidates(snapshot, *label, *key, lo, hi);
+            let batches = ids.chunks(RANGE_BATCH).map(<[u64]>::to_vec).collect();
+            Some(Box::new(IndexRange {
+                label: *label,
+                key: *key,
+                lo,
+                hi,
+                batches,
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// True if the plan can run through the morsel scheduler: a read-only plan
+/// whose first segment starts with a morsel-splittable access path.
+pub fn morsel_eligible(plan: &Plan) -> bool {
+    !plan.is_update()
+        && matches!(
+            plan.split_first_segment().0.first(),
+            Some(Op::NodeScan { .. } | Op::RelScan { .. } | Op::IndexRangeScan { .. })
+        )
+}
+
+/// The pipeline task body for one morsel when compiled code is available:
+/// runs the compiled first segment over a chunk range and returns its
+/// rows. Published by `gjit` (as a closure over its `CompiledQuery`) so
+/// this crate stays independent of the JIT backend.
+pub type CompiledTask =
+    Box<dyn Fn(&mut GraphTxn<'_>, &[PVal], u64, u64) -> Result<Vec<Row>, QueryError> + Send + Sync>;
+
+/// The swappable task-function slot of the adaptive scheduler (Fig. 3).
+/// Starts empty (morsels interpret); a background compiler publishes
+/// either a compiled task or a permanent failure exactly once. Workers
+/// observe the publication on their next morsel pull.
+#[derive(Default)]
+pub struct TaskSlot {
+    cell: OnceLock<Option<CompiledTask>>,
+}
+
+impl TaskSlot {
+    pub fn new() -> TaskSlot {
+        TaskSlot::default()
+    }
+
+    /// Publish the compiled task (first publication wins).
+    pub fn publish(&self, task: CompiledTask) {
+        let _ = self.cell.set(Some(task));
+    }
+
+    /// Record that compilation failed; morsels keep interpreting.
+    pub fn publish_failure(&self) {
+        let _ = self.cell.set(None);
+    }
+
+    /// The compiled task, if one has been published.
+    pub fn get(&self) -> Option<&CompiledTask> {
+        self.cell.get().and_then(Option::as_ref)
+    }
+
+    /// True once a compiled task is available.
+    pub fn is_compiled(&self) -> bool {
+        self.get().is_some()
+    }
+
+    /// True if compilation finished with a failure.
+    pub fn compile_failed(&self) -> bool {
+        matches!(self.cell.get(), Some(None))
+    }
+}
+
+/// Execute a read-only plan through the morsel scheduler.
+///
+/// Workers pull morsel indexes from a shared counter; each morsel runs the
+/// compiled task if `task` has published one (and the source is
+/// chunk-addressable), the interpreter otherwise. Per-morsel row buffers
+/// merge in morsel order, then the tail (breakers onward) runs
+/// sequentially on a snapshot reader.
+///
+/// Returns `Ok(None)` — with the reason recorded in the profile — when the
+/// plan has no morsel source; the caller picks its own fallback (the
+/// sequential interpreter, or the one-shot JIT driver). Update plans are
+/// an error: morsel workers share a read snapshot, never a write
+/// transaction.
+pub fn execute_morsels(
+    plan: &Plan,
+    db: &GraphDb,
+    snapshot: &GraphTxn<'_>,
+    ctx: &mut ExecCtx<'_>,
+    threads: usize,
+    task: Option<&TaskSlot>,
+) -> Result<Option<Vec<Row>>, QueryError> {
+    if plan.is_update() {
+        return Err(QueryError::BadPlan("morsel execution is read-only".into()));
+    }
+    ctx.check_interrupt()?;
+    let (seg, tail) = plan.split_first_segment();
+    let Some(head) = seg.first() else {
+        ctx.profile.note_fallback(FallbackReason::AccessPath);
+        return Ok(None);
+    };
+    let Some(source) = source_for(head, db, snapshot, ctx.params) else {
+        ctx.profile.note_fallback(FallbackReason::AccessPath);
+        return Ok(None);
+    };
+    let source = &*source;
+    let rest = &seg[1..];
+    let morsels = source.morsel_count();
+    let params = ctx.params;
+    let interrupt = ctx.interrupt();
+    let pace = ctx.morsel_pace;
+
+    let head_start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Vec<Row>>> = (0..morsels).map(|_| Mutex::new(Vec::new())).collect();
+    let failure: Mutex<Option<QueryError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    let interp_count = AtomicU64::new(0);
+    let jit_count = AtomicU64::new(0);
+
+    let workers = threads.max(1).min(morsels.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut txn = db.reader_at(snapshot.id());
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let m = next.fetch_add(1, Ordering::Relaxed);
+                    if m >= morsels {
+                        break;
+                    }
+                    if let Err(e) = interrupt.check() {
+                        *failure.lock() = Some(e);
+                        abort.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    // The adaptive switch: whichever task function is
+                    // published *now* runs this morsel.
+                    let compiled = task
+                        .and_then(TaskSlot::get)
+                        .and_then(|f| source.compiled_range(m).map(|r| (f, r)));
+                    let outcome = match compiled {
+                        Some((run, (c0, c1))) => {
+                            jit_count.fetch_add(1, Ordering::Relaxed);
+                            run(&mut txn, params, c0, c1)
+                        }
+                        None => {
+                            interp_count.fetch_add(1, Ordering::Relaxed);
+                            if let Some(p) = pace {
+                                std::thread::sleep(p);
+                            }
+                            let mut rows: Vec<Row> = Vec::new();
+                            let res = {
+                                let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
+                                    rows.push(row.to_vec());
+                                    Ok(())
+                                };
+                                source.run_interpreted(m, rest, &mut txn, params, &mut sink)
+                            };
+                            res.map(|()| rows)
+                        }
+                    };
+                    match outcome {
+                        Ok(rows) => *results[m].lock() = rows,
+                        Err(e) => {
+                            *failure.lock() = Some(e);
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failure.into_inner() {
+        return Err(e);
+    }
+
+    ctx.profile.morsels += morsels as u64;
+    ctx.profile.interpreted_morsels += interp_count.into_inner();
+    ctx.profile.compiled_morsels += jit_count.into_inner();
+    ctx.profile.segments.push((source.kind(), head_start.elapsed()));
+
+    let merged: Vec<Row> = results.into_iter().flat_map(Mutex::into_inner).collect();
+    let out = if tail.is_empty() {
+        merged
+    } else {
+        ctx.check_interrupt()?;
+        let tail_start = Instant::now();
+        let mut reader = db.reader_at(snapshot.id());
+        let mut out = Vec::new();
+        {
+            let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
+                out.push(row.to_vec());
+                Ok(())
+            };
+            exec::exec_segments_pub(tail, &mut reader, params, Some(merged), &mut sink)?;
+        }
+        ctx.profile.segments.push(("tail", tail_start.elapsed()));
+        out
+    };
+    ctx.profile.rows += out.len() as u64;
+    ctx.check_interrupt()?;
+    Ok(Some(out))
+}
+
+/// Sequential interpretation under an [`ExecCtx`]: the `Interp` mode and
+/// the shared fallback for non-morsel plans. Checks the interrupt controls
+/// between result batches, counts the run as one interpreted morsel, and
+/// reports a result that arrived after the deadline as missed.
+pub fn execute_collect_ctx(
+    plan: &Plan,
+    txn: &mut GraphTxn<'_>,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<Vec<Row>, QueryError> {
+    assert!(
+        ctx.params.len() >= plan.n_params,
+        "plan expects {} params, got {}",
+        plan.n_params,
+        ctx.params.len()
+    );
+    ctx.check_interrupt()?;
+    let start = Instant::now();
+    let interrupt = ctx.interrupt();
+    let mut rows: Vec<Row> = Vec::new();
+    {
+        let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
+            rows.push(row.to_vec());
+            if rows.len() % 512 == 0 {
+                interrupt.check()?;
+            }
+            Ok(())
+        };
+        exec::exec_segments_pub(&plan.ops, txn, ctx.params, None, &mut sink)?;
+    }
+    ctx.profile.morsels += 1;
+    ctx.profile.interpreted_morsels += 1;
+    ctx.profile.segments.push(("interp", start.elapsed()));
+    ctx.profile.rows += rows.len() as u64;
+    ctx.check_interrupt()?;
+    Ok(rows)
+}

@@ -389,6 +389,18 @@ impl GraphDb {
             .map(|d| d.tree.clone())
     }
 
+    /// All committed values in `lo <= key <= hi` for the `(label, key)`
+    /// index, in key order. `None` when no such index exists (callers fall
+    /// back to a full scan). Values are raw candidates: index maintenance
+    /// is eager under MVTO, so readers must re-check visibility, label and
+    /// key against their own snapshot.
+    pub fn index_range(&self, label: u32, key: u32, lo: u64, hi: u64) -> Option<Vec<u64>> {
+        let tree = self.index_for(label, key)?;
+        let mut out = Vec::new();
+        tree.range(lo, hi, |_, v| out.push(v));
+        Some(out)
+    }
+
     /// All index definitions (for diagnostics and benches).
     pub fn index_defs(&self) -> Vec<(u32, u32, IndexKind)> {
         self.indexes

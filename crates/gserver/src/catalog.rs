@@ -99,7 +99,7 @@ impl Catalog {
             return Ok(q.clone());
         }
         if let Some(first) = text.split_whitespace().next() {
-            if matches!(first, "count" | "scan") {
+            if matches!(first, "count" | "scan" | "range") {
                 return parse_adhoc(db, text).map(Arc::new);
             }
         }
@@ -123,12 +123,15 @@ impl Catalog {
 /// count nodes [Label]
 /// count rels  [Type]
 /// scan Label [where Key OP VALUE] [project ITEM,ITEM,...] [limit N] [count]
+/// range Label Key LO HI [where ...] [project ...] [limit N] [count]
 /// ```
 ///
-/// `OP` is one of `= != < <= > >=`; `VALUE` is an integer, `'string'`,
-/// `true`/`false`, or `?N` (execution-time parameter). Project items are
-/// property keys on the scanned node, `@label` for its label code, or `#N`
-/// for raw column `N`.
+/// `OP` is one of `= != < <= > >=`; `VALUE` (and `LO`/`HI`) is an integer,
+/// `'string'`, `true`/`false`, or `?N` (execution-time parameter). Project
+/// items are property keys on the scanned node, `@label` for its label
+/// code, or `#N` for raw column `N`. `range` is the B+-tree range access
+/// path: nodes with `LO <= Key <= HI`, served from the `(Label, Key)`
+/// index when one exists and morsel-parallelised like a scan.
 fn parse_adhoc(db: &GraphDb, text: &str) -> Result<NamedQuery, ProtoError> {
     let toks: Vec<&str> = text.split_whitespace().collect();
     let mut ops: Vec<Op> = Vec::new();
@@ -169,76 +172,25 @@ fn parse_adhoc(db: &GraphDb, text: &str) -> Result<NamedQuery, ProtoError> {
             ops.push(Op::NodeScan {
                 label: Some(label_code(db, label)?),
             });
-            while i < toks.len() {
-                match toks[i] {
-                    "where" => {
-                        let key = toks.get(i + 1).ok_or_else(|| {
-                            ProtoError::bad_request("where needs `KEY OP VALUE`")
-                        })?;
-                        let op = toks.get(i + 2).and_then(|s| cmp_op(s)).ok_or_else(|| {
-                            ProtoError::bad_request("where op must be one of = != < <= > >=")
-                        })?;
-                        let raw = toks.get(i + 3).ok_or_else(|| {
-                            ProtoError::bad_request("where needs `KEY OP VALUE`")
-                        })?;
-                        let value = parse_value(db, raw, &mut n_params)?;
-                        ops.push(Op::Filter(Pred::Prop {
-                            col: 0,
-                            key: key_code(db, key)?,
-                            op,
-                            value,
-                        }));
-                        i += 4;
-                    }
-                    "project" => {
-                        let items = toks.get(i + 1).ok_or_else(|| {
-                            ProtoError::bad_request("project needs a comma-separated list")
-                        })?;
-                        let mut projs = Vec::new();
-                        for item in items.split(',') {
-                            let item = item.trim();
-                            if item.is_empty() {
-                                continue;
-                            }
-                            if item == "@label" {
-                                projs.push(Proj::Label { col: 0 });
-                            } else if let Some(n) = item.strip_prefix('#') {
-                                let col: usize = n.parse().map_err(|_| {
-                                    ProtoError::bad_request(format!("bad column ref {item:?}"))
-                                })?;
-                                projs.push(Proj::Col(col));
-                            } else {
-                                projs.push(Proj::Prop {
-                                    col: 0,
-                                    key: key_code(db, item)?,
-                                });
-                            }
-                        }
-                        if projs.is_empty() {
-                            return Err(ProtoError::bad_request("empty project list"));
-                        }
-                        ops.push(Op::Project(projs));
-                        i += 2;
-                    }
-                    "limit" => {
-                        let n: usize = toks
-                            .get(i + 1)
-                            .and_then(|s| s.parse().ok())
-                            .ok_or_else(|| ProtoError::bad_request("limit needs a number"))?;
-                        ops.push(Op::Limit(n));
-                        i += 2;
-                    }
-                    "count" => {
-                        ops.push(Op::Count);
-                        i += 1;
-                    }
-                    other => {
-                        return Err(ProtoError::bad_request(format!(
-                            "unexpected token {other:?}"
-                        )))
-                    }
-                }
-            }
+            i = parse_tail_clauses(db, &toks, i, &mut ops, &mut n_params)?;
+        }
+        "range" => {
+            i += 1;
+            let (Some(label), Some(key), Some(lo_raw), Some(hi_raw)) =
+                (toks.get(i), toks.get(i + 1), toks.get(i + 2), toks.get(i + 3))
+            else {
+                return Err(ProtoError::bad_request("range needs `LABEL KEY LO HI`"));
+            };
+            i += 4;
+            let lo = parse_value(db, lo_raw, &mut n_params)?;
+            let hi = parse_value(db, hi_raw, &mut n_params)?;
+            ops.push(Op::IndexRangeScan {
+                label: label_code(db, label)?,
+                key: key_code(db, key)?,
+                lo,
+                hi,
+            });
+            i = parse_tail_clauses(db, &toks, i, &mut ops, &mut n_params)?;
         }
         _ => unreachable!("resolve() gates on the first token"),
     }
@@ -261,6 +213,88 @@ fn parse_adhoc(db: &GraphDb, text: &str) -> Result<NamedQuery, ProtoError> {
             }],
         },
     })
+}
+
+/// The shared tail of `scan`/`range`: `where`, `project`, `limit`, `count`
+/// clauses in any order. Returns the index past the last consumed token.
+fn parse_tail_clauses(
+    db: &GraphDb,
+    toks: &[&str],
+    mut i: usize,
+    ops: &mut Vec<Op>,
+    n_params: &mut usize,
+) -> Result<usize, ProtoError> {
+    while i < toks.len() {
+        match toks[i] {
+            "where" => {
+                let key = toks
+                    .get(i + 1)
+                    .ok_or_else(|| ProtoError::bad_request("where needs `KEY OP VALUE`"))?;
+                let op = toks.get(i + 2).and_then(|s| cmp_op(s)).ok_or_else(|| {
+                    ProtoError::bad_request("where op must be one of = != < <= > >=")
+                })?;
+                let raw = toks
+                    .get(i + 3)
+                    .ok_or_else(|| ProtoError::bad_request("where needs `KEY OP VALUE`"))?;
+                let value = parse_value(db, raw, n_params)?;
+                ops.push(Op::Filter(Pred::Prop {
+                    col: 0,
+                    key: key_code(db, key)?,
+                    op,
+                    value,
+                }));
+                i += 4;
+            }
+            "project" => {
+                let items = toks.get(i + 1).ok_or_else(|| {
+                    ProtoError::bad_request("project needs a comma-separated list")
+                })?;
+                let mut projs = Vec::new();
+                for item in items.split(',') {
+                    let item = item.trim();
+                    if item.is_empty() {
+                        continue;
+                    }
+                    if item == "@label" {
+                        projs.push(Proj::Label { col: 0 });
+                    } else if let Some(n) = item.strip_prefix('#') {
+                        let col: usize = n.parse().map_err(|_| {
+                            ProtoError::bad_request(format!("bad column ref {item:?}"))
+                        })?;
+                        projs.push(Proj::Col(col));
+                    } else {
+                        projs.push(Proj::Prop {
+                            col: 0,
+                            key: key_code(db, item)?,
+                        });
+                    }
+                }
+                if projs.is_empty() {
+                    return Err(ProtoError::bad_request("empty project list"));
+                }
+                ops.push(Op::Project(projs));
+                i += 2;
+            }
+            "limit" => {
+                let n: usize = toks
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ProtoError::bad_request("limit needs a number"))?;
+                ops.push(Op::Limit(n));
+                i += 2;
+            }
+            "count" => {
+                ops.push(Op::Count);
+                i += 1;
+            }
+            other => {
+                return Err(ProtoError::bad_request(format!(
+                    "unexpected token {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(i)
 }
 
 fn cmp_op(s: &str) -> Option<CmpOp> {
@@ -376,6 +410,18 @@ mod tests {
         assert!(cat.resolve(&snb.db, "scan Nope").is_err());
         assert!(cat.resolve(&snb.db, "scan Person where").is_err());
         assert!(cat.resolve(&snb.db, "scan Person banana").is_err());
+
+        let q = cat
+            .resolve(&snb.db, "range Person id ?0 ?1 project firstName limit 3")
+            .unwrap();
+        assert_eq!(q.n_params, 2);
+        assert!(matches!(
+            q.spec.steps[0].plan.ops.first(),
+            Some(Op::IndexRangeScan { .. })
+        ));
+
+        assert!(cat.resolve(&snb.db, "range Person id 0").is_err());
+        assert!(cat.resolve(&snb.db, "range Person nope 0 10").is_err());
     }
 
     #[test]
@@ -385,6 +431,14 @@ mod tests {
         let q = cat.resolve(&snb.db, "count nodes Person").unwrap();
         let rows = ldbc::run_spec(&snb.db, &q.spec, &[], &ldbc::Mode::Interp).unwrap();
         assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_pval(), Some(PVal::Int(60)));
+
+        // A full-range count over `id` must see every Person, whether it
+        // goes through the index or the fallback scan.
+        let q = cat
+            .resolve(&snb.db, "range Person id 0 9223372036854775807 count")
+            .unwrap();
+        let rows = ldbc::run_spec(&snb.db, &q.spec, &[], &ldbc::Mode::Interp).unwrap();
         assert_eq!(rows[0][0].as_pval(), Some(PVal::Int(60)));
     }
 }

@@ -73,11 +73,17 @@ impl ErrorCode {
         }
     }
 
-    /// Whether the client may transparently retry the same request.
+    /// Whether the client may transparently retry the same request. A
+    /// missed deadline is retryable: the server aborted the partial work
+    /// (updates rolled back), so re-issuing — ideally with a larger
+    /// `deadline_ms` — is safe.
     pub fn retryable(&self) -> bool {
         matches!(
             self,
-            ErrorCode::ServerBusy | ErrorCode::TxnConflict | ErrorCode::ShuttingDown
+            ErrorCode::ServerBusy
+                | ErrorCode::TxnConflict
+                | ErrorCode::ShuttingDown
+                | ErrorCode::DeadlineExceeded
         )
     }
 
@@ -339,7 +345,7 @@ mod tests {
         assert!(ErrorCode::ServerBusy.retryable());
         assert!(ErrorCode::TxnConflict.retryable());
         assert!(!ErrorCode::BadRequest.retryable());
-        assert!(!ErrorCode::DeadlineExceeded.retryable());
+        assert!(ErrorCode::DeadlineExceeded.retryable());
     }
 
     #[test]

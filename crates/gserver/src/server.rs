@@ -26,7 +26,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use gjit::JitEngine;
-use gquery::QueryError;
+use gquery::{ExecCtx, ExecProfile, QueryError};
 use graphcore::{GraphDb, GraphError, GraphTxn};
 use gtxn::TxnError;
 use ldbc::{Mode, QuerySpec, SnbDb};
@@ -111,6 +111,13 @@ pub struct ServerStats {
     pub maintenance_runs: AtomicU64,
     pub reclaimed_slots: AtomicU64,
     pub vacuumed_props: AtomicU64,
+    /// Morsels executed by the AOT interpreter, across all requests.
+    pub interpreted_morsels: AtomicU64,
+    /// Morsels executed as JIT-compiled code, across all requests.
+    pub compiled_morsels: AtomicU64,
+    /// Requests whose profile recorded a fallback from the mode's fast
+    /// path (update plan, non-morsel access path, or JIT-unsupported).
+    pub fallback_total: AtomicU64,
 }
 
 // ---------------------------------------------------------------------
@@ -672,20 +679,31 @@ fn do_execute(
     shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
 
     let mode = Mode::Adaptive(&shared.engine, shared.config.exec_threads.max(1));
-    let rows = match state.txn.as_mut() {
+    let (rows, profile) = match state.txn.as_mut() {
         Some(txn) => run_steps(&q.spec, txn, &params, &mode, deadline)?,
         None => {
             // Autocommit: reads commit trivially, updates commit here; an
             // error (including a missed deadline) drops the transaction,
             // aborting any partial writes.
             let mut txn = db.begin();
-            let rows = run_steps(&q.spec, &mut txn, &params, &mode, deadline)?;
+            let out = run_steps(&q.spec, &mut txn, &params, &mode, deadline)?;
             if q.is_update {
                 txn.commit().map_err(graph_err)?;
             }
-            rows
+            out
         }
     };
+    shared
+        .stats
+        .interpreted_morsels
+        .fetch_add(profile.interpreted_morsels, Ordering::Relaxed);
+    shared
+        .stats
+        .compiled_morsels
+        .fetch_add(profile.compiled_morsels, Ordering::Relaxed);
+    if profile.fallback.is_some() {
+        shared.stats.fallback_total.fetch_add(1, Ordering::Relaxed);
+    }
 
     let total = rows.len();
     let cap = shared.config.max_result_rows;
@@ -699,38 +717,76 @@ fn do_execute(
         ("row_count", Json::Int(total as i64)),
         ("truncated", Json::Bool(total > cap)),
         ("elapsed_us", Json::Int(start.elapsed().as_micros() as i64)),
+        ("profile", profile_json(&profile)),
     ]))
 }
 
-/// The [`ldbc::run_spec_txn`] loop with a deadline check between pipeline
-/// steps (a plan itself is not interruptible; multi-step specs are the
-/// natural preemption points) and a final check so a result that arrives
-/// late is reported as missed, not returned.
+/// Response metadata for the per-query [`ExecProfile`].
+fn profile_json(p: &ExecProfile) -> Json {
+    obj(vec![
+        (
+            "mode",
+            p.mode
+                .map_or(Json::Null, |m| Json::Str(m.as_str().into())),
+        ),
+        ("morsels", Json::Int(p.morsels as i64)),
+        ("interpreted_morsels", Json::Int(p.interpreted_morsels as i64)),
+        ("compiled_morsels", Json::Int(p.compiled_morsels as i64)),
+        ("rows", Json::Int(p.rows as i64)),
+        (
+            "fallback",
+            p.fallback
+                .map_or(Json::Null, |f| Json::Str(f.as_str().into())),
+        ),
+        (
+            "segments",
+            Json::Arr(
+                p.segments
+                    .iter()
+                    .map(|(name, d)| {
+                        obj(vec![
+                            ("name", Json::Str((*name).into())),
+                            ("us", Json::Int(d.as_micros() as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The [`ldbc::run_spec_txn`] loop under an [`ExecCtx`] carrying the
+/// request deadline, so expiry is observed *inside* plan execution (per
+/// morsel / result batch), not just between pipeline steps. Each step's
+/// profile is absorbed into one aggregate — including the profile of a
+/// step that fails, so partial work is still accounted. A final check
+/// reports a result that arrives late as missed, not returned.
 fn run_steps(
     spec: &QuerySpec,
     txn: &mut GraphTxn<'_>,
     params: &[gstore::PVal],
     mode: &Mode<'_>,
     deadline: Instant,
-) -> Result<Vec<gquery::Row>, ProtoError> {
+) -> Result<(Vec<gquery::Row>, ExecProfile), ProtoError> {
     let mut rows: Vec<gquery::Row> = Vec::new();
+    let mut profile = ExecProfile::default();
     let mut cur_params = params.to_vec();
     for step in &spec.steps {
-        if Instant::now() >= deadline {
-            return Err(deadline_err());
-        }
         if let Some(col) = step.feed_col {
             let Some(first) = rows.first() else {
-                return Ok(Vec::new());
+                return Ok((Vec::new(), profile));
             };
             cur_params.push(ldbc::slot_to_pval(&first[col]));
         }
-        rows = ldbc::run_plan(&step.plan, txn, &cur_params, mode).map_err(query_err)?;
+        let mut ctx = ExecCtx::new(&cur_params).with_deadline(deadline);
+        let step_rows = ldbc::run_plan_ctx(&step.plan, txn, &mut ctx, mode);
+        profile.absorb(std::mem::take(&mut ctx.profile));
+        rows = step_rows.map_err(query_err)?;
     }
     if Instant::now() >= deadline {
         return Err(deadline_err());
     }
-    Ok(rows)
+    Ok((rows, profile))
 }
 
 fn deadline_err() -> ProtoError {
@@ -744,6 +800,9 @@ fn query_err(e: QueryError) -> ProtoError {
     match &e {
         QueryError::Graph(GraphError::Txn(TxnError::Locked | TxnError::WriteConflict)) => {
             ProtoError::new(ErrorCode::TxnConflict, e.to_string())
+        }
+        QueryError::DeadlineExceeded => {
+            ProtoError::new(ErrorCode::DeadlineExceeded, e.to_string())
         }
         _ => ProtoError::new(ErrorCode::Internal, e.to_string()),
     }
@@ -843,6 +902,15 @@ fn stats_response(shared: &Shared, db: &GraphDb) -> String {
                     "cache_capacity",
                     Json::Int(shared.engine.code_cache_capacity() as i64),
                 ),
+            ]),
+        ),
+        (
+            "exec",
+            obj(vec![
+                ("threads", Json::Int(shared.config.exec_threads as i64)),
+                ("interpreted_morsels", ld(&s.interpreted_morsels)),
+                ("compiled_morsels", ld(&s.compiled_morsels)),
+                ("fallback_total", ld(&s.fallback_total)),
             ]),
         ),
         (

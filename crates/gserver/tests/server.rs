@@ -347,7 +347,9 @@ fn deadlines_are_enforced() {
         .execute_with_deadline("is1", &[Param::Int(person)], Duration::ZERO)
         .expect_err("zero deadline must miss");
     assert_eq!(err.code(), Some(ErrorCode::DeadlineExceeded));
-    assert!(!err.is_retryable());
+    // A missed deadline is retryable: the server rolled the work back, so
+    // the client may re-issue (ideally with a larger deadline).
+    assert!(err.is_retryable());
     assert!(
         handle
             .stats()
@@ -383,6 +385,13 @@ fn stats_and_maintenance_counters() {
     assert!(stats.get("sessions").is_some());
     assert!(stats.get("admission").is_some());
     assert!(stats.get("txn").is_some());
+    let exec = stats.get("exec").expect("exec section");
+    assert!(exec.get("fallback_total").and_then(Json::as_i64).is_some());
+    assert!(
+        exec.get("interpreted_morsels")
+            .and_then(Json::as_i64)
+            .is_some()
+    );
     assert!(stats.get("pmem").is_some());
     assert_eq!(
         stats

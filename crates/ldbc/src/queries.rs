@@ -6,10 +6,11 @@
 
 use std::sync::Arc;
 
-use gjit::{execute_adaptive, execute_jit, JitEngine};
+use gjit::{execute_adaptive_ctx, execute_jit_ctx, JitEngine};
 use gquery::plan::{RelEnd, Row};
 use gquery::{
-    execute_collect, execute_parallel, Op, PPar, Plan, Proj, QueryError, Slot,
+    execute_collect_ctx, execute_parallel_ctx, morsel_eligible, ExecCtx, ExecMode, FallbackReason,
+    Op, PPar, Plan, Proj, QueryError, Slot,
 };
 use graphcore::{Dir, GraphTxn};
 use gstore::PVal;
@@ -145,36 +146,65 @@ pub fn slot_to_pval(s: &Slot) -> PVal {
     s.as_pval().unwrap_or(PVal::Int(s.val as i64))
 }
 
-/// Run one plan in the given mode. Update plans and non-scan-headed plans
-/// stay single-threaded (JIT or interpreted); `NodeScan`-headed read plans
-/// use the morsel-parallel paths. Exposed so drivers that need per-step
-/// control (deadlines, feed-chain instrumentation — e.g. the query server)
-/// can reimplement the [`run_spec_txn`] loop.
+/// Run one plan in the given mode. Update plans and plans without a
+/// morsel-splittable access path stay single-threaded (JIT or
+/// interpreted); morsel-eligible read plans (node-scan, rel-scan,
+/// index-range heads) go through the shared morsel scheduler. Exposed so
+/// drivers that need per-step control (deadlines, feed-chain
+/// instrumentation — e.g. the query server) can reimplement the
+/// [`run_spec_txn`] loop.
 pub fn run_plan(
     plan: &Plan,
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
     mode: &Mode<'_>,
 ) -> Result<Vec<Row>, QueryError> {
+    let mut ctx = ExecCtx::new(params);
+    run_plan_ctx(plan, txn, &mut ctx, mode)
+}
+
+/// [`run_plan`] with an explicit [`ExecCtx`]: every mode honours the
+/// context's deadline and cancellation flag, and the context's profile
+/// records what actually ran — including the reason whenever a plan falls
+/// back from its mode's fast path.
+pub fn run_plan_ctx(
+    plan: &Plan,
+    txn: &mut GraphTxn<'_>,
+    ctx: &mut ExecCtx<'_>,
+    mode: &Mode<'_>,
+) -> Result<Vec<Row>, QueryError> {
     match mode {
-        Mode::Interp => execute_collect(plan, txn, params),
+        Mode::Interp => {
+            ctx.profile.mode.get_or_insert(ExecMode::Interp);
+            execute_collect_ctx(plan, txn, ctx)
+        }
         Mode::Parallel(n) => {
-            if plan.is_update() || !matches!(plan.ops.first(), Some(Op::NodeScan { .. })) {
-                execute_collect(plan, txn, params)
+            ctx.profile.mode.get_or_insert(ExecMode::Parallel);
+            if plan.is_update() {
+                // Updates run single-threaded in the caller's write
+                // transaction (own writes must stay visible).
+                ctx.profile.note_fallback(FallbackReason::UpdatePlan);
+                execute_collect_ctx(plan, txn, ctx)
+            } else if !morsel_eligible(plan) {
+                ctx.profile.note_fallback(FallbackReason::AccessPath);
+                execute_collect_ctx(plan, txn, ctx)
             } else {
                 let db = txn.db();
-                execute_parallel(plan, db, txn, params, *n)
+                execute_parallel_ctx(plan, db, txn, ctx, *n)
             }
         }
-        Mode::Jit(engine) => execute_jit(engine, plan, txn, params),
+        Mode::Jit(engine) => execute_jit_ctx(engine, plan, txn, ctx),
         Mode::Adaptive(engine, n) => {
+            ctx.profile.mode.get_or_insert(ExecMode::Adaptive);
             if plan.is_update() {
-                execute_jit(engine, plan, txn, params)
-            } else if matches!(plan.ops.first(), Some(Op::NodeScan { .. })) {
+                ctx.profile.note_fallback(FallbackReason::UpdatePlan);
+                execute_jit_ctx(engine, plan, txn, ctx)
+            } else if morsel_eligible(plan) {
                 let db = txn.db();
-                Ok(execute_adaptive(engine, plan, db, txn, params, *n)?.rows)
+                Ok(execute_adaptive_ctx(engine, plan, db, txn, ctx, *n)?.rows)
             } else {
-                execute_jit(engine, plan, txn, params)
+                ctx.profile.note_fallback(FallbackReason::AccessPath);
+                execute_jit_ctx(engine, plan, txn, ctx)
             }
         }
     }

@@ -1,0 +1,378 @@
+//! Differential matrix over the unified morsel scheduler: every
+//! morsel-splittable access path (node-chunk scan, edge-chunk scan,
+//! index-range scan) with filter / expand / aggregate tails, executed
+//! interpreted, parallel and adaptively — all three must produce identical
+//! rows in identical (morsel-merge) order.
+//!
+//! The forced-slow-compile test pins the adaptive switch mid-run: an
+//! injected compile delay plus interpreted-morsel pacing guarantees both
+//! interpreted and compiled morsels in one execution, with results still
+//! byte-identical to the sequential interpreter.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pmemgraph::gjit::{execute_adaptive, execute_adaptive_ctx, JitEngine};
+use pmemgraph::gquery::plan::RelEnd;
+use pmemgraph::gquery::{
+    execute_collect, execute_collect_ctx, execute_parallel, execute_parallel_ctx, CmpOp, ExecCtx,
+    FallbackReason, Op, PPar, Plan, Pred, Proj, QueryError,
+};
+use pmemgraph::graphcore::{DbOptions, Dir, GraphDb, Value};
+use pmemgraph::gstore::{IndexKind, PVal};
+
+struct Fx {
+    db: GraphDb,
+    item: u32,
+    thing: u32,
+    link: u32,
+    v: u32,
+    w: u32,
+}
+
+/// `n` Item nodes (`v` cycling over 0..1000), `n/2` Thing nodes (`w`
+/// sequential, no index), and ~1.5n LINK rels with a `w` property.
+/// `indexed` controls whether `(Item, v)` gets a B+-tree index, so range
+/// scans exercise both the index path and the full-scan fallback.
+fn fixture(n: usize, indexed: bool) -> Fx {
+    let db = GraphDb::create(DbOptions::dram(256 << 20)).unwrap();
+    if indexed {
+        db.create_index("Item", "v", IndexKind::Volatile).unwrap();
+    }
+    let mut tx = db.begin();
+    let mut items = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = tx
+            .create_node("Item", &[("v", Value::Int((i as i64 * 7) % 1000))])
+            .unwrap();
+        items.push(id);
+    }
+    for i in 0..n / 2 {
+        tx.create_node("Thing", &[("w", Value::Int(i as i64))])
+            .unwrap();
+    }
+    for (i, &a) in items.iter().enumerate() {
+        let b = items[(i * 13 + 1) % items.len()];
+        tx.create_rel(a, "LINK", b, &[("w", Value::Int(i as i64 % 50))])
+            .unwrap();
+        if i % 2 == 0 {
+            let c = items[(i * 31 + 7) % items.len()];
+            tx.create_rel(a, "LINK", c, &[("w", Value::Int(99))]).unwrap();
+        }
+    }
+    tx.commit().unwrap();
+    let item = db.intern("Item").unwrap();
+    let thing = db.intern("Thing").unwrap();
+    let link = db.intern("LINK").unwrap();
+    let v = db.intern("v").unwrap();
+    let w = db.intern("w").unwrap();
+    Fx {
+        db,
+        item,
+        thing,
+        link,
+        v,
+        w,
+    }
+}
+
+/// Run `plan` through all three read modes and assert identical results.
+/// Returns the adaptive report's (interpreted, compiled) morsel counts.
+fn assert_modes_agree(fx: &Fx, plan: &Plan, params: &[PVal]) -> (usize, usize) {
+    let engine = Arc::new(JitEngine::new());
+    let mut tx = fx.db.begin();
+    let interp = execute_collect(plan, &mut tx, params).unwrap();
+    for threads in [1, 2, 4] {
+        let par = execute_parallel(plan, &fx.db, &tx, params, threads).unwrap();
+        assert_eq!(par, interp, "parallel({threads}) differs from interpreter");
+    }
+    let report = execute_adaptive(&engine, plan, &fx.db, &tx, params, 4).unwrap();
+    assert_eq!(report.rows, interp, "adaptive differs from interpreter");
+    assert_eq!(
+        (report.interpreted_morsels + report.compiled_morsels) as u64,
+        report.profile.morsels,
+        "every morsel must be counted exactly once"
+    );
+    (report.interpreted_morsels, report.compiled_morsels)
+}
+
+#[test]
+fn node_scan_matrix() {
+    let fx = fixture(640, false);
+    let scan = Op::NodeScan {
+        label: Some(fx.item),
+    };
+    let filter = Op::Filter(Pred::Prop {
+        col: 0,
+        key: fx.v,
+        op: CmpOp::Ge,
+        value: PPar::Const(PVal::Int(300)),
+    });
+    let plans = [
+        Plan::new(vec![scan.clone()], 0),
+        Plan::new(vec![scan.clone(), filter.clone()], 0),
+        Plan::new(
+            vec![
+                scan.clone(),
+                filter.clone(),
+                Op::Project(vec![Proj::Prop { col: 0, key: fx.v }]),
+            ],
+            0,
+        ),
+        // Expand tail: every LINK out of every Item, plus its target.
+        Plan::new(
+            vec![
+                scan.clone(),
+                Op::ForeachRel {
+                    col: 0,
+                    dir: Dir::Out,
+                    label: Some(fx.link),
+                },
+                Op::GetNode {
+                    col: 1,
+                    end: RelEnd::Dst,
+                },
+            ],
+            0,
+        ),
+        // Aggregate + breaker tails.
+        Plan::new(vec![scan.clone(), filter.clone(), Op::Count], 0),
+        Plan::new(
+            vec![
+                scan.clone(),
+                Op::OrderBy {
+                    key: Proj::Prop { col: 0, key: fx.v },
+                    desc: true,
+                },
+                Op::Limit(17),
+                Op::Project(vec![Proj::Prop { col: 0, key: fx.v }]),
+            ],
+            0,
+        ),
+    ];
+    for plan in &plans {
+        assert_modes_agree(&fx, plan, &[]);
+    }
+}
+
+#[test]
+fn edge_scan_matrix() {
+    let fx = fixture(640, false);
+    let scan = Op::RelScan {
+        label: Some(fx.link),
+    };
+    let filter = Op::Filter(Pred::Prop {
+        col: 0,
+        key: fx.w,
+        op: CmpOp::Ge,
+        value: PPar::Param(0),
+    });
+    let plans = [
+        Plan::new(vec![scan.clone()], 0),
+        Plan::new(vec![Op::RelScan { label: None }, Op::Count], 0),
+        Plan::new(vec![scan.clone(), filter.clone()], 1),
+        // Expand from the edge to its endpoints, then aggregate.
+        Plan::new(
+            vec![
+                scan.clone(),
+                filter.clone(),
+                Op::GetNode {
+                    col: 0,
+                    end: RelEnd::Src,
+                },
+                Op::Project(vec![Proj::Prop { col: 1, key: fx.v }]),
+            ],
+            1,
+        ),
+        Plan::new(vec![scan.clone(), filter.clone(), Op::Count], 1),
+    ];
+    for plan in &plans {
+        let (interp, compiled) = assert_modes_agree(&fx, plan, &[PVal::Int(25)]);
+        // Edge chunks are a first-class morsel source: the adaptive run
+        // must have scheduled real morsels, not one sequential task.
+        assert!(
+            interp + compiled > 1,
+            "rel scan should split into multiple morsels"
+        );
+    }
+}
+
+#[test]
+fn index_range_matrix() {
+    for indexed in [true, false] {
+        let fx = fixture(640, indexed);
+        let range = |lo: i64, hi: i64| Op::IndexRangeScan {
+            label: fx.item,
+            key: fx.v,
+            lo: PPar::Const(PVal::Int(lo)),
+            hi: PPar::Const(PVal::Int(hi)),
+        };
+        let plans = [
+            Plan::new(vec![range(100, 400)], 0),
+            Plan::new(
+                vec![
+                    range(100, 400),
+                    Op::Filter(Pred::Prop {
+                        col: 0,
+                        key: fx.v,
+                        op: CmpOp::Ne,
+                        value: PPar::Const(PVal::Int(105)),
+                    }),
+                    Op::Project(vec![Proj::Prop { col: 0, key: fx.v }]),
+                ],
+                0,
+            ),
+            Plan::new(vec![range(0, 999), Op::Count], 0),
+            Plan::new(
+                vec![
+                    range(200, 800),
+                    Op::OrderBy {
+                        key: Proj::Prop { col: 0, key: fx.v },
+                        desc: false,
+                    },
+                    Op::Limit(11),
+                ],
+                0,
+            ),
+            // Parameterised bounds; lo > hi must yield exactly nothing.
+            Plan::new(
+                vec![Op::IndexRangeScan {
+                    label: fx.item,
+                    key: fx.v,
+                    lo: PPar::Param(0),
+                    hi: PPar::Param(1),
+                }],
+                2,
+            ),
+        ];
+        for plan in &plans[..4] {
+            assert_modes_agree(&fx, plan, &[]);
+        }
+        assert_modes_agree(&fx, &plans[4], &[PVal::Int(50), PVal::Int(60)]);
+        let mut tx = fx.db.begin();
+        let empty =
+            execute_collect(&plans[4], &mut tx, &[PVal::Int(60), PVal::Int(50)]).unwrap();
+        assert!(empty.is_empty(), "inverted range must be empty");
+        drop(tx);
+
+        // The unindexed Thing label exercises the full-scan fallback of
+        // the same access path.
+        let plan = Plan::new(
+            vec![
+                Op::IndexRangeScan {
+                    label: fx.thing,
+                    key: fx.w,
+                    lo: PPar::Const(PVal::Int(10)),
+                    hi: PPar::Const(PVal::Int(200)),
+                },
+                Op::Project(vec![Proj::Prop { col: 0, key: fx.w }]),
+            ],
+            0,
+        );
+        assert_modes_agree(&fx, &plan, &[]);
+    }
+}
+
+#[test]
+fn index_range_adaptive_reports_jit_fallback() {
+    let fx = fixture(640, true);
+    let engine = Arc::new(JitEngine::new());
+    let plan = Plan::new(
+        vec![Op::IndexRangeScan {
+            label: fx.item,
+            key: fx.v,
+            lo: PPar::Const(PVal::Int(0)),
+            hi: PPar::Const(PVal::Int(999)),
+        }],
+        0,
+    );
+    let tx = fx.db.begin();
+    let report = execute_adaptive(&engine, &plan, &fx.db, &tx, &[], 4).unwrap();
+    // The code generator cannot address candidate batches, so compilation
+    // is reported as a fallback and every morsel interprets — but the
+    // morsel scheduler still ran the access path in parallel.
+    assert_eq!(report.compiled_morsels, 0);
+    assert!(report.interpreted_morsels > 1);
+    assert_eq!(report.profile.fallback, Some(FallbackReason::JitUnsupported));
+}
+
+#[test]
+fn forced_slow_compile_switches_mid_run() {
+    // A non-NodeScan access path (edge chunks) through the adaptive
+    // scheduler: compilation is delayed and interpreted morsels are paced,
+    // so the task swap happens mid-run — some morsels interpret, the rest
+    // run machine code, and the merged result is still exactly the
+    // sequential interpreter's.
+    let fx = fixture(1024, false);
+    let engine = Arc::new(JitEngine::new());
+    engine.set_compile_delay(Duration::from_millis(120));
+    let plan = Plan::new(
+        vec![
+            Op::RelScan {
+                label: Some(fx.link),
+            },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: fx.w,
+                op: CmpOp::Ge,
+                value: PPar::Const(PVal::Int(10)),
+            }),
+        ],
+        0,
+    );
+    let mut tx = fx.db.begin();
+    let interp = execute_collect(&plan, &mut tx, &[]).unwrap();
+    let morsels = fx.db.rels().chunk_count();
+    assert!(morsels >= 8, "fixture must span many rel chunks");
+
+    let mut ctx = ExecCtx::new(&[]).with_morsel_pace(Duration::from_millis(15));
+    let report = execute_adaptive_ctx(&engine, &plan, &fx.db, &tx, &mut ctx, 2).unwrap();
+    assert_eq!(report.rows, interp, "mid-run switch must not change results");
+    assert!(report.switched, "compilation must have finished");
+    assert!(
+        report.interpreted_morsels > 0,
+        "the compile delay must leave interpreted morsels"
+    );
+    assert!(
+        report.compiled_morsels > 0,
+        "the pacing must leave morsels for compiled code"
+    );
+    assert_eq!(report.interpreted_morsels + report.compiled_morsels, morsels);
+}
+
+#[test]
+fn deadline_and_cancellation_surface_typed_errors() {
+    let fx = fixture(320, false);
+    let plan = Plan::new(
+        vec![Op::NodeScan {
+            label: Some(fx.item),
+        }],
+        0,
+    );
+    let tx = fx.db.begin();
+
+    // Already-expired deadline: rejected before any morsel runs.
+    let mut ctx = ExecCtx::new(&[]).with_deadline(Instant::now());
+    let err = execute_parallel_ctx(&plan, &fx.db, &tx, &mut ctx, 4).unwrap_err();
+    assert!(matches!(err, QueryError::DeadlineExceeded), "{err:?}");
+
+    // Deadline expiring mid-run (paced morsels, single worker).
+    let mut ctx = ExecCtx::new(&[])
+        .with_deadline(Instant::now() + Duration::from_millis(40))
+        .with_morsel_pace(Duration::from_millis(10));
+    let err = execute_parallel_ctx(&plan, &fx.db, &tx, &mut ctx, 1).unwrap_err();
+    assert!(matches!(err, QueryError::DeadlineExceeded), "{err:?}");
+
+    // Pre-raised cancellation flag.
+    let cancel = AtomicBool::new(true);
+    let mut ctx = ExecCtx::new(&[]).with_cancel(&cancel);
+    let err = execute_parallel_ctx(&plan, &fx.db, &tx, &mut ctx, 4).unwrap_err();
+    assert!(matches!(err, QueryError::Cancelled), "{err:?}");
+
+    // The sequential path honours the same controls.
+    let mut reader = fx.db.begin();
+    let mut ctx = ExecCtx::new(&[]).with_cancel(&cancel);
+    let err = execute_collect_ctx(&plan, &mut reader, &mut ctx).unwrap_err();
+    assert!(matches!(err, QueryError::Cancelled), "{err:?}");
+}
