@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use pmem::Pool;
 
 use gquery::plan::Row;
-use gquery::{execute_prebuffered, ExecCtx, ExecMode, Op, Plan, QueryError, Slot};
+use gquery::{execute_prebuffered, ExecCtx, ExecMode, Op, Plan, Pushdown, QueryError, Slot};
 use graphcore::GraphTxn;
 use gstore::PVal;
 
@@ -425,13 +425,45 @@ impl Default for JitEngine {
     }
 }
 
-/// Chunk range the compiled segment should cover for a full execution.
-pub(crate) fn full_range(plan_seg_first: &Op, txn: &GraphTxn<'_>) -> (u64, u64) {
-    match plan_seg_first {
-        Op::NodeScan { .. } => (0, txn.db().nodes().chunk_count() as u64),
-        Op::RelScan { .. } => (0, txn.db().rels().chunk_count() as u64),
-        _ => (0, 1),
+/// Chunk ranges the compiled segment should cover for a full execution:
+/// maximal contiguous runs of the chunks surviving zone-map predicate
+/// pushdown, plus the number of chunks pruned. Compiled pipelines address
+/// `[c0, c1)` spans, so the one-shot JIT driver consumes the same pruned
+/// candidate stream as the morsel scheduler — all four execution modes
+/// skip identical chunks and stay output-identical.
+pub(crate) fn pruned_ranges(
+    plan: &Plan,
+    txn: &GraphTxn<'_>,
+    params: &[PVal],
+) -> (Vec<(u64, u64)>, u64) {
+    let (seg, _) = plan.split_first_segment();
+    match seg.first() {
+        Some(Op::NodeScan { .. }) => {
+            let pd = Pushdown::extract(seg, params);
+            let (chunks, pruned) =
+                pd.surviving_node_chunks(txn.db().accel(), txn.db().nodes().chunk_count());
+            (chunk_runs(&chunks), pruned)
+        }
+        Some(Op::RelScan { .. }) => {
+            let pd = Pushdown::extract(seg, params);
+            let (chunks, pruned) =
+                pd.surviving_rel_chunks(txn.db().accel(), txn.db().rels().chunk_count());
+            (chunk_runs(&chunks), pruned)
+        }
+        _ => (vec![(0, 1)], 0),
     }
+}
+
+/// Pack an ordered chunk list into maximal `[c0, c1)` runs.
+fn chunk_runs(chunks: &[usize]) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for &c in chunks {
+        match out.last_mut() {
+            Some((_, end)) if *end == c as u64 => *end += 1,
+            _ => out.push((c as u64, c as u64 + 1)),
+        }
+    }
+    out
 }
 
 /// Execute a plan through the JIT: compiled first segment, AOT tail.
@@ -458,9 +490,11 @@ pub fn execute_jit_ctx(
     ctx.check_interrupt()?;
     ctx.profile.mode.get_or_insert(ExecMode::Jit);
     let start = Instant::now();
-    let rows = execute_jit(engine, plan, txn, ctx.params)?;
+    let compiled = engine.get_or_compile(plan)?;
+    let (rows, pruned) = run_compiled_pruned(&compiled, plan, txn, ctx.params)?;
     ctx.profile.morsels += 1;
     ctx.profile.compiled_morsels += 1;
+    ctx.profile.chunks_pruned += pruned;
     ctx.profile.segments.push(("jit", start.elapsed()));
     ctx.profile.rows += rows.len() as u64;
     ctx.check_interrupt()?;
@@ -475,11 +509,26 @@ pub fn run_compiled(
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
 ) -> Result<Vec<Row>, QueryError> {
-    let (c0, c1) = full_range(&plan.ops[0], txn);
-    let out = run_compiled_range(compiled, txn, params, c0, c1)?;
+    run_compiled_pruned(compiled, plan, txn, params).map(|(rows, _)| rows)
+}
+
+/// [`run_compiled`] also reporting how many chunks zone-map pruning
+/// skipped. Surviving runs execute in chunk order, so pruned output is
+/// row-for-row identical to an unpruned full-range run.
+fn run_compiled_pruned(
+    compiled: &CompiledQuery,
+    plan: &Plan,
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+) -> Result<(Vec<Row>, u64), QueryError> {
+    let (ranges, pruned) = pruned_ranges(plan, txn, params);
+    let mut out = Vec::new();
+    for (c0, c1) in ranges {
+        out.extend(run_compiled_range(compiled, txn, params, c0, c1)?);
+    }
     let tail = &plan.ops[compiled.seg_len..];
     if tail.is_empty() {
-        return Ok(out);
+        return Ok((out, pruned));
     }
     let mut rows = Vec::new();
     let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
@@ -487,7 +536,7 @@ pub fn run_compiled(
         Ok(())
     };
     execute_prebuffered(tail, txn, params, out, &mut sink)?;
-    Ok(rows)
+    Ok((rows, pruned))
 }
 
 /// Run the compiled first segment over the chunk range `[c0, c1)` only —

@@ -346,18 +346,13 @@ pub extern "C" fn rt_connected(
     label: u64,
 ) -> i64 {
     let c = unsafe { ctx(c) };
+    // Stream both adjacency lists with early exit (no materialized Vec —
+    // same contract as the interpreter's `Connected` evaluation).
     let check = || -> Result<bool, graphcore::GraphError> {
-        for (_, r) in c.txn.rels_of(a, Dir::Out, Some(label as u32))? {
-            if r.dst == b {
-                return Ok(true);
-            }
+        if c.txn.any_rel(a, Dir::Out, Some(label as u32), |_, r| r.dst == b)? {
+            return Ok(true);
         }
-        for (_, r) in c.txn.rels_of(a, Dir::In, Some(label as u32))? {
-            if r.src == b {
-                return Ok(true);
-            }
-        }
-        Ok(false)
+        c.txn.any_rel(a, Dir::In, Some(label as u32), |_, r| r.src == b)
     };
     match check() {
         Ok(v) => v as i64,

@@ -10,8 +10,10 @@ use std::fmt;
 
 use graphcore::{Dir, GraphError, GraphTxn, PropOwner};
 use gstore::PVal;
+use gtxn::TableTag;
 
 use crate::plan::{split_first_segment, CmpOp, Op, Plan, Pred, Proj, RelEnd, Row, Slot};
+use crate::pushdown::Pushdown;
 
 /// Errors during query execution.
 #[derive(Debug)]
@@ -222,15 +224,26 @@ fn exec_access_path(
     match &ops[0] {
         Op::Once => push(rest, txn, params, &[], sink),
         Op::NodeScan { label } => {
+            // Chunk pruning via zone maps; the residual predicate still
+            // runs per row inside the pipeline, so results are identical
+            // with acceleration on or off.
+            let pd = Pushdown::extract(ops, params);
             let chunks = txn.db().nodes().chunk_count();
             for ci in 0..chunks {
+                if !pd.node_chunk_survives(txn.db().accel(), ci) {
+                    continue;
+                }
                 scan_node_chunk(ci, *label, rest, txn, params, sink)?;
             }
             Ok(())
         }
         Op::RelScan { label } => {
+            let pd = Pushdown::extract(ops, params);
             let chunks = txn.db().rels().chunk_count();
             for ci in 0..chunks {
+                if !pd.rel_chunk_survives(txn.db().accel(), ci) {
+                    continue;
+                }
                 scan_rel_chunk(ci, *label, rest, txn, params, sink)?;
             }
             Ok(())
@@ -275,7 +288,11 @@ fn exec_access_path(
 }
 
 /// Morsel entry point: run the pipeline on one node-table chunk (used by
-/// the morsel scheduler in [`crate::sched`]).
+/// the morsel scheduler in [`crate::sched`]). Tries to claim the MVTO
+/// single-version fast path for the chunk first; clean chunks are read
+/// straight from record bytes, dirty ones through the full version-chain
+/// protocol. Returns `(fast path claimed, rows handed to the residual
+/// pipeline)`.
 pub(crate) fn scan_node_chunk(
     chunk: usize,
     label: Option<u32>,
@@ -283,20 +300,25 @@ pub(crate) fn scan_node_chunk(
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
     sink: Sink<'_>,
-) -> Result<(), QueryError> {
+) -> Result<(bool, u64), QueryError> {
+    let fast = txn.try_fast_chunk(TableTag::Node, chunk);
     let mut ids = Vec::with_capacity(64);
     txn.db().nodes().for_each_live_id(chunk, &mut |id| ids.push(id));
+    let mut rows = 0u64;
     for id in ids {
-        if let Some(n) = txn.node(id)? {
+        let n = if fast { txn.node_fast(id)? } else { txn.node(id)? };
+        if let Some(n) = n {
             if label.is_none_or(|l| n.label == l) {
+                rows += 1;
                 push(rest, txn, params, &[Slot::node(id)], sink)?;
             }
         }
     }
-    Ok(())
+    Ok((fast, rows))
 }
 
-/// Morsel entry point: run the pipeline on one relationship-table chunk.
+/// Morsel entry point: run the pipeline on one relationship-table chunk
+/// (same fast-path contract as [`scan_node_chunk`]).
 pub(crate) fn scan_rel_chunk(
     chunk: usize,
     label: Option<u32>,
@@ -304,17 +326,21 @@ pub(crate) fn scan_rel_chunk(
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
     sink: Sink<'_>,
-) -> Result<(), QueryError> {
+) -> Result<(bool, u64), QueryError> {
+    let fast = txn.try_fast_chunk(TableTag::Rel, chunk);
     let mut ids = Vec::with_capacity(64);
     txn.db().rels().for_each_live_id(chunk, &mut |id| ids.push(id));
+    let mut rows = 0u64;
     for id in ids {
-        if let Some(r) = txn.rel(id)? {
+        let r = if fast { txn.rel_fast(id)? } else { txn.rel(id)? };
+        if let Some(r) = r {
             if label.is_none_or(|l| r.label == l) {
+                rows += 1;
                 push(rest, txn, params, &[Slot::rel(id)], sink)?;
             }
         }
     }
-    Ok(())
+    Ok((fast, rows))
 }
 
 /// Candidate node ids for an `IndexRangeScan` with resolved key bounds, in
@@ -599,17 +625,13 @@ fn connected(
 ) -> Result<bool, QueryError> {
     let na = entity(row, a, "Connected.a")?;
     let nb = entity(row, b, "Connected.b")?;
-    for (_, r) in txn.rels_of(na, Dir::Out, Some(label))? {
-        if r.dst == nb {
-            return Ok(true);
-        }
+    // Stream the adjacency lists with early exit — probing one edge must
+    // not materialize a hub node's full neighbourhood.
+    if txn.any_rel(na, Dir::Out, Some(label), |_, r| r.dst == nb)? {
+        return Ok(true);
     }
-    for (_, r) in txn.rels_of(na, Dir::In, Some(label))? {
-        if r.src == nb {
-            return Ok(true);
-        }
-    }
-    Ok(false)
+    txn.any_rel(na, Dir::In, Some(label), |_, r| r.src == nb)
+        .map_err(QueryError::from)
 }
 
 fn bad_col(col: usize) -> QueryError {

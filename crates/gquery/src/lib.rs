@@ -20,11 +20,13 @@
 pub mod exec;
 pub mod parallel;
 pub mod plan;
+pub mod pushdown;
 pub mod sched;
 
 pub use exec::{execute, execute_collect, execute_prebuffered, QueryError};
 pub use parallel::{execute_parallel, execute_parallel_ctx};
 pub use plan::{split_first_segment, CmpOp, Op, PPar, Plan, Pred, Proj, Row, Slot, SlotTag};
+pub use pushdown::Pushdown;
 pub use sched::{
     execute_collect_ctx, execute_morsels, morsel_eligible, CompiledTask, ExecCtx, ExecMode,
     ExecProfile, FallbackReason, MorselSource, TaskSlot,

@@ -36,6 +36,7 @@ use parking_lot::Mutex;
 
 use crate::exec::{self, QueryError};
 use crate::plan::{Op, Plan, Row, Slot};
+use crate::pushdown::Pushdown;
 
 /// Which executor drove a query — the four configurations of the paper's
 /// evaluation.
@@ -99,6 +100,15 @@ pub struct ExecProfile {
     pub compiled_morsels: u64,
     /// Rows produced (after breakers).
     pub rows: u64,
+    /// Chunks skipped by zone-map predicate pushdown before any row was
+    /// materialized.
+    pub chunks_pruned: u64,
+    /// Morsels that claimed the MVTO single-version fast path (clean
+    /// chunks read straight from record bytes).
+    pub fast_path_morsels: u64,
+    /// Rows materialized from surviving chunks and handed to the residual
+    /// pipeline (the per-row filtering pushdown could not elide).
+    pub residual_rows: u64,
     /// Per-segment wall-clock timings, in execution order.
     pub segments: Vec<(&'static str, Duration)>,
     /// First fallback hit, if any.
@@ -120,6 +130,9 @@ impl ExecProfile {
         self.interpreted_morsels += other.interpreted_morsels;
         self.compiled_morsels += other.compiled_morsels;
         self.rows += other.rows;
+        self.chunks_pruned += other.chunks_pruned;
+        self.fast_path_morsels += other.fast_path_morsels;
+        self.residual_rows += other.residual_rows;
         self.segments.extend(other.segments);
         if self.fallback.is_none() {
             self.fallback = other.fallback;
@@ -229,6 +242,13 @@ pub trait MorselSource: Send + Sync {
     /// then always interprets).
     fn compiled_range(&self, morsel: usize) -> Option<(u64, u64)>;
 
+    /// Read-acceleration stats accumulated across interpreted morsels:
+    /// `(fast-path morsels, rows handed to the residual pipeline)`.
+    /// Sources without per-morsel instrumentation report zeros.
+    fn drain_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
     /// Access-path name for profiles and diagnostics.
     fn kind(&self) -> &'static str;
 }
@@ -239,12 +259,16 @@ const RANGE_BATCH: usize = 64;
 
 struct NodeChunks {
     label: Option<u32>,
-    chunks: usize,
+    /// Surviving chunk indexes after zone-map pruning, in chunk order (so
+    /// morsel-order merging still reproduces the sequential row order).
+    chunks: Vec<usize>,
+    fast: AtomicU64,
+    residual: AtomicU64,
 }
 
 impl MorselSource for NodeChunks {
     fn morsel_count(&self) -> usize {
-        self.chunks
+        self.chunks.len()
     }
 
     fn run_interpreted(
@@ -255,11 +279,25 @@ impl MorselSource for NodeChunks {
         params: &[PVal],
         sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
     ) -> Result<(), QueryError> {
-        exec::scan_node_chunk(morsel, self.label, rest, txn, params, sink)
+        let (fast, rows) =
+            exec::scan_node_chunk(self.chunks[morsel], self.label, rest, txn, params, sink)?;
+        if fast {
+            self.fast.fetch_add(1, Ordering::Relaxed);
+        }
+        self.residual.fetch_add(rows, Ordering::Relaxed);
+        Ok(())
     }
 
     fn compiled_range(&self, morsel: usize) -> Option<(u64, u64)> {
-        Some((morsel as u64, morsel as u64 + 1))
+        let c = self.chunks[morsel] as u64;
+        Some((c, c + 1))
+    }
+
+    fn drain_stats(&self) -> (u64, u64) {
+        (
+            self.fast.load(Ordering::Relaxed),
+            self.residual.load(Ordering::Relaxed),
+        )
     }
 
     fn kind(&self) -> &'static str {
@@ -269,12 +307,14 @@ impl MorselSource for NodeChunks {
 
 struct RelChunks {
     label: Option<u32>,
-    chunks: usize,
+    chunks: Vec<usize>,
+    fast: AtomicU64,
+    residual: AtomicU64,
 }
 
 impl MorselSource for RelChunks {
     fn morsel_count(&self) -> usize {
-        self.chunks
+        self.chunks.len()
     }
 
     fn run_interpreted(
@@ -285,11 +325,25 @@ impl MorselSource for RelChunks {
         params: &[PVal],
         sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
     ) -> Result<(), QueryError> {
-        exec::scan_rel_chunk(morsel, self.label, rest, txn, params, sink)
+        let (fast, rows) =
+            exec::scan_rel_chunk(self.chunks[morsel], self.label, rest, txn, params, sink)?;
+        if fast {
+            self.fast.fetch_add(1, Ordering::Relaxed);
+        }
+        self.residual.fetch_add(rows, Ordering::Relaxed);
+        Ok(())
     }
 
     fn compiled_range(&self, morsel: usize) -> Option<(u64, u64)> {
-        Some((morsel as u64, morsel as u64 + 1))
+        let c = self.chunks[morsel] as u64;
+        Some((c, c + 1))
+    }
+
+    fn drain_stats(&self) -> (u64, u64) {
+        (
+            self.fast.load(Ordering::Relaxed),
+            self.residual.load(Ordering::Relaxed),
+        )
     }
 
     fn kind(&self) -> &'static str {
@@ -339,35 +393,59 @@ impl MorselSource for IndexRange {
     }
 }
 
-/// Build the morsel source for a first-segment access path, or `None` if
-/// the operator cannot be morsel-split.
+/// Build the morsel source for a first pipeline segment, or `None` if its
+/// access path cannot be morsel-split. Table-scan sources are built from
+/// the chunks *surviving* zone-map predicate pushdown; the second element
+/// is the number of chunks pruned before any row was materialized.
 fn source_for(
-    head: &Op,
+    seg: &[Op],
     db: &GraphDb,
     snapshot: &GraphTxn<'_>,
     params: &[PVal],
-) -> Option<Box<dyn MorselSource>> {
-    match head {
-        Op::NodeScan { label } => Some(Box::new(NodeChunks {
-            label: *label,
-            chunks: db.nodes().chunk_count(),
-        })),
-        Op::RelScan { label } => Some(Box::new(RelChunks {
-            label: *label,
-            chunks: db.rels().chunk_count(),
-        })),
+) -> Option<(Box<dyn MorselSource>, u64)> {
+    match seg.first()? {
+        Op::NodeScan { label } => {
+            let pd = Pushdown::extract(seg, params);
+            let (chunks, pruned) =
+                pd.surviving_node_chunks(db.accel(), db.nodes().chunk_count());
+            Some((
+                Box::new(NodeChunks {
+                    label: *label,
+                    chunks,
+                    fast: AtomicU64::new(0),
+                    residual: AtomicU64::new(0),
+                }),
+                pruned,
+            ))
+        }
+        Op::RelScan { label } => {
+            let pd = Pushdown::extract(seg, params);
+            let (chunks, pruned) = pd.surviving_rel_chunks(db.accel(), db.rels().chunk_count());
+            Some((
+                Box::new(RelChunks {
+                    label: *label,
+                    chunks,
+                    fast: AtomicU64::new(0),
+                    residual: AtomicU64::new(0),
+                }),
+                pruned,
+            ))
+        }
         Op::IndexRangeScan { label, key, lo, hi } => {
             let lo = lo.resolve(params).index_key();
             let hi = hi.resolve(params).index_key();
             let ids = exec::range_candidates(snapshot, *label, *key, lo, hi);
             let batches = ids.chunks(RANGE_BATCH).map(<[u64]>::to_vec).collect();
-            Some(Box::new(IndexRange {
-                label: *label,
-                key: *key,
-                lo,
-                hi,
-                batches,
-            }))
+            Some((
+                Box::new(IndexRange {
+                    label: *label,
+                    key: *key,
+                    lo,
+                    hi,
+                    batches,
+                }),
+                0,
+            ))
         }
         _ => None,
     }
@@ -456,14 +534,11 @@ pub fn execute_morsels(
     }
     ctx.check_interrupt()?;
     let (seg, tail) = plan.split_first_segment();
-    let Some(head) = seg.first() else {
+    let Some((source, pruned)) = source_for(seg, db, snapshot, ctx.params) else {
         ctx.profile.note_fallback(FallbackReason::AccessPath);
         return Ok(None);
     };
-    let Some(source) = source_for(head, db, snapshot, ctx.params) else {
-        ctx.profile.note_fallback(FallbackReason::AccessPath);
-        return Ok(None);
-    };
+    ctx.profile.chunks_pruned += pruned;
     let source = &*source;
     let rest = &seg[1..];
     let morsels = source.morsel_count();
@@ -542,6 +617,9 @@ pub fn execute_morsels(
     ctx.profile.morsels += morsels as u64;
     ctx.profile.interpreted_morsels += interp_count.into_inner();
     ctx.profile.compiled_morsels += jit_count.into_inner();
+    let (fast, residual) = source.drain_stats();
+    ctx.profile.fast_path_morsels += fast;
+    ctx.profile.residual_rows += residual;
     ctx.profile.segments.push((source.kind(), head_start.elapsed()));
 
     let merged: Vec<Row> = results.into_iter().flat_map(Mutex::into_inner).collect();

@@ -1,0 +1,225 @@
+//! DRAM read-acceleration metadata: per-chunk zone maps over the
+//! persistent tables.
+//!
+//! The paper keeps every translation structure volatile because PMem reads
+//! cost ~3× DRAM (C1); this module extends that principle to scans. For
+//! each 64-record chunk it tracks, purely in DRAM:
+//!
+//! * a **label bitset** (bit `label & 63`) of every label ever stored in
+//!   the chunk, for nodes and relationships;
+//! * per registered property key, the **min/max index key** ever stored
+//!   for a node in the chunk (a zone map).
+//!
+//! Scans with sargable leading conjuncts consult these maps to skip whole
+//! chunks without touching PMem. All metadata is *widen-only*: creates and
+//! property writes widen zones eagerly (before commit), commits replay the
+//! staged index updates (covering keys registered while the transaction
+//! was in flight), and aborts leave zones stale-wide — which can only cost
+//! a false "may match", never a wrong prune. Chunks with no entry have
+//! never stored a matching record since the last rebuild and are prunable.
+//!
+//! Rebuilds run at [`GraphDb::open`](crate::GraphDb::open) and at index
+//! creation from the latest committed versions (the same source
+//! `fill_index` trusts), so the maps cover everything committed before the
+//! process started tracking.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use gstore::chunked::CHUNK_CAP;
+
+/// The chunk a record id lives in.
+#[inline]
+fn chunk_of(id: u64) -> usize {
+    id as usize / CHUNK_CAP
+}
+
+#[inline]
+fn label_bit(label: u32) -> u64 {
+    1u64 << (label & 63)
+}
+
+/// Per-chunk label bitsets for one table (grow-on-demand).
+#[derive(Default)]
+struct LabelZones {
+    chunks: RwLock<Vec<Arc<AtomicU64>>>,
+}
+
+impl LabelZones {
+    fn note(&self, chunk: usize, label: u32) {
+        {
+            let g = self.chunks.read();
+            if let Some(c) = g.get(chunk) {
+                c.fetch_or(label_bit(label), Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut g = self.chunks.write();
+        while g.len() <= chunk {
+            g.push(Arc::new(AtomicU64::new(0)));
+        }
+        g[chunk].fetch_or(label_bit(label), Ordering::Relaxed);
+    }
+
+    /// False only when no record with this label can live in the chunk.
+    fn may_match(&self, chunk: usize, label: u32) -> bool {
+        self.chunks
+            .read()
+            .get(chunk)
+            .is_some_and(|c| c.load(Ordering::Relaxed) & label_bit(label) != 0)
+    }
+
+    fn clear(&self) {
+        self.chunks.write().clear();
+    }
+}
+
+/// Per-chunk min/max index keys for one property key. The empty sentinel
+/// is `min = u64::MAX, max = 0` (never stored ⇒ prunable for any range).
+#[derive(Default)]
+struct Zone {
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Zone {
+    fn new_empty() -> Zone {
+        Zone {
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Default)]
+struct PropZones {
+    chunks: RwLock<Vec<Arc<Zone>>>,
+}
+
+impl PropZones {
+    fn widen(&self, chunk: usize, ikey: u64) {
+        let zone = {
+            let g = self.chunks.read();
+            g.get(chunk).cloned()
+        };
+        let zone = match zone {
+            Some(z) => z,
+            None => {
+                let mut g = self.chunks.write();
+                while g.len() <= chunk {
+                    g.push(Arc::new(Zone::new_empty()));
+                }
+                g[chunk].clone()
+            }
+        };
+        zone.min.fetch_min(ikey, Ordering::Relaxed);
+        zone.max.fetch_max(ikey, Ordering::Relaxed);
+    }
+
+    /// False only when no node in the chunk can carry the key inside
+    /// `[lo, hi]` (zone disjoint, or key never stored in the chunk).
+    fn may_overlap(&self, chunk: usize, lo: u64, hi: u64) -> bool {
+        self.chunks.read().get(chunk).is_some_and(|z| {
+            let min = z.min.load(Ordering::Relaxed);
+            let max = z.max.load(Ordering::Relaxed);
+            min <= max && min <= hi && max >= lo
+        })
+    }
+}
+
+/// The read-acceleration layer of a [`GraphDb`](crate::GraphDb): label
+/// bitsets for both tables plus node-property zone maps for every
+/// registered (≈ indexed) key. Maintenance is always on; `enabled` only
+/// gates whether scans *use* the maps, so the toggle is safe at runtime.
+#[derive(Default)]
+pub struct ReadAccel {
+    enabled: AtomicBool,
+    node_labels: LabelZones,
+    rel_labels: LabelZones,
+    node_props: RwLock<HashMap<u32, Arc<PropZones>>>,
+}
+
+impl ReadAccel {
+    /// Gate chunk pruning on or off (fast-path claiming is gated
+    /// separately by the transaction manager's flag; `GraphDb` flips both
+    /// together).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    /// True if scans may consult the zone maps.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Start zone-tracking a property key, installing zones prefilled
+    /// from `entries` (`(node_id, index_key)` pairs from the latest
+    /// committed data). Prefill happens under the registry's write lock,
+    /// so a concurrent scan can never observe the key registered with
+    /// incomplete zones. Returns false if the key was already registered.
+    pub fn register_key(&self, key: u32, entries: &[(u64, u64)]) -> bool {
+        let mut g = self.node_props.write();
+        if g.contains_key(&key) {
+            return false;
+        }
+        let z = Arc::new(PropZones::default());
+        for &(id, ikey) in entries {
+            z.widen(chunk_of(id), ikey);
+        }
+        g.insert(key, z);
+        true
+    }
+
+    /// True if the key has zone maps.
+    pub fn key_registered(&self, key: u32) -> bool {
+        self.node_props.read().contains_key(&key)
+    }
+
+    /// Record that a node with `label` lives (or lived) in `id`'s chunk.
+    pub fn note_node_label(&self, id: u64, label: u32) {
+        self.node_labels.note(chunk_of(id), label);
+    }
+
+    /// Record that a relationship with `label` lives in `id`'s chunk.
+    pub fn note_rel_label(&self, id: u64, label: u32) {
+        self.rel_labels.note(chunk_of(id), label);
+    }
+
+    /// Widen the zone of `key` in node `id`'s chunk to cover `ikey`.
+    /// No-op for unregistered keys.
+    pub fn note_node_prop(&self, key: u32, id: u64, ikey: u64) {
+        let zones = self.node_props.read().get(&key).cloned();
+        if let Some(z) = zones {
+            z.widen(chunk_of(id), ikey);
+        }
+    }
+
+    /// May node chunk `chunk` contain a node with `label`?
+    pub fn node_chunk_may_match_label(&self, chunk: usize, label: u32) -> bool {
+        self.node_labels.may_match(chunk, label)
+    }
+
+    /// May relationship chunk `chunk` contain a rel with `label`?
+    pub fn rel_chunk_may_match_label(&self, chunk: usize, label: u32) -> bool {
+        self.rel_labels.may_match(chunk, label)
+    }
+
+    /// May node chunk `chunk` contain `key` within `[lo, hi]`? Returns
+    /// true (cannot prune) for unregistered keys.
+    pub fn node_chunk_may_overlap(&self, key: u32, chunk: usize, lo: u64, hi: u64) -> bool {
+        match self.node_props.read().get(&key) {
+            Some(z) => z.may_overlap(chunk, lo, hi),
+            None => true,
+        }
+    }
+
+    /// Drop label bitsets (rebuild follows; registered keys keep their
+    /// zones, which are rebuilt per key).
+    pub(crate) fn clear_labels(&self) {
+        self.node_labels.clear();
+        self.rel_labels.clear();
+    }
+}

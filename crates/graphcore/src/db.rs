@@ -13,6 +13,7 @@ use gstore::{
 };
 use gtxn::{TableTag, TxnManager};
 
+use crate::accel::ReadAccel;
 use crate::error::GraphError;
 use crate::index::IndexDef;
 use crate::txn::GraphTxn;
@@ -119,10 +120,20 @@ pub struct GraphDb {
     dict: Dictionary,
     mgr: TxnManager,
     indexes: RwLock<Vec<IndexDef>>,
+    accel: ReadAccel,
     root_off: u64,
     /// Slots of deleted records awaiting reclamation once no snapshot can
     /// reach them (§5.3: bitmap-free, never deallocate).
     deferred_slots: Mutex<Vec<(u64, TableTag, RecId)>>,
+}
+
+/// Default for the read-acceleration toggle: on, unless
+/// `PMEMGRAPH_READ_ACCEL` is set to `0`/`false`/`off`/`no`.
+fn read_accel_env() -> bool {
+    match std::env::var("PMEMGRAPH_READ_ACCEL") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
 }
 
 impl GraphDb {
@@ -167,7 +178,7 @@ impl GraphDb {
         pool.write(pmem::POff::new(root_off), &root);
         pool.persist(root_off, std::mem::size_of::<GraphRoot>());
         pool.set_root::<GraphRoot>(pmem::POff::new(root_off));
-        Ok(GraphDb {
+        let db = GraphDb {
             pool,
             nodes,
             rels,
@@ -175,9 +186,12 @@ impl GraphDb {
             dict,
             mgr,
             indexes: RwLock::new(Vec::new()),
+            accel: ReadAccel::default(),
             root_off,
             deferred_slots: Mutex::new(Vec::new()),
-        })
+        };
+        db.set_read_accel(read_accel_env());
+        Ok(db)
     }
 
     /// Open an existing persistent database, running full recovery:
@@ -208,6 +222,7 @@ impl GraphDb {
             dict,
             mgr,
             indexes: RwLock::new(Vec::new()),
+            accel: ReadAccel::default(),
             root_off,
             deferred_slots: Mutex::new(Vec::new()),
         };
@@ -241,6 +256,16 @@ impl GraphDb {
             });
         }
         *db.indexes.write() = defs;
+        // Rebuild the DRAM read-acceleration metadata from the latest
+        // committed versions (same source fill_index trusts): label bitsets
+        // for both tables, plus zone maps for every indexed property key.
+        db.rebuild_label_zones();
+        let keys: Vec<u32> = db.indexes.read().iter().map(|d| d.key).collect();
+        for key in keys {
+            let entries = db.collect_key_entries(key);
+            db.accel.register_key(key, &entries);
+        }
+        db.set_read_accel(read_accel_env());
         Ok(db)
     }
 
@@ -276,6 +301,53 @@ impl GraphDb {
     /// The transaction manager.
     pub fn mgr(&self) -> &TxnManager {
         &self.mgr
+    }
+
+    /// The DRAM read-acceleration layer (chunk zone maps).
+    pub fn accel(&self) -> &ReadAccel {
+        &self.accel
+    }
+
+    /// Toggle chunk-grain read acceleration: zone-map pruning in scans and
+    /// the MVTO single-version fast path. Maintenance is always on, so the
+    /// toggle is safe at runtime (used by benches for on/off comparisons).
+    pub fn set_read_accel(&self, on: bool) {
+        self.accel.set_enabled(on);
+        self.mgr.set_fast_scans(on);
+    }
+
+    /// True if chunk-grain read acceleration is enabled.
+    pub fn read_accel(&self) -> bool {
+        self.accel.enabled()
+    }
+
+    /// Rebuild both tables' label bitsets from the latest committed data.
+    fn rebuild_label_zones(&self) {
+        self.accel.clear_labels();
+        self.nodes.for_each_live(|id, _| {
+            if let Some(rec) = self.mgr.read_latest_committed(&self.nodes, id) {
+                self.accel.note_node_label(id, rec.label);
+            }
+        });
+        self.rels.for_each_live(|id, _| {
+            if let Some(rec) = self.mgr.read_latest_committed(&self.rels, id) {
+                self.accel.note_rel_label(id, rec.label);
+            }
+        });
+    }
+
+    /// `(node_id, index_key)` for every committed node carrying `key`
+    /// (any label — zone maps are per key, not per `(label, key)` pair).
+    fn collect_key_entries(&self, key: u32) -> Vec<(u64, u64)> {
+        let mut entries = Vec::new();
+        self.nodes.for_each_live(|id, _| {
+            if let Some(rec) = self.mgr.read_latest_committed(&self.nodes, id) {
+                if let Some(pv) = self.committed_prop(rec.props, key) {
+                    entries.push((id, pv.index_key()));
+                }
+            }
+        });
+        entries
     }
 
     /// Intern a label/key/string-value, returning its dictionary code.
@@ -344,6 +416,15 @@ impl GraphDb {
             key: key_code,
             tree: Arc::new(tree),
         });
+        // Start zone-tracking the key (prefilled under the registry lock so
+        // scans never see it registered with incomplete zones). Writers
+        // overlapping index creation are covered by their commit-time
+        // replay of staged index updates — the same discipline
+        // `apply_index_updates` relies on for the B+-tree itself.
+        if !self.accel.key_registered(key_code) {
+            let entries = self.collect_key_entries(key_code);
+            self.accel.register_key(key_code, &entries);
+        }
         Ok(())
     }
 

@@ -17,6 +17,7 @@
 //! (anonymous pool, no latency) — plus the separate disk-based baseline in
 //! the `gdisk` crate.
 
+pub mod accel;
 pub mod analytics;
 mod db;
 mod error;
@@ -24,6 +25,7 @@ mod index;
 mod txn;
 mod value;
 
+pub use accel::ReadAccel;
 pub use analytics::GraphView;
 pub use db::{DbOptions, GraphDb, GraphRoot};
 pub use error::GraphError;

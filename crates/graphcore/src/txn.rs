@@ -89,14 +89,17 @@ impl<'db> GraphTxn<'db> {
         let id = db
             .mgr()
             .insert(txn, TableTag::Node, db.nodes(), NodeRecord::new(label_code))?;
+        db.accel().note_node_label(id, label_code);
         if !encoded.is_empty() {
             let head = self.build_prop_chain(PropOwner::Node(id), &encoded)?;
             let (db, txn) = self.parts()?;
             db.mgr()
                 .update(txn, TableTag::Node, db.nodes(), id, |n| n.props = head)?;
         }
-        // Stage index insertions for matching (label, key) indexes.
+        // Stage index insertions for matching (label, key) indexes and
+        // eagerly widen zone maps (widen-only: safe even if we abort).
         for &(key_code, pv) in &encoded {
+            self.db.accel().note_node_prop(key_code, id, pv.index_key());
             self.index_adds.push((label_code, key_code, pv.index_key(), id));
         }
         Ok(id)
@@ -116,6 +119,36 @@ impl<'db> GraphTxn<'db> {
             .db
             .mgr()
             .read(self.txn()?, TableTag::Rel, self.db.rels(), id)?)
+    }
+
+    /// Claim the single-version fast path for one chunk at this
+    /// transaction's snapshot. When this returns true, subsequent
+    /// [`node_fast`](Self::node_fast)/[`rel_fast`](Self::rel_fast) reads
+    /// over the chunk's records skip version-chain probes and `rts` bumps;
+    /// the chunk-grain `read_ts` published by the claim makes conflicting
+    /// writers abort instead (see `gtxn::ChunkState`).
+    pub fn try_fast_chunk(&self, tag: TableTag, chunk: usize) -> bool {
+        self.db.mgr().try_fast_chunk(tag, chunk, self.id())
+    }
+
+    /// Read a node through the single-version fast path: an inline
+    /// visibility check on the record bytes, falling back to the full MVTO
+    /// read for anything versioned. Only sound after a successful
+    /// [`try_fast_chunk`](Self::try_fast_chunk) claim on the chunk.
+    pub fn node_fast(&self, id: NodeId) -> Result<Option<NodeRecord>> {
+        Ok(self
+            .db
+            .mgr()
+            .read_fast(self.txn()?, TableTag::Node, self.db.nodes(), id)?)
+    }
+
+    /// Read a relationship through the single-version fast path (see
+    /// [`node_fast`](Self::node_fast)).
+    pub fn rel_fast(&self, id: RelId) -> Result<Option<RelRecord>> {
+        Ok(self
+            .db
+            .mgr()
+            .read_fast(self.txn()?, TableTag::Rel, self.db.rels(), id)?)
     }
 
     /// Resolve a node's label to its string.
@@ -149,6 +182,7 @@ impl<'db> GraphTxn<'db> {
         rec.next_dst = dnode.first_in;
         let (db, txn) = self.parts()?;
         let id = db.mgr().insert(txn, TableTag::Rel, db.rels(), rec)?;
+        db.accel().note_rel_label(id, label_code);
         if !encoded.is_empty() {
             let head = self.build_prop_chain(PropOwner::Rel(id), &encoded)?;
             let (db, txn) = self.parts()?;
@@ -208,6 +242,49 @@ impl<'db> GraphTxn<'db> {
             }
         }
         Ok(())
+    }
+
+    /// Like [`for_each_rel`](Self::for_each_rel) but stops as soon as `f`
+    /// returns true; returns whether any relationship matched. This is the
+    /// streaming primitive behind `Connected` predicates — probing one
+    /// edge must not materialize the whole adjacency list.
+    pub fn any_rel(
+        &self,
+        node: NodeId,
+        dir: Dir,
+        label: Option<u32>,
+        mut f: impl FnMut(RelId, &RelRecord) -> bool,
+    ) -> Result<bool> {
+        let n = self.node(node)?.ok_or(GraphError::NodeNotFound(node))?;
+        let mut cur = match dir {
+            Dir::Out => n.first_out,
+            Dir::In => n.first_in,
+        };
+        while cur != NIL {
+            match self
+                .db
+                .mgr()
+                .read(self.txn()?, TableTag::Rel, self.db.rels(), cur)?
+            {
+                Some(r) => {
+                    if label.is_none_or(|l| r.label == l) && f(cur, &r) {
+                        return Ok(true);
+                    }
+                    cur = match dir {
+                        Dir::Out => r.next_src,
+                        Dir::In => r.next_dst,
+                    };
+                }
+                None => {
+                    let raw = self.db.rels().get(cur);
+                    cur = match dir {
+                        Dir::Out => raw.next_src,
+                        Dir::In => raw.next_dst,
+                    };
+                }
+            }
+        }
+        Ok(false)
     }
 
     /// Collect `(rel_id, record)` pairs of a node's relationships.
@@ -453,6 +530,7 @@ impl<'db> GraphTxn<'db> {
             if let Some(old) = self.db.committed_prop(old_head, key_code) {
                 self.index_removes.push((n.label, key_code, old.index_key(), id));
             }
+            self.db.accel().note_node_prop(key_code, id, pv.index_key());
             self.index_adds.push((n.label, key_code, pv.index_key(), id));
         }
         current.push((key_code, pv));
@@ -503,6 +581,7 @@ impl<'db> GraphTxn<'db> {
         let id = db
             .mgr()
             .insert(txn, TableTag::Node, db.nodes(), NodeRecord::new(label))?;
+        db.accel().note_node_label(id, label);
         if !props.is_empty() {
             let head = self.build_prop_chain(PropOwner::Node(id), props)?;
             let (db, txn) = self.parts()?;
@@ -510,6 +589,7 @@ impl<'db> GraphTxn<'db> {
                 .update(txn, TableTag::Node, db.nodes(), id, |n| n.props = head)?;
         }
         for &(key_code, pv) in props {
+            self.db.accel().note_node_prop(key_code, id, pv.index_key());
             self.index_adds.push((label, key_code, pv.index_key(), id));
         }
         Ok(id)
@@ -530,6 +610,7 @@ impl<'db> GraphTxn<'db> {
         rec.next_dst = dnode.first_in;
         let (db, txn) = self.parts()?;
         let id = db.mgr().insert(txn, TableTag::Rel, db.rels(), rec)?;
+        db.accel().note_rel_label(id, label);
         if !props.is_empty() {
             let head = self.build_prop_chain(PropOwner::Rel(id), props)?;
             let (db, txn) = self.parts()?;
@@ -567,6 +648,7 @@ impl<'db> GraphTxn<'db> {
             if let Some(old) = self.db.committed_prop(old_head, key_code) {
                 self.index_removes.push((n.label, key_code, old.index_key(), id));
             }
+            self.db.accel().note_node_prop(key_code, id, pv.index_key());
             self.index_adds.push((n.label, key_code, pv.index_key(), id));
         }
         current.push((key_code, pv));
@@ -647,6 +729,12 @@ impl<'db> GraphTxn<'db> {
         self.db
             .mgr()
             .commit(txn, self.db.nodes(), self.db.rels(), self.db.props())?;
+        // Replay staged property writes into the zone maps: the eager notes
+        // at write time no-op for keys that were not yet registered, so
+        // this covers keys indexed while the transaction was in flight.
+        for &(_, key, ikey, id) in &self.index_adds {
+            self.db.accel().note_node_prop(key, id, ikey);
+        }
         self.db
             .apply_index_updates(&self.index_adds, &self.index_removes);
         for &(tag, id) in &self.deleted {

@@ -115,6 +115,12 @@ pub struct ServerStats {
     pub interpreted_morsels: AtomicU64,
     /// Morsels executed as JIT-compiled code, across all requests.
     pub compiled_morsels: AtomicU64,
+    /// Chunks skipped by zone-map predicate pushdown, across all requests.
+    pub chunks_pruned: AtomicU64,
+    /// Morsels that scanned through the MVTO single-version fast path.
+    pub fast_path_morsels: AtomicU64,
+    /// Rows surviving chunk pruning that the residual filters evaluated.
+    pub residual_rows: AtomicU64,
     /// Requests whose profile recorded a fallback from the mode's fast
     /// path (update plan, non-morsel access path, or JIT-unsupported).
     pub fallback_total: AtomicU64,
@@ -701,6 +707,18 @@ fn do_execute(
         .stats
         .compiled_morsels
         .fetch_add(profile.compiled_morsels, Ordering::Relaxed);
+    shared
+        .stats
+        .chunks_pruned
+        .fetch_add(profile.chunks_pruned, Ordering::Relaxed);
+    shared
+        .stats
+        .fast_path_morsels
+        .fetch_add(profile.fast_path_morsels, Ordering::Relaxed);
+    shared
+        .stats
+        .residual_rows
+        .fetch_add(profile.residual_rows, Ordering::Relaxed);
     if profile.fallback.is_some() {
         shared.stats.fallback_total.fetch_add(1, Ordering::Relaxed);
     }
@@ -733,6 +751,9 @@ fn profile_json(p: &ExecProfile) -> Json {
         ("interpreted_morsels", Json::Int(p.interpreted_morsels as i64)),
         ("compiled_morsels", Json::Int(p.compiled_morsels as i64)),
         ("rows", Json::Int(p.rows as i64)),
+        ("chunks_pruned", Json::Int(p.chunks_pruned as i64)),
+        ("fast_path_morsels", Json::Int(p.fast_path_morsels as i64)),
+        ("residual_rows", Json::Int(p.residual_rows as i64)),
         (
             "fallback",
             p.fallback
@@ -910,6 +931,9 @@ fn stats_response(shared: &Shared, db: &GraphDb) -> String {
                 ("threads", Json::Int(shared.config.exec_threads as i64)),
                 ("interpreted_morsels", ld(&s.interpreted_morsels)),
                 ("compiled_morsels", ld(&s.compiled_morsels)),
+                ("chunks_pruned", ld(&s.chunks_pruned)),
+                ("fast_path_morsels", ld(&s.fast_path_morsels)),
+                ("residual_rows", ld(&s.residual_rows)),
                 ("fallback_total", ld(&s.fallback_total)),
             ]),
         ),

@@ -24,9 +24,11 @@
 //!   chunk bitmaps, never deallocated.
 
 mod chain;
+mod chunkstate;
 mod error;
 mod manager;
 
 pub use chain::{ObjKey, TableTag};
+pub use chunkstate::ChunkState;
 pub use error::TxnError;
 pub use manager::{Txn, TxnManager, TxnStats};

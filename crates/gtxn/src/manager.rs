@@ -7,9 +7,11 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use pmem::Pool;
 
+use gstore::chunked::CHUNK_CAP;
 use gstore::{ChunkedTable, NodeRecord, PropRecord, RecId, RelRecord, Versioned, TS_INF};
 
 use crate::chain::{ChainMap, ObjKey, TableTag, VersionEntry};
+use crate::chunkstate::ChunkState;
 use crate::error::TxnError;
 
 /// Timestamps are persisted in batches of this size so restart recovery can
@@ -87,7 +89,15 @@ pub struct TxnManager {
     active: Mutex<BTreeSet<u64>>,
     chains: ChainMap,
     deferred_props: Mutex<Vec<DeferredProps>>,
+    /// Per-chunk write tracking for the single-version scan fast path.
+    chunk_state: ChunkState,
     stats: TxnStats,
+}
+
+/// The chunk a record id lives in (64-record chunks, [`CHUNK_CAP`]).
+#[inline]
+fn chunk_of(id: RecId) -> usize {
+    id as usize / CHUNK_CAP
 }
 
 impl TxnManager {
@@ -121,8 +131,31 @@ impl TxnManager {
             active: Mutex::new(BTreeSet::new()),
             chains: ChainMap::new(),
             deferred_props: Mutex::new(Vec::new()),
+            chunk_state: ChunkState::default(),
             stats: TxnStats::default(),
         }
+    }
+
+    /// Per-chunk write-tracking state (scan fast path).
+    pub fn chunk_state(&self) -> &ChunkState {
+        &self.chunk_state
+    }
+
+    /// Enable or disable the single-version scan fast path. Tracking stays
+    /// on either way; only fast-path claims are gated.
+    pub fn set_fast_scans(&self, on: bool) {
+        self.chunk_state.set_enabled(on);
+    }
+
+    /// True if the scan fast path is enabled.
+    pub fn fast_scans(&self) -> bool {
+        self.chunk_state.enabled()
+    }
+
+    /// Claim the single-version fast path for one chunk at the given
+    /// snapshot (see [`ChunkState::try_fast_chunk`]).
+    pub fn try_fast_chunk(&self, tag: TableTag, chunk: usize, reader_ts: u64) -> bool {
+        self.chunk_state.try_fast_chunk(tag, chunk, reader_ts)
     }
 
     /// Pool offset of the persisted timestamp high-water mark.
@@ -294,6 +327,28 @@ impl TxnManager {
         Ok(found.flatten())
     }
 
+    /// The scan fast path for a chunk claimed via [`try_fast_chunk`]
+    /// (§C1: skip the chain probe and the per-record `rts` CAS): a record
+    /// that is unlocked, began at or before our snapshot and is not
+    /// deleted *is* the visible version — use its bytes directly. Anything
+    /// else (in-flight lock, newer version, tombstone) falls back to the
+    /// full MVTO read for that record. Repeatable reads are preserved by
+    /// the chunk-grain `read_ts` published by the claim, which
+    /// [`lock_for_write`](Self::lock_for_write) validates like `rts`.
+    pub fn read_fast<R: Versioned>(
+        &self,
+        txn: &Txn,
+        tag: TableTag,
+        table: &ChunkedTable<R>,
+        id: RecId,
+    ) -> Result<Option<R>, TxnError> {
+        let rec = table.get(id);
+        if rec.txn_id() == 0 && rec.bts() <= txn.id && rec.ets() == TS_INF {
+            return Ok(Some(rec));
+        }
+        self.read_enumerated(txn, tag, table, id)
+    }
+
     /// Non-transactional read of the latest committed version (recovery and
     /// index rebuild paths). Returns `None` for uncommitted inserts.
     pub fn read_latest_committed<R: Versioned>(
@@ -318,6 +373,7 @@ impl TxnManager {
     fn lock_for_write<R: Versioned>(
         &self,
         txn: &Txn,
+        tag: TableTag,
         table: &ChunkedTable<R>,
         id: RecId,
     ) -> Result<R, TxnError> {
@@ -331,6 +387,19 @@ impl TxnManager {
         if rec.bts() > txn.id || rec.ets() != TS_INF || rec.rts() > txn.id {
             // A newer version exists, the object is deleted, or a newer
             // transaction already read this version (id(T) < rts ⇒ abort).
+            self.pool.atomic_store_u64(off, 0, Ordering::Release);
+            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+            return Err(TxnError::WriteConflict);
+        }
+        // Mark the chunk dirty, then validate the chunk-grain read_ts: a
+        // newer snapshot may have fast-scanned this chunk without bumping
+        // per-record `rts` values. The increment happens *before* the load
+        // so that (SeqCst total order) either we observe the reader's
+        // published snapshot here, or the reader's clean re-check observes
+        // our increment and takes the slow path.
+        let meta = self.chunk_state.add_dirty(tag, chunk_of(id));
+        if meta.read_ts.load(Ordering::SeqCst) > txn.id {
+            self.chunk_state.sub_dirty(tag, chunk_of(id));
             self.pool.atomic_store_u64(off, 0, Ordering::Release);
             self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
             return Err(TxnError::WriteConflict);
@@ -357,6 +426,7 @@ impl TxnManager {
         rec.set_ets(TS_INF);
         rec.set_rts(0);
         let id = table.insert(&rec)?;
+        self.chunk_state.add_dirty(tag, chunk_of(id));
         txn.inserts.push((tag, id));
         Ok(id)
     }
@@ -398,7 +468,7 @@ impl TxnManager {
             }
             return Ok(());
         }
-        let rec = self.lock_for_write(txn, table, id)?;
+        let rec = self.lock_for_write(txn, tag, table, id)?;
         let mut new = rec;
         new.set_txn_id(txn.id);
         new.set_bts(txn.id);
@@ -455,7 +525,7 @@ impl TxnManager {
             }
             return Ok(());
         }
-        let rec = self.lock_for_write(txn, table, id)?;
+        let rec = self.lock_for_write(txn, tag, table, id)?;
         self.chains.with(key, |c| {
             let mut e = VersionEntry::encode(&rec, rec.bts(), TS_INF, txn.id);
             e.ets = txn.id;
@@ -554,6 +624,8 @@ impl TxnManager {
             Ok(())
         })?;
 
+        self.retire_write_intents(&txn);
+
         // Superseded property chains become garbage at our commit time.
         if !txn.prop_obsolete.is_empty() {
             self.deferred_props.lock().push(DeferredProps {
@@ -576,6 +648,24 @@ impl TxnManager {
         }
         self.stats.gc_pruned.fetch_add(pruned as u64, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Retire the chunk write intents registered by this transaction's
+    /// lock acquisitions and inserts — called once per transaction, after
+    /// the records are unlocked (commit) or rolled back (abort). Exactly
+    /// one increment happened per acquired lock and per insert; a
+    /// `WriteRef` covering one of the transaction's own inserts (a
+    /// deleted own insert) took no extra lock, so it is skipped.
+    fn retire_write_intents(&self, txn: &Txn) {
+        for w in &txn.writes {
+            if txn.inserts.iter().any(|&(t, i)| t == w.tag && i == w.id) {
+                continue;
+            }
+            self.chunk_state.sub_dirty(w.tag, chunk_of(w.id));
+        }
+        for &(tag, id) in &txn.inserts {
+            self.chunk_state.sub_dirty(tag, chunk_of(id));
+        }
     }
 
     fn persist_version<R: Versioned>(
@@ -647,6 +737,7 @@ impl TxnManager {
         for &id in &txn.prop_inserts {
             props.delete(id);
         }
+        self.retire_write_intents(&txn);
         self.active.lock().remove(&txn.id);
         self.stats.aborts.fetch_add(1, Ordering::Relaxed);
     }
@@ -675,6 +766,10 @@ impl TxnManager {
     /// any other nonzero `txn_id` is a stale lock from a dead transaction.
     /// `rts` is reset to 0 (no live readers exist after a crash).
     pub fn recover_table<R: Versioned>(&self, table: &ChunkedTable<R>) -> usize {
+        // No transaction survives a restart: all chunk write intents are
+        // dead, every chunk is clean again.
+        self.chunk_state.reset(TableTag::Node);
+        self.chunk_state.reset(TableTag::Rel);
         let mut reclaimed = 0;
         let mut stale: Vec<(RecId, bool)> = Vec::new();
         table.for_each_live(|id, rec| {
@@ -1195,6 +1290,130 @@ mod tests {
             .fold(0u32, |acc, v| acc.wrapping_add(v));
         assert_eq!(total, (100 * hot) as u32, "conservation violated");
         nodes.for_each_live(|_, n| assert_eq!(n.txn_id, 0, "dangling lock"));
+    }
+
+    #[test]
+    fn chunk_dirty_counters_balance_across_commit_and_abort() {
+        let f = fixture();
+        f.mgr.set_fast_scans(true);
+        let cs = f.mgr.chunk_state();
+
+        // Insert, update-own-insert, delete-own-insert: one intent total
+        // (the self-locked paths take no extra lock).
+        let mut t = f.mgr.begin();
+        let id = f
+            .mgr
+            .insert(&mut t, TableTag::Node, &f.nodes, NodeRecord::new(1))
+            .unwrap();
+        assert_eq!(cs.dirty_count(TableTag::Node, 0), 1);
+        f.mgr
+            .update(&mut t, TableTag::Node, &f.nodes, id, |n| n.label = 2)
+            .unwrap();
+        assert_eq!(cs.dirty_count(TableTag::Node, 0), 1);
+        f.mgr.delete(&mut t, TableTag::Node, &f.nodes, id).unwrap();
+        assert_eq!(cs.dirty_count(TableTag::Node, 0), 1);
+        f.commit(t).unwrap();
+        assert_eq!(cs.dirty_count(TableTag::Node, 0), 0);
+
+        // Update of a committed record, then abort.
+        let mut t0 = f.mgr.begin();
+        let id = f
+            .mgr
+            .insert(&mut t0, TableTag::Node, &f.nodes, NodeRecord::new(1))
+            .unwrap();
+        f.commit(t0).unwrap();
+        let mut t1 = f.mgr.begin();
+        f.mgr
+            .update(&mut t1, TableTag::Node, &f.nodes, id, |n| n.label = 5)
+            .unwrap();
+        assert_eq!(cs.dirty_count(TableTag::Node, 0), 1);
+        assert!(
+            !f.mgr.try_fast_chunk(TableTag::Node, 0, t1.id + 1),
+            "a dirty chunk must never grant the fast path"
+        );
+        f.abort(t1);
+        assert_eq!(cs.dirty_count(TableTag::Node, 0), 0);
+
+        // Update then delete of the same record: one lock, one intent.
+        let mut t2 = f.mgr.begin();
+        f.mgr
+            .update(&mut t2, TableTag::Node, &f.nodes, id, |n| n.label = 6)
+            .unwrap();
+        f.mgr.delete(&mut t2, TableTag::Node, &f.nodes, id).unwrap();
+        assert_eq!(cs.dirty_count(TableTag::Node, 0), 1);
+        f.commit(t2).unwrap();
+        assert_eq!(cs.dirty_count(TableTag::Node, 0), 0);
+        assert!(f.mgr.try_fast_chunk(TableTag::Node, 0, f.mgr.oldest_active_ts()));
+    }
+
+    #[test]
+    fn fast_scan_claim_conflicts_older_writer() {
+        let f = fixture();
+        f.mgr.set_fast_scans(true);
+        let mut t0 = f.mgr.begin();
+        let id = f
+            .mgr
+            .insert(&mut t0, TableTag::Node, &f.nodes, NodeRecord::new(1))
+            .unwrap();
+        f.commit(t0).unwrap();
+
+        let mut writer = f.mgr.begin(); // older
+        let reader = f.mgr.begin(); // newer
+        assert!(f.mgr.try_fast_chunk(TableTag::Node, 0, reader.id));
+        let rec = f
+            .mgr
+            .read_fast(&reader, TableTag::Node, &f.nodes, id)
+            .unwrap();
+        assert_eq!(rec.unwrap().label, 1);
+        // The fast scan skipped the per-record rts bump; the chunk-grain
+        // read_ts must make the older writer conflict all the same.
+        let err = f
+            .mgr
+            .update(&mut writer, TableTag::Node, &f.nodes, id, |n| n.label = 9)
+            .unwrap_err();
+        assert!(matches!(err, TxnError::WriteConflict));
+        f.abort(writer);
+        f.commit(reader).unwrap();
+
+        // A newer writer is unaffected by the published read_ts.
+        let mut w2 = f.mgr.begin();
+        f.mgr
+            .update(&mut w2, TableTag::Node, &f.nodes, id, |n| n.label = 2)
+            .unwrap();
+        f.commit(w2).unwrap();
+    }
+
+    #[test]
+    fn fast_scans_default_off_and_read_fast_matches_mvto() {
+        let f = fixture();
+        assert!(!f.mgr.fast_scans());
+        assert!(!f.mgr.try_fast_chunk(TableTag::Node, 0, 100));
+
+        f.mgr.set_fast_scans(true);
+        // An uncommitted insert in the chunk: read_fast must fall back to
+        // the MVTO read and reproduce its exact semantics (invisible to an
+        // older snapshot, Locked for a newer one).
+        let older = f.mgr.begin();
+        let mut w = f.mgr.begin();
+        let id = f
+            .mgr
+            .insert(&mut w, TableTag::Node, &f.nodes, NodeRecord::new(3))
+            .unwrap();
+        let newer = f.mgr.begin();
+        assert!(f
+            .mgr
+            .read_fast(&older, TableTag::Node, &f.nodes, id)
+            .unwrap()
+            .is_none());
+        assert!(matches!(
+            f.mgr
+                .read_fast(&newer, TableTag::Node, &f.nodes, id)
+                .unwrap_err(),
+            TxnError::Locked
+        ));
+        f.commit(w).unwrap();
+        f.commit(older).unwrap();
+        f.abort(newer);
     }
 
     #[test]

@@ -13,13 +13,13 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pmemgraph::gjit::{execute_adaptive, execute_adaptive_ctx, JitEngine};
+use pmemgraph::gjit::{execute_adaptive, execute_adaptive_ctx, execute_jit, JitEngine};
 use pmemgraph::gquery::plan::RelEnd;
 use pmemgraph::gquery::{
     execute_collect, execute_collect_ctx, execute_parallel, execute_parallel_ctx, CmpOp, ExecCtx,
     FallbackReason, Op, PPar, Plan, Pred, Proj, QueryError,
 };
-use pmemgraph::graphcore::{DbOptions, Dir, GraphDb, Value};
+use pmemgraph::graphcore::{DbOptions, Dir, GraphDb, PropOwner, Value};
 use pmemgraph::gstore::{IndexKind, PVal};
 
 struct Fx {
@@ -375,4 +375,97 @@ fn deadline_and_cancellation_surface_typed_errors() {
     let mut ctx = ExecCtx::new(&[]).with_cancel(&cancel);
     let err = execute_collect_ctx(&plan, &mut reader, &mut ctx).unwrap_err();
     assert!(matches!(err, QueryError::Cancelled), "{err:?}");
+}
+
+#[test]
+fn pruning_matrix_with_dirtied_chunk() {
+    // Clustered fixture (`v = i`) so zone maps genuinely prune, indexed so
+    // (Item, v) is a registered zone-map key. (The shared `fixture()`
+    // spreads `v` over the full range inside every chunk, which never
+    // prunes — useless for this row.)
+    let db = GraphDb::create(DbOptions::dram(256 << 20)).unwrap();
+    db.create_index("Item", "v", IndexKind::Volatile).unwrap();
+    let mut tx = db.begin();
+    let items: Vec<u64> = (0..640)
+        .map(|i| tx.create_node("Item", &[("v", Value::Int(i))]).unwrap())
+        .collect();
+    tx.commit().unwrap();
+    let item = db.intern("Item").unwrap();
+    let v = db.intern("v").unwrap();
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(item) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: v,
+                op: CmpOp::Ge,
+                value: PPar::Const(PVal::Int(600)),
+            }),
+            Op::Project(vec![Proj::Prop { col: 0, key: v }, Proj::Id { col: 0 }]),
+        ],
+        0,
+    );
+
+    // Reader snapshot taken BEFORE the writer begins, then a newer txn
+    // dirties chunks inside the scanned window with uncommitted inserts:
+    // the clean-chunk fast path must stand down on those chunks, and the
+    // MVTO read must treat the newer uncommitted inserts as invisible
+    // (not as lock conflicts) in every execution mode.
+    let mut reader = db.begin();
+    let mut writer = db.begin();
+    for _ in 0..130 {
+        writer
+            .create_node("Item", &[("v", Value::Int(700))])
+            .unwrap();
+    }
+
+    db.set_read_accel(false);
+    let unpruned = execute_collect(&plan, &mut reader, &[]).unwrap();
+    db.set_read_accel(true);
+    let pruned = execute_collect(&plan, &mut reader, &[]).unwrap();
+    assert_eq!(pruned, unpruned, "sequential pruned scan differs");
+    let engine = Arc::new(JitEngine::new());
+    for threads in [1, 2, 4] {
+        let par = execute_parallel(&plan, &db, &reader, &[], threads).unwrap();
+        assert_eq!(par, unpruned, "parallel({threads}) differs on dirty chunks");
+    }
+    let report = execute_adaptive(&engine, &plan, &db, &reader, &[], 4).unwrap();
+    assert_eq!(report.rows, unpruned, "adaptive differs on dirty chunks");
+    let jit = execute_jit(&engine, &plan, &mut reader, &[]).unwrap();
+    assert_eq!(jit, unpruned, "jit one-shot differs on dirty chunks");
+
+    // The accelerated run must actually have pruned something, or this
+    // row exercises nothing.
+    let mut ctx = ExecCtx::new(&[]);
+    let rows = execute_parallel_ctx(&plan, &db, &reader, &mut ctx, 4).unwrap();
+    assert_eq!(rows, unpruned);
+    assert!(
+        ctx.profile.chunks_pruned > 0,
+        "fixture must exercise zone-map pruning: {:?}",
+        ctx.profile
+    );
+    writer.abort();
+
+    // Committed-update variant: a writer that commits AFTER the reader's
+    // snapshot dirties chunks, commits (re-cleaning them), and forces the
+    // older reader onto the version-chain history fallback.
+    let mut reader2 = db.begin();
+    let mut w2 = db.begin();
+    for &id in &items[600..640] {
+        w2.set_prop(PropOwner::Node(id), "v", Value::Int(0)).unwrap();
+    }
+    w2.commit().unwrap();
+    db.set_read_accel(false);
+    let unpruned2 = execute_collect(&plan, &mut reader2, &[]).unwrap();
+    db.set_read_accel(true);
+    let pruned2 = execute_collect(&plan, &mut reader2, &[]).unwrap();
+    assert_eq!(pruned2, unpruned2, "history fallback diverged under pruning");
+    assert_eq!(
+        pruned2, unpruned,
+        "reader2 predates the update and must still see the old rows"
+    );
+    for threads in [2, 4] {
+        let par = execute_parallel(&plan, &db, &reader2, &[], threads).unwrap();
+        assert_eq!(par, unpruned2, "parallel({threads}) history fallback diverged");
+    }
 }

@@ -9,14 +9,16 @@
 //!   generated plans and data.
 //! * A crash at ANY flush point during an MVTO commit recovers to exactly
 //!   the pre- or post-transaction state.
+//! * Zone-map pruning and the clean-chunk fast path never change scan
+//!   results, under arbitrary interleavings of committed/aborted updates.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use pmemgraph::gjit::JitEngine;
 use pmemgraph::gquery::plan::RelEnd;
-use pmemgraph::gquery::{execute_collect, CmpOp, Op, PPar, Plan, Pred, Proj};
-use pmemgraph::graphcore::{DbOptions, Dir, GraphDb, Value};
+use pmemgraph::gquery::{execute_collect, execute_parallel, CmpOp, Op, PPar, Plan, Pred, Proj};
+use pmemgraph::graphcore::{DbOptions, Dir, GraphDb, PropOwner, Value};
 use pmemgraph::gstore::{BPlusTree, ChunkedTable, Dictionary, IndexKind, NodeRecord, PVal};
 use pmemgraph::gtxn::{TableTag, TxnManager};
 use pmemgraph::pmem::{CrashPolicy, Pool};
@@ -345,6 +347,93 @@ proptest! {
         prop_assert!(all_old || all_new, "torn commit: {labels:?}");
         for &id in &ids {
             prop_assert_eq!(nodes2.get(id).txn_id, 0, "stale lock");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Read acceleration: pruned scans equal the unpruned interpreter
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Zone-map pruning and the clean-chunk fast path are pure
+    /// accelerations: under randomly interleaved committed and aborted
+    /// updates (which dirty chunks, widen zones and grow version chains),
+    /// a selective scan with acceleration on — sequential and parallel —
+    /// returns exactly what the unaccelerated interpreter returns.
+    #[test]
+    fn read_accel_never_changes_scan_results(
+        seed in 1u64..1_000_000,
+        ops in prop::collection::vec(
+            ((0usize..512), (0i64..300), proptest::bool::ANY),
+            1..40,
+        ),
+        lo in 0i64..280,
+        width in 1i64..60,
+    ) {
+        let db = GraphDb::create(DbOptions::dram(256 << 20)).unwrap();
+        // Registered index key => zone maps are maintained for (N, a).
+        db.create_index("N", "a", IndexKind::Volatile).unwrap();
+        let mut x = seed | 1;
+        let mut tx = db.begin();
+        let ids: Vec<u64> = (0..512usize)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                // Clustered base value (tight zones, so pruning actually
+                // fires) plus a little seeded jitter.
+                let v = (i as i64) / 2 + ((x >> 33) as i64 % 8);
+                tx.create_node("N", &[("a", Value::Int(v))]).unwrap()
+            })
+            .collect();
+        tx.commit().unwrap();
+
+        for (i, val, commit) in ops {
+            let mut tx = db.begin();
+            tx.set_prop(PropOwner::Node(ids[i % ids.len()]), "a", Value::Int(val))
+                .unwrap();
+            if commit {
+                tx.commit().unwrap();
+            } else {
+                tx.abort();
+            }
+        }
+
+        let label = db.intern("N").unwrap();
+        let key = db.intern("a").unwrap();
+        let plan = Plan::new(
+            vec![
+                Op::NodeScan { label: Some(label) },
+                Op::Filter(Pred::Prop {
+                    col: 0,
+                    key,
+                    op: CmpOp::Ge,
+                    value: PPar::Const(PVal::Int(lo)),
+                }),
+                Op::Filter(Pred::Prop {
+                    col: 0,
+                    key,
+                    op: CmpOp::Le,
+                    value: PPar::Const(PVal::Int(lo + width)),
+                }),
+                Op::Project(vec![Proj::Prop { col: 0, key }, Proj::Id { col: 0 }]),
+            ],
+            0,
+        );
+
+        db.set_read_accel(false);
+        let mut rtx = db.begin();
+        let unpruned = execute_collect(&plan, &mut rtx, &[]).unwrap();
+        drop(rtx);
+
+        db.set_read_accel(true);
+        let mut rtx = db.begin();
+        let pruned = execute_collect(&plan, &mut rtx, &[]).unwrap();
+        prop_assert_eq!(&pruned, &unpruned, "sequential pruned scan diverged");
+        for threads in [2usize, 4] {
+            let par = execute_parallel(&plan, &db, &rtx, &[], threads).unwrap();
+            prop_assert_eq!(&par, &unpruned, "parallel({}) pruned scan diverged", threads);
         }
     }
 }
