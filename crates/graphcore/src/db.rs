@@ -321,6 +321,20 @@ impl GraphDb {
         self.accel.enabled()
     }
 
+    /// Toggle the group-commit pipeline (DESIGN.md §10). Both settings keep
+    /// the flush-coalesced batch commit; grouping only changes whether
+    /// concurrent committers share one log transaction. The default comes
+    /// from `PMEMGRAPH_GROUP_COMMIT` (on unless `0`/`false`/`off`/`no`) and
+    /// the toggle is safe at runtime (used by benches for on/off runs).
+    pub fn set_group_commit(&self, on: bool) {
+        self.mgr.set_group_commit(on);
+    }
+
+    /// True if commits from concurrent writers may be grouped.
+    pub fn group_commit(&self) -> bool {
+        self.mgr.group_commit()
+    }
+
     /// Rebuild both tables' label bitsets from the latest committed data.
     fn rebuild_label_zones(&self) {
         self.accel.clear_labels();

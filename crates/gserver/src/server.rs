@@ -950,8 +950,13 @@ fn stats_response(shared: &Shared, db: &GraphDb) -> String {
             obj(vec![
                 ("lines_flushed", ld(&pm.lines_flushed)),
                 ("fences", ld(&pm.fences)),
+                ("blocks_flushed", ld(&pm.blocks_flushed)),
                 ("write_bytes", ld(&pm.write_bytes)),
                 ("read_bytes", ld(&pm.read_bytes)),
+                ("allocs", ld(&pm.allocs)),
+                ("arena_refills", ld(&pm.arena_refills)),
+                ("commit_groups", ld(&pm.commit_groups)),
+                ("grouped_txns", ld(&pm.grouped_txns)),
             ]),
         ),
         (

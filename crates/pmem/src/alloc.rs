@@ -16,6 +16,25 @@
 //!   resolves with its redo log; we document it instead — leaked blocks are
 //!   recovered by a full-table rebuild, never cause corruption).
 
+//!
+//! On top of the global allocator sit **sharded per-thread bump arenas**:
+//! each thread is assigned (round-robin) to one of [`ARENA_SHARDS`] shards,
+//! and small-class allocations are bumped out of a shard-local slab that is
+//! refilled from the global bump region in [`ARENA_SLAB_BYTES`] chunks (one
+//! `alloc_lock` acquisition, one injected allocation latency and one bump
+//! persist per *slab* instead of per block). The slab carve-out itself is
+//! plain volatile arithmetic — crash-safe because the global bump pointer
+//! already covers the whole slab, so a crash can only leak the unconsumed
+//! tail of a slab (the same leak-not-corrupt trade-off as the free lists).
+//! Arenas deliberately stand aside whenever the class's free list is
+//! non-empty so freed blocks are still reused first (DG5), and they can be
+//! disabled entirely with `PMEMGRAPH_ALLOC_ARENAS=0` /
+//! [`Pool::set_alloc_arenas`].
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
 use crate::error::{PmemError, Result};
 use crate::pool::{Pool, PMEM_BLOCK};
 
@@ -52,18 +71,125 @@ impl AllocClass {
     }
 }
 
+/// Number of allocation-arena shards. Threads are spread round-robin.
+pub const ARENA_SHARDS: usize = 8;
+/// Largest size class served from arenas; bigger classes go to the global
+/// allocator directly (a slab would hold too few blocks to amortize).
+pub const ARENA_MAX_BYTES: usize = 4096;
+/// Bytes carved from the global bump region per arena refill.
+pub const ARENA_SLAB_BYTES: usize = 16384;
+
+/// One shard's bump run for one size class: `[next, end)` is pre-reserved
+/// pool space not yet handed out.
+#[derive(Debug, Clone, Copy, Default)]
+struct ArenaRun {
+    next: u64,
+    end: u64,
+}
+
+/// Sharded arena state hanging off the [`Pool`].
+#[derive(Debug)]
+pub(crate) struct ArenaState {
+    enabled: AtomicBool,
+    shards: Vec<Mutex<[ArenaRun; NUM_CLASSES]>>,
+}
+
+impl ArenaState {
+    pub(crate) fn new(enabled: bool) -> ArenaState {
+        ArenaState {
+            enabled: AtomicBool::new(enabled),
+            shards: (0..ARENA_SHARDS)
+                .map(|_| Mutex::new([ArenaRun::default(); NUM_CLASSES]))
+                .collect(),
+        }
+    }
+}
+
+/// Default arena enablement: `PMEMGRAPH_ALLOC_ARENAS`, on unless `0`/
+/// `false`/`off`/`no`.
+pub(crate) fn arenas_env() -> bool {
+    match std::env::var("PMEMGRAPH_ALLOC_ARENAS") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
+}
+
+/// Round-robin thread-to-shard assignment, fixed for a thread's lifetime.
+fn my_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % ARENA_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
 impl Pool {
     /// Allocate `size` bytes of persistent memory. Returns the byte offset.
+    ///
+    /// Small-class allocations are served from the calling thread's arena
+    /// shard when arenas are enabled and the class free list is empty;
+    /// everything else takes the global `alloc_lock`.
     ///
     /// Contents of a reused block are unspecified; use
     /// [`Pool::alloc_zeroed`] when the caller relies on zero-initialisation.
     pub fn alloc(&self, size: usize) -> Result<u64> {
+        self.stats().allocs.fetch_add(1, Ordering::Relaxed);
+        if let Some(off) = self.arena_alloc(size) {
+            return Ok(off);
+        }
         let _g = self.alloc_lock.lock();
         self.profile().alloc_delay();
-        self.stats()
-            .allocs
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.alloc_locked(size)
+    }
+
+    /// Whether sharded allocation arenas are in use.
+    pub fn alloc_arenas(&self) -> bool {
+        self.arena.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable the sharded arenas at runtime. Disabling strands
+    /// the unconsumed tails of live slabs (leaked, never corrupted).
+    pub fn set_alloc_arenas(&self, on: bool) {
+        self.arena.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Try to serve `size` from the caller's arena shard. `None` routes the
+    /// request to the global allocator: class too large, free list
+    /// non-empty (freed blocks must be reused first, DG5), arenas off, or
+    /// the refill failed (e.g. out of space — the global path reports it).
+    fn arena_alloc(&self, size: usize) -> Option<u64> {
+        if !self.arena.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let class = AllocClass::for_size(size)?;
+        if class.size > ARENA_MAX_BYTES {
+            return None;
+        }
+        // Racy pre-check by design: a concurrent free may be missed this
+        // round and reused on the next allocation instead.
+        if self.read_header_u64(self.free_head_off(class.index)) != 0 {
+            return None;
+        }
+        let mut runs = self.arena.shards[my_shard()].lock();
+        let run = &mut runs[class.index];
+        if run.next + (class.size as u64) <= run.end {
+            let off = run.next;
+            run.next += class.size as u64;
+            return Some(off);
+        }
+        // Refill: one global-allocator round trip reserves a whole slab.
+        // Lock order is shard -> alloc_lock, never the reverse.
+        let n = ARENA_SLAB_BYTES / class.size;
+        let align = class.size.min(PMEM_BLOCK);
+        let start = {
+            let _g = self.alloc_lock.lock();
+            self.profile().alloc_delay();
+            self.alloc_bump_group(class.size, n, align).ok()?
+        };
+        self.stats().arena_refills.fetch_add(1, Ordering::Relaxed);
+        run.next = start + class.size as u64;
+        run.end = start + (class.size * n) as u64;
+        Some(start)
     }
 
     fn alloc_locked(&self, size: usize) -> Result<u64> {
@@ -292,6 +418,104 @@ mod tests {
         assert_eq!(off % PMEM_BLOCK as u64, 0);
         p.write_u64(off, 1);
         p.write_u64(off + (3 << 20) - 8, 2);
+    }
+
+    #[test]
+    fn arena_refills_amortize_allocator_round_trips() {
+        let p = pool();
+        assert!(p.alloc_arenas(), "arenas default on");
+        let before = p.stats().snapshot();
+        for _ in 0..64 {
+            p.alloc(64).unwrap(); // 64 x 64 B = exactly one 16 KiB slab
+        }
+        let d = p.stats().snapshot() - before;
+        assert_eq!(d.allocs, 64, "every allocation is still counted");
+        assert!(d.arena_refills <= 1, "one slab serves all 64 blocks");
+        assert!(
+            d.fences <= 2,
+            "bump persisted per slab, not per block (got {})",
+            d.fences
+        );
+    }
+
+    #[test]
+    fn arena_allocs_are_disjoint_across_threads() {
+        let p = std::sync::Arc::new(pool());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    (0..200).map(|_| p.alloc(128).unwrap()).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "no block handed out twice");
+        for w in all.windows(2) {
+            assert!(w[1] - w[0] >= 128, "blocks must not overlap");
+        }
+    }
+
+    #[test]
+    fn arena_prefers_free_list_reuse() {
+        let p = pool();
+        // Warm the arena so it has a live run for the class.
+        let warm = p.alloc(256).unwrap();
+        p.free(warm, 256).unwrap();
+        // With a non-empty free list the arena stands aside and the freed
+        // block is reused even though the arena run still has room.
+        let again = p.alloc(256).unwrap();
+        assert_eq!(warm, again, "freed block reused before arena bump (DG5)");
+        // Free list drained: next allocation comes from the arena run again.
+        let fresh = p.alloc(256).unwrap();
+        assert_ne!(fresh, warm);
+    }
+
+    #[test]
+    fn arena_disabled_matches_global_path() {
+        let p = pool();
+        p.set_alloc_arenas(false);
+        assert!(!p.alloc_arenas());
+        let before = p.stats().snapshot();
+        let a = p.alloc(64).unwrap();
+        let b = p.alloc(64).unwrap();
+        let d = p.stats().snapshot() - before;
+        assert_eq!(b - a, 64, "sequential bump like the seed allocator");
+        assert_eq!(d.arena_refills, 0);
+        assert_eq!(d.fences, 2, "one bump persist per allocation");
+    }
+
+    #[test]
+    fn arena_blocks_survive_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pmem-arena-reopen-{}", std::process::id()));
+        let (a, b);
+        {
+            let p = Pool::create(&path, 8 << 20, DeviceProfile::dram()).unwrap();
+            assert!(p.alloc_arenas());
+            a = p.alloc(512).unwrap();
+            b = p.alloc(512).unwrap();
+            p.write_u64(a, 0xA);
+            p.write_u64(b, 0xB);
+            p.persist(a, 8);
+            p.persist(b, 8);
+        }
+        {
+            let p = Pool::open(&path, DeviceProfile::dram()).unwrap();
+            // Arena-served blocks are ordinary pool space: contents persist
+            // and the global bump can never re-issue them.
+            assert_eq!(p.read_u64(a), 0xA);
+            assert_eq!(p.read_u64(b), 0xB);
+            let fresh = p.alloc(512).unwrap();
+            assert!(fresh != a && fresh != b, "reopened bump must not reuse");
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

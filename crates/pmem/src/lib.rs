@@ -29,6 +29,7 @@
 
 mod alloc;
 mod error;
+mod flushset;
 mod latency;
 mod pool;
 mod pptr;
@@ -37,11 +38,12 @@ mod txlog;
 
 pub use alloc::{AllocClass, SIZE_CLASSES};
 pub use error::{PmemError, Result};
+pub use flushset::FlushSet;
 pub use latency::DeviceProfile;
 pub use pool::{CrashPoint, CrashPolicy, Pool, PoolKind, CACHE_LINE, PMEM_BLOCK, POOL_HEADER_SIZE};
 pub use pptr::{PPtr, POff};
-pub use stats::PoolStats;
-pub use txlog::UndoTx;
+pub use stats::{PoolStats, StatsSnapshot};
+pub use txlog::{TxBatch, UndoTx};
 
 /// Marker for plain-old-data types that may be stored in a pool.
 ///

@@ -132,6 +132,8 @@ pub struct Pool {
     cpu_cache: Vec<AtomicU64>,
     pub(crate) alloc_lock: Mutex<()>,
     pub(crate) tx_lock: Mutex<()>,
+    /// Sharded per-thread allocation arenas (see `alloc` module docs).
+    pub(crate) arena: crate::alloc::ArenaState,
 }
 
 // The raw mmap pointer is only ever accessed through bounds-checked methods;
@@ -226,6 +228,7 @@ impl Pool {
             },
             alloc_lock: Mutex::new(()),
             tx_lock: Mutex::new(()),
+            arena: crate::alloc::ArenaState::new(crate::alloc::arenas_env()),
         }
     }
 

@@ -33,6 +33,13 @@ pub struct PoolStats {
     pub tx_commits: AtomicU64,
     /// Bytes snapshotted into the undo log.
     pub tx_snapshot_bytes: AtomicU64,
+    /// Batched commit groups executed (one flush pass + log truncation per
+    /// group; a group of one is an ungrouped commit).
+    pub commit_groups: AtomicU64,
+    /// Transactions that committed as part of a multi-transaction group.
+    pub grouped_txns: AtomicU64,
+    /// Arena slab refills from the global allocator.
+    pub arena_refills: AtomicU64,
 }
 
 impl PoolStats {
@@ -50,6 +57,9 @@ impl PoolStats {
             &self.frees,
             &self.tx_commits,
             &self.tx_snapshot_bytes,
+            &self.commit_groups,
+            &self.grouped_txns,
+            &self.arena_refills,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -69,6 +79,9 @@ impl PoolStats {
             frees: self.frees.load(Ordering::Relaxed),
             tx_commits: self.tx_commits.load(Ordering::Relaxed),
             tx_snapshot_bytes: self.tx_snapshot_bytes.load(Ordering::Relaxed),
+            commit_groups: self.commit_groups.load(Ordering::Relaxed),
+            grouped_txns: self.grouped_txns.load(Ordering::Relaxed),
+            arena_refills: self.arena_refills.load(Ordering::Relaxed),
         }
     }
 }
@@ -87,6 +100,9 @@ pub struct StatsSnapshot {
     pub frees: u64,
     pub tx_commits: u64,
     pub tx_snapshot_bytes: u64,
+    pub commit_groups: u64,
+    pub grouped_txns: u64,
+    pub arena_refills: u64,
 }
 
 impl std::ops::Sub for StatsSnapshot {
@@ -105,6 +121,9 @@ impl std::ops::Sub for StatsSnapshot {
             frees: self.frees - rhs.frees,
             tx_commits: self.tx_commits - rhs.tx_commits,
             tx_snapshot_bytes: self.tx_snapshot_bytes - rhs.tx_snapshot_bytes,
+            commit_groups: self.commit_groups - rhs.commit_groups,
+            grouped_txns: self.grouped_txns - rhs.grouped_txns,
+            arena_refills: self.arena_refills - rhs.arena_refills,
         }
     }
 }

@@ -21,6 +21,7 @@
 use std::sync::atomic::Ordering;
 
 use crate::error::{PmemError, Result};
+use crate::flushset::FlushSet;
 use crate::pool::Pool;
 
 /// An open undo-log transaction. Obtained through [`Pool::tx`].
@@ -98,16 +99,20 @@ impl<'p> UndoTx<'p> {
     }
 
     fn commit(self) {
+        // Coalesce the dirty ranges: a record body and its lock word share
+        // cache lines, so flushing ranges individually double-flushes. Each
+        // distinct line is flushed once, then a single fence orders them.
+        let mut fs = FlushSet::with_capacity(self.modified.len());
         for (off, len) in &self.modified {
-            self.pool.flush(*off, *len);
+            fs.add(*off, *len);
         }
+        fs.flush_all(self.pool);
         self.pool.drain();
         // The commit point: truncating the log makes the new state final.
         self.pool.set_log_len(0);
-        self.pool
-            .stats()
-            .tx_commits
-            .fetch_add(1, Ordering::Relaxed);
+        let stats = self.pool.stats();
+        stats.tx_commits.fetch_add(1, Ordering::Relaxed);
+        stats.commit_groups.fetch_add(1, Ordering::Relaxed);
     }
 
     fn rollback(self) {
@@ -149,6 +154,54 @@ pub(crate) fn recover(pool: &Pool) -> Result<()> {
     Ok(())
 }
 
+/// A pre-staged atomic write set: every target range and its replacement
+/// bytes, collected *before* the undo log is touched. Unlike [`UndoTx`]
+/// (which interleaves snapshotting and writing), a batch is inert data —
+/// which is what lets a group-commit leader merge many transactions'
+/// batches into one log append, one coalesced flush pass per phase, and a
+/// single log truncation ([`Pool::tx_apply_batches`]).
+#[derive(Debug, Default)]
+pub struct TxBatch {
+    /// `(target offset, replacement bytes)` in application order.
+    writes: Vec<(u64, Box<[u8]>)>,
+}
+
+impl TxBatch {
+    /// An empty batch.
+    pub fn new() -> TxBatch {
+        TxBatch { writes: Vec::new() }
+    }
+
+    /// Stage a byte-range overwrite. Ranges may overlap earlier writes of
+    /// the same batch; application order is preserved.
+    pub fn write_bytes(&mut self, off: u64, data: &[u8]) {
+        self.writes.push((off, data.into()));
+    }
+
+    /// Stage one aligned u64 store.
+    pub fn write_u64(&mut self, off: u64, val: u64) {
+        self.writes.push((off, Box::new(val.to_le_bytes()) as Box<[u8]>));
+    }
+
+    /// True if nothing was staged.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Number of staged writes.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Undo-log bytes this batch needs.
+    fn log_bytes(&self) -> u64 {
+        self.writes
+            .iter()
+            .map(|(_, d)| 16 + (d.len().div_ceil(8) * 8) as u64)
+            .sum()
+    }
+}
+
 impl Pool {
     /// Run `f` inside an undo-log transaction. All modifications made
     /// through the [`UndoTx`] become durable atomically: after a crash at
@@ -174,6 +227,102 @@ impl Pool {
                 Err(e)
             }
         }
+    }
+
+    /// Apply one or more [`TxBatch`]es as a single atomic undo-log
+    /// transaction with a fixed fence budget of **four**, independent of
+    /// the number of batches or writes:
+    ///
+    /// 1. append every batch's pre-image entries to the log, one coalesced
+    ///    flush pass + one fence (entries must be durable before any
+    ///    in-place store is *issued* — an unflushed store may still reach
+    ///    the media through cache eviction, which `CrashPolicy::Torn`
+    ///    models);
+    /// 2. publish the entries by advancing `log_len` (flush + fence) —
+    ///    from here recovery rolls the whole group back;
+    /// 3. apply every write in batch order, one coalesced flush pass + one
+    ///    fence;
+    /// 4. truncate the log (flush + fence) — the single commit point for
+    ///    the entire group.
+    ///
+    /// Either every batch's writes survive a crash or none do, which is
+    /// exactly the guarantee a group-commit leader needs: no transaction
+    /// is reported committed until step 4, so rolling back the whole group
+    /// never revokes an acknowledged commit.
+    ///
+    /// All ranges are validated (and the total log demand checked) before
+    /// the first store; on `Err` the pool is untouched.
+    pub fn tx_apply_batches(&self, batches: &[&TxBatch]) -> Result<()> {
+        let _g = self.tx_lock.lock();
+        debug_assert_eq!(self.log_len(), 0, "log must be empty between txs");
+        let (log_off, log_cap) = self.log_region();
+        let mut need = 0u64;
+        for b in batches {
+            for (off, data) in &b.writes {
+                self.check_range(*off, data.len())?;
+            }
+            need += b.log_bytes();
+        }
+        if need > log_cap {
+            return Err(PmemError::LogFull);
+        }
+        let stats = self.stats();
+        if need == 0 {
+            stats.tx_commits.fetch_add(batches.len() as u64, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        // Phase 1: append all pre-image entries, flush each line once.
+        let mut fs = FlushSet::new();
+        let mut pos = 0u64;
+        let mut snap_bytes = 0u64;
+        for b in batches {
+            for (off, data) in &b.writes {
+                let len = data.len();
+                let padded = len.div_ceil(8) * 8;
+                let entry = log_off + pos;
+                self.write_u64(entry, *off);
+                self.write_u64(entry + 8, len as u64);
+                let mut buf = vec![0u8; padded];
+                self.read_slice(*off, &mut buf[..len]);
+                self.write_bytes(entry + 16, &buf);
+                fs.add(entry, 16 + padded);
+                pos += 16 + padded as u64;
+                snap_bytes += len as u64;
+            }
+        }
+        fs.flush_all(self);
+        self.drain();
+
+        // Phase 2: publish the log. Needs its own fence — were this flush
+        // merged with phase 1's, a crash could persist `log_len` without
+        // the entries it covers and recovery would restore garbage.
+        self.set_log_len(pos);
+
+        // Phase 3: apply all in-place writes in order, flush once.
+        fs.clear();
+        for b in batches {
+            for (off, data) in &b.writes {
+                self.write_bytes(*off, data);
+                fs.add(*off, data.len());
+            }
+        }
+        fs.flush_all(self);
+        self.drain();
+
+        // Phase 4: the commit point for the whole group.
+        self.set_log_len(0);
+        stats
+            .tx_snapshot_bytes
+            .fetch_add(snap_bytes, Ordering::Relaxed);
+        stats.tx_commits.fetch_add(batches.len() as u64, Ordering::Relaxed);
+        stats.commit_groups.fetch_add(1, Ordering::Relaxed);
+        if batches.len() > 1 {
+            stats
+                .grouped_txns
+                .fetch_add(batches.len() as u64, Ordering::Relaxed);
+        }
+        Ok(())
     }
 }
 
@@ -346,6 +495,175 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(p.read_u64(a), 1, "rollback must restore the value before the tx");
+    }
+
+    #[test]
+    fn batched_commit_applies_all_batches_with_four_fences() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let b = p.alloc(64).unwrap();
+        let c = p.alloc(256).unwrap();
+        let mut b1 = TxBatch::new();
+        b1.write_u64(a, 1);
+        b1.write_bytes(c, &[9u8; 100]);
+        let mut b2 = TxBatch::new();
+        b2.write_u64(b, 2);
+        let before = p.stats().snapshot();
+        p.tx_apply_batches(&[&b1, &b2]).unwrap();
+        let d = p.stats().snapshot() - before;
+        assert_eq!(p.read_u64(a), 1);
+        assert_eq!(p.read_u64(b), 2);
+        let mut buf = [0u8; 100];
+        p.read_slice(c, &mut buf);
+        assert_eq!(buf, [9u8; 100]);
+        assert_eq!(p.log_len(), 0);
+        assert_eq!(d.fences, 4, "fixed fence budget per group");
+        assert_eq!(d.tx_commits, 2);
+        assert_eq!(d.commit_groups, 1);
+        assert_eq!(d.grouped_txns, 2);
+    }
+
+    #[test]
+    fn batched_commit_overlapping_writes_apply_in_order() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let mut b1 = TxBatch::new();
+        b1.write_bytes(a, &[1u8; 16]);
+        let mut b2 = TxBatch::new();
+        b2.write_u64(a, u64::from_le_bytes([2u8; 8]));
+        p.tx_apply_batches(&[&b1, &b2]).unwrap();
+        let mut buf = [0u8; 16];
+        p.read_slice(a, &mut buf);
+        assert_eq!(&buf[..8], &[2u8; 8], "later batch wins the overlap");
+        assert_eq!(&buf[8..], &[1u8; 8]);
+    }
+
+    #[test]
+    fn batched_commit_validates_before_any_store() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        p.write_u64(a, 5);
+        p.persist(a, 8);
+        let before = p.stats().snapshot();
+        let mut bad = TxBatch::new();
+        bad.write_u64(a, 6);
+        bad.write_u64(u64::MAX - 64, 7); // out of range
+        let r = p.tx_apply_batches(&[&bad]);
+        assert!(matches!(r, Err(PmemError::BadOffset { .. })));
+        let d = p.stats().snapshot() - before;
+        assert_eq!(p.read_u64(a), 5, "pool untouched on validation failure");
+        assert_eq!(d.write_bytes, 0);
+        assert_eq!(p.log_len(), 0);
+    }
+
+    #[test]
+    fn batched_commit_reports_log_full_without_stores() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pmem-batch-logfull-{}", std::process::id()));
+        let p = crate::Pool::create_with_log(&path, 4 << 20, crate::DeviceProfile::dram(), 256)
+            .unwrap();
+        let a = p.alloc(1024).unwrap();
+        let mut b1 = TxBatch::new();
+        b1.write_bytes(a, &[0u8; 200]); // 16 + 200 = 216 log bytes
+        let mut b2 = TxBatch::new();
+        b2.write_bytes(a, &[1u8; 200]); // combined demand 432 > 256
+        let r = p.tx_apply_batches(&[&b1, &b2]);
+        assert!(matches!(r, Err(PmemError::LogFull)));
+        assert_eq!(p.log_len(), 0);
+        drop(p);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batched_commit_crash_sweep_is_group_atomic() {
+        // A crash at any flush point must leave the WHOLE group either
+        // fully applied (only possible after the final truncation flush) or
+        // fully rolled back — never one batch's writes without the other's.
+        for crash_at in 0..24i64 {
+            let p = pool();
+            let a = p.alloc(64).unwrap();
+            let b = p.alloc(4096).unwrap();
+            p.write_u64(a, 7);
+            p.write_bytes(b, &[3u8; 100]);
+            p.persist(a, 8);
+            p.persist(b, 100);
+
+            let mut b1 = TxBatch::new();
+            b1.write_u64(a, 8);
+            let mut b2 = TxBatch::new();
+            b2.write_bytes(b, &[4u8; 100]);
+
+            p.inject_crash_after_flushes(crash_at);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.tx_apply_batches(&[&b1, &b2])
+            }));
+            p.clear_crash_injection();
+            if outcome.is_ok() {
+                assert_eq!(p.read_u64(a), 8);
+                continue;
+            }
+            assert!(outcome.unwrap_err().downcast_ref::<CrashPoint>().is_some());
+            p.simulate_crash(CrashPolicy::DropUnflushed).unwrap();
+            p.recover().unwrap();
+            let va = p.read_u64(a);
+            let mut vb = [0u8; 100];
+            p.read_slice(b, &mut vb);
+            let old = va == 7 && vb == [3u8; 100];
+            assert!(
+                old,
+                "crash_at={crash_at}: uncommitted group must roll back whole \
+                 (va={va} vb[0]={})",
+                vb[0]
+            );
+        }
+    }
+
+    #[test]
+    fn batched_commit_torn_crash_recovers_whole_group() {
+        for crash_at in [0i64, 1, 2, 3] {
+            for seed in [1u64, 42] {
+                let p = pool();
+                let a = p.alloc(256).unwrap();
+                let b = p.alloc(256).unwrap();
+                p.write_bytes(a, &[1u8; 256]);
+                p.write_bytes(b, &[5u8; 256]);
+                p.persist(a, 256);
+                p.persist(b, 256);
+                let mut b1 = TxBatch::new();
+                b1.write_bytes(a, &[2u8; 256]);
+                let mut b2 = TxBatch::new();
+                b2.write_bytes(b, &[6u8; 256]);
+                p.inject_crash_after_flushes(crash_at);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    p.tx_apply_batches(&[&b1, &b2])
+                }));
+                p.clear_crash_injection();
+                if outcome.is_ok() {
+                    continue;
+                }
+                p.simulate_crash(CrashPolicy::Torn(seed)).unwrap();
+                p.recover().unwrap();
+                let mut buf = [0u8; 256];
+                p.read_slice(a, &mut buf);
+                assert_eq!(buf, [1u8; 256], "crash_at={crash_at} seed={seed}");
+                p.read_slice(b, &mut buf);
+                assert_eq!(buf, [5u8; 256], "crash_at={crash_at} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_commit_without_touching_the_pool() {
+        let p = pool();
+        let before = p.stats().snapshot();
+        let b1 = TxBatch::new();
+        let b2 = TxBatch::new();
+        assert!(b1.is_empty());
+        p.tx_apply_batches(&[&b1, &b2]).unwrap();
+        let d = p.stats().snapshot() - before;
+        assert_eq!(d.fences, 0);
+        assert_eq!(d.write_bytes, 0);
+        assert_eq!(d.tx_commits, 2);
     }
 
     #[test]

@@ -378,6 +378,112 @@ fn deadline_and_cancellation_surface_typed_errors() {
 }
 
 #[test]
+fn matrix_agrees_under_grouped_commits() {
+    // Every row so far builds its fixture in one fat transaction, which the
+    // commit pipeline never groups. This row builds and then mutates the
+    // graph through many small concurrent transactions with group commit
+    // enabled (DESIGN.md §10), so reads in all four execution modes run
+    // against data whose commit records were batched by the leader —
+    // grouping must be invisible to MVTO visibility in every mode.
+    let db = GraphDb::create(DbOptions::dram(256 << 20)).unwrap();
+    db.set_group_commit(true);
+    assert!(db.group_commit());
+
+    let per = 160usize;
+    let ids: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|t: usize| {
+                let db = &db;
+                s.spawn(move || {
+                    (0..per)
+                        .map(|i| {
+                            let mut tx = db.begin();
+                            let id = tx
+                                .create_node(
+                                    "Item",
+                                    &[("v", Value::Int(((t * per + i) * 7 % 1000) as i64))],
+                                )
+                                .unwrap();
+                            tx.commit().unwrap();
+                            id
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let item = db.intern("Item").unwrap();
+    let v = db.intern("v").unwrap();
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: Some(item) },
+            Op::Filter(Pred::Prop {
+                col: 0,
+                key: v,
+                op: CmpOp::Ge,
+                value: PPar::Const(PVal::Int(300)),
+            }),
+            Op::Project(vec![Proj::Prop { col: 0, key: v }, Proj::Id { col: 0 }]),
+        ],
+        0,
+    );
+
+    // Reader snapshot taken before a wave of grouped updates rewrites every
+    // `v` to 0: all four modes must keep serving the old snapshot.
+    let mut reader = db.begin();
+    let before = execute_collect(&plan, &mut reader, &[]).unwrap();
+    assert!(!before.is_empty(), "fixture must have rows with v >= 300");
+    std::thread::scope(|s| {
+        for mine in &ids {
+            let db = &db;
+            s.spawn(move || {
+                for &id in mine {
+                    let mut tx = db.begin();
+                    tx.set_prop(PropOwner::Node(id), "v", Value::Int(0)).unwrap();
+                    tx.commit().unwrap();
+                }
+            });
+        }
+    });
+    let engine = Arc::new(JitEngine::new());
+    for threads in [1, 2, 4] {
+        let par = execute_parallel(&plan, &db, &reader, &[], threads).unwrap();
+        assert_eq!(par, before, "parallel({threads}) diverged under grouped commits");
+    }
+    let report = execute_adaptive(&engine, &plan, &db, &reader, &[], 4).unwrap();
+    assert_eq!(report.rows, before, "adaptive diverged under grouped commits");
+    let jit = execute_jit(&engine, &plan, &mut reader, &[]).unwrap();
+    assert_eq!(jit, before, "jit one-shot diverged under grouped commits");
+    drop(reader);
+
+    // A fresh snapshot sees every grouped update, in every mode.
+    let mut fresh = db.begin();
+    let after = execute_collect(&plan, &mut fresh, &[]).unwrap();
+    assert!(after.is_empty(), "every v was rewritten to 0");
+    let count_plan = Plan::new(vec![Op::NodeScan { label: Some(item) }, Op::Count], 0);
+    let total = execute_collect(&count_plan, &mut fresh, &[]).unwrap();
+    for threads in [2, 4] {
+        let par = execute_parallel(&count_plan, &db, &fresh, &[], threads).unwrap();
+        assert_eq!(par, total, "parallel({threads}) count diverged");
+    }
+    let rep = execute_adaptive(&engine, &count_plan, &db, &fresh, &[], 4).unwrap();
+    assert_eq!(rep.rows, total, "adaptive count diverged");
+    let jit_total = execute_jit(&engine, &count_plan, &mut fresh, &[]).unwrap();
+    assert_eq!(jit_total, total, "jit count diverged");
+
+    // The pipeline must actually have grouped something across the 1280
+    // small commits, or this row degenerates to the ungrouped matrix.
+    let snap = db.pool().stats().snapshot();
+    assert!(
+        snap.grouped_txns > 0,
+        "no commit group formed ({} groups, {} grouped txns)",
+        snap.commit_groups,
+        snap.grouped_txns
+    );
+}
+
+#[test]
 fn pruning_matrix_with_dirtied_chunk() {
     // Clustered fixture (`v = i`) so zone maps genuinely prune, indexed so
     // (Item, v) is a registered zone-map key. (The shared `fixture()`
