@@ -1,9 +1,11 @@
 //! Network load driver for the query server: starts an in-process
 //! `gserver` on an ephemeral port, then hammers it over real TCP with a
 //! configurable client fleet mixing LDBC short reads and updates. Reports
-//! throughput, retryable-rejection rates and tail latencies — the
-//! saturation behaviour the admission-control design targets (degrade
-//! into fast `SERVER_BUSY` rejections, never unbounded queueing).
+//! throughput, retryable-rejection rates and client-observed latency
+//! percentiles (p50/p95/p99/max, from a `gobs` histogram per request
+//! class) — the saturation behaviour the admission-control design
+//! targets (degrade into fast `SERVER_BUSY` rejections, never unbounded
+//! queueing). Writes `results/BENCH_stress_latency.json`.
 //!
 //! ```sh
 //! SCALE=tiny CLIENTS=8 DURATION_MS=3000 WORKERS=4 \
@@ -16,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use bench::*;
 use gjit::JitEngine;
+use gobs::{HistSnapshot, Histogram};
 use gserver::{serve, Client, ClientError, Param, ServerConfig};
 use rand::Rng;
 
@@ -24,6 +27,27 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// One latency summary line for stdout plus its JSON object.
+fn latency_json(class: &str, s: &HistSnapshot) -> String {
+    let count = s.count();
+    let mean = s.sum_us as f64 / count.max(1) as f64;
+    println!(
+        "latency[{class}]: n={count} mean {mean:.0}us p50 {}us p95 {}us p99 {}us max {}us",
+        s.quantile_us(0.50),
+        s.quantile_us(0.95),
+        s.quantile_us(0.99),
+        s.max_us,
+    );
+    format!(
+        "{{\"class\": \"{class}\", \"count\": {count}, \"mean_us\": {mean:.1}, \
+         \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        s.quantile_us(0.50),
+        s.quantile_us(0.95),
+        s.quantile_us(0.99),
+        s.max_us,
+    )
 }
 
 fn main() {
@@ -55,15 +79,18 @@ fn main() {
     let ok_writes = AtomicU64::new(0);
     let busy = AtomicU64::new(0);
     let conflicts = AtomicU64::new(0);
-    let lat_us_total = AtomicU64::new(0);
-    let lat_us_max = AtomicU64::new(0);
+    // Client-observed latency: one shared lock-free histogram per request
+    // class, recorded only for successful requests (rejections are the
+    // fast path by design and would skew the distribution downward).
+    let read_hist = Histogram::unregistered();
+    let write_hist = Histogram::unregistered();
 
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for tid in 0..clients {
             let (snb, stop) = (&snb, &stop);
             let (ok_reads, ok_writes, busy, conflicts) = (&ok_reads, &ok_writes, &busy, &conflicts);
-            let (lat_us_total, lat_us_max) = (&lat_us_total, &lat_us_max);
+            let (read_hist, write_hist) = (&read_hist, &write_hist);
             scope.spawn(move || {
                 let mut rng = seeded_rng(77 ^ tid as u64);
                 let mut client = Client::connect(addr).expect("connect");
@@ -89,14 +116,14 @@ fn main() {
                     } else {
                         client.execute("read", &[Param::Int(person)]).map(|_| ())
                     };
-                    let us = start.elapsed().as_micros() as u64;
+                    let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
                     match outcome {
                         Ok(()) => {
-                            lat_us_total.fetch_add(us, Ordering::Relaxed);
-                            lat_us_max.fetch_max(us, Ordering::Relaxed);
                             if is_write {
+                                write_hist.observe_us(us);
                                 ok_writes.fetch_add(1, Ordering::Relaxed);
                             } else {
+                                read_hist.observe_us(us);
                                 ok_reads.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -134,11 +161,18 @@ fn main() {
         total_ok as f64 / elapsed.as_secs_f64(),
         100.0 * b as f64 / (total_ok + b).max(1) as f64
     );
-    println!(
-        "latency: mean {:.0}us, max {}us",
-        lat_us_total.load(Ordering::Relaxed) as f64 / total_ok.max(1) as f64,
-        lat_us_max.load(Ordering::Relaxed)
-    );
+    let rs = read_hist.snapshot();
+    let ws = write_hist.snapshot();
+    let all = HistSnapshot {
+        buckets: std::array::from_fn(|i| rs.buckets[i] + ws.buckets[i]),
+        sum_us: rs.sum_us + ws.sum_us,
+        max_us: rs.max_us.max(ws.max_us),
+    };
+    let lat_json = [
+        latency_json("all", &all),
+        latency_json("read", &rs),
+        latency_json("write", &ws),
+    ];
 
     let s = handle.stats();
     println!(
@@ -157,5 +191,21 @@ fn main() {
     }
     assert_eq!(handle.active_sessions(), 0, "sessions must drain");
     handle.shutdown();
+
+    let json = format!(
+        "{{\n  \"bench\": \"stress_latency\",\n  \
+         \"clients\": {clients},\n  \"workers\": {workers},\n  \
+         \"write_pct\": {write_pct},\n  \"duration_ms\": {},\n  \
+         \"ok_reads\": {r},\n  \"ok_writes\": {w},\n  \
+         \"busy_rejections\": {b},\n  \"conflicts\": {cf},\n  \
+         \"throughput_req_s\": {:.0},\n  \"latency_us\": [\n    {}\n  ]\n}}\n",
+        duration.as_millis(),
+        total_ok as f64 / elapsed.as_secs_f64(),
+        lat_json.join(",\n    "),
+    );
+    match std::fs::write("results/BENCH_stress_latency.json", &json) {
+        Ok(()) => println!("\nwrote results/BENCH_stress_latency.json"),
+        Err(e) => println!("\ncould not write results/BENCH_stress_latency.json: {e}"),
+    }
     println!("clean shutdown OK");
 }

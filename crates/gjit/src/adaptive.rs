@@ -94,13 +94,17 @@ pub fn execute_adaptive_ctx(
             let engine = engine.clone();
             let task = task.clone();
             let plan = plan.clone();
-            scope.spawn(move || match engine.get_or_compile(&plan) {
-                Ok(cq) => task.publish(Box::new(
-                    move |txn: &mut GraphTxn<'_>, params: &[PVal], c0: u64, c1: u64| {
-                        run_compiled_range(&cq, txn, params, c0, c1)
-                    },
-                )),
-                Err(_) => task.publish_failure(),
+            scope.spawn(move || {
+                let switch_span = gobs::span_start();
+                match engine.get_or_compile(&plan) {
+                    Ok(cq) => task.publish(Box::new(
+                        move |txn: &mut GraphTxn<'_>, params: &[PVal], c0: u64, c1: u64| {
+                            run_compiled_range(&cq, txn, params, c0, c1)
+                        },
+                    )),
+                    Err(_) => task.publish_failure(),
+                }
+                crate::obs::adaptive_switch(switch_span);
             });
         }
         execute_morsels(plan, db, snapshot, ctx, nthreads, Some(&task))

@@ -352,9 +352,11 @@ impl JitEngine {
     /// Compile (or fetch from cache) the plan's first pipeline segment.
     pub fn get_or_compile(&self, plan: &Plan) -> Result<Arc<CompiledQuery>, JitError> {
         let fp = plan.fingerprint();
+        let hit_span = gobs::span_start();
         if let Some(c) = self.cache.lock().touch(fp) {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.persist_record(fp, false);
+            crate::obs::cache_hit(hit_span);
             return Ok(c);
         }
         let compiled = Arc::new(self.compile_uncached(plan)?);
@@ -374,6 +376,7 @@ impl JitEngine {
         if delay_ns > 0 {
             std::thread::sleep(Duration::from_nanos(delay_ns));
         }
+        let span = gobs::span_start();
         let start = Instant::now();
         let (seg, _) = plan.split_first_segment();
         let mut module = new_module()?;
@@ -384,12 +387,13 @@ impl JitEngine {
         let ptr = module.get_finalized_function(func_id);
         let func: PipelineFn = unsafe { std::mem::transmute(ptr) };
         self.stats.compiles.fetch_add(1, Ordering::Relaxed);
+        crate::obs::compile(span);
         Ok(CompiledQuery {
             module: Some(module),
             func,
             fingerprint: plan.fingerprint(),
             seg_len: seg.len(),
-            compile_time: start.elapsed(),
+            compile_time: gobs::saturating_elapsed(start),
         })
     }
 
@@ -495,7 +499,7 @@ pub fn execute_jit_ctx(
     ctx.profile.morsels += 1;
     ctx.profile.compiled_morsels += 1;
     ctx.profile.chunks_pruned += pruned;
-    ctx.profile.segments.push(("jit", start.elapsed()));
+    ctx.profile.segments.push(("jit", gobs::saturating_elapsed(start)));
     ctx.profile.rows += rows.len() as u64;
     ctx.check_interrupt()?;
     Ok(rows)

@@ -26,6 +26,7 @@
 pub mod adaptive;
 pub mod codegen;
 pub mod engine;
+mod obs;
 pub mod runtime;
 
 pub use adaptive::{execute_adaptive, execute_adaptive_ctx, AdaptiveReport};

@@ -1,0 +1,55 @@
+//! JIT-path span histograms, registered lazily in the process-global
+//! [`gobs`] registry. Sites pair [`gobs::span_start`] with
+//! `Histogram::observe_span`, so compilation and cache probes cost one
+//! relaxed load when no metrics consumer has enabled spans.
+
+use gobs::Histogram;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn observe(
+    cell: &'static OnceLock<Histogram>,
+    name: &'static str,
+    help: &'static str,
+    span: Option<Instant>,
+) {
+    if span.is_some() {
+        cell.get_or_init(|| gobs::global().histogram(name, help))
+            .observe_span(span);
+    }
+}
+
+/// One Cranelift compilation of a plan's first pipeline segment.
+pub fn compile(span: Option<Instant>) {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    observe(
+        &H,
+        "pmemgraph_jit_compile_us",
+        "Cranelift compilation of one pipeline segment (IR build + finalize)",
+        span,
+    );
+}
+
+/// A code-cache hit: the probe-and-touch path in `get_or_compile`.
+pub fn cache_hit(span: Option<Instant>) {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    observe(
+        &H,
+        "pmemgraph_jit_cache_hit_us",
+        "code-cache hit path: fingerprint probe, LRU touch, metadata record",
+        span,
+    );
+}
+
+/// Adaptive-switch latency: from starting the background compiler until
+/// the compiled task (or a permanent failure) is published into the
+/// scheduler's task slot.
+pub fn adaptive_switch(span: Option<Instant>) {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    observe(
+        &H,
+        "pmemgraph_adaptive_switch_us",
+        "adaptive execution: background-compile start until task-slot publication",
+        span,
+    );
+}

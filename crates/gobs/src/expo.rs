@@ -1,0 +1,198 @@
+//! Prometheus text exposition (format 0.0.4) rendered from a
+//! [`Snapshot`], plus a grammar validator for tests and CI.
+//!
+//! Histograms render as cumulative `_bucket{le="..."}` series with
+//! integer-microsecond bounds, a `+Inf` bucket, `_sum` and `_count` —
+//! exactly what `histogram_quantile()` expects on the scrape side.
+
+use crate::hist::{bucket_upper_us, BUCKET_COUNT};
+use crate::registry::{valid_metric_name, SnapValue, Snapshot};
+
+fn escape_help(help: &str, out: &mut String) {
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a snapshot as Prometheus text exposition.
+pub fn render(snap: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for e in &snap.entries {
+        out.push_str("# HELP ");
+        out.push_str(&e.name);
+        out.push(' ');
+        escape_help(&e.help, &mut out);
+        out.push('\n');
+        match &e.value {
+            SnapValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {} counter\n{} {v}", e.name, e.name);
+            }
+            SnapValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {} gauge\n{} {v}", e.name, e.name);
+            }
+            SnapValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                let mut cum = 0u64;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    cum += c;
+                    if i + 1 < BUCKET_COUNT {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{le=\"{}\"}} {cum}",
+                            e.name,
+                            bucket_upper_us(i)
+                        );
+                    } else {
+                        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {cum}", e.name);
+                    }
+                }
+                let _ = writeln!(out, "{}_sum {}", e.name, h.sum_us);
+                let _ = writeln!(out, "{}_count {}", e.name, h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Validate `text` against the exposition-format grammar: every line must
+/// be a `# HELP`/`# TYPE` comment, blank, or a well-formed sample
+/// (`name{labels} value`). Returns the number of sample lines, or the
+/// first offending line. Used by the gobs/gserver tests and the CI
+/// metrics smoke.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kw = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            match kw {
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        return Err(format!("bad HELP line: {line:?}"));
+                    }
+                }
+                "TYPE" => {
+                    let ty = parts.next().unwrap_or("");
+                    if !valid_metric_name(name)
+                        || !matches!(ty, "counter" | "gauge" | "histogram" | "summary" | "untyped")
+                    {
+                        return Err(format!("bad TYPE line: {line:?}"));
+                    }
+                }
+                _ => return Err(format!("unknown comment: {line:?}")),
+            }
+            continue;
+        }
+        samples += validate_sample(line).map_err(|e| format!("{e}: {line:?}"))?;
+    }
+    Ok(samples)
+}
+
+fn validate_sample(line: &str) -> Result<usize, &'static str> {
+    // name ['{' labels '}'] ' ' value
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or("sample missing value")?;
+    if !valid_metric_name(&line[..name_end]) {
+        return Err("bad metric name");
+    }
+    let rest = &line[name_end..];
+    let rest = if let Some(body) = rest.strip_prefix('{') {
+        let close = body.find('}').ok_or("unterminated label set")?;
+        validate_labels(&body[..close])?;
+        body[close + 1..].trim_start_matches(' ')
+    } else {
+        rest.trim_start_matches(' ')
+    };
+    let value = rest.split(' ').next().ok_or("sample missing value")?;
+    let ok_float = value.parse::<f64>().is_ok()
+        || matches!(value, "+Inf" | "-Inf" | "NaN");
+    if !ok_float {
+        return Err("bad sample value");
+    }
+    Ok(1)
+}
+
+fn validate_labels(body: &str) -> Result<(), &'static str> {
+    if body.is_empty() {
+        return Ok(());
+    }
+    for pair in body.split(',') {
+        let (k, v) = pair.split_once('=').ok_or("label without '='")?;
+        if !valid_metric_name(k) {
+            return Err("bad label name");
+        }
+        if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+            return Err("unquoted label value");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::Snapshot;
+
+    #[test]
+    fn every_rendered_line_parses() {
+        let r = Registry::new();
+        r.counter("expo_requests_total", "total requests\nwith newline")
+            .add(3);
+        r.gauge("expo_sessions", "live sessions").set(-2);
+        let h = r.histogram("expo_latency_us", "request latency");
+        for us in [1u64, 5, 50, 5_000, 50_000_000_000] {
+            h.observe_us(us);
+        }
+        let text = render(&Snapshot::collect(&[&r]));
+        let samples = validate_exposition(&text).expect("valid exposition");
+        // 1 counter + 1 gauge + (28 buckets + sum + count).
+        assert_eq!(samples, 2 + crate::BUCKET_COUNT + 2);
+        assert!(text.contains("# TYPE expo_latency_us histogram"));
+        assert!(text.contains("expo_latency_us_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("expo_latency_us_count 5"));
+        assert!(text.contains("expo_requests_total 3"));
+        assert!(text.contains("expo_sessions -2"));
+        assert!(text.contains("total requests\\nwith newline"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let r = Registry::new();
+        let h = r.histogram("expo_cum_us", "");
+        for us in [1u64, 2, 4, 1024, 1_000_000] {
+            h.observe_us(us);
+        }
+        let text = render(&Snapshot::collect(&[&r]));
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines().filter(|l| l.starts_with("expo_cum_us_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "buckets must be cumulative: {line}");
+            last = v;
+            bucket_lines += 1;
+        }
+        assert_eq!(bucket_lines, crate::BUCKET_COUNT);
+        assert_eq!(last, 5, "+Inf bucket must equal the total count");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("1bad_name 3").is_err());
+        assert!(validate_exposition("name{le=1} 3").is_err());
+        assert!(validate_exposition("name not_a_number").is_err());
+        assert!(validate_exposition("# BOGUS name counter").is_err());
+        assert!(validate_exposition("# TYPE name nonsense").is_err());
+        assert!(validate_exposition("ok_name{le=\"+Inf\"} 3\n").unwrap() == 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Standalone metrics exporter: a tiny HTTP/1.0 responder on its own TCP
+//! port, so Prometheus can scrape without consuming a query session (and
+//! without speaking the newline-JSON query protocol).
+//!
+//! It answers *every* request on the port with the rendered exposition —
+//! no routing, no keep-alive — which is exactly what a scrape loop needs
+//! and nothing more. The render closure is supplied by the embedding
+//! server so it can merge its own registry with the process-global one at
+//! scrape time.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Render callback: produce the exposition body for one scrape.
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// Handle to a running exporter; dropping it stops the listener thread.
+pub struct Exporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Exporter {
+    /// Bind `addr` (port 0 picks an ephemeral port) and serve `render` to
+    /// every connection.
+    pub fn serve(addr: &str, render: RenderFn) -> std::io::Result<Exporter> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("gobs-exporter".into())
+                .spawn(move || accept_loop(listener, render, stop))?
+        };
+        Ok(Exporter {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener and join its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, render: RenderFn, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_one(stream, &render),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Answer one scrape: drain the request head (best effort, bounded), then
+/// write a complete HTTP/1.0 response and close.
+fn serve_one(mut stream: TcpStream, render: &RenderFn) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    let mut head = [0u8; 4096];
+    let mut used = 0;
+    // Read until the blank line ending the request head, EOF, timeout, or
+    // a head larger than the buffer (treated as complete enough).
+    while used < head.len() {
+        match stream.read(&mut head[used..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                used += n;
+                if head[..used].windows(4).any(|w| w == b"\r\n\r\n")
+                    || head[..used].windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = render();
+    let _ = write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead as _;
+
+    #[test]
+    fn exporter_answers_http_scrapes() {
+        let reg = crate::Registry::new();
+        reg.counter("exporter_test_total", "t").add(42);
+        let render: RenderFn = Arc::new(move || {
+            crate::render(&crate::Snapshot::collect(&[&reg]))
+        });
+        let exp = Exporter::serve("127.0.0.1:0", render).expect("bind exporter");
+        let addr = exp.local_addr();
+
+        for _ in 0..2 {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            conn.write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+                .expect("request");
+            let mut reader = std::io::BufReader::new(conn);
+            let mut status = String::new();
+            reader.read_line(&mut status).expect("status line");
+            assert!(status.starts_with("HTTP/1.0 200"), "got {status:?}");
+            let mut body = String::new();
+            loop {
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    break;
+                }
+                if !body.is_empty() || line.starts_with('#') {
+                    body.push_str(&line);
+                }
+            }
+            assert!(body.contains("exporter_test_total 42"), "body: {body}");
+            crate::validate_exposition(&body).expect("valid exposition over HTTP");
+        }
+        exp.stop();
+    }
+}

@@ -1,0 +1,213 @@
+//! Log-bucketed latency histograms.
+//!
+//! Buckets are powers of two in microseconds: bucket `i` counts
+//! observations `v <= 2^i µs` for `i in 0..27`, and the last bucket is
+//! `+Inf`. That spans 1 µs … ~67 s with 28 counters — fine-grained where
+//! query latencies live, one cache line of hot state, and cheap to render
+//! as cumulative Prometheus `_bucket{le=...}` series. p50/p95/p99/max are
+//! derivable from a snapshot ([`HistSnapshot::quantile_us`]).
+//!
+//! Concurrency: recording is a relaxed `fetch_add` per observation (one
+//! bucket, the sum, and a `fetch_max` for the max) — no locks, safe from
+//! any thread. A snapshot reads the buckets individually, so it is *racy
+//! but monotone*: each bucket count is exact at some instant during the
+//! read, totals never decrease, and the derived `count` always equals the
+//! sum of the snapshotted buckets (the bucket-sum invariant tests pin).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of buckets, including the final `+Inf` bucket.
+pub const BUCKET_COUNT: usize = 28;
+
+/// Upper bound (inclusive, in µs) of bucket `i`; the last bucket is
+/// unbounded.
+pub fn bucket_upper_us(i: usize) -> u64 {
+    if i + 1 < BUCKET_COUNT {
+        1u64 << i
+    } else {
+        u64::MAX
+    }
+}
+
+/// The bucket an observation of `us` microseconds lands in: the smallest
+/// `i` with `us <= 2^i`, clamped into the `+Inf` bucket.
+pub fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        return 0;
+    }
+    let i = 64 - ((us - 1).leading_zeros() as usize);
+    i.min(BUCKET_COUNT - 1)
+}
+
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl HistCore {
+    fn new() -> HistCore {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent latency histogram handle. Clones share the same counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistCore>,
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry (client-side tooling like
+    /// the bench load drivers). Registry-attached histograms come from
+    /// [`crate::Registry::histogram`].
+    pub fn unregistered() -> Histogram {
+        Histogram {
+            core: Arc::new(HistCore::new()),
+        }
+    }
+
+    /// Record one observation of `us` microseconds.
+    pub fn observe_us(&self, us: u64) {
+        self.core.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.core.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.core.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record a duration (saturating at `u64::MAX` µs).
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record the span started by [`crate::span_start`], if spans were
+    /// enabled when it started. Uses a saturating elapsed time, so a
+    /// stepped clock can never underflow into a bogus huge value.
+    pub fn observe_span(&self, started: Option<std::time::Instant>) {
+        if let Some(t0) = started {
+            self.observe_duration(crate::span::saturating_elapsed(t0));
+        }
+    }
+
+    /// Racy-but-monotone snapshot (see module docs).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: [u64; BUCKET_COUNT] =
+            std::array::from_fn(|i| self.core.buckets[i].load(Ordering::Relaxed));
+        HistSnapshot {
+            buckets,
+            sum_us: self.core.sum_us.load(Ordering::Relaxed),
+            max_us: self.core.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain copy of a histogram at one point in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Sum of all observed values, in µs.
+    pub sum_us: u64,
+    /// Largest observed value, in µs.
+    pub max_us: u64,
+}
+
+impl HistSnapshot {
+    /// Total observations — by construction exactly the sum of the
+    /// snapshotted buckets.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (0.0..=1.0) estimated from bucket upper bounds,
+    /// clamped to the observed maximum. Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper_us(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_powers_of_two() {
+        // v = 0 and v = 1 land in bucket 0 (le="1").
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        // Exact powers land in their own bucket; one past lands in the next.
+        for i in 1..(BUCKET_COUNT - 1) {
+            let ub = 1u64 << i;
+            assert_eq!(bucket_index(ub), i, "2^{i} must be in bucket {i}");
+            assert_eq!(bucket_index(ub - 1), if ub - 1 > 1u64 << (i - 1) { i } else { i - 1 });
+            assert_eq!(bucket_index(ub + 1), (i + 1).min(BUCKET_COUNT - 1));
+        }
+        // Anything beyond the last finite bound goes to +Inf.
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        assert_eq!(bucket_upper_us(BUCKET_COUNT - 1), u64::MAX);
+    }
+
+    #[test]
+    fn observe_and_quantiles() {
+        let h = Histogram::unregistered();
+        for us in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.observe_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.sum_us, 1 + 2 + 3 + 100 + 1000 + 100_000);
+        assert_eq!(s.max_us, 100_000);
+        // p100 clamps to the observed max, not the bucket bound.
+        assert_eq!(s.quantile_us(1.0), 100_000);
+        // p50 of 6 obs = rank 3 -> value 3 lives in bucket le="4".
+        assert_eq!(s.quantile_us(0.5), 4);
+        assert_eq!(s.quantile_us(0.0), 1);
+        assert_eq!(HistSnapshot { buckets: [0; BUCKET_COUNT], sum_us: 0, max_us: 0 }.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_bucket_sum_invariant() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let h = Histogram::unregistered();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Spread across buckets deterministically.
+                        h.observe_us((i % 17) * (t as u64 + 1));
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count(), THREADS as u64 * PER_THREAD);
+        let expected_sum: u64 = (0..THREADS as u64)
+            .map(|t| (0..PER_THREAD).map(|i| (i % 17) * (t + 1)).sum::<u64>())
+            .sum();
+        assert_eq!(s.sum_us, expected_sum);
+        assert!(s.max_us <= 16 * THREADS as u64);
+        // The bucket-sum invariant: count is *derived* from the buckets,
+        // so it can never disagree with them.
+        assert_eq!(s.count(), s.buckets.iter().sum::<u64>());
+    }
+}

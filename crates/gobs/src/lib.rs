@@ -1,0 +1,59 @@
+//! gobs — the unified observability subsystem.
+//!
+//! Every earlier layer grew its own telemetry: `pmem::stats` atomic
+//! counters, per-query `ExecProfile`s in `gquery`, commit-pipeline and
+//! arena counters, JIT cache counters, and a hand-rolled `STATS` JSON
+//! blob in the server. None of it had histograms, none of it was
+//! scrapeable, and each consumer re-invented snapshotting. This crate is
+//! the one place the rest of the engine reports to:
+//!
+//! * [`Registry`] — named counters, gauges and log-bucketed latency
+//!   [`Histogram`]s. Recording is a relaxed atomic add (lock-free, no
+//!   allocation); registration handles are cheap clones. Existing
+//!   subsystem counters join the registry through *fn-metrics* (closures
+//!   read the authoritative atomic at snapshot time), so no counter is
+//!   ever double-maintained.
+//! * [`expo`] — Prometheus text exposition (format 0.0.4) rendered from a
+//!   [`Snapshot`], plus a grammar validator used by tests and CI.
+//! * [`SlowLog`] — a bounded ring of slow-query records (query text, plan
+//!   summary, execution profile) for queries over a latency threshold.
+//! * [`span`] — near-zero-overhead span timing: every instrumentation
+//!   site pays one relaxed load when spans are disabled (the default;
+//!   attaching a server/exporter enables them) and two `Instant::now()`
+//!   calls when enabled.
+//! * [`exporter`] — a minimal standalone HTTP/TCP exporter so Prometheus
+//!   can scrape without consuming a query session.
+//!
+//! Layering: `gobs` depends on nothing in the engine, so `pmem`, `gtxn`,
+//! `gquery`, `gjit`, `gserver` and `bench` can all depend on it. Span
+//! instrumentation in library crates records into the process-wide
+//! [`global()`] registry; the server combines that with its own registry
+//! (per-server counters) at scrape time via [`Snapshot::collect`].
+
+pub mod exporter;
+pub mod expo;
+pub mod hist;
+pub mod registry;
+pub mod slowlog;
+pub mod span;
+
+use std::sync::OnceLock;
+
+pub use exporter::Exporter;
+pub use expo::{render, validate_exposition};
+pub use hist::{HistSnapshot, Histogram, BUCKET_COUNT};
+pub use registry::{Counter, Gauge, Registry, SnapEntry, SnapValue, Snapshot};
+pub use slowlog::{SlowEntry, SlowLog};
+pub use span::{saturating_elapsed, set_spans_enabled, span_start, spans_enabled};
+
+/// The process-wide registry. Library-crate span instrumentation (txn
+/// begin/commit, JIT compile, morsel-loop segments) registers its
+/// histograms here exactly once; consumers merge it with their own
+/// registries via [`Snapshot::collect`]. Process-wide aggregation is the
+/// Prometheus model — two databases in one test process share these
+/// series, which is fine for latency distributions and documented here so
+/// nobody mistakes them for per-pool counters.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}

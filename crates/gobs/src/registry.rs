@@ -1,0 +1,367 @@
+//! The metrics registry: named counters, gauges, histograms, and
+//! fn-metrics over externally-owned atomics.
+//!
+//! # Atomic ordering discipline
+//!
+//! All metric counters in this crate — and the subsystem counters it
+//! snapshots through fn-metrics (`pmem::stats`, `gtxn` txn stats, `gjit`
+//! cache stats, server stats) — are **monotonic counters updated with
+//! `Ordering::Relaxed`**. Relaxed is correct because no metric value ever
+//! guards another memory access: nothing is published or acquired through
+//! a counter, so the only property needed is per-location atomicity and
+//! monotonicity, which relaxed atomics guarantee. Snapshot reads are also
+//! relaxed and therefore **racy but monotone**: a snapshot taken during
+//! concurrent recording reads each counter at some instant within the
+//! read window, counters only move forward, and no torn or decreasing
+//! value can be observed. Cross-counter invariants (e.g. "admitted ≤
+//! requests") may be transiently off by in-flight increments; consumers
+//! must treat snapshots as approximately-simultaneous, never as a
+//! consistent cut. Any atomic that *does* publish data (e.g. the MVTO
+//! chunk-state protocol) is out of scope here and keeps its stronger
+//! ordering.
+//!
+//! Registration takes a short mutex (cold path, startup-dominated);
+//! recording through the returned handles is entirely lock-free.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::{HistSnapshot, Histogram};
+
+/// A monotonic counter handle. Clones share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (set to the current level; may go down).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.cell.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+type FnU64 = Arc<dyn Fn() -> u64 + Send + Sync>;
+type FnI64 = Arc<dyn Fn() -> i64 + Send + Sync>;
+
+enum Metric {
+    Counter(Counter),
+    /// A counter whose authoritative cell lives elsewhere (an existing
+    /// subsystem atomic); the closure reads it at snapshot time, so there
+    /// is exactly one source of truth.
+    FnCounter(FnU64),
+    Gauge(Gauge),
+    FnGauge(FnI64),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A named-metric registry. See the module docs for the ordering
+/// discipline; see [`crate::global`] for the process-wide instance used
+/// by span instrumentation.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// `true` if `name` is a valid Prometheus metric name.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register<T: Clone>(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> (T, Metric),
+        reuse: impl Fn(&Metric) -> Option<T>,
+    ) -> T {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return reuse(&e.metric)
+                .unwrap_or_else(|| panic!("metric {name:?} already registered with another kind"));
+        }
+        let (handle, metric) = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric,
+        });
+        handle
+    }
+
+    /// Register (or fetch) a counter. Idempotent: the same name returns a
+    /// handle to the same cell.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.register(
+            name,
+            help,
+            || {
+                let c = Counter::default();
+                (c.clone(), Metric::Counter(c))
+            },
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.register(
+            name,
+            help,
+            || {
+                let g = Gauge::default();
+                (g.clone(), Metric::Gauge(g))
+            },
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch) a latency histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.register(
+            name,
+            help,
+            || {
+                let h = Histogram::unregistered();
+                (h.clone(), Metric::Histogram(h))
+            },
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register a counter read through a closure from an authoritative
+    /// external atomic (monotonic, relaxed — see module docs). A repeated
+    /// registration under the same name replaces the closure, so a
+    /// restarted consumer re-binds cleanly.
+    pub fn fn_counter(&self, name: &str, help: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.register_fn(name, help, Metric::FnCounter(Arc::new(f)));
+    }
+
+    /// Register a gauge read through a closure (current level; may fall).
+    pub fn fn_gauge(&self, name: &str, help: &str, f: impl Fn() -> i64 + Send + Sync + 'static) {
+        self.register_fn(name, help, Metric::FnGauge(Arc::new(f)));
+    }
+
+    fn register_fn(&self, name: &str, help: &str, metric: Metric) {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries.iter_mut().find(|e| e.name == name) {
+            e.metric = metric;
+            e.help = help.to_string();
+            return;
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric,
+        });
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<SnapEntry>) {
+        let entries = self.entries.lock();
+        for e in entries.iter() {
+            if out.iter().any(|s| s.name == e.name) {
+                debug_assert!(false, "duplicate metric {:?} across registries", e.name);
+                continue;
+            }
+            let value = match &e.metric {
+                Metric::Counter(c) => SnapValue::Counter(c.get()),
+                Metric::FnCounter(f) => SnapValue::Counter(f()),
+                Metric::Gauge(g) => SnapValue::Gauge(g.get()),
+                Metric::FnGauge(f) => SnapValue::Gauge(f()),
+                Metric::Histogram(h) => SnapValue::Histogram(Box::new(h.snapshot())),
+            };
+            out.push(SnapEntry {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                value,
+            });
+        }
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone)]
+pub enum SnapValue {
+    Counter(u64),
+    Gauge(i64),
+    /// Boxed: a histogram snapshot is ~240 bytes of buckets, far larger
+    /// than the scalar variants.
+    Histogram(Box<HistSnapshot>),
+}
+
+/// One snapshotted metric.
+#[derive(Debug, Clone)]
+pub struct SnapEntry {
+    pub name: String,
+    pub help: String,
+    pub value: SnapValue,
+}
+
+/// A point-in-time view over one or more registries (racy-but-monotone,
+/// see module docs). The Prometheus renderer and the server's `STATS`
+/// view both read from this — one source of truth for both surfaces.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub entries: Vec<SnapEntry>,
+}
+
+impl Snapshot {
+    /// Snapshot several registries into one merged view. On a (bug-only)
+    /// duplicate name, the first registry wins.
+    pub fn collect(registries: &[&Registry]) -> Snapshot {
+        let mut entries = Vec::new();
+        for r in registries {
+            r.snapshot_into(&mut entries);
+        }
+        Snapshot { entries }
+    }
+
+    fn find(&self, name: &str) -> Option<&SnapEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Counter or gauge value by name, as an i64 (counters saturate).
+    pub fn value(&self, name: &str) -> Option<i64> {
+        match &self.find(name)?.value {
+            SnapValue::Counter(v) => Some((*v).min(i64::MAX as u64) as i64),
+            SnapValue::Gauge(v) => Some(*v),
+            SnapValue::Histogram(_) => None,
+        }
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        match &self.find(name)?.value {
+            SnapValue::Histogram(h) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("test_requests_total", "requests");
+        let b = r.counter("test_requests_total", "requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("test_metric", "");
+        let _ = r.gauge("test_metric", "");
+    }
+
+    #[test]
+    fn fn_metrics_read_the_external_cell() {
+        let r = Registry::new();
+        let cell = Arc::new(AtomicU64::new(7));
+        let c = cell.clone();
+        r.fn_counter("test_external_total", "external", move || {
+            c.load(Ordering::Relaxed)
+        });
+        let snap = Snapshot::collect(&[&r]);
+        assert_eq!(snap.value("test_external_total"), Some(7));
+        cell.store(9, Ordering::Relaxed);
+        let snap = Snapshot::collect(&[&r]);
+        assert_eq!(snap.value("test_external_total"), Some(9));
+    }
+
+    #[test]
+    fn merged_snapshot_covers_all_registries() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("test_a_total", "").inc();
+        b.gauge("test_b", "").set(-4);
+        let h = b.histogram("test_lat_us", "");
+        h.observe_us(10);
+        let snap = Snapshot::collect(&[&a, &b]);
+        assert_eq!(snap.value("test_a_total"), Some(1));
+        assert_eq!(snap.value("test_b"), Some(-4));
+        assert_eq!(snap.histogram("test_lat_us").unwrap().count(), 1);
+        assert!(snap.value("test_lat_us").is_none());
+    }
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(valid_metric_name("pmemgraph_txn_commit_us"));
+        assert!(valid_metric_name("_x:y"));
+        assert!(!valid_metric_name("1abc"));
+        assert!(!valid_metric_name("a-b"));
+        assert!(!valid_metric_name(""));
+    }
+}

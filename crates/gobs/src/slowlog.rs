@@ -1,0 +1,165 @@
+//! Bounded slow-query ring log.
+//!
+//! Queries whose wall-clock latency meets the configured threshold are
+//! recorded — query text, plan summary, execution mode, pushdown/prune
+//! stats and per-segment timings — into a fixed-capacity ring. The ring
+//! keeps the most recent entries (oldest evicted first) and counts what
+//! it dropped, so a burst of slow queries can never grow memory without
+//! bound. Draining is non-destructive ([`SlowLog::entries`]) so repeated
+//! `SLOWLOG` requests see the same window; [`SlowLog::clear`] resets it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// One captured slow query. Field types are plain strings/integers so the
+/// log has no dependency on the query-engine crates; the server maps its
+/// `ExecProfile` in.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Capture time, unix epoch milliseconds.
+    pub at_unix_ms: u64,
+    /// Query text or catalog name as the client sent it.
+    pub query: String,
+    /// Compact plan summary (operator chain per pipeline step).
+    pub plan: String,
+    /// Driving execution mode, if one was recorded.
+    pub mode: Option<String>,
+    /// End-to-end request latency in µs (saturating).
+    pub elapsed_us: u64,
+    pub rows: u64,
+    pub morsels: u64,
+    pub interpreted_morsels: u64,
+    pub compiled_morsels: u64,
+    pub chunks_pruned: u64,
+    pub fast_path_morsels: u64,
+    pub residual_rows: u64,
+    /// Fallback reason, if the profile recorded one.
+    pub fallback: Option<String>,
+    /// Per-segment timings `(name, µs)` in execution order.
+    pub segments: Vec<(String, u64)>,
+}
+
+/// The bounded ring. Recording takes a short mutex — acceptable because
+/// only queries already past the slow threshold ever reach it.
+pub struct SlowLog {
+    capacity: usize,
+    threshold_us: AtomicU64,
+    ring: Mutex<VecDeque<SlowEntry>>,
+    dropped: AtomicU64,
+}
+
+impl SlowLog {
+    /// A log keeping the `capacity` most recent entries at or over
+    /// `threshold_us` (use `u64::MAX` to disable capture).
+    pub fn new(capacity: usize, threshold_us: u64) -> SlowLog {
+        SlowLog {
+            capacity: capacity.max(1),
+            threshold_us: AtomicU64::new(threshold_us),
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The active capture threshold in µs.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Retune the threshold at runtime.
+    pub fn set_threshold_us(&self, us: u64) {
+        self.threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Record `entry` if it meets the threshold; `make` runs only for
+    /// slow queries, so the fast path never builds an entry. Returns
+    /// whether an entry was captured.
+    pub fn maybe_record(&self, elapsed_us: u64, make: impl FnOnce() -> SlowEntry) -> bool {
+        if elapsed_us < self.threshold_us() {
+            return false;
+        }
+        let entry = make();
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(entry);
+        true
+    }
+
+    /// Snapshot the ring, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Entries evicted by the ring bound since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Forget all captured entries (eviction counter keeps counting up).
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(q: &str, us: u64) -> SlowEntry {
+        SlowEntry {
+            at_unix_ms: 0,
+            query: q.to_string(),
+            plan: "NodeScan->Count".to_string(),
+            mode: Some("adaptive".to_string()),
+            elapsed_us: us,
+            rows: 1,
+            morsels: 1,
+            interpreted_morsels: 1,
+            compiled_morsels: 0,
+            chunks_pruned: 0,
+            fast_path_morsels: 0,
+            residual_rows: 0,
+            fallback: None,
+            segments: vec![("interp".to_string(), us)],
+        }
+    }
+
+    #[test]
+    fn threshold_gates_capture() {
+        let log = SlowLog::new(8, 100);
+        assert!(!log.maybe_record(99, || unreachable!("fast path must not build")));
+        assert!(log.maybe_record(100, || entry("q", 100)));
+        assert_eq!(log.len(), 1);
+        log.set_threshold_us(u64::MAX);
+        assert!(!log.maybe_record(u64::MAX - 1, || unreachable!()));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let log = SlowLog::new(3, 0);
+        for i in 0..5u64 {
+            log.maybe_record(i, || entry(&format!("q{i}"), i));
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(entries[0].query, "q2");
+        assert_eq!(entries[2].query, "q4");
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 2);
+    }
+}

@@ -1,0 +1,72 @@
+//! Near-zero-overhead span timing.
+//!
+//! Instrumentation sites in the library crates (transaction begin/commit,
+//! JIT compilation, morsel-loop segments) call [`span_start`] before the
+//! work and `Histogram::observe_span` after. When spans are disabled —
+//! the default for embedded/benchmark use, where nobody will scrape the
+//! histograms — a site costs exactly one relaxed atomic load and no
+//! clock reads. Attaching a consumer (the query server, the standalone
+//! exporter, a load driver that prints percentiles) flips the global
+//! flag once via [`set_spans_enabled`].
+//!
+//! All span durations are computed with [`saturating_elapsed`], so a
+//! stepped clock or a zero-length segment can never underflow into a
+//! bogus huge duration.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+static SPANS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable span recording process-wide.
+pub fn set_spans_enabled(on: bool) {
+    SPANS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently enabled.
+#[inline]
+pub fn spans_enabled() -> bool {
+    SPANS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Start a span: `Some(now)` when spans are enabled, `None` (no clock
+/// read) otherwise. Pair with `Histogram::observe_span`.
+#[inline]
+pub fn span_start() -> Option<Instant> {
+    if spans_enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Monotonic, saturating elapsed time since `since` — never panics and
+/// never underflows, even if the instant is somehow in the future.
+#[inline]
+pub fn saturating_elapsed(since: Instant) -> Duration {
+    Instant::now().saturating_duration_since(since)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn spans_record_only_when_enabled() {
+        let h = Histogram::unregistered();
+        set_spans_enabled(false);
+        h.observe_span(span_start());
+        assert_eq!(h.snapshot().count(), 0);
+        set_spans_enabled(true);
+        h.observe_span(span_start());
+        assert_eq!(h.snapshot().count(), 1);
+        set_spans_enabled(false);
+    }
+
+    #[test]
+    fn saturating_elapsed_never_underflows() {
+        let future = Instant::now() + Duration::from_secs(3600);
+        assert_eq!(saturating_elapsed(future), Duration::ZERO);
+    }
+}

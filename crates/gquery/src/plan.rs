@@ -273,6 +273,30 @@ impl Op {
             Op::CreateNode { .. } | Op::CreateRel { .. } | Op::SetProp { .. }
         )
     }
+
+    /// Stable operator name for plan summaries and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Once => "Once",
+            Op::NodeScan { .. } => "NodeScan",
+            Op::RelScan { .. } => "RelScan",
+            Op::IndexScan { .. } => "IndexScan",
+            Op::IndexRangeScan { .. } => "IndexRangeScan",
+            Op::NodeById { .. } => "NodeById",
+            Op::IndexProbe { .. } => "IndexProbe",
+            Op::ForeachRel { .. } => "ForeachRel",
+            Op::GetNode { .. } => "GetNode",
+            Op::Filter(_) => "Filter",
+            Op::Project(_) => "Project",
+            Op::OrderBy { .. } => "OrderBy",
+            Op::Limit(_) => "Limit",
+            Op::Count => "Count",
+            Op::Distinct => "Distinct",
+            Op::CreateNode { .. } => "CreateNode",
+            Op::CreateRel { .. } => "CreateRel",
+            Op::SetProp { .. } => "SetProp",
+        }
+    }
 }
 
 /// A query plan: a linear operator pipeline plus the number of parameters
@@ -319,6 +343,20 @@ impl Plan {
     /// must not re-derive it.
     pub fn split_first_segment(&self) -> (&[Op], &[Op]) {
         split_first_segment(&self.ops)
+    }
+
+    /// Compact operator-chain summary for the slow-query log and
+    /// diagnostics, with the breaker cut marked: operators before the
+    /// first breaker (the streaming segment) join with `->`, the buffered
+    /// tail follows after `|`, e.g. `NodeScan->Filter | Count`.
+    pub fn summary(&self) -> String {
+        let (seg, tail) = self.split_first_segment();
+        let mut out = seg.iter().map(Op::name).collect::<Vec<_>>().join("->");
+        if !tail.is_empty() {
+            out.push_str(" | ");
+            out.push_str(&tail.iter().map(Op::name).collect::<Vec<_>>().join("->"));
+        }
+        out
     }
 
     /// Shape hash: identifies the operator structure with parameter values

@@ -38,6 +38,53 @@ use crate::exec::{self, QueryError};
 use crate::plan::{Op, Plan, Row, Slot};
 use crate::pushdown::Pushdown;
 
+/// Morsel-loop span histograms, registered lazily in the process-global
+/// [`gobs`] registry. Observation is gated on [`gobs::spans_enabled`], so
+/// embedded/benchmark use (no exporter attached) pays one relaxed load.
+mod obs {
+    use gobs::Histogram;
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    fn hist(
+        cell: &'static OnceLock<Histogram>,
+        name: &'static str,
+        help: &'static str,
+    ) -> &'static Histogram {
+        cell.get_or_init(|| gobs::global().histogram(name, help))
+    }
+
+    pub fn morsel_head(d: Duration) {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        hist(
+            &H,
+            "pmemgraph_exec_morsel_head_us",
+            "wall-clock of the parallel morsel loop over the first pipeline segment",
+        )
+        .observe_duration(d);
+    }
+
+    pub fn tail(d: Duration) {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        hist(
+            &H,
+            "pmemgraph_exec_tail_us",
+            "wall-clock of the sequential breaker tail after the morsel loop",
+        )
+        .observe_duration(d);
+    }
+
+    pub fn interp(d: Duration) {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        hist(
+            &H,
+            "pmemgraph_exec_interp_us",
+            "wall-clock of sequential interpreted execution (Interp mode and fallbacks)",
+        )
+        .observe_duration(d);
+    }
+}
+
 /// Which executor drove a query — the four configurations of the paper's
 /// evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -620,7 +667,11 @@ pub fn execute_morsels(
     let (fast, residual) = source.drain_stats();
     ctx.profile.fast_path_morsels += fast;
     ctx.profile.residual_rows += residual;
-    ctx.profile.segments.push((source.kind(), head_start.elapsed()));
+    let head_elapsed = gobs::saturating_elapsed(head_start);
+    if gobs::spans_enabled() {
+        obs::morsel_head(head_elapsed);
+    }
+    ctx.profile.segments.push((source.kind(), head_elapsed));
 
     let merged: Vec<Row> = results.into_iter().flat_map(Mutex::into_inner).collect();
     let out = if tail.is_empty() {
@@ -637,7 +688,11 @@ pub fn execute_morsels(
             };
             exec::exec_segments_pub(tail, &mut reader, params, Some(merged), &mut sink)?;
         }
-        ctx.profile.segments.push(("tail", tail_start.elapsed()));
+        let tail_elapsed = gobs::saturating_elapsed(tail_start);
+        if gobs::spans_enabled() {
+            obs::tail(tail_elapsed);
+        }
+        ctx.profile.segments.push(("tail", tail_elapsed));
         out
     };
     ctx.profile.rows += out.len() as u64;
@@ -676,7 +731,11 @@ pub fn execute_collect_ctx(
     }
     ctx.profile.morsels += 1;
     ctx.profile.interpreted_morsels += 1;
-    ctx.profile.segments.push(("interp", start.elapsed()));
+    let elapsed = gobs::saturating_elapsed(start);
+    if gobs::spans_enabled() {
+        obs::interp(elapsed);
+    }
+    ctx.profile.segments.push(("interp", elapsed));
     ctx.profile.rows += rows.len() as u64;
     ctx.check_interrupt()?;
     Ok(rows)

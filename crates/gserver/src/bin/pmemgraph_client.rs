@@ -5,10 +5,11 @@
 //! sent as raw protocol frames; otherwise a small command language:
 //!
 //! ```text
-//! ping | begin | commit | rollback | stats | quit | shutdown
+//! ping | begin | commit | rollback | stats | metrics | quit | shutdown
 //! query <catalog-name-or-adhoc-text>
 //! run <name> <param>...          # execute with int/'str'/d:ms params
 //! prepare <name> <query-text>
+//! slowlog [clear]                # slow-query ring; "clear" drains it
 //! sleep <ms>
 //! # comment
 //! ```
@@ -101,6 +102,14 @@ fn main() {
             },
             "stats" => {
                 show(client.stats());
+            }
+            "metrics" => match client.metrics_text() {
+                Ok(text) => print!("{text}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "slowlog" => {
+                let clear = toks.next() == Some("clear");
+                show(client.slowlog(clear));
             }
             "prepare" => {
                 let name = toks.next().unwrap_or("");

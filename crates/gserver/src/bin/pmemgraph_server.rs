@@ -18,8 +18,16 @@
 //! | `ALLOW_SHUTDOWN`  | `0`              | honour the remote `shutdown` op  |
 //! | `DEBUG_OPS`       | `0`              | honour the `sleep` debug op      |
 //!
-//! Prints `listening on <addr>` once ready; exits cleanly after a remote
-//! `shutdown` (when enabled).
+//! Observability (read by `ServerConfig::default()`):
+//!
+//! | variable                 | default     | meaning                            |
+//! |--------------------------|-------------|------------------------------------|
+//! | `PMEMGRAPH_METRICS_ADDR` | *(unset)*   | standalone Prometheus scrape port  |
+//! | `PMEMGRAPH_SLOW_QUERY_US`| *(disabled)*| slow-query capture threshold in µs |
+//!
+//! Prints `listening on <addr>` once ready (plus `metrics on <addr>` when
+//! an exporter is configured); exits cleanly after a remote `shutdown`
+//! (when enabled).
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -80,6 +88,9 @@ fn main() {
 
     let handle = serve(snb, engine, config).expect("bind server");
     println!("listening on {}", handle.local_addr());
+    if let Some(maddr) = handle.metrics_addr() {
+        println!("metrics on {maddr}");
+    }
     std::io::stdout().flush().ok();
 
     handle.wait();

@@ -302,6 +302,25 @@ impl Client {
         self.op("stats")
     }
 
+    /// Fetch the Prometheus text exposition over the query protocol.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let v = self.op("metrics")?;
+        v.get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics response missing \"metrics\"".into()))
+    }
+
+    /// Fetch the slow-query log; `clear` drains it after reading. The
+    /// response carries `entries` (oldest first), `dropped` and
+    /// `threshold_us`.
+    pub fn slowlog(&mut self, clear: bool) -> Result<Json, ClientError> {
+        self.request(obj(vec![
+            ("op", Json::Str("slowlog".into())),
+            ("clear", Json::Bool(clear)),
+        ]))
+    }
+
     /// Debug op: hold an execution slot for `ms` (needs `enable_debug_ops`).
     pub fn sleep(&mut self, ms: u64) -> Result<(), ClientError> {
         self.request(obj(vec![

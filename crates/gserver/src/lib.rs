@@ -21,6 +21,11 @@
 //!   granularity.
 //! * **Maintenance** — a background tick sweeps idle sessions and drives
 //!   storage reclamation (`reclaim_deleted` + `vacuum_props`).
+//! * **Observability** ([`metrics`]) — every subsystem counter joins a
+//!   per-server [`gobs::Registry`] as a fn-metric; `STATS` is a JSON view
+//!   over a registry snapshot, `METRICS` renders the same snapshot as
+//!   Prometheus text, `SLOWLOG` drains the bounded slow-query ring, and
+//!   `PMEMGRAPH_METRICS_ADDR` starts a standalone scrape endpoint.
 //! * **Client** ([`client`]) — a small blocking [`Client`] used by the
 //!   CLI binary, the integration tests and the bench load driver.
 //!
@@ -30,6 +35,7 @@
 pub mod catalog;
 pub mod client;
 pub mod json;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod session;

@@ -1,0 +1,180 @@
+//! gserver ⇄ gobs bridge: one [`Registry`] per server instance, holding
+//! every counter the engine already maintains as *fn-metrics* (closures
+//! that read the authoritative atomic at snapshot time — no counter is
+//! double-maintained) plus the server-owned request-latency histogram.
+//!
+//! The `STATS` verb, the `METRICS` verb and the standalone exporter all
+//! read from snapshots of this registry (merged with [`gobs::global`],
+//! which carries the span histograms recorded inside `gtxn`/`gjit`/
+//! `gquery`), so every surface reports the same numbers.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use gjit::JitEngine;
+use gobs::{Histogram, Registry, SlowLog};
+use ldbc::SnbDb;
+
+use crate::server::{ServerConfig, ServerStats};
+use crate::session::SessionTable;
+
+/// Build the per-server registry. Closures capture `Arc` clones of the
+/// stat-owning structures (never the server's `Shared`, which owns the
+/// registry — that would leak a reference cycle). Returns the registry
+/// and the request-latency histogram the dispatch loop records into.
+pub fn build_registry(
+    stats: &Arc<ServerStats>,
+    sessions: &Arc<SessionTable>,
+    snb: &Arc<SnbDb>,
+    engine: &Arc<JitEngine>,
+    config: &ServerConfig,
+    slowlog: &Arc<SlowLog>,
+) -> (Registry, Histogram) {
+    let reg = Registry::new();
+
+    // Server / exec counters: authoritative cells in `ServerStats`.
+    macro_rules! srv {
+        ($name:expr, $help:expr, $field:ident) => {{
+            let s = stats.clone();
+            reg.fn_counter($name, $help, move || s.$field.load(Ordering::Relaxed));
+        }};
+    }
+    srv!("pmemgraph_server_requests_total", "request frames received", requests);
+    srv!("pmemgraph_server_admitted_total", "executions admitted by the worker pool", admitted);
+    srv!("pmemgraph_server_rejected_total", "executions rejected with SERVER_BUSY", rejected);
+    srv!("pmemgraph_server_errors_total", "requests answered with an error", errors);
+    srv!("pmemgraph_server_deadline_misses_total", "requests past their deadline", deadline_misses);
+    srv!("pmemgraph_server_sessions_opened_total", "sessions accepted", sessions_opened);
+    srv!("pmemgraph_server_sessions_expired_total", "sessions killed by idle timeout", sessions_expired);
+    srv!(
+        "pmemgraph_server_disconnect_rollbacks_total",
+        "open transactions rolled back on disconnect",
+        disconnect_rollbacks
+    );
+    srv!("pmemgraph_server_maintenance_runs_total", "maintenance ticks", maintenance_runs);
+    srv!("pmemgraph_server_reclaimed_slots_total", "deleted slots reclaimed past the MVTO horizon", reclaimed_slots);
+    srv!("pmemgraph_server_vacuumed_props_total", "superseded property versions vacuumed", vacuumed_props);
+    srv!("pmemgraph_exec_interpreted_morsels_total", "morsels run by the AOT interpreter", interpreted_morsels);
+    srv!("pmemgraph_exec_compiled_morsels_total", "morsels run as JIT-compiled code", compiled_morsels);
+    srv!("pmemgraph_exec_chunks_pruned_total", "chunks skipped by zone-map pushdown", chunks_pruned);
+    srv!(
+        "pmemgraph_exec_fast_path_morsels_total",
+        "morsels scanned via the MVTO single-version fast path",
+        fast_path_morsels
+    );
+    srv!("pmemgraph_exec_residual_rows_total", "rows evaluated by residual filters after pruning", residual_rows);
+    srv!("pmemgraph_exec_fallback_total", "requests whose profile recorded a fallback", fallback_total);
+
+    // MVTO transaction counters: authoritative cells in the txn manager.
+    macro_rules! txn {
+        ($name:expr, $help:expr, $field:ident) => {{
+            let db = snb.clone();
+            reg.fn_counter($name, $help, move || {
+                db.db.mgr().stats().$field.load(Ordering::Relaxed)
+            });
+        }};
+    }
+    txn!("pmemgraph_txn_begun_total", "transactions begun", begun);
+    txn!("pmemgraph_txn_commits_total", "transactions committed", commits);
+    txn!("pmemgraph_txn_aborts_total", "transactions aborted", aborts);
+    txn!("pmemgraph_txn_conflicts_total", "write-write conflicts detected", conflicts);
+    txn!("pmemgraph_txn_gc_pruned_total", "versions pruned by MVTO GC", gc_pruned);
+
+    // JIT engine counters and code-cache gauges.
+    macro_rules! jit {
+        ($name:expr, $help:expr, $field:ident) => {{
+            let e = engine.clone();
+            reg.fn_counter($name, $help, move || e.stats().$field.load(Ordering::Relaxed));
+        }};
+    }
+    jit!("pmemgraph_jit_compiles_total", "plans compiled by Cranelift", compiles);
+    jit!("pmemgraph_jit_cache_hits_total", "code-cache hits", cache_hits);
+    jit!("pmemgraph_jit_evictions_total", "code-cache LRU evictions", evictions);
+    {
+        let e = engine.clone();
+        reg.fn_gauge("pmemgraph_jit_code_cache_entries", "compiled plans resident in the code cache", move || {
+            e.code_cache_len() as i64
+        });
+    }
+    {
+        let e = engine.clone();
+        reg.fn_gauge("pmemgraph_jit_code_cache_capacity", "code-cache capacity", move || {
+            e.code_cache_capacity() as i64
+        });
+    }
+
+    // PMem pool counters (flush/fence/allocator/group-commit).
+    macro_rules! pm {
+        ($name:expr, $help:expr, $field:ident) => {{
+            let db = snb.clone();
+            reg.fn_counter($name, $help, move || {
+                db.db.pool().stats().$field.load(Ordering::Relaxed)
+            });
+        }};
+    }
+    pm!("pmemgraph_pmem_lines_flushed_total", "cache lines flushed (CLWB-equivalent)", lines_flushed);
+    pm!("pmemgraph_pmem_fences_total", "persist fences (SFENCE-equivalent)", fences);
+    pm!("pmemgraph_pmem_blocks_flushed_total", "coalesced block flushes", blocks_flushed);
+    pm!("pmemgraph_pmem_write_bytes_total", "bytes written to the pool", write_bytes);
+    pm!("pmemgraph_pmem_read_bytes_total", "bytes read from the pool", read_bytes);
+    pm!("pmemgraph_pmem_allocs_total", "pool allocations", allocs);
+    pm!("pmemgraph_pmem_arena_refills_total", "sharded-arena refills from the global pool", arena_refills);
+    pm!("pmemgraph_pmem_commit_groups_total", "group-commit batches applied", commit_groups);
+    pm!("pmemgraph_pmem_grouped_txns_total", "transactions riding group-commit batches", grouped_txns);
+
+    // Level gauges.
+    {
+        let s = sessions.clone();
+        reg.fn_gauge("pmemgraph_server_sessions_active", "live sessions", move || {
+            s.active_count() as i64
+        });
+    }
+    {
+        let s = sessions.clone();
+        reg.fn_gauge("pmemgraph_server_sessions_in_txn", "sessions holding an open transaction", move || {
+            s.in_txn_count() as i64
+        });
+    }
+    {
+        let workers = config.workers as i64;
+        reg.fn_gauge("pmemgraph_server_workers", "execution slots (admission semaphore size)", move || workers);
+    }
+    {
+        let threads = config.exec_threads as i64;
+        reg.fn_gauge("pmemgraph_server_exec_threads", "morsel threads per adaptive execution", move || threads);
+    }
+    {
+        let db = snb.clone();
+        reg.fn_gauge("pmemgraph_graph_nodes", "live nodes", move || db.db.node_count() as i64);
+    }
+    {
+        let db = snb.clone();
+        reg.fn_gauge("pmemgraph_graph_rels", "live relationships", move || db.db.rel_count() as i64);
+    }
+
+    // Slow-query log health.
+    {
+        let l = slowlog.clone();
+        reg.fn_gauge("pmemgraph_slowlog_entries", "slow-query entries currently held", move || {
+            l.len() as i64
+        });
+    }
+    {
+        let l = slowlog.clone();
+        reg.fn_counter("pmemgraph_slowlog_dropped_total", "slow-query entries evicted by the ring bound", move || {
+            l.dropped()
+        });
+    }
+    {
+        let l = slowlog.clone();
+        reg.fn_gauge("pmemgraph_slowlog_threshold_us", "active slow-query threshold (µs; i64::MAX = disabled)", move || {
+            l.threshold_us().min(i64::MAX as u64) as i64
+        });
+    }
+
+    let request_us = reg.histogram(
+        "pmemgraph_server_request_us",
+        "end-to-end execute-request latency (resolve, admission, execution, serialization)",
+    );
+    (reg, request_us)
+}

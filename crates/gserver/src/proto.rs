@@ -17,6 +17,8 @@
 //! {"op":"execute","name":"q1","params":[17],"deadline_ms":250}
 //! {"op":"query","query":"count nodes Person"}
 //! {"op":"stats"}
+//! {"op":"metrics"}              // Prometheus exposition as a JSON string
+//! {"op":"slowlog"}              // slow-query ring; add "clear":true to drain
 //! {"op":"ping"}
 //! {"op":"quit"}
 //! {"op":"shutdown"}            // only honoured when enabled in config
@@ -151,6 +153,13 @@ pub enum Request {
         deadline_ms: Option<u64>,
     },
     Stats,
+    /// Prometheus text exposition over the query protocol (the standalone
+    /// exporter serves the same body over plain HTTP).
+    Metrics,
+    /// Read the slow-query ring; `clear` drains it after reading.
+    Slowlog {
+        clear: bool,
+    },
     Ping,
     Quit,
     Shutdown,
@@ -213,6 +222,10 @@ impl Request {
                 }
             }
             "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
+            "slowlog" => Request::Slowlog {
+                clear: v.get("clear").and_then(Json::as_bool).unwrap_or(false),
+            },
             "ping" => Request::Ping,
             "quit" => Request::Quit,
             "shutdown" => Request::Shutdown,
@@ -322,6 +335,18 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+        assert!(matches!(
+            Request::parse("{\"op\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        ));
+        assert!(matches!(
+            Request::parse("{\"op\":\"slowlog\"}").unwrap(),
+            Request::Slowlog { clear: false }
+        ));
+        assert!(matches!(
+            Request::parse("{\"op\":\"slowlog\",\"clear\":true}").unwrap(),
+            Request::Slowlog { clear: true }
+        ));
         assert!(Request::parse("{\"op\":\"execute\"}").is_err());
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse("{\"op\":\"warp\"}").is_err());

@@ -26,6 +26,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use gjit::JitEngine;
+use gobs::{Exporter, Histogram, Registry, SlowEntry, SlowLog, Snapshot};
 use gquery::{ExecCtx, ExecProfile, QueryError};
 use graphcore::{GraphDb, GraphError, GraphTxn};
 use gtxn::TxnError;
@@ -76,6 +77,15 @@ pub struct ServerConfig {
     pub allow_remote_shutdown: bool,
     /// Honour the `sleep` debug op (load tests).
     pub enable_debug_ops: bool,
+    /// Bind address for the standalone Prometheus exporter (`None` = no
+    /// exporter; the `METRICS` verb works either way). `Default` reads
+    /// `PMEMGRAPH_METRICS_ADDR`.
+    pub metrics_addr: Option<String>,
+    /// Slow-query capture threshold in µs; `u64::MAX` disables capture.
+    /// `Default` reads `PMEMGRAPH_SLOW_QUERY_US`.
+    pub slow_query_us: u64,
+    /// Bound on the slow-query ring (oldest entries evicted first).
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +103,14 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(5),
             allow_remote_shutdown: false,
             enable_debug_ops: false,
+            metrics_addr: std::env::var("PMEMGRAPH_METRICS_ADDR")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            slow_query_us: std::env::var("PMEMGRAPH_SLOW_QUERY_US")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(u64::MAX),
+            slowlog_capacity: 128,
         }
     }
 }
@@ -184,8 +202,15 @@ struct Shared {
     engine: Arc<JitEngine>,
     catalog: Catalog,
     config: ServerConfig,
-    stats: ServerStats,
-    sessions: SessionTable,
+    // Arc so registry fn-metrics can capture the stat owners without
+    // referencing `Shared` itself (which owns the registry).
+    stats: Arc<ServerStats>,
+    sessions: Arc<SessionTable>,
+    /// Per-server metric registry (fn-metrics over the cells above plus
+    /// the request histogram); `STATS`/`METRICS`/the exporter snapshot it.
+    registry: Registry,
+    request_us: Histogram,
+    slowlog: Arc<SlowLog>,
     pool: Arc<WorkerPool>,
     stop: AtomicBool,
     conns: Mutex<Vec<JoinHandle<()>>>,
@@ -200,6 +225,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     maint: Option<JoinHandle<()>>,
+    exporter: Option<Exporter>,
 }
 
 impl ServerHandle {
@@ -209,6 +235,12 @@ impl ServerHandle {
 
     pub fn stats(&self) -> &ServerStats {
         &self.shared.stats
+    }
+
+    /// Bound address of the standalone metrics exporter, when one was
+    /// configured (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.exporter.as_ref().map(Exporter::local_addr)
     }
 
     pub fn active_sessions(&self) -> usize {
@@ -233,9 +265,16 @@ impl ServerHandle {
     }
 
     fn join_all(&mut self) {
+        // The accept join doubles as "block until shutdown is requested"
+        // (`wait()` parks here with the stop flag still clear), so the
+        // exporter must outlive it — scrapes keep working while the
+        // server runs. It goes down first once shutdown actually starts:
+        // its render closure holds `Shared`, and scrapes of a
+        // half-drained server are useless anyway.
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        drop(self.exporter.take());
         // Connection threads notice the stop flag within one READ_TICK and
         // finish their in-flight request first; force-close whatever is
         // still around after the drain window.
@@ -279,17 +318,41 @@ pub fn serve(
     let addr = listener.local_addr()?;
     let catalog = Catalog::new(&snb.codes);
     let pool = WorkerPool::new(config.workers);
+    let stats = Arc::new(ServerStats::default());
+    let sessions = Arc::new(SessionTable::new());
+    let slowlog = Arc::new(SlowLog::new(config.slowlog_capacity, config.slow_query_us));
+    // A metrics consumer now exists, so turn on the span sites in
+    // gtxn/gjit/gquery (they pay one relaxed load each until this).
+    gobs::set_spans_enabled(true);
+    let (registry, request_us) =
+        crate::metrics::build_registry(&stats, &sessions, &snb, &engine, &config, &slowlog);
     let shared = Arc::new(Shared {
         snb,
         engine,
         catalog,
         config,
-        stats: ServerStats::default(),
-        sessions: SessionTable::new(),
+        stats,
+        sessions,
+        registry,
+        request_us,
+        slowlog,
         pool,
         stop: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
     });
+
+    // Bind the standalone exporter before spawning any server thread so a
+    // bad PMEMGRAPH_METRICS_ADDR fails the whole startup cleanly.
+    let exporter = match shared.config.metrics_addr.clone() {
+        Some(maddr) => {
+            let sh = shared.clone();
+            Some(Exporter::serve(
+                &maddr,
+                Arc::new(move || exposition(&sh)),
+            )?)
+        }
+        None => None,
+    };
 
     let accept = {
         let shared = shared.clone();
@@ -309,7 +372,15 @@ pub fn serve(
         shared,
         accept: Some(accept),
         maint: Some(maint),
+        exporter,
     })
+}
+
+/// Render the Prometheus exposition: the process-global registry (span
+/// histograms recorded inside the engine crates) merged with this
+/// server's registry.
+fn exposition(shared: &Shared) -> String {
+    gobs::render(&Snapshot::collect(&[gobs::global(), &shared.registry]))
 }
 
 // ---------------------------------------------------------------------
@@ -546,7 +617,12 @@ fn dispatch<'db>(
             deadline_ms,
         } => do_execute(shared, db, state, name, query, &params, deadline_ms)
             .map(|resp| (resp, Flow::Continue)),
-        Request::Stats => Ok((stats_response(shared, db), Flow::Continue)),
+        Request::Stats => Ok((stats_response(shared), Flow::Continue)),
+        Request::Metrics => Ok((
+            ok_response(vec![("metrics", Json::Str(exposition(shared)))]),
+            Flow::Continue,
+        )),
+        Request::Slowlog { clear } => Ok((slowlog_response(shared, clear), Flow::Continue)),
         Request::Shutdown => {
             if shared.config.allow_remote_shutdown {
                 shared.stop.store(true, Ordering::SeqCst);
@@ -730,13 +806,64 @@ fn do_execute(
         .take(cap)
         .map(|row| Json::Arr(row.iter().map(|s| slot_to_json(db, s)).collect()))
         .collect();
+
+    let elapsed_us =
+        gobs::saturating_elapsed(start).as_micros().min(u64::MAX as u128) as u64;
+    shared.request_us.observe_us(elapsed_us);
+    shared.slowlog.maybe_record(elapsed_us, || {
+        slow_entry(&q, name.as_deref(), query.as_deref(), elapsed_us, &profile)
+    });
+
     Ok(ok_response(vec![
         ("rows", Json::Arr(jrows)),
         ("row_count", Json::Int(total as i64)),
         ("truncated", Json::Bool(total > cap)),
-        ("elapsed_us", Json::Int(start.elapsed().as_micros() as i64)),
+        ("elapsed_us", Json::Int(elapsed_us.min(i64::MAX as u64) as i64)),
         ("profile", profile_json(&profile)),
     ]))
+}
+
+/// Capture one slow query: what the client asked for, the operator chain
+/// of every pipeline step, and the full execution profile. Built only for
+/// requests already past the threshold (the closure in `maybe_record`).
+fn slow_entry(
+    q: &NamedQuery,
+    name: Option<&str>,
+    query: Option<&str>,
+    elapsed_us: u64,
+    profile: &ExecProfile,
+) -> SlowEntry {
+    let at_unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0);
+    let plan = q
+        .spec
+        .steps
+        .iter()
+        .map(|s| s.plan.summary())
+        .collect::<Vec<_>>()
+        .join("; ");
+    SlowEntry {
+        at_unix_ms,
+        query: query.or(name).unwrap_or(q.spec.name).to_string(),
+        plan,
+        mode: profile.mode.map(|m| m.as_str().to_string()),
+        elapsed_us,
+        rows: profile.rows,
+        morsels: profile.morsels,
+        interpreted_morsels: profile.interpreted_morsels,
+        compiled_morsels: profile.compiled_morsels,
+        chunks_pruned: profile.chunks_pruned,
+        fast_path_morsels: profile.fast_path_morsels,
+        residual_rows: profile.residual_rows,
+        fallback: profile.fallback.map(|f| f.as_str().to_string()),
+        segments: profile
+            .segments
+            .iter()
+            .map(|(n, d)| ((*n).to_string(), d.as_micros().min(u64::MAX as u128) as u64))
+            .collect(),
+    }
 }
 
 /// Response metadata for the per-query [`ExecProfile`].
@@ -866,105 +993,174 @@ fn do_sleep(shared: &Shared, ms: u64) -> Result<(String, Flow), ProtoError> {
 
 /// Assemble the `STATS` response: one JSON object per subsystem, all
 /// counters monotonic except the gauges under `sessions`/`jit`.
-fn stats_response(shared: &Shared, db: &GraphDb) -> String {
-    let s = &shared.stats;
-    let ld = |a: &AtomicU64| Json::Int(a.load(Ordering::Relaxed) as i64);
-    let txn = db.mgr().stats();
-    let jit = shared.engine.stats();
-    let pm = db.pool().stats();
+///
+/// A thin view over one registry [`Snapshot`] — the same source the
+/// Prometheus exposition renders — so the two surfaces can never drift.
+/// The JSON shape (sections and key names) predates the registry and is
+/// kept stable for existing consumers.
+fn stats_response(shared: &Shared) -> String {
+    let snap = Snapshot::collect(&[&shared.registry]);
+    let v = |name: &str| Json::Int(snap.value(name).unwrap_or(0));
     ok_response(vec![
         (
             "sessions",
             obj(vec![
-                ("active", Json::Int(shared.sessions.active_count() as i64)),
-                ("in_txn", Json::Int(shared.sessions.in_txn_count() as i64)),
-                ("opened", ld(&s.sessions_opened)),
-                ("expired", ld(&s.sessions_expired)),
-                ("disconnect_rollbacks", ld(&s.disconnect_rollbacks)),
+                ("active", v("pmemgraph_server_sessions_active")),
+                ("in_txn", v("pmemgraph_server_sessions_in_txn")),
+                ("opened", v("pmemgraph_server_sessions_opened_total")),
+                ("expired", v("pmemgraph_server_sessions_expired_total")),
+                (
+                    "disconnect_rollbacks",
+                    v("pmemgraph_server_disconnect_rollbacks_total"),
+                ),
             ]),
         ),
         (
             "admission",
             obj(vec![
-                ("workers", Json::Int(shared.config.workers as i64)),
-                ("admitted", ld(&s.admitted)),
-                ("rejected", ld(&s.rejected)),
+                ("workers", v("pmemgraph_server_workers")),
+                ("admitted", v("pmemgraph_server_admitted_total")),
+                ("rejected", v("pmemgraph_server_rejected_total")),
             ]),
         ),
         (
             "requests",
             obj(vec![
-                ("total", ld(&s.requests)),
-                ("errors", ld(&s.errors)),
-                ("deadline_misses", ld(&s.deadline_misses)),
+                ("total", v("pmemgraph_server_requests_total")),
+                ("errors", v("pmemgraph_server_errors_total")),
+                (
+                    "deadline_misses",
+                    v("pmemgraph_server_deadline_misses_total"),
+                ),
             ]),
         ),
         (
             "txn",
             obj(vec![
-                ("begun", ld(&txn.begun)),
-                ("commits", ld(&txn.commits)),
-                ("aborts", ld(&txn.aborts)),
-                ("conflicts", ld(&txn.conflicts)),
-                ("gc_pruned", ld(&txn.gc_pruned)),
+                ("begun", v("pmemgraph_txn_begun_total")),
+                ("commits", v("pmemgraph_txn_commits_total")),
+                ("aborts", v("pmemgraph_txn_aborts_total")),
+                ("conflicts", v("pmemgraph_txn_conflicts_total")),
+                ("gc_pruned", v("pmemgraph_txn_gc_pruned_total")),
             ]),
         ),
         (
             "jit",
             obj(vec![
-                ("compiles", ld(&jit.compiles)),
-                ("cache_hits", ld(&jit.cache_hits)),
-                ("evictions", ld(&jit.evictions)),
-                (
-                    "cache_len",
-                    Json::Int(shared.engine.code_cache_len() as i64),
-                ),
-                (
-                    "cache_capacity",
-                    Json::Int(shared.engine.code_cache_capacity() as i64),
-                ),
+                ("compiles", v("pmemgraph_jit_compiles_total")),
+                ("cache_hits", v("pmemgraph_jit_cache_hits_total")),
+                ("evictions", v("pmemgraph_jit_evictions_total")),
+                ("cache_len", v("pmemgraph_jit_code_cache_entries")),
+                ("cache_capacity", v("pmemgraph_jit_code_cache_capacity")),
             ]),
         ),
         (
             "exec",
             obj(vec![
-                ("threads", Json::Int(shared.config.exec_threads as i64)),
-                ("interpreted_morsels", ld(&s.interpreted_morsels)),
-                ("compiled_morsels", ld(&s.compiled_morsels)),
-                ("chunks_pruned", ld(&s.chunks_pruned)),
-                ("fast_path_morsels", ld(&s.fast_path_morsels)),
-                ("residual_rows", ld(&s.residual_rows)),
-                ("fallback_total", ld(&s.fallback_total)),
+                ("threads", v("pmemgraph_server_exec_threads")),
+                (
+                    "interpreted_morsels",
+                    v("pmemgraph_exec_interpreted_morsels_total"),
+                ),
+                ("compiled_morsels", v("pmemgraph_exec_compiled_morsels_total")),
+                ("chunks_pruned", v("pmemgraph_exec_chunks_pruned_total")),
+                (
+                    "fast_path_morsels",
+                    v("pmemgraph_exec_fast_path_morsels_total"),
+                ),
+                ("residual_rows", v("pmemgraph_exec_residual_rows_total")),
+                ("fallback_total", v("pmemgraph_exec_fallback_total")),
             ]),
         ),
         (
             "maintenance",
             obj(vec![
-                ("runs", ld(&s.maintenance_runs)),
-                ("reclaimed_slots", ld(&s.reclaimed_slots)),
-                ("vacuumed_props", ld(&s.vacuumed_props)),
+                ("runs", v("pmemgraph_server_maintenance_runs_total")),
+                ("reclaimed_slots", v("pmemgraph_server_reclaimed_slots_total")),
+                ("vacuumed_props", v("pmemgraph_server_vacuumed_props_total")),
             ]),
         ),
         (
             "pmem",
             obj(vec![
-                ("lines_flushed", ld(&pm.lines_flushed)),
-                ("fences", ld(&pm.fences)),
-                ("blocks_flushed", ld(&pm.blocks_flushed)),
-                ("write_bytes", ld(&pm.write_bytes)),
-                ("read_bytes", ld(&pm.read_bytes)),
-                ("allocs", ld(&pm.allocs)),
-                ("arena_refills", ld(&pm.arena_refills)),
-                ("commit_groups", ld(&pm.commit_groups)),
-                ("grouped_txns", ld(&pm.grouped_txns)),
+                ("lines_flushed", v("pmemgraph_pmem_lines_flushed_total")),
+                ("fences", v("pmemgraph_pmem_fences_total")),
+                ("blocks_flushed", v("pmemgraph_pmem_blocks_flushed_total")),
+                ("write_bytes", v("pmemgraph_pmem_write_bytes_total")),
+                ("read_bytes", v("pmemgraph_pmem_read_bytes_total")),
+                ("allocs", v("pmemgraph_pmem_allocs_total")),
+                ("arena_refills", v("pmemgraph_pmem_arena_refills_total")),
+                ("commit_groups", v("pmemgraph_pmem_commit_groups_total")),
+                ("grouped_txns", v("pmemgraph_pmem_grouped_txns_total")),
             ]),
         ),
         (
             "graph",
             obj(vec![
-                ("nodes", Json::Int(db.node_count() as i64)),
-                ("rels", Json::Int(db.rel_count() as i64)),
+                ("nodes", v("pmemgraph_graph_nodes")),
+                ("rels", v("pmemgraph_graph_rels")),
             ]),
+        ),
+    ])
+}
+
+/// Assemble the `SLOWLOG` response: the captured ring (oldest first),
+/// optionally draining it after the read.
+fn slowlog_response(shared: &Shared, clear: bool) -> String {
+    let entries = shared.slowlog.entries();
+    let jentries: Vec<Json> = entries.iter().map(slow_entry_json).collect();
+    if clear {
+        shared.slowlog.clear();
+    }
+    ok_response(vec![
+        ("entries", Json::Arr(jentries)),
+        (
+            "dropped",
+            Json::Int(shared.slowlog.dropped().min(i64::MAX as u64) as i64),
+        ),
+        (
+            "threshold_us",
+            Json::Int(shared.slowlog.threshold_us().min(i64::MAX as u64) as i64),
+        ),
+    ])
+}
+
+fn slow_entry_json(e: &SlowEntry) -> Json {
+    obj(vec![
+        ("at_unix_ms", Json::Int(e.at_unix_ms.min(i64::MAX as u64) as i64)),
+        ("query", Json::Str(e.query.clone())),
+        ("plan", Json::Str(e.plan.clone())),
+        (
+            "mode",
+            e.mode.as_ref().map_or(Json::Null, |m| Json::Str(m.clone())),
+        ),
+        ("elapsed_us", Json::Int(e.elapsed_us.min(i64::MAX as u64) as i64)),
+        ("rows", Json::Int(e.rows as i64)),
+        ("morsels", Json::Int(e.morsels as i64)),
+        ("interpreted_morsels", Json::Int(e.interpreted_morsels as i64)),
+        ("compiled_morsels", Json::Int(e.compiled_morsels as i64)),
+        ("chunks_pruned", Json::Int(e.chunks_pruned as i64)),
+        ("fast_path_morsels", Json::Int(e.fast_path_morsels as i64)),
+        ("residual_rows", Json::Int(e.residual_rows as i64)),
+        (
+            "fallback",
+            e.fallback
+                .as_ref()
+                .map_or(Json::Null, |f| Json::Str(f.clone())),
+        ),
+        (
+            "segments",
+            Json::Arr(
+                e.segments
+                    .iter()
+                    .map(|(name, us)| {
+                        obj(vec![
+                            ("name", Json::Str(name.clone())),
+                            ("us", Json::Int((*us).min(i64::MAX as u64) as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ])
 }

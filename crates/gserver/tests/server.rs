@@ -433,3 +433,127 @@ fn remote_shutdown_drains_cleanly() {
     assert!(Client::connect(addr).is_err(), "listener must be closed");
     drop(bystander);
 }
+
+/// One plain-HTTP scrape of the standalone exporter; returns the body.
+fn http_get(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect exporter");
+    conn.write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+        .expect("send scrape");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read scrape");
+    let (_head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("HTTP response must have a header/body split");
+    body.to_string()
+}
+
+#[test]
+fn metrics_slowlog_and_exporter() {
+    let config = ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        slow_query_us: 0, // capture every execute
+        slowlog_capacity: 8,
+        ..test_config()
+    };
+    let (snb, handle) = start(config);
+    let addr = handle.local_addr();
+    let person = snb.data.person_ids[0];
+
+    let mut c = Client::connect(addr).expect("connect");
+    for _ in 0..3 {
+        c.query("is1:scan", &[Param::Int(person)]).expect("is1:scan");
+    }
+
+    // METRICS over the query protocol: a grammatical exposition covering
+    // the whole metric surface, with a populated request histogram.
+    let text = c.metrics_text().expect("metrics");
+    let samples = gobs::validate_exposition(&text).expect("valid exposition");
+    assert!(samples >= 20, "expected >=20 samples, got {samples}");
+    let series = text.lines().filter(|l| l.starts_with("# TYPE")).count();
+    assert!(series >= 20, "expected >=20 series, got {series}");
+    let req_count: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("pmemgraph_server_request_us_count "))
+        .expect("request histogram in exposition")
+        .trim()
+        .parse()
+        .expect("numeric count");
+    assert!(req_count >= 3, "3 executes must be observed, got {req_count}");
+    assert!(text.contains("pmemgraph_txn_commits_total"));
+    assert!(text.contains("pmemgraph_pmem_lines_flushed_total"));
+    assert!(text.contains("# TYPE pmemgraph_server_request_us histogram"));
+
+    // STATS reads the same registry snapshot the exposition renders.
+    let stats = c.stats().expect("stats");
+    let admitted = stats
+        .get("admission")
+        .and_then(|a| a.get("admitted"))
+        .and_then(Json::as_i64)
+        .unwrap();
+    assert!(admitted >= 3, "stats view must see the admitted executes");
+
+    // The standalone exporter serves the same body over plain HTTP.
+    let maddr = handle.metrics_addr().expect("exporter configured");
+    let body = http_get(maddr);
+    gobs::validate_exposition(&body).expect("valid exporter exposition");
+    assert!(body.contains("pmemgraph_server_request_us_bucket"));
+
+    // SLOWLOG: a zero threshold captures every execute with plan summary
+    // and profile; `clear` drains the ring.
+    let log = c.slowlog(false).expect("slowlog");
+    let entries = log.get("entries").and_then(Json::as_array).expect("entries");
+    assert_eq!(entries.len(), 3, "three executes over the 0µs threshold");
+    let e = entries.last().unwrap();
+    assert_eq!(e.get("query").and_then(Json::as_str), Some("is1:scan"));
+    assert!(
+        !e.get("plan").and_then(Json::as_str).unwrap_or("").is_empty(),
+        "plan summary must be captured"
+    );
+    assert!(e.get("mode").and_then(Json::as_str).is_some());
+    assert!(e.get("elapsed_us").and_then(Json::as_i64).is_some());
+    assert!(e.get("morsels").and_then(Json::as_i64).is_some());
+    assert!(e.get("segments").and_then(Json::as_array).is_some());
+    let drained = c.slowlog(true).expect("slowlog clear");
+    assert_eq!(
+        drained.get("entries").and_then(Json::as_array).unwrap().len(),
+        3,
+        "clear returns the window it drained"
+    );
+    let after = c.slowlog(false).expect("slowlog after clear");
+    assert!(after.get("entries").and_then(Json::as_array).unwrap().is_empty());
+
+    c.quit().expect("quit");
+    handle.shutdown();
+}
+
+/// Regression: `wait()` parks in the accept join until shutdown is
+/// requested — the exporter must keep answering scrapes for that whole
+/// time, not die when the owner starts waiting (the server-binary
+/// lifecycle: bind, print, `wait()`).
+#[test]
+fn exporter_survives_wait() {
+    let config = ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        allow_remote_shutdown: true,
+        ..test_config()
+    };
+    let (_snb, handle) = start(config);
+    let addr = handle.local_addr();
+    let maddr = handle.metrics_addr().expect("exporter configured");
+
+    let waiter = std::thread::spawn(move || handle.wait());
+    // Give wait() time to park in the accept join, then scrape.
+    std::thread::sleep(Duration::from_millis(100));
+    let body = http_get(maddr);
+    gobs::validate_exposition(&body).expect("valid exposition while waiting");
+    assert!(body.contains("pmemgraph_server_sessions_active"));
+
+    let c = Client::connect(addr).expect("connect admin");
+    c.shutdown_server().expect("shutdown op");
+    waiter.join().expect("wait returns after shutdown");
+    assert!(
+        std::net::TcpStream::connect(maddr).is_err(),
+        "exporter must be closed after shutdown"
+    );
+}

@@ -272,10 +272,12 @@ impl CommitPipeline {
 
     /// Apply one drained group and post every member's result.
     fn run_group(&self, group: Vec<Waiter>) {
+        let span = gobs::span_start();
         let refs: Vec<&TxBatch> = group.iter().map(|w| &w.batch).collect();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.pool.tx_apply_batches(&refs)
         }));
+        crate::obs::group_apply(span);
         match outcome {
             Ok(Ok(())) => {
                 if group.len() > 1 {

@@ -32,6 +32,7 @@ mod chunkstate;
 mod commitpipe;
 mod error;
 mod manager;
+mod obs;
 
 pub use chain::{ObjKey, TableTag};
 pub use chunkstate::ChunkState;

@@ -209,6 +209,7 @@ impl TxnManager {
 
     /// Begin a new transaction.
     pub fn begin(&self) -> Txn {
+        let span = gobs::span_start();
         let id = self.next_ts.fetch_add(1, Ordering::SeqCst);
         // Persist the high-water mark in batches.
         if id + 1 >= self.ts_hwm.load(Ordering::Relaxed) {
@@ -219,6 +220,7 @@ impl TxnManager {
         }
         self.active_shard(id).lock().insert(id);
         self.stats.begun.fetch_add(1, Ordering::Relaxed);
+        crate::obs::begin(span);
         Txn {
             id,
             writes: Vec::new(),
@@ -417,6 +419,19 @@ impl TxnManager {
         table: &ChunkedTable<R>,
         id: RecId,
     ) -> Result<R, TxnError> {
+        let span = gobs::span_start();
+        let r = self.lock_for_write_inner(txn, tag, table, id);
+        crate::obs::validate(span);
+        r
+    }
+
+    fn lock_for_write_inner<R: Versioned>(
+        &self,
+        txn: &Txn,
+        tag: TableTag,
+        table: &ChunkedTable<R>,
+        id: RecId,
+    ) -> Result<R, TxnError> {
         let off = table.record_off(id) + R::TXN_ID_OFF as u64;
         if self.pool.compare_exchange_u64(off, 0, txn.id).is_err() {
             self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
@@ -596,6 +611,7 @@ impl TxnManager {
         if txn.finished {
             return Err(TxnError::Finished);
         }
+        let span = gobs::span_start();
         txn.finished = true;
         if txn.is_read_only() {
             self.finish(&txn, props);
@@ -665,7 +681,9 @@ impl TxnManager {
             };
             batch.write_u64(off, 0);
         }
+        let persist_span = gobs::span_start();
         self.pipeline.commit(batch)?;
+        crate::obs::persist(persist_span);
 
         self.retire_write_intents(&txn);
 
@@ -690,6 +708,7 @@ impl TxnManager {
             pruned += self.chains.gc_all(oldest);
         }
         self.stats.gc_pruned.fetch_add(pruned as u64, Ordering::Relaxed);
+        crate::obs::commit(span);
         Ok(())
     }
 

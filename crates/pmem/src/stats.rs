@@ -5,6 +5,23 @@
 //! blocks (C3/DG3). These counters let tests and the ablation benches verify
 //! design decisions quantitatively, e.g. that keeping dirty versions in DRAM
 //! reduces flushed lines per update transaction.
+//!
+//! # Atomic ordering discipline
+//!
+//! Every counter here is a pure statistic: nothing reads one to make a
+//! control-flow decision, and no counter guards other memory. So all
+//! accesses use `Ordering::Relaxed` — each `fetch_add` is atomic and no
+//! increment is ever lost, but counters synchronise nothing and updates
+//! to *different* counters may be observed in any order. A [`snapshot`]
+//! taken while writers run is therefore *racy but monotone*: each field
+//! is exact at some instant during the read and never decreases, but
+//! cross-counter invariants (e.g. `fences <= lines_flushed`) can be
+//! transiently off by in-flight transactions. Tests and benches that
+//! assert exact deltas must quiesce writers first (they do: they join
+//! worker threads before snapshotting). The same discipline applies to
+//! every metric exported through `gobs` — see `gobs::registry`.
+//!
+//! [`snapshot`]: PoolStats::snapshot
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
