@@ -1,0 +1,268 @@
+//! analytics — the OLAP lane: CSR snapshot build + graph kernels vs the
+//! interpreted transactional reference, and the tiered durability ladder
+//! for bulk ingest.
+//!
+//! Three sections:
+//!
+//! 1. **Correctness gate** (always on): BFS / PageRank / WCC over the
+//!    [`ganalytics::CsrSnapshot`] must match the interpreted
+//!    [`graphcore::GraphView`] reference — PageRank bit-for-bit.
+//! 2. **Kernel timing**: interpreted transactional scan+iterate vs
+//!    snapshot build (cold) vs cached snapshot (hot), on the SNB graph.
+//! 3. **Durability ladder**: one-row ingest transactions under
+//!    `per_txn` / `every=64` / `checkpoint`, each ending with an explicit
+//!    `CHECKPOINT`; reports wall time and fences/txn from the pmem
+//!    counters.
+//!
+//! Env: `SCALE` (tiny|small|bench), `THREADS`, `RUNS`.
+//! `ASSERT_ANALYTICS=1` additionally gates (CI):
+//!   * hot snapshot PageRank faster than the interpreted equivalent;
+//!   * `every=64` spends fewer fences/txn than `per_txn`.
+//!
+//! Output: a table on stdout plus `results/BENCH_analytics.json`.
+
+use std::time::Duration;
+
+use bench::{fmt_dur, meta_json, scale_params, setup_dram, threads, time_once, tmpfile};
+use ganalytics::{algo, CsrSnapshot, SnapshotCache, SnapshotSpec};
+use gquery::ExecCtx;
+use graphcore::{DbOptions, GraphDb, GraphView, Value};
+use gtxn::SyncMode;
+use pmem::DeviceProfile;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Section 1+2: equivalence gate and kernel timings on the SNB graph.
+struct AlgoResults {
+    build_ms: f64,
+    fast_chunks: u64,
+    slow_chunks: u64,
+    interpreted_ms: f64,
+    cold_ms: f64,
+    hot_ms: f64,
+    bfs_ms: f64,
+    wcc_ms: f64,
+}
+
+fn run_algos(db: &GraphDb, source: u64, iters: usize, workers: usize) -> AlgoResults {
+    let ctx = ExecCtx::new(&[]);
+
+    // Cold build, kept for the equivalence gate.
+    let (build, snap) =
+        time_once(|| CsrSnapshot::build(db, SnapshotSpec::default()).expect("snapshot build"));
+
+    // Correctness gate: kernels vs the interpreted reference.
+    let txn = db.begin();
+    let view = GraphView::build(&txn, None, None).expect("view build");
+    let reference_pr = view.pagerank_pull(iters, 0.85);
+    let kernel_pr = algo::pagerank(&snap, iters, 0.85, workers, &ctx).expect("pagerank");
+    assert_eq!(kernel_pr.len(), reference_pr.len());
+    for (i, (k, r)) in kernel_pr.iter().zip(&reference_pr).enumerate() {
+        assert_eq!(
+            k.to_bits(),
+            r.to_bits(),
+            "pagerank diverged from the interpreted reference at dense index {i}"
+        );
+    }
+    assert_eq!(
+        algo::wcc(&snap, workers, &ctx).expect("wcc"),
+        view.connected_components(),
+        "wcc diverged from the union-find reference"
+    );
+    let ref_bfs = view.bfs(source);
+    let kernel_bfs = algo::bfs(&snap, source, workers, &ctx).expect("bfs");
+    for (i, &id) in snap.nodes().iter().enumerate() {
+        let expect = ref_bfs.get(&id).copied().unwrap_or(algo::UNREACHED);
+        assert_eq!(kernel_bfs[i], expect, "bfs depth diverged at node {id}");
+    }
+    drop(txn);
+    println!("equivalence gate: bfs/pagerank/wcc match the interpreted reference");
+
+    // Interpreted transactional equivalent: scan + iterate, per request.
+    let (interp, _) = time_once(|| {
+        let txn = db.begin();
+        let view = GraphView::build(&txn, None, None).expect("view build");
+        view.pagerank_pull(iters, 0.85)
+    });
+
+    // Snapshot lane, cold: build + kernel. Hot: cached snapshot + kernel.
+    let cache = SnapshotCache::new();
+    let (cold, _) = time_once(|| {
+        let s = cache
+            .get_or_build(db, &SnapshotSpec::default())
+            .expect("snapshot build");
+        algo::pagerank(&s, iters, 0.85, workers, &ctx).expect("pagerank")
+    });
+    let hot_snap = cache
+        .get_if_current(db, &SnapshotSpec::default())
+        .expect("snapshot must be reusable: no writes since the build");
+    let (hot, _) =
+        time_once(|| algo::pagerank(&hot_snap, iters, 0.85, workers, &ctx).expect("pagerank"));
+    let (bfs_t, _) = time_once(|| algo::bfs(&hot_snap, source, workers, &ctx).expect("bfs"));
+    let (wcc_t, _) = time_once(|| algo::wcc(&hot_snap, workers, &ctx).expect("wcc"));
+
+    AlgoResults {
+        build_ms: ms(build),
+        fast_chunks: snap.stats().fast_chunks,
+        slow_chunks: snap.stats().slow_chunks,
+        interpreted_ms: ms(interp),
+        cold_ms: ms(cold),
+        hot_ms: ms(hot),
+        bfs_ms: ms(bfs_t),
+        wcc_ms: ms(wcc_t),
+    }
+}
+
+/// Section 3: one ingest series per durability rung, fresh PMem pool each.
+struct IngestResult {
+    mode: &'static str,
+    wall_ms: f64,
+    fences_per_txn: f64,
+    checkpoints: u64,
+}
+
+fn run_ingest(mode: SyncMode, label: &'static str, txns: usize) -> IngestResult {
+    let path = tmpfile(&format!("analytics-ingest-{label}"));
+    let db = GraphDb::create(DbOptions::pmem(&path, 1 << 30).profile(DeviceProfile::pmem()))
+        .expect("create ingest pool");
+    // Isolate the ladder from group commit: one txn, one apply.
+    db.set_group_commit(false);
+    db.set_sync_mode(mode).expect("set sync mode");
+    let before = db.pool().stats().snapshot();
+    let (wall, _) = time_once(|| {
+        for i in 0..txns {
+            let mut tx = db.begin();
+            tx.create_node("Item", &[("seq", Value::Int(i as i64))])
+                .expect("insert");
+            tx.commit().expect("commit");
+        }
+        // Every rung ends durable: drain + fence + truncate.
+        db.checkpoint().expect("checkpoint");
+    });
+    let delta = db.pool().stats().snapshot() - before;
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+    IngestResult {
+        mode: label,
+        wall_ms: ms(wall),
+        fences_per_txn: delta.fences as f64 / txns as f64,
+        checkpoints: delta.checkpoints,
+    }
+}
+
+fn main() {
+    let scale = std::env::var("SCALE").unwrap_or_else(|_| "small".to_string());
+    let params = scale_params(42);
+    let workers = threads();
+    let iters = 20usize;
+    let ingest_txns = match scale.as_str() {
+        "tiny" => 200,
+        "bench" => 20_000,
+        _ => 2_000,
+    };
+
+    println!("# analytics — CSR snapshot lane vs interpreted scans, durability ladder");
+    println!("# scale: {scale}, workers: {workers}, pagerank iters: {iters}");
+
+    let snb = setup_dram(&params);
+    let db = &snb.db;
+    println!("# graph: {}", bench::describe(&snb));
+    // BFS source: the first physical node id (a Person — persons are
+    // created first by the generator).
+    let source = 0u64;
+
+    let algos = run_algos(db, source, iters, workers);
+    println!(
+        "\nsnapshot build: {} ({} fast chunks, {} slow)",
+        fmt_dur(Duration::from_secs_f64(algos.build_ms / 1e3)),
+        algos.fast_chunks,
+        algos.slow_chunks
+    );
+    println!(
+        "pagerank x{iters}: interpreted {:.2}ms | snapshot cold {:.2}ms | hot {:.2}ms ({:.1}x)",
+        algos.interpreted_ms,
+        algos.cold_ms,
+        algos.hot_ms,
+        algos.interpreted_ms / algos.hot_ms.max(1e-9)
+    );
+    println!(
+        "bfs {:.2}ms | wcc {:.2}ms (hot snapshot, {workers} workers)",
+        algos.bfs_ms, algos.wcc_ms
+    );
+
+    println!(
+        "\n{:>12} {:>10} {:>12} {:>12}",
+        "sync_mode", "wall_ms", "fences/txn", "checkpoints"
+    );
+    let ladder = [
+        (SyncMode::PerTxn, "per_txn"),
+        (SyncMode::EveryN(64), "every=64"),
+        (SyncMode::CheckpointOnly, "checkpoint"),
+    ];
+    let mut ingest = Vec::new();
+    for (mode, label) in ladder {
+        let r = run_ingest(mode, label, ingest_txns);
+        println!(
+            "{:>12} {:>10.1} {:>12.3} {:>12}",
+            r.mode, r.wall_ms, r.fences_per_txn, r.checkpoints
+        );
+        ingest.push(r);
+    }
+
+    let ingest_json: Vec<String> = ingest
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"txns\": {ingest_txns}, \"wall_ms\": {:.3}, \
+                 \"fences_per_txn\": {:.4}, \"checkpoints\": {}}}",
+                r.mode, r.wall_ms, r.fences_per_txn, r.checkpoints
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"analytics\",\n  \"meta\": {},\n  \
+         \"graph\": {{\"nodes\": {}, \"rels\": {}}},\n  \
+         \"snapshot\": {{\"build_ms\": {:.3}, \"fast_chunks\": {}, \"slow_chunks\": {}}},\n  \
+         \"pagerank\": {{\"iters\": {iters}, \"interpreted_ms\": {:.3}, \
+         \"snapshot_cold_ms\": {:.3}, \"snapshot_hot_ms\": {:.3}}},\n  \
+         \"bfs_ms\": {:.3},\n  \"wcc_ms\": {:.3},\n  \
+         \"ingest\": [\n{}\n  ]\n}}\n",
+        meta_json(),
+        db.node_count(),
+        db.rel_count(),
+        algos.build_ms,
+        algos.fast_chunks,
+        algos.slow_chunks,
+        algos.interpreted_ms,
+        algos.cold_ms,
+        algos.hot_ms,
+        algos.bfs_ms,
+        algos.wcc_ms,
+        ingest_json.join(",\n")
+    );
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::write("results/BENCH_analytics.json", &json) {
+        Ok(()) => println!("\nwrote results/BENCH_analytics.json"),
+        Err(e) => println!("\ncould not write results/BENCH_analytics.json: {e}"),
+    }
+
+    if std::env::var("ASSERT_ANALYTICS").is_ok() {
+        assert!(
+            algos.hot_ms < algos.interpreted_ms,
+            "hot snapshot pagerank ({:.2}ms) must beat the interpreted scan ({:.2}ms)",
+            algos.hot_ms,
+            algos.interpreted_ms
+        );
+        let per_txn = ingest.iter().find(|r| r.mode == "per_txn").unwrap();
+        let every = ingest.iter().find(|r| r.mode == "every=64").unwrap();
+        assert!(
+            every.fences_per_txn < per_txn.fences_per_txn,
+            "every=64 ({:.3} fences/txn) must spend fewer fences than per_txn ({:.3})",
+            every.fences_per_txn,
+            per_txn.fences_per_txn
+        );
+        println!("ASSERT_ANALYTICS: all gates passed");
+    }
+}

@@ -209,10 +209,11 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"scan_prune\",\n  \"scale\": \"{scale}\",\n  \"n_items\": {n},\n  \
+        "{{\n  \"bench\": \"scan_prune\",\n  \"meta\": {},\n  \"scale\": \"{scale}\",\n  \"n_items\": {n},\n  \
          \"runs\": {n_runs},\n  \"threads\": {nthreads},\n  \"node_chunks\": {node_chunks},\n  \
          \"rel_chunks\": {rel_chunks},\n  \"series\": [\n{}\n  ],\n  \"profile\": {{\n    \
          \"chunks_pruned\": {},\n    \"fast_path_morsels\": {},\n    \"residual_rows\": {}\n  }}\n}}\n",
+        bench::meta_json(),
         json_series.join(",\n"),
         p.chunks_pruned,
         p.fast_path_morsels,

@@ -193,12 +193,13 @@ fn main() {
     handle.shutdown();
 
     let json = format!(
-        "{{\n  \"bench\": \"stress_latency\",\n  \
+        "{{\n  \"bench\": \"stress_latency\",\n  \"meta\": {},\n  \
          \"clients\": {clients},\n  \"workers\": {workers},\n  \
          \"write_pct\": {write_pct},\n  \"duration_ms\": {},\n  \
          \"ok_reads\": {r},\n  \"ok_writes\": {w},\n  \
          \"busy_rejections\": {b},\n  \"conflicts\": {cf},\n  \
          \"throughput_req_s\": {:.0},\n  \"latency_us\": [\n    {}\n  ]\n}}\n",
+        bench::meta_json(),
         duration.as_millis(),
         total_ok as f64 / elapsed.as_secs_f64(),
         lat_json.join(",\n    "),

@@ -273,8 +273,9 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"write_commit\",\n  \"scale\": \"{scale}\",\n  \
+        "{{\n  \"bench\": \"write_commit\",\n  \"meta\": {},\n  \"scale\": \"{scale}\",\n  \
          \"txns_per_writer\": {per_thread},\n  \"series\": [\n{}\n  ]\n}}\n",
+        bench::meta_json(),
         json_series.join(",\n")
     );
     let _ = std::fs::create_dir_all("results");

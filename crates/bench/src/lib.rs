@@ -235,6 +235,53 @@ pub fn pick<'a, T>(v: &'a [T], rng: &mut impl Rng) -> &'a T {
     &v[rng.random_range(0..v.len())]
 }
 
+/// Minimal JSON string escaping for meta values (quotes, backslashes,
+/// control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The shared meta block every `results/BENCH_*.json` artifact embeds:
+/// provenance (git SHA, wall-clock timestamp), the benchmark scale and
+/// thread count, and the effective value of every registered
+/// `PMEMGRAPH_*` knob ([`gconfig::effective`]). One JSON object, rendered
+/// as a string so the format!-based writers can splice it in.
+pub fn meta_json() -> String {
+    let sha = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let scale = std::env::var("SCALE").unwrap_or_else(|_| "small".to_string());
+    let knobs = gconfig::effective()
+        .iter()
+        .map(|e| format!("\"{}\": \"{}\"", e.name, json_escape(&e.value)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"git_sha\": \"{}\", \"generated_unix_ms\": {unix_ms}, \"scale\": \"{}\", \
+         \"threads\": {}, \"knobs\": {{{knobs}}}}}",
+        json_escape(&sha),
+        json_escape(&scale),
+        threads()
+    )
+}
+
 /// Worker threads for parallel/adaptive modes (`THREADS` env, default
 /// min(8, available)).
 pub fn threads() -> usize {

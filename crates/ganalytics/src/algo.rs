@@ -1,0 +1,304 @@
+//! Graph kernels over a [`CsrSnapshot`], scheduled as morsel jobs.
+//!
+//! Each kernel splits its per-iteration work into fixed-size morsels and
+//! runs them through [`gquery::parallel_for`] — the same worker-pulls-
+//! morsel loop the query scheduler uses, honouring the
+//! [`ExecCtx`] deadline/cancellation between morsels. Inner loops are
+//! flat passes over the CSR arrays (offset/target slices, dense `f64`/
+//! `u32` vectors), the shape auto-vectorisers and prefetchers like.
+//!
+//! **Determinism.** Results are independent of worker count and morsel
+//! interleaving:
+//!
+//! * BFS is level-synchronous; a node's depth is fixed by its level.
+//! * PageRank is pull-based: node `v` gathers `rank[u]/outdeg[u]` over its
+//!   sorted in-neighbour slice sequentially, so every float sum runs in a
+//!   fixed order — output is bit-identical to the interpreted
+//!   [`graphcore::GraphView::pagerank_pull`] reference.
+//! * WCC is min-label propagation to a fixed point; the fixed point (the
+//!   minimum dense index of each component) is unique.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use gquery::{parallel_for, ExecCtx, QueryError};
+use graphcore::NodeId;
+use parking_lot::Mutex;
+
+use crate::obs;
+use crate::snapshot::CsrSnapshot;
+
+/// Nodes (or frontier entries) per morsel. Small enough to load-balance,
+/// large enough that the scheduler counter is noise.
+const MORSEL: usize = 2048;
+
+/// Depth marker for unreached nodes.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Disjoint-write view over a mutable slice: morsel workers write
+/// non-overlapping indexes without locking.
+struct UnsafeSlice<'a, T> {
+    ptr: *mut T,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
+impl<'a, T> UnsafeSlice<'a, T> {
+    fn new(s: &'a mut [T]) -> UnsafeSlice<'a, T> {
+        UnsafeSlice {
+            ptr: s.as_mut_ptr(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Safety: concurrent callers must write distinct indexes `i`.
+    unsafe fn write(&self, i: usize, v: T) {
+        *self.ptr.add(i) = v;
+    }
+}
+
+#[inline]
+fn morsel_bounds(m: usize, total: usize) -> (usize, usize) {
+    let lo = m * MORSEL;
+    (lo, (lo + MORSEL).min(total))
+}
+
+/// Level-synchronous frontier BFS from `source` along outgoing edges.
+/// Returns the depth per dense index ([`UNREACHED`] where unreachable),
+/// aligned with [`CsrSnapshot::nodes`]; an absent source reaches nothing.
+pub fn bfs(
+    snap: &CsrSnapshot,
+    source: NodeId,
+    workers: usize,
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<u32>, QueryError> {
+    let span = gobs::span_start();
+    let n = snap.node_count();
+    let mut depth = vec![UNREACHED; n];
+    let Some(s) = snap.index_of(source) else {
+        return Ok(depth);
+    };
+    // One atomic claim bit per node: whoever sets it owns the depth write.
+    let visited: Vec<AtomicU64> = (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+    visited[s as usize / 64].store(1 << (s % 64), Ordering::Relaxed);
+    depth[s as usize] = 0;
+    let mut frontier = vec![s];
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        let morsels = frontier.len().div_ceil(MORSEL);
+        let next: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let depths = UnsafeSlice::new(&mut depth);
+        let frontier_ref = &frontier;
+        let visited_ref = &visited;
+        parallel_for(workers, morsels, ctx, |m| {
+            let (lo, hi) = morsel_bounds(m, frontier_ref.len());
+            let mut local: Vec<u32> = Vec::new();
+            for &u in &frontier_ref[lo..hi] {
+                for &v in snap.out(u) {
+                    let bit = 1u64 << (v % 64);
+                    let prev =
+                        visited_ref[v as usize / 64].fetch_or(bit, Ordering::Relaxed);
+                    if prev & bit == 0 {
+                        // Claim won: this worker alone writes depth[v].
+                        unsafe { depths.write(v as usize, d) };
+                        local.push(v);
+                    }
+                }
+            }
+            if !local.is_empty() {
+                next.lock().append(&mut local);
+            }
+            Ok(())
+        })?;
+        frontier = next.into_inner();
+    }
+    obs::algo_span("bfs", span);
+    Ok(depth)
+}
+
+/// Pull-based PageRank, `iters` synchronous iterations, **no dangling
+/// redistribution**: `rank'[v] = (1-d)/n + d·Σ_{u→v} rank[u]/outdeg[u]`.
+/// Returns scores aligned with [`CsrSnapshot::nodes`], bit-identical to
+/// [`graphcore::GraphView::pagerank_pull`] on the same visible graph.
+pub fn pagerank(
+    snap: &CsrSnapshot,
+    iters: usize,
+    damping: f64,
+    workers: usize,
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<f64>, QueryError> {
+    let span = gobs::span_start();
+    let n = snap.node_count();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    let base = (1.0 - damping) / n as f64;
+    let morsels = n.div_ceil(MORSEL);
+    for _ in 0..iters {
+        let out = UnsafeSlice::new(&mut next);
+        let rank_ref = &rank;
+        parallel_for(workers, morsels, ctx, |m| {
+            let (lo, hi) = morsel_bounds(m, n);
+            for v in lo..hi {
+                // Sequential gather over the sorted in-slice: the float
+                // sum order is fixed, so the result is reproducible.
+                let mut sum = 0.0f64;
+                for &u in snap.inc(v as u32) {
+                    sum += rank_ref[u as usize] / snap.out_deg(u) as f64;
+                }
+                unsafe { out.write(v, base + damping * sum) };
+            }
+            Ok(())
+        })?;
+        std::mem::swap(&mut rank, &mut next);
+    }
+    obs::algo_span("pagerank", span);
+    Ok(rank)
+}
+
+/// Weakly connected components by min-label propagation over both edge
+/// directions. Returns, per dense index, the minimum dense index of its
+/// component — the same representative [`graphcore::GraphView::connected_components`]
+/// converges to.
+pub fn wcc(
+    snap: &CsrSnapshot,
+    workers: usize,
+    ctx: &ExecCtx<'_>,
+) -> Result<Vec<u32>, QueryError> {
+    let span = gobs::span_start();
+    let n = snap.node_count();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let morsels = n.div_ceil(MORSEL);
+    loop {
+        let changed = AtomicBool::new(false);
+        let labels_ref = &labels;
+        let changed_ref = &changed;
+        parallel_for(workers, morsels, ctx, |m| {
+            let (lo, hi) = morsel_bounds(m, n);
+            for u in lo..hi {
+                let mut min = labels_ref[u].load(Ordering::Relaxed);
+                for &v in snap.out(u as u32) {
+                    min = min.min(labels_ref[v as usize].load(Ordering::Relaxed));
+                }
+                for &v in snap.inc(u as u32) {
+                    min = min.min(labels_ref[v as usize].load(Ordering::Relaxed));
+                }
+                if min < labels_ref[u].load(Ordering::Relaxed) {
+                    labels_ref[u].fetch_min(min, Ordering::Relaxed);
+                    changed_ref.store(true, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        })?;
+        if !changed.into_inner() {
+            break;
+        }
+    }
+    obs::algo_span("wcc", span);
+    Ok(labels.into_iter().map(AtomicU32::into_inner).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotSpec;
+    use graphcore::{DbOptions, GraphDb, GraphView};
+
+    /// A two-component graph: a directed chain 0→1→2→3 with a shortcut
+    /// 0→2, and an isolated pair 4→5.
+    fn db_and_ids() -> (GraphDb, Vec<NodeId>) {
+        let db = GraphDb::create(DbOptions::dram(64 << 20)).unwrap();
+        let mut tx = db.begin();
+        let ids: Vec<NodeId> = (0..6).map(|_| tx.create_node("N", &[]).unwrap()).collect();
+        for (s, d) in [(0, 1), (1, 2), (2, 3), (0, 2), (4, 5)] {
+            tx.create_rel(ids[s], "E", ids[d], &[]).unwrap();
+        }
+        tx.commit().unwrap();
+        (db, ids)
+    }
+
+    #[test]
+    fn bfs_matches_reference_depths() {
+        let (db, ids) = db_and_ids();
+        let snap = CsrSnapshot::build(&db, SnapshotSpec::default()).unwrap();
+        let ctx = ExecCtx::new(&[]);
+        for workers in [1, 4] {
+            let depth = bfs(&snap, ids[0], workers, &ctx).unwrap();
+            let txn = db.begin();
+            let view = GraphView::build(&txn, None, None).unwrap();
+            let reference = view.bfs(ids[0]);
+            for (i, &id) in snap.nodes().iter().enumerate() {
+                match reference.get(&id) {
+                    Some(&d) => assert_eq!(depth[i], d, "node {id}"),
+                    None => assert_eq!(depth[i], UNREACHED, "node {id}"),
+                }
+            }
+        }
+        // Absent source: nothing reached.
+        let depth = bfs(&snap, 999_999, 2, &ctx).unwrap();
+        assert!(depth.iter().all(|&d| d == UNREACHED));
+    }
+
+    #[test]
+    fn pagerank_is_bit_identical_to_pull_reference() {
+        let (db, _ids) = db_and_ids();
+        let snap = CsrSnapshot::build(&db, SnapshotSpec::default()).unwrap();
+        let ctx = ExecCtx::new(&[]);
+        let txn = db.begin();
+        let view = GraphView::build(&txn, None, None).unwrap();
+        let reference = view.pagerank_pull(20, 0.85);
+        for workers in [1, 4] {
+            let got = pagerank(&snap, 20, 0.85, workers, &ctx).unwrap();
+            assert_eq!(got.len(), reference.len());
+            for (i, (&g, &r)) in got.iter().zip(&reference).enumerate() {
+                assert_eq!(g.to_bits(), r.to_bits(), "index {i}: {g} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_matches_union_find_reference() {
+        let (db, _ids) = db_and_ids();
+        let snap = CsrSnapshot::build(&db, SnapshotSpec::default()).unwrap();
+        let ctx = ExecCtx::new(&[]);
+        let txn = db.begin();
+        let view = GraphView::build(&txn, None, None).unwrap();
+        let reference = view.connected_components();
+        for workers in [1, 4] {
+            let got = wcc(&snap, workers, &ctx).unwrap();
+            assert_eq!(got, reference);
+        }
+    }
+
+    #[test]
+    fn deadline_interrupts_kernels() {
+        let (db, ids) = db_and_ids();
+        let snap = CsrSnapshot::build(&db, SnapshotSpec::default()).unwrap();
+        let expired = ExecCtx::new(&[])
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        assert!(matches!(
+            bfs(&snap, ids[0], 2, &expired),
+            Err(QueryError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            pagerank(&snap, 5, 0.85, 2, &expired),
+            Err(QueryError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            wcc(&snap, 2, &expired),
+            Err(QueryError::DeadlineExceeded)
+        ));
+    }
+
+    #[test]
+    fn empty_snapshot_is_fine() {
+        let db = GraphDb::create(DbOptions::dram(64 << 20)).unwrap();
+        let snap = CsrSnapshot::build(&db, SnapshotSpec::default()).unwrap();
+        let ctx = ExecCtx::new(&[]);
+        assert!(bfs(&snap, 0, 2, &ctx).unwrap().is_empty());
+        assert!(pagerank(&snap, 5, 0.85, 2, &ctx).unwrap().is_empty());
+        assert!(wcc(&snap, 2, &ctx).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Epoch-validated snapshot cache.
+//!
+//! Building a CSR snapshot costs a full scan; analytic verbs typically
+//! arrive in bursts against an unchanged graph. The cache keys snapshots
+//! by [`SnapshotSpec`] and revalidates each hit against
+//! [`GraphDb::mutation_epoch`]: any committed write transaction bumps the
+//! epoch, so a hit is served only while the snapshot provably reflects the
+//! latest committed state. No invalidation hooks, no staleness window —
+//! the epoch comparison *is* the validity check.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use graphcore::{GraphDb, Result};
+use parking_lot::Mutex;
+
+use crate::obs;
+use crate::snapshot::{CsrSnapshot, SnapshotSpec};
+
+/// Snapshot cache, one per server/embedding. Cheap to share (`&self` API).
+#[derive(Default)]
+pub struct SnapshotCache {
+    inner: Mutex<HashMap<SnapshotSpec, Arc<CsrSnapshot>>>,
+}
+
+impl SnapshotCache {
+    pub fn new() -> SnapshotCache {
+        SnapshotCache::default()
+    }
+
+    /// The cached snapshot for `spec` if it is still current (its epoch
+    /// matches the database's mutation epoch). Never builds.
+    pub fn get_if_current(&self, db: &GraphDb, spec: &SnapshotSpec) -> Option<Arc<CsrSnapshot>> {
+        let epoch = db.mutation_epoch();
+        let hit = self.inner.lock().get(spec).cloned()?;
+        (hit.epoch() == epoch).then(|| {
+            obs::snapshot_reuse().inc();
+            hit
+        })
+    }
+
+    /// A current snapshot for `spec`: reused when its epoch still matches
+    /// the database's mutation epoch, rebuilt otherwise. The build runs
+    /// outside the cache lock, so concurrent misses may race-build — the
+    /// last insert wins, both snapshots are correct.
+    pub fn get_or_build(&self, db: &GraphDb, spec: &SnapshotSpec) -> Result<Arc<CsrSnapshot>> {
+        let epoch = db.mutation_epoch();
+        if let Some(hit) = self.inner.lock().get(spec) {
+            if hit.epoch() == epoch {
+                obs::snapshot_reuse().inc();
+                return Ok(hit.clone());
+            }
+        }
+        let snap = Arc::new(CsrSnapshot::build(db, spec.clone())?);
+        self.inner.lock().insert(spec.clone(), snap.clone());
+        Ok(snap)
+    }
+
+    /// Drop every cached snapshot.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Number of cached snapshots (current or stale).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::DbOptions;
+
+    #[test]
+    fn reuse_until_a_commit_invalidates() {
+        let db = GraphDb::create(DbOptions::dram(64 << 20)).unwrap();
+        let mut tx = db.begin();
+        let a = tx.create_node("N", &[]).unwrap();
+        let b = tx.create_node("N", &[]).unwrap();
+        tx.create_rel(a, "E", b, &[]).unwrap();
+        tx.commit().unwrap();
+
+        let cache = SnapshotCache::new();
+        let spec = SnapshotSpec::default();
+        let s1 = cache.get_or_build(&db, &spec).unwrap();
+        let s2 = cache.get_or_build(&db, &spec).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "unchanged graph reuses the snapshot");
+
+        let mut tx = db.begin();
+        tx.create_node("N", &[]).unwrap();
+        tx.commit().unwrap();
+        let s3 = cache.get_or_build(&db, &spec).unwrap();
+        assert!(!Arc::ptr_eq(&s1, &s3), "a commit invalidates");
+        assert_eq!(s3.node_count(), 3);
+
+        // Read-only transactions do not invalidate.
+        let tx = db.begin();
+        tx.commit().unwrap();
+        let s4 = cache.get_or_build(&db, &spec).unwrap();
+        assert!(Arc::ptr_eq(&s3, &s4));
+    }
+
+    #[test]
+    fn specs_cache_independently() {
+        let db = GraphDb::create(DbOptions::dram(64 << 20)).unwrap();
+        let mut tx = db.begin();
+        tx.create_node("N", &[]).unwrap();
+        tx.commit().unwrap();
+        let label = db.intern("N").unwrap();
+
+        let cache = SnapshotCache::new();
+        let all = cache.get_or_build(&db, &SnapshotSpec::default()).unwrap();
+        let filtered = cache
+            .get_or_build(
+                &db,
+                &SnapshotSpec {
+                    node_label: Some(label),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&all, &filtered));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Analytics metrics and spans, registered lazily in the process-global
+//! [`gobs`] registry (same discipline as `gtxn::obs`: counters are always
+//! on, span histograms cost one relaxed load until spans are enabled).
+
+use gobs::{Counter, Histogram};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn counter(
+    cell: &'static OnceLock<Counter>,
+    name: &'static str,
+    help: &'static str,
+) -> &'static Counter {
+    cell.get_or_init(|| gobs::global().counter(name, help))
+}
+
+/// Snapshots built from scratch.
+pub fn snapshot_build() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    counter(
+        &C,
+        "pmemgraph_analytics_snapshot_builds_total",
+        "CSR snapshots materialized from the chunk store",
+    )
+}
+
+/// Cache hits: a snapshot served without rebuilding.
+pub fn snapshot_reuse() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    counter(
+        &C,
+        "pmemgraph_analytics_snapshot_reuses_total",
+        "CSR snapshots reused from cache (epoch still current)",
+    )
+}
+
+/// Chunks bulk-copied through the single-version fast path.
+pub fn fast_chunks(n: u64) {
+    static C: OnceLock<Counter> = OnceLock::new();
+    counter(
+        &C,
+        "pmemgraph_analytics_snapshot_fast_chunks_total",
+        "chunks copied into CSR snapshots via the single-version fast path",
+    )
+    .add(n);
+}
+
+/// Chunks that needed full per-record MVTO reads (version-chain walks).
+pub fn slow_chunks(n: u64) {
+    static C: OnceLock<Counter> = OnceLock::new();
+    counter(
+        &C,
+        "pmemgraph_analytics_snapshot_slow_chunks_total",
+        "chunks copied into CSR snapshots via full MVTO reads (dirty chunks)",
+    )
+    .add(n);
+}
+
+fn observe(
+    cell: &'static OnceLock<Histogram>,
+    name: &'static str,
+    help: &'static str,
+    span: Option<Instant>,
+) {
+    if span.is_some() {
+        cell.get_or_init(|| gobs::global().histogram(name, help))
+            .observe_span(span);
+    }
+}
+
+/// One CSR snapshot build, end to end.
+pub fn build_span(span: Option<Instant>) {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    observe(
+        &H,
+        "pmemgraph_analytics_snapshot_build_us",
+        "CSR snapshot build: node/edge collection, sort, property columns",
+        span,
+    );
+}
+
+/// One algorithm run over a snapshot (labelled by kernel).
+pub fn algo_span(kernel: &str, span: Option<Instant>) {
+    static BFS: OnceLock<Histogram> = OnceLock::new();
+    static PR: OnceLock<Histogram> = OnceLock::new();
+    static WCC: OnceLock<Histogram> = OnceLock::new();
+    match kernel {
+        "bfs" => observe(
+            &BFS,
+            "pmemgraph_analytics_bfs_us",
+            "BFS runs over a CSR snapshot",
+            span,
+        ),
+        "pagerank" => observe(
+            &PR,
+            "pmemgraph_analytics_pagerank_us",
+            "PageRank runs over a CSR snapshot",
+            span,
+        ),
+        "wcc" => observe(
+            &WCC,
+            "pmemgraph_analytics_wcc_us",
+            "weakly-connected-components runs over a CSR snapshot",
+            span,
+        ),
+        _ => {}
+    }
+}

@@ -1,0 +1,245 @@
+//! gconfig — the one home for every `PMEMGRAPH_*` environment knob.
+//!
+//! Before this crate, each subsystem parsed its own environment variables
+//! with its own (mostly-but-not-quite identical) conventions: `pmem::alloc`
+//! read `PMEMGRAPH_ALLOC_ARENAS`, `gtxn::commitpipe` read
+//! `PMEMGRAPH_GROUP_COMMIT`/`PMEMGRAPH_GROUP_WAIT_US`, `graphcore::db` read
+//! `PMEMGRAPH_READ_ACCEL`, and `gserver` read `PMEMGRAPH_METRICS_ADDR` and
+//! `PMEMGRAPH_SLOW_QUERY_US`. Nothing enumerated them, so discovering the
+//! effective configuration of a running server meant reading five source
+//! files. This crate collects the parsing in one place and pairs it with a
+//! machine-readable registry ([`KNOBS`], [`effective`]) that the server's
+//! `CONFIG` verb and the bench meta blocks dump verbatim.
+//!
+//! Conventions (unchanged from the scattered parsers):
+//!
+//! * boolean knobs are **on unless** the value is `0`, `false`, `off` or
+//!   `no` (after trimming);
+//! * numeric knobs fall back to their default on parse failure;
+//! * knobs are read at use-site time, not cached — tests and benches that
+//!   mutate the environment between database instances keep working.
+//!
+//! Layering: this crate depends on nothing, so everything from `pmem` up
+//! can depend on it.
+
+/// Value shape of one knob, for documentation and `CONFIG` rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnobKind {
+    /// On/off switch (`0`/`false`/`off`/`no` disable).
+    Bool,
+    /// Unsigned integer.
+    U64,
+    /// Free-form string (e.g. a socket address).
+    Str,
+}
+
+/// One documented environment knob.
+#[derive(Debug, Clone, Copy)]
+pub struct Knob {
+    /// Full environment-variable name.
+    pub name: &'static str,
+    pub kind: KnobKind,
+    /// Rendered default (what an unset variable means).
+    pub default: &'static str,
+    /// One-line description for docs and the `CONFIG` verb.
+    pub help: &'static str,
+}
+
+/// Every `PMEMGRAPH_*` knob the engine reads, in one table. README's knob
+/// table and the server's `CONFIG` verb are both generated from this.
+pub const KNOBS: &[Knob] = &[
+    Knob {
+        name: "PMEMGRAPH_READ_ACCEL",
+        kind: KnobKind::Bool,
+        default: "on",
+        help: "chunk-grain read acceleration: zone-map pruning + MVTO single-version fast path",
+    },
+    Knob {
+        name: "PMEMGRAPH_GROUP_COMMIT",
+        kind: KnobKind::Bool,
+        default: "on",
+        help: "group concurrent commits into one undo-log transaction (4 fences per group)",
+    },
+    Knob {
+        name: "PMEMGRAPH_GROUP_WAIT_US",
+        kind: KnobKind::U64,
+        default: "3",
+        help: "group-commit leader straggler wait bound in microseconds",
+    },
+    Knob {
+        name: "PMEMGRAPH_ALLOC_ARENAS",
+        kind: KnobKind::Bool,
+        default: "on",
+        help: "sharded per-thread PMem allocation arenas for small size classes",
+    },
+    Knob {
+        name: "PMEMGRAPH_SYNC_MODE",
+        kind: KnobKind::Str,
+        default: "per_txn",
+        help: "durability ladder: per_txn | every=N (fence every N commits) | checkpoint (explicit CHECKPOINT only)",
+    },
+    Knob {
+        name: "PMEMGRAPH_SLOW_QUERY_US",
+        kind: KnobKind::U64,
+        default: "disabled",
+        help: "slow-query log threshold in microseconds (unset = never log)",
+    },
+    Knob {
+        name: "PMEMGRAPH_METRICS_ADDR",
+        kind: KnobKind::Str,
+        default: "disabled",
+        help: "standalone Prometheus exporter listen address (unset = no exporter)",
+    },
+];
+
+/// Parse a boolean knob: on unless set to `0`/`false`/`off`/`no`. An unset
+/// variable yields `default`.
+pub fn flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => default,
+    }
+}
+
+/// Parse an unsigned-integer knob; unset or unparsable yields `default`.
+pub fn u64_knob(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(default)
+}
+
+/// Read a string knob verbatim (empty counts as unset).
+pub fn str_knob(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|s| !s.is_empty())
+}
+
+// ----------------------------------------------------------------------
+// Typed accessors — the use-sites in pmem/gtxn/graphcore/gserver call
+// these instead of re-implementing the parse.
+// ----------------------------------------------------------------------
+
+/// `PMEMGRAPH_READ_ACCEL` (default on).
+pub fn read_accel() -> bool {
+    flag("PMEMGRAPH_READ_ACCEL", true)
+}
+
+/// `PMEMGRAPH_GROUP_COMMIT` (default on).
+pub fn group_commit() -> bool {
+    flag("PMEMGRAPH_GROUP_COMMIT", true)
+}
+
+/// `PMEMGRAPH_GROUP_WAIT_US` (default 3 µs).
+pub fn group_wait_us() -> u64 {
+    u64_knob("PMEMGRAPH_GROUP_WAIT_US", 3)
+}
+
+/// `PMEMGRAPH_ALLOC_ARENAS` (default on).
+pub fn alloc_arenas() -> bool {
+    flag("PMEMGRAPH_ALLOC_ARENAS", true)
+}
+
+/// `PMEMGRAPH_SYNC_MODE` raw value (default `per_txn`). Parsing into the
+/// typed `SyncMode` lives in `gtxn` — this crate stays string-only so it
+/// depends on nothing.
+pub fn sync_mode() -> String {
+    std::env::var("PMEMGRAPH_SYNC_MODE").unwrap_or_else(|_| "per_txn".into())
+}
+
+/// `PMEMGRAPH_SLOW_QUERY_US`: threshold in µs, `u64::MAX` (never) unset.
+pub fn slow_query_us() -> u64 {
+    u64_knob("PMEMGRAPH_SLOW_QUERY_US", u64::MAX)
+}
+
+/// `PMEMGRAPH_METRICS_ADDR`: exporter listen address, if configured.
+pub fn metrics_addr() -> Option<String> {
+    str_knob("PMEMGRAPH_METRICS_ADDR")
+}
+
+/// One knob's effective state: `(name, value, is_default, help)`.
+#[derive(Debug, Clone)]
+pub struct Effective {
+    pub name: &'static str,
+    /// Rendered effective value (set value, or the rendered default).
+    pub value: String,
+    /// True if the variable is unset (the default applies).
+    pub is_default: bool,
+    pub help: &'static str,
+}
+
+/// Snapshot the effective value of every registered knob from the current
+/// environment. This is what the server's `CONFIG` verb and the bench meta
+/// blocks serialize.
+pub fn effective() -> Vec<Effective> {
+    KNOBS
+        .iter()
+        .map(|k| {
+            let set = std::env::var(k.name).ok().filter(|s| !s.is_empty());
+            let is_default = set.is_none();
+            let value = match (&set, k.kind) {
+                (Some(v), KnobKind::Bool) => {
+                    if matches!(v.trim(), "0" | "false" | "off" | "no") {
+                        "off".into()
+                    } else {
+                        "on".into()
+                    }
+                }
+                (Some(v), _) => v.clone(),
+                (None, _) => k.default.into(),
+            };
+            Effective {
+                name: k.name,
+                value,
+                is_default,
+                help: k.help,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var tests mutate process state; keep them in one test so cargo's
+    // parallel test runner cannot interleave them.
+    #[test]
+    fn parsing_and_effective_snapshot() {
+        let name = "PMEMGRAPH_GCONFIG_TEST_FLAG";
+        std::env::remove_var(name);
+        assert!(flag(name, true));
+        assert!(!flag(name, false));
+        for off in ["0", "false", "off", "no", " off "] {
+            std::env::set_var(name, off);
+            assert!(!flag(name, true), "{off:?} must disable");
+        }
+        std::env::set_var(name, "1");
+        assert!(flag(name, false));
+        std::env::remove_var(name);
+
+        std::env::remove_var("PMEMGRAPH_GCONFIG_TEST_NUM");
+        assert_eq!(u64_knob("PMEMGRAPH_GCONFIG_TEST_NUM", 7), 7);
+        std::env::set_var("PMEMGRAPH_GCONFIG_TEST_NUM", "41");
+        assert_eq!(u64_knob("PMEMGRAPH_GCONFIG_TEST_NUM", 7), 41);
+        std::env::set_var("PMEMGRAPH_GCONFIG_TEST_NUM", "nope");
+        assert_eq!(u64_knob("PMEMGRAPH_GCONFIG_TEST_NUM", 7), 7);
+        std::env::remove_var("PMEMGRAPH_GCONFIG_TEST_NUM");
+
+        // Every registered knob renders an effective value.
+        let eff = effective();
+        assert_eq!(eff.len(), KNOBS.len());
+        assert!(eff.iter().any(|e| e.name == "PMEMGRAPH_SYNC_MODE"));
+        for e in &eff {
+            assert!(!e.value.is_empty());
+            assert!(!e.help.is_empty());
+        }
+    }
+
+    #[test]
+    fn sync_mode_defaults_to_per_txn() {
+        // Only sound if no outer harness set it; guard accordingly.
+        if std::env::var("PMEMGRAPH_SYNC_MODE").is_err() {
+            assert_eq!(sync_mode(), "per_txn");
+        }
+    }
+}

@@ -28,6 +28,6 @@ pub use parallel::{execute_parallel, execute_parallel_ctx};
 pub use plan::{split_first_segment, CmpOp, Op, PPar, Plan, Pred, Proj, Row, Slot, SlotTag};
 pub use pushdown::Pushdown;
 pub use sched::{
-    execute_collect_ctx, execute_morsels, morsel_eligible, CompiledTask, ExecCtx, ExecMode,
-    ExecProfile, FallbackReason, MorselSource, TaskSlot,
+    execute_collect_ctx, execute_morsels, morsel_eligible, parallel_for, CompiledTask, ExecCtx,
+    ExecMode, ExecProfile, FallbackReason, MorselSource, TaskSlot,
 };

@@ -700,6 +700,71 @@ pub fn execute_morsels(
     Ok(Some(out))
 }
 
+/// The bare morsel loop, for jobs that are not query plans (the
+/// `ganalytics` graph kernels): `workers` threads pull morsel indexes
+/// `0..morsels` from a shared counter and run `f` on each. Honours the
+/// context's deadline/cancellation between morsels — the first error
+/// raises an abort flag, stops all workers, and is returned. `f` runs on
+/// scoped worker threads, so it can borrow from the caller's stack (flat
+/// rank/frontier arrays, the CSR itself).
+///
+/// Unlike [`execute_morsels`] there is no per-morsel result buffer: jobs
+/// write into disjoint (or atomic) slices they own, which is what keeps
+/// the inner loops SIMD-friendly.
+pub fn parallel_for<F>(
+    workers: usize,
+    morsels: usize,
+    ctx: &ExecCtx<'_>,
+    f: F,
+) -> Result<(), QueryError>
+where
+    F: Fn(usize) -> Result<(), QueryError> + Sync,
+{
+    ctx.check_interrupt()?;
+    if morsels == 0 {
+        return Ok(());
+    }
+    let interrupt = ctx.interrupt();
+    let next = AtomicUsize::new(0);
+    let failure: Mutex<Option<QueryError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    let workers = workers.max(1).min(morsels);
+    if workers == 1 {
+        // Inline fast path: no thread spawn for tiny jobs.
+        for m in 0..morsels {
+            interrupt.check()?;
+            f(m)?;
+        }
+        return Ok(());
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let m = next.fetch_add(1, Ordering::Relaxed);
+                if m >= morsels {
+                    break;
+                }
+                let r = interrupt.check().and_then(|()| f(m));
+                if let Err(e) = r {
+                    let mut slot = failure.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    abort.store(true, Ordering::Relaxed);
+                    break;
+                }
+            });
+        }
+    });
+    match failure.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
 /// Sequential interpretation under an [`ExecCtx`]: the `Interp` mode and
 /// the shared fallback for non-morsel plans. Checks the interrupt controls
 /// between result batches, counts the run as one interpreted morsel, and

@@ -188,6 +188,35 @@ impl GraphView {
         rank
     }
 
+    /// Pull-based PageRank: each node gathers `rank[u]/outdeg[u]` over its
+    /// in-neighbours in ascending dense-index order, with **no dangling
+    /// redistribution** — `rank_next[v] = (1-d)/n + d·Σ`. The fixed
+    /// per-node gather order makes the float result exactly reproducible,
+    /// which is what lets the `ganalytics` CSR kernels be checked for
+    /// bit-identical output against this interpreted reference. (The
+    /// push-based [`GraphView::pagerank`] stays as the classic formulation
+    /// with dangling mass; the two intentionally differ.)
+    pub fn pagerank_pull(&self, iters: usize, damping: f64) -> Vec<f64> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut rank = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0f64; n];
+        let base = (1.0 - damping) / n as f64;
+        for _ in 0..iters {
+            for v in 0..n as u32 {
+                let mut sum = 0.0f64;
+                for &u in self.inc(v) {
+                    sum += rank[u as usize] / self.out(u).len() as f64;
+                }
+                next[v as usize] = base + damping * sum;
+            }
+            std::mem::swap(&mut rank, &mut next);
+        }
+        rank
+    }
+
     /// Weakly connected components (union over both edge directions).
     /// Returns a representative dense index per node, aligned with
     /// [`GraphView::nodes`].

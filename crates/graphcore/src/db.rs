@@ -127,13 +127,10 @@ pub struct GraphDb {
     deferred_slots: Mutex<Vec<(u64, TableTag, RecId)>>,
 }
 
-/// Default for the read-acceleration toggle: on, unless
-/// `PMEMGRAPH_READ_ACCEL` is set to `0`/`false`/`off`/`no`.
+/// Default for the read-acceleration toggle (`PMEMGRAPH_READ_ACCEL`,
+/// registered in `gconfig::KNOBS`).
 fn read_accel_env() -> bool {
-    match std::env::var("PMEMGRAPH_READ_ACCEL") {
-        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
-        Err(_) => true,
-    }
+    gconfig::read_accel()
 }
 
 impl GraphDb {
@@ -333,6 +330,30 @@ impl GraphDb {
     /// True if commits from concurrent writers may be grouped.
     pub fn group_commit(&self) -> bool {
         self.mgr.group_commit()
+    }
+
+    /// The active durability rung. Default follows `PMEMGRAPH_SYNC_MODE`.
+    pub fn sync_mode(&self) -> gtxn::SyncMode {
+        self.mgr.sync_mode()
+    }
+
+    /// Switch durability rung at runtime. Tightening to
+    /// [`gtxn::SyncMode::PerTxn`] checkpoints the deferred tail first.
+    pub fn set_sync_mode(&self, mode: gtxn::SyncMode) -> Result<()> {
+        self.mgr.set_sync_mode(mode).map_err(GraphError::from)
+    }
+
+    /// Explicit durability point: flush all data deferred by the
+    /// `EveryN`/`CheckpointOnly` rungs and truncate the accumulated undo
+    /// log. Cheap no-op when nothing is deferred.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.mgr.checkpoint().map_err(GraphError::from)
+    }
+
+    /// Count of committed write transactions. A snapshot (e.g. the
+    /// analytics CSR) built at epoch E is current iff this still equals E.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mgr.mutation_epoch()
     }
 
     /// Rebuild both tables' label bitsets from the latest committed data.

@@ -19,6 +19,12 @@
 //! {"op":"stats"}
 //! {"op":"metrics"}              // Prometheus exposition as a JSON string
 //! {"op":"slowlog"}              // slow-query ring; add "clear":true to drain
+//! {"op":"analytics","algo":"pagerank","iters":10,"damping":0.85}
+//! {"op":"analytics","algo":"bfs","source":42,"rel_label":"KNOWS"}
+//! {"op":"analytics","algo":"wcc","deadline_ms":5000}
+//! {"op":"checkpoint"}           // drain the deferred-durability tail
+//! {"op":"config"}               // effective PMEMGRAPH_* knobs + live state
+//! {"op":"config","sync_mode":"every=64"}   // retune the durability ladder
 //! {"op":"ping"}
 //! {"op":"quit"}
 //! {"op":"shutdown"}            // only honoured when enabled in config
@@ -153,6 +159,30 @@ pub enum Request {
         deadline_ms: Option<u64>,
     },
     Stats,
+    /// Run a graph algorithm over the cached CSR snapshot.
+    Analytics {
+        /// `bfs`, `pagerank` or `wcc`.
+        algo: String,
+        /// BFS source node id (required for `bfs`).
+        source: Option<u64>,
+        /// PageRank iterations (default 10).
+        iters: Option<u64>,
+        /// PageRank damping factor (default 0.85).
+        damping: Option<f64>,
+        /// Restrict the snapshot to one node label (by name).
+        node_label: Option<String>,
+        /// Restrict the snapshot to one relationship label (by name).
+        rel_label: Option<String>,
+        deadline_ms: Option<u64>,
+    },
+    /// Drain and fence the deferred-durability tail (`SyncMode::EveryN` /
+    /// `CheckpointOnly` ingest ends with one of these).
+    Checkpoint,
+    /// Dump the effective `PMEMGRAPH_*` knobs and live engine state;
+    /// optionally retune the durability ladder first.
+    Config {
+        sync_mode: Option<String>,
+    },
     /// Prometheus text exposition over the query protocol (the standalone
     /// exporter serves the same body over plain HTTP).
     Metrics,
@@ -222,6 +252,32 @@ impl Request {
                 }
             }
             "stats" => Request::Stats,
+            "analytics" => Request::Analytics {
+                algo: v
+                    .get("algo")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtoError::bad_request("analytics needs \"algo\""))?
+                    .to_string(),
+                source: v.get("source").and_then(Json::as_i64).map(|s| s.max(0) as u64),
+                iters: v.get("iters").and_then(Json::as_i64).map(|i| i.max(0) as u64),
+                damping: v.get("damping").and_then(Json::as_f64),
+                node_label: v
+                    .get("node_label")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+                rel_label: v
+                    .get("rel_label")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+                deadline_ms,
+            },
+            "checkpoint" => Request::Checkpoint,
+            "config" => Request::Config {
+                sync_mode: v
+                    .get("sync_mode")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+            },
             "metrics" => Request::Metrics,
             "slowlog" => Request::Slowlog {
                 clear: v.get("clear").and_then(Json::as_bool).unwrap_or(false),
@@ -350,6 +406,55 @@ mod tests {
         assert!(Request::parse("{\"op\":\"execute\"}").is_err());
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse("{\"op\":\"warp\"}").is_err());
+    }
+
+    #[test]
+    fn analytics_verbs_parse() {
+        let r = Request::parse(
+            "{\"op\":\"analytics\",\"algo\":\"pagerank\",\"iters\":20,\"damping\":0.9,\
+             \"rel_label\":\"KNOWS\",\"deadline_ms\":500}",
+        )
+        .unwrap();
+        match r {
+            Request::Analytics {
+                algo,
+                iters,
+                damping,
+                rel_label,
+                node_label,
+                deadline_ms,
+                ..
+            } => {
+                assert_eq!(algo, "pagerank");
+                assert_eq!(iters, Some(20));
+                assert_eq!(damping, Some(0.9));
+                assert_eq!(rel_label.as_deref(), Some("KNOWS"));
+                assert_eq!(node_label, None);
+                assert_eq!(deadline_ms, Some(500));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Request::parse("{\"op\":\"analytics\",\"algo\":\"bfs\",\"source\":7}").unwrap() {
+            Request::Analytics { algo, source, .. } => {
+                assert_eq!(algo, "bfs");
+                assert_eq!(source, Some(7));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // algo is mandatory.
+        assert!(Request::parse("{\"op\":\"analytics\"}").is_err());
+        assert!(matches!(
+            Request::parse("{\"op\":\"checkpoint\"}").unwrap(),
+            Request::Checkpoint
+        ));
+        assert!(matches!(
+            Request::parse("{\"op\":\"config\"}").unwrap(),
+            Request::Config { sync_mode: None }
+        ));
+        match Request::parse("{\"op\":\"config\",\"sync_mode\":\"every=64\"}").unwrap() {
+            Request::Config { sync_mode } => assert_eq!(sync_mode.as_deref(), Some("every=64")),
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 
     #[test]

@@ -25,11 +25,12 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use ganalytics::{algo, CsrSnapshot, SnapshotCache, SnapshotSpec};
 use gjit::JitEngine;
 use gobs::{Exporter, Histogram, Registry, SlowEntry, SlowLog, Snapshot};
 use gquery::{ExecCtx, ExecProfile, QueryError};
 use graphcore::{GraphDb, GraphError, GraphTxn};
-use gtxn::TxnError;
+use gtxn::{SyncMode, TxnError};
 use ldbc::{Mode, QuerySpec, SnbDb};
 use parking_lot::{Condvar, Mutex};
 
@@ -103,13 +104,8 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(5),
             allow_remote_shutdown: false,
             enable_debug_ops: false,
-            metrics_addr: std::env::var("PMEMGRAPH_METRICS_ADDR")
-                .ok()
-                .filter(|s| !s.is_empty()),
-            slow_query_us: std::env::var("PMEMGRAPH_SLOW_QUERY_US")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(u64::MAX),
+            metrics_addr: gconfig::metrics_addr(),
+            slow_query_us: gconfig::slow_query_us(),
             slowlog_capacity: 128,
         }
     }
@@ -212,6 +208,8 @@ struct Shared {
     request_us: Histogram,
     slowlog: Arc<SlowLog>,
     pool: Arc<WorkerPool>,
+    /// Epoch-validated CSR snapshots backing the `ANALYTICS` verb.
+    analytics: SnapshotCache,
     stop: AtomicBool,
     conns: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -337,6 +335,7 @@ pub fn serve(
         request_us,
         slowlog,
         pool,
+        analytics: SnapshotCache::new(),
         stop: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
     });
@@ -618,6 +617,30 @@ fn dispatch<'db>(
         } => do_execute(shared, db, state, name, query, &params, deadline_ms)
             .map(|resp| (resp, Flow::Continue)),
         Request::Stats => Ok((stats_response(shared), Flow::Continue)),
+        Request::Analytics {
+            algo,
+            source,
+            iters,
+            damping,
+            node_label,
+            rel_label,
+            deadline_ms,
+        } => do_analytics(
+            shared,
+            db,
+            &algo,
+            source,
+            iters,
+            damping,
+            node_label.as_deref(),
+            rel_label.as_deref(),
+            deadline_ms,
+        )
+        .map(|resp| (resp, Flow::Continue)),
+        Request::Checkpoint => do_checkpoint(shared, db).map(|resp| (resp, Flow::Continue)),
+        Request::Config { sync_mode } => {
+            do_config(shared, db, sync_mode.as_deref()).map(|resp| (resp, Flow::Continue))
+        }
         Request::Metrics => Ok((
             ok_response(vec![("metrics", Json::Str(exposition(shared)))]),
             Flow::Continue,
@@ -989,6 +1012,228 @@ fn do_sleep(shared: &Shared, ms: u64) -> Result<(String, Flow), ProtoError> {
         ok_response(vec![("slept_ms", Json::Int(ms as i64))]),
         Flow::Continue,
     ))
+}
+
+/// Resolve an optional label name to its dictionary code without
+/// interning: an unknown label is a client mistake, not a new dictionary
+/// entry.
+fn label_code(db: &GraphDb, kind: &str, name: Option<&str>) -> Result<Option<u32>, ProtoError> {
+    match name {
+        None => Ok(None),
+        Some(s) => db.dict().code_of(s).map(Some).ok_or_else(|| {
+            ProtoError::bad_request(format!("unknown {kind} label {s:?}"))
+        }),
+    }
+}
+
+/// The `ANALYTICS` verb: get (or build) the CSR snapshot for the requested
+/// labels, run one kernel over it on the morsel scheduler, and return a
+/// summary plus snapshot provenance. Runs under an execution permit and
+/// the request deadline like any query.
+#[allow(clippy::too_many_arguments)]
+fn do_analytics(
+    shared: &Shared,
+    db: &GraphDb,
+    algo_name: &str,
+    source: Option<u64>,
+    iters: Option<u64>,
+    damping: Option<f64>,
+    node_label: Option<&str>,
+    rel_label: Option<&str>,
+    deadline_ms: Option<u64>,
+) -> Result<String, ProtoError> {
+    let start = Instant::now();
+    let deadline = start
+        + deadline_ms
+            .map(|ms| Duration::from_millis(ms.min(3_600_000)))
+            .unwrap_or(shared.config.default_deadline);
+    if shared.stop.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        ));
+    }
+    let spec = SnapshotSpec {
+        node_label: label_code(db, "node", node_label)?,
+        rel_label: label_code(db, "relationship", rel_label)?,
+        node_props: Vec::new(),
+    };
+
+    let wait = shared
+        .config
+        .admission_wait
+        .min(deadline.saturating_duration_since(Instant::now()));
+    let Some(_permit) = shared.pool.try_acquire(wait) else {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return Err(ProtoError::new(
+            ErrorCode::ServerBusy,
+            "worker pool saturated",
+        ));
+    };
+    shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+
+    // Reuse a current snapshot when one exists; a build racing a commit
+    // can abort with a retryable conflict like any MVTO reader.
+    let (snap, reused) = match shared.analytics.get_if_current(db, &spec) {
+        Some(s) => (s, true),
+        None => (
+            shared.analytics.get_or_build(db, &spec).map_err(graph_err)?,
+            false,
+        ),
+    };
+
+    let workers = shared.config.exec_threads.max(1);
+    let ctx = ExecCtx::new(&[]).with_deadline(deadline);
+    let result = match algo_name {
+        "bfs" => {
+            let src = source.ok_or_else(|| ProtoError::bad_request("bfs needs \"source\""))?;
+            let depth = algo::bfs(&snap, src, workers, &ctx).map_err(query_err)?;
+            let reached = depth.iter().filter(|&&d| d != algo::UNREACHED).count();
+            let max_depth = depth
+                .iter()
+                .filter(|&&d| d != algo::UNREACHED)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            obj(vec![
+                ("source", Json::Int(src as i64)),
+                ("reached", Json::Int(reached as i64)),
+                ("max_depth", Json::Int(max_depth as i64)),
+            ])
+        }
+        "pagerank" => {
+            let iters = iters.unwrap_or(10).clamp(1, 10_000) as usize;
+            let d = damping.unwrap_or(0.85).clamp(0.0, 1.0);
+            let rank = algo::pagerank(&snap, iters, d, workers, &ctx).map_err(query_err)?;
+            // Top 10 by score (ties broken by dense index, ascending).
+            let mut order: Vec<u32> = (0..rank.len() as u32).collect();
+            order.sort_by(|&a, &b| {
+                rank[b as usize]
+                    .total_cmp(&rank[a as usize])
+                    .then(a.cmp(&b))
+            });
+            let top: Vec<Json> = order
+                .iter()
+                .take(10)
+                .map(|&i| {
+                    obj(vec![
+                        ("node", Json::Int(snap.node_id(i) as i64)),
+                        ("rank", Json::Float(rank[i as usize])),
+                    ])
+                })
+                .collect();
+            obj(vec![
+                ("iters", Json::Int(iters as i64)),
+                ("damping", Json::Float(d)),
+                ("sum", Json::Float(rank.iter().sum())),
+                ("top", Json::Arr(top)),
+            ])
+        }
+        "wcc" => {
+            let labels = algo::wcc(&snap, workers, &ctx).map_err(query_err)?;
+            let mut sizes: HashMap<u32, u64> = HashMap::new();
+            for &l in &labels {
+                *sizes.entry(l).or_default() += 1;
+            }
+            let largest = sizes.values().max().copied().unwrap_or(0);
+            obj(vec![
+                ("components", Json::Int(sizes.len() as i64)),
+                ("largest", Json::Int(largest as i64)),
+            ])
+        }
+        other => {
+            return Err(ProtoError::bad_request(format!(
+                "unknown algorithm {other:?} (bfs | pagerank | wcc)"
+            )))
+        }
+    };
+
+    let elapsed_us =
+        gobs::saturating_elapsed(start).as_micros().min(u64::MAX as u128) as u64;
+    shared.request_us.observe_us(elapsed_us);
+    Ok(ok_response(vec![
+        ("algo", Json::Str(algo_name.into())),
+        ("result", result),
+        ("snapshot", snapshot_json(&snap, reused)),
+        ("elapsed_us", Json::Int(elapsed_us.min(i64::MAX as u64) as i64)),
+    ]))
+}
+
+/// Snapshot provenance for analytics responses.
+fn snapshot_json(snap: &CsrSnapshot, reused: bool) -> Json {
+    let st = snap.stats();
+    obj(vec![
+        ("nodes", Json::Int(snap.node_count() as i64)),
+        ("edges", Json::Int(snap.edge_count() as i64)),
+        ("read_ts", Json::Int(snap.read_ts().min(i64::MAX as u64) as i64)),
+        ("epoch", Json::Int(snap.epoch().min(i64::MAX as u64) as i64)),
+        ("reused", Json::Bool(reused)),
+        (
+            "build_us",
+            Json::Int(st.build_time.as_micros().min(i64::MAX as u128) as i64),
+        ),
+        ("fast_chunks", Json::Int(st.fast_chunks as i64)),
+        ("slow_chunks", Json::Int(st.slow_chunks as i64)),
+    ])
+}
+
+/// The `CHECKPOINT` verb: flush the deferred data tail, fence, truncate
+/// the undo log. Reports the pmem work it took, so ingest drivers can see
+/// the fence cost land here instead of on every commit.
+fn do_checkpoint(_shared: &Shared, db: &GraphDb) -> Result<String, ProtoError> {
+    let before = db.pool().stats().snapshot();
+    db.checkpoint().map_err(graph_err)?;
+    let delta = db.pool().stats().snapshot() - before;
+    Ok(ok_response(vec![
+        ("fences", Json::Int(delta.fences as i64)),
+        ("lines_flushed", Json::Int(delta.lines_flushed as i64)),
+        ("sync_mode", Json::Str(db.sync_mode().render())),
+    ]))
+}
+
+/// The `CONFIG` verb: optionally retune the durability ladder, then dump
+/// every registered `PMEMGRAPH_*` knob (from [`gconfig::effective`]) plus
+/// the live engine state the knobs feed.
+fn do_config(
+    shared: &Shared,
+    db: &GraphDb,
+    set_sync_mode: Option<&str>,
+) -> Result<String, ProtoError> {
+    if let Some(s) = set_sync_mode {
+        let mode = SyncMode::parse(s)
+            .map_err(|e| ProtoError::bad_request(format!("bad sync_mode: {e}")))?;
+        db.set_sync_mode(mode).map_err(graph_err)?;
+    }
+    let knobs: Vec<Json> = gconfig::effective()
+        .into_iter()
+        .map(|e| {
+            obj(vec![
+                ("name", Json::Str(e.name.into())),
+                ("value", Json::Str(e.value)),
+                ("default", Json::Bool(e.is_default)),
+                ("help", Json::Str(e.help.into())),
+            ])
+        })
+        .collect();
+    let live = obj(vec![
+        ("sync_mode", Json::Str(db.sync_mode().render())),
+        ("group_commit", Json::Bool(db.group_commit())),
+        ("read_accel", Json::Bool(db.read_accel())),
+        (
+            "mutation_epoch",
+            Json::Int(db.mutation_epoch().min(i64::MAX as u64) as i64),
+        ),
+        (
+            "cached_snapshots",
+            Json::Int(shared.analytics.len() as i64),
+        ),
+        ("workers", Json::Int(shared.config.workers as i64)),
+        ("exec_threads", Json::Int(shared.config.exec_threads as i64)),
+    ]);
+    Ok(ok_response(vec![
+        ("knobs", Json::Arr(knobs)),
+        ("live", live),
+    ]))
 }
 
 /// Assemble the `STATS` response: one JSON object per subsystem, all

@@ -36,9 +36,7 @@ use parking_lot::{Condvar, Mutex};
 use pmem::{Pool, PmemError, TxBatch};
 
 use crate::error::TxnError;
-
-/// Default leader straggler wait in microseconds.
-const DEFAULT_WAIT_US: u64 = 3;
+use crate::syncmode::SyncMode;
 
 /// Completion slot a follower parks on.
 #[derive(Default)]
@@ -117,21 +115,21 @@ pub struct CommitPipeline {
     dead: AtomicBool,
     /// Groups of more than one batch (diagnostics).
     groups_formed: AtomicU64,
+    /// Which durability rung [`apply`](Self::apply) routes through.
+    sync_mode: Mutex<SyncMode>,
+    /// Transactions applied since the last checkpoint; drives the
+    /// `EveryN` cadence. Approximate under concurrency (cadence heuristic,
+    /// not a correctness invariant — durability comes from the undo log).
+    since_sync: AtomicU64,
 }
 
 /// `PMEMGRAPH_GROUP_COMMIT`: on unless `0`/`false`/`off`/`no`.
 pub(crate) fn group_commit_env() -> bool {
-    match std::env::var("PMEMGRAPH_GROUP_COMMIT") {
-        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
-        Err(_) => true,
-    }
+    gconfig::group_commit()
 }
 
 fn group_wait_env() -> u64 {
-    std::env::var("PMEMGRAPH_GROUP_WAIT_US")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .unwrap_or(DEFAULT_WAIT_US)
+    gconfig::group_wait_us()
 }
 
 impl CommitPipeline {
@@ -145,6 +143,68 @@ impl CommitPipeline {
             pending: AtomicU64::new(0),
             dead: AtomicBool::new(false),
             groups_formed: AtomicU64::new(0),
+            sync_mode: Mutex::new(SyncMode::from_env()),
+            since_sync: AtomicU64::new(0),
+        }
+    }
+
+    /// The active durability rung.
+    pub fn sync_mode(&self) -> SyncMode {
+        *self.sync_mode.lock()
+    }
+
+    /// Switch durability rung at runtime. Tightening (to [`SyncMode::PerTxn`])
+    /// checkpoints first so everything already acknowledged under the looser
+    /// rung becomes durable before the stricter contract is advertised.
+    pub fn set_sync_mode(&self, mode: SyncMode) -> Result<(), TxnError> {
+        let mut cur = self.sync_mode.lock();
+        if cur.is_deferred() && !mode.is_deferred() {
+            self.pool.checkpoint()?;
+            self.since_sync.store(0, Ordering::Relaxed);
+        }
+        *cur = mode;
+        Ok(())
+    }
+
+    /// Explicit durability point: flush the deferred tail and truncate the
+    /// accumulated undo log. No-op (and cheap) under [`SyncMode::PerTxn`].
+    pub fn checkpoint(&self) -> Result<(), TxnError> {
+        self.since_sync.store(0, Ordering::Relaxed);
+        self.pool.checkpoint().map_err(TxnError::from)
+    }
+
+    /// Apply one group of batches through the rung the sync mode selects.
+    /// Both the ungrouped path and the leader's group path funnel through
+    /// here, so the ladder applies uniformly.
+    fn apply(&self, refs: &[&TxBatch]) -> Result<(), PmemError> {
+        let mode = self.sync_mode();
+        match mode {
+            SyncMode::PerTxn => self.pool.tx_apply_batches(refs),
+            SyncMode::EveryN(_) | SyncMode::CheckpointOnly => {
+                match self.pool.tx_apply_deferred(refs) {
+                    Err(PmemError::LogFull) => {
+                        // The accumulated log is full: force a durability
+                        // point to empty it, then retry once. Still-LogFull
+                        // now means the group alone exceeds the log, which
+                        // the caller's fallback splits.
+                        self.pool.checkpoint()?;
+                        self.since_sync.store(0, Ordering::Relaxed);
+                        self.pool.tx_apply_deferred(refs)?;
+                    }
+                    r => r?,
+                }
+                if let SyncMode::EveryN(n) = mode {
+                    let c = self
+                        .since_sync
+                        .fetch_add(refs.len() as u64, Ordering::Relaxed)
+                        + refs.len() as u64;
+                    if c >= n {
+                        self.since_sync.store(0, Ordering::Relaxed);
+                        self.pool.checkpoint()?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 
@@ -178,12 +238,15 @@ impl CommitPipeline {
     }
 
     /// Commit one transaction's staged batch, possibly grouped with other
-    /// concurrent committers' batches. Returns only after the batch is
-    /// durable (log truncated) or failed.
+    /// concurrent committers' batches. Under [`SyncMode::PerTxn`] this
+    /// returns only after the batch is durable (log truncated); under the
+    /// deferred rungs it returns once the batch is *applied and covered by
+    /// the undo log* — durable at the next checkpoint.
     pub fn commit(&self, batch: TxBatch) -> Result<(), TxnError> {
         if !self.enabled.load(Ordering::Relaxed) {
-            // Ungrouped: still one coalesced 4-fence batch commit.
-            return self.pool.tx_apply_batches(&[&batch]).map_err(TxnError::from);
+            // Ungrouped: still one coalesced batch commit on the active
+            // durability rung.
+            return self.apply(&[&batch]).map_err(TxnError::from);
         }
         if self.dead.load(Ordering::SeqCst) {
             return Err(poisoned());
@@ -275,7 +338,7 @@ impl CommitPipeline {
         let span = gobs::span_start();
         let refs: Vec<&TxBatch> = group.iter().map(|w| &w.batch).collect();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.pool.tx_apply_batches(&refs)
+            self.apply(&refs)
         }));
         crate::obs::group_apply(span);
         match outcome {
@@ -295,10 +358,7 @@ impl CommitPipeline {
                 // demand exceeded capacity). Nothing was applied — retry
                 // each batch alone so every committer gets its own verdict.
                 for w in &group {
-                    let r = self
-                        .pool
-                        .tx_apply_batches(&[&w.batch])
-                        .map_err(TxnError::from);
+                    let r = self.apply(&[&w.batch]).map_err(TxnError::from);
                     w.slot.post(r);
                 }
             }
@@ -332,6 +392,8 @@ mod tests {
         let pool = Arc::new(Pool::volatile(8 << 20).unwrap());
         let pipe = CommitPipeline::new(pool.clone());
         pipe.set_enabled(true);
+        // Pin the rung: tests must not inherit PMEMGRAPH_SYNC_MODE.
+        pipe.set_sync_mode(SyncMode::PerTxn).unwrap();
         (pool, pipe)
     }
 
@@ -399,6 +461,7 @@ mod tests {
         );
         let pipe = Arc::new(CommitPipeline::new(pool.clone()));
         pipe.set_enabled(true);
+        pipe.set_sync_mode(SyncMode::PerTxn).unwrap();
         // Each batch needs 16 + 200-padded = 216+ log bytes: two fit only
         // one at a time in a 512-byte log.
         let offs: Vec<u64> = (0..4).map(|_| pool.alloc(256).unwrap()).collect();
@@ -431,6 +494,7 @@ mod tests {
         );
         let pipe = CommitPipeline::new(pool.clone());
         pipe.set_enabled(true);
+        pipe.set_sync_mode(SyncMode::PerTxn).unwrap();
         let off = pool.alloc(256).unwrap();
         let mut b = TxBatch::new();
         b.write_bytes(off, &[1u8; 200]);
@@ -441,10 +505,130 @@ mod tests {
     }
 
     #[test]
+    fn every_n_mode_amortises_fences() {
+        let (pool, pipe) = pipe();
+        pipe.set_enabled(false); // deterministic ungrouped path
+        pipe.set_sync_mode(SyncMode::EveryN(4)).unwrap();
+        let offs: Vec<u64> = (0..8).map(|_| pool.alloc(64).unwrap()).collect();
+        let before = pool.stats().snapshot();
+        for (i, &off) in offs.iter().enumerate() {
+            let mut b = TxBatch::new();
+            b.write_u64(off, i as u64 + 1);
+            pipe.commit(b).unwrap();
+        }
+        let d = pool.stats().snapshot() - before;
+        // 8 deferred commits at 2 fences + 2 checkpoints at 2 fences,
+        // against 8 * 4 = 32 for the strict rung.
+        assert_eq!(d.fences, 20);
+        assert_eq!(d.deferred_txns, 8);
+        assert_eq!(d.checkpoints, 2);
+        assert!(!pool.deferred_pending(), "cadence hit exactly");
+        for (i, &off) in offs.iter().enumerate() {
+            assert_eq!(pool.read_u64(off), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn checkpoint_only_defers_until_explicit_checkpoint() {
+        let (pool, pipe) = pipe();
+        pipe.set_enabled(false);
+        pipe.set_sync_mode(SyncMode::CheckpointOnly).unwrap();
+        let off = pool.alloc(64).unwrap();
+        for v in 1..=5u64 {
+            let mut b = TxBatch::new();
+            b.write_u64(off, v);
+            pipe.commit(b).unwrap();
+        }
+        assert!(pool.deferred_pending());
+        assert_eq!(pool.stats().snapshot().checkpoints, 0);
+        pipe.checkpoint().unwrap();
+        assert!(!pool.deferred_pending());
+        assert_eq!(pool.stats().snapshot().checkpoints, 1);
+        assert_eq!(pool.read_u64(off), 5);
+    }
+
+    #[test]
+    fn tightening_sync_mode_drains_the_deferred_tail() {
+        let (pool, pipe) = pipe();
+        pipe.set_enabled(false);
+        pipe.set_sync_mode(SyncMode::CheckpointOnly).unwrap();
+        let off = pool.alloc(64).unwrap();
+        let mut b = TxBatch::new();
+        b.write_u64(off, 9);
+        pipe.commit(b).unwrap();
+        assert!(pool.deferred_pending());
+        pipe.set_sync_mode(SyncMode::PerTxn).unwrap();
+        assert!(
+            !pool.deferred_pending(),
+            "strict rung must not advertise durability over an unflushed tail"
+        );
+    }
+
+    #[test]
+    fn deferred_log_full_forces_checkpoint_and_retries() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gtxn-pipe-deferred-logfull-{}", std::process::id()));
+        let pool = Arc::new(
+            Pool::create_with_log(&path, 4 << 20, pmem::DeviceProfile::dram(), 512).unwrap(),
+        );
+        let pipe = CommitPipeline::new(pool.clone());
+        pipe.set_enabled(false);
+        pipe.set_sync_mode(SyncMode::CheckpointOnly).unwrap();
+        let off = pool.alloc(256).unwrap();
+        // Each commit logs 216 bytes; the 512-byte log holds two, so the
+        // third forces an internal checkpoint + retry — invisibly to us.
+        for v in 1..=6u8 {
+            let mut b = TxBatch::new();
+            b.write_bytes(off, &[v; 200]);
+            pipe.commit(b).unwrap();
+        }
+        assert!(pool.stats().snapshot().checkpoints >= 2);
+        let mut buf = [0u8; 200];
+        pool.read_slice(off, &mut buf);
+        assert_eq!(buf, [6u8; 200]);
+        drop(pipe);
+        drop(pool);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn grouped_commits_ride_the_deferred_rung_too() {
+        let (pool, pipe) = pipe();
+        pipe.set_sync_mode(SyncMode::CheckpointOnly).unwrap();
+        let pipe = Arc::new(pipe);
+        let n_threads = 4usize;
+        let per = 25usize;
+        let offs: Vec<u64> = (0..n_threads * per).map(|_| pool.alloc(64).unwrap()).collect();
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let pipe = pipe.clone();
+                let offs = &offs;
+                s.spawn(move || {
+                    for i in 0..per {
+                        let off = offs[t * per + i];
+                        let mut b = TxBatch::new();
+                        b.write_u64(off, (t * per + i) as u64 + 1);
+                        pipe.commit(b).unwrap();
+                    }
+                });
+            }
+        });
+        for (i, &off) in offs.iter().enumerate() {
+            assert_eq!(pool.read_u64(off), i as u64 + 1);
+        }
+        let snap = pool.stats().snapshot();
+        assert_eq!(snap.deferred_txns, (n_threads * per) as u64);
+        assert_eq!(snap.checkpoints, 0, "checkpoint-only never auto-drains");
+        pipe.checkpoint().unwrap();
+        assert!(!pool.deferred_pending());
+    }
+
+    #[test]
     fn crash_during_group_poisons_pipeline() {
         let pool = Arc::new(Pool::volatile(8 << 20).unwrap().with_crash_tracking());
         let pipe = CommitPipeline::new(pool.clone());
         pipe.set_enabled(true);
+        pipe.set_sync_mode(SyncMode::PerTxn).unwrap();
         let off = pool.alloc(64).unwrap();
         let mut b = TxBatch::new();
         b.write_u64(off, 1);

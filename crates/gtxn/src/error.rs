@@ -15,6 +15,8 @@ pub enum TxnError {
     WriteConflict,
     /// Operation on a transaction that already committed or aborted.
     Finished,
+    /// A configuration string did not parse (e.g. `PMEMGRAPH_SYNC_MODE`).
+    Config(String),
     /// Underlying pool error (out of space etc.).
     Pmem(pmem::PmemError),
 }
@@ -25,6 +27,7 @@ impl fmt::Display for TxnError {
             TxnError::Locked => write!(f, "record locked by another transaction"),
             TxnError::WriteConflict => write!(f, "write conflict (newer version or reader)"),
             TxnError::Finished => write!(f, "transaction already finished"),
+            TxnError::Config(msg) => write!(f, "configuration error: {msg}"),
             TxnError::Pmem(e) => write!(f, "pool error: {e}"),
         }
     }

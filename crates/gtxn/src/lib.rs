@@ -33,9 +33,11 @@ mod commitpipe;
 mod error;
 mod manager;
 mod obs;
+mod syncmode;
 
 pub use chain::{ObjKey, TableTag};
 pub use chunkstate::ChunkState;
 pub use commitpipe::CommitPipeline;
 pub use error::TxnError;
 pub use manager::{Txn, TxnManager, TxnStats};
+pub use syncmode::SyncMode;

@@ -102,6 +102,10 @@ pub struct TxnManager {
     chunk_state: ChunkState,
     /// Group-commit pipeline every writer commit routes through.
     pipeline: CommitPipeline,
+    /// Bumped on every write-transaction commit. Snapshot caches (the
+    /// analytics CSR) compare epochs to decide whether a materialized
+    /// snapshot still reflects the latest committed state.
+    mutation_epoch: AtomicU64,
     stats: TxnStats,
 }
 
@@ -145,6 +149,7 @@ impl TxnManager {
             deferred_props: Mutex::new(Vec::new()),
             chunk_state: ChunkState::default(),
             pipeline,
+            mutation_epoch: AtomicU64::new(0),
             stats: TxnStats::default(),
         }
     }
@@ -168,6 +173,29 @@ impl TxnManager {
     /// The group-commit pipeline (diagnostics).
     pub fn commit_pipeline(&self) -> &CommitPipeline {
         &self.pipeline
+    }
+
+    /// The active durability rung. Default follows `PMEMGRAPH_SYNC_MODE`.
+    pub fn sync_mode(&self) -> crate::SyncMode {
+        self.pipeline.sync_mode()
+    }
+
+    /// Switch durability rung at runtime; tightening checkpoints first.
+    pub fn set_sync_mode(&self, mode: crate::SyncMode) -> Result<(), TxnError> {
+        self.pipeline.set_sync_mode(mode)
+    }
+
+    /// Explicit durability point for the deferred rungs: flush all deferred
+    /// data and truncate the accumulated undo log.
+    pub fn checkpoint(&self) -> Result<(), TxnError> {
+        self.pipeline.checkpoint()
+    }
+
+    /// Count of write-transaction commits since this manager was created.
+    /// A snapshot built at epoch E is still current iff
+    /// `mutation_epoch() == E`.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch.load(Ordering::Acquire)
     }
 
     /// Per-chunk write-tracking state (scan fast path).
@@ -697,6 +725,8 @@ impl TxnManager {
 
         self.finish(&txn, props);
         self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        // Committed mutations invalidate materialized snapshots.
+        self.mutation_epoch.fetch_add(1, Ordering::Release);
 
         // Transaction-level GC on the keys we touched.
         let oldest = self.oldest_active();

@@ -105,13 +105,9 @@ impl ArenaState {
     }
 }
 
-/// Default arena enablement: `PMEMGRAPH_ALLOC_ARENAS`, on unless `0`/
-/// `false`/`off`/`no`.
+/// Default arena enablement: `PMEMGRAPH_ALLOC_ARENAS` via [`gconfig`].
 pub(crate) fn arenas_env() -> bool {
-    match std::env::var("PMEMGRAPH_ALLOC_ARENAS") {
-        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
-        Err(_) => true,
-    }
+    gconfig::alloc_arenas()
 }
 
 /// Round-robin thread-to-shard assignment, fixed for a thread's lifetime.

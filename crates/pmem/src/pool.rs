@@ -132,6 +132,10 @@ pub struct Pool {
     cpu_cache: Vec<AtomicU64>,
     pub(crate) alloc_lock: Mutex<()>,
     pub(crate) tx_lock: Mutex<()>,
+    /// Tiered-durability bookkeeping: data lines applied in place but not
+    /// yet flushed, covered by the accumulated undo log (see
+    /// [`Pool::tx_apply_deferred`]). Locked after `tx_lock`, never before.
+    pub(crate) deferred: Mutex<crate::txlog::DeferredState>,
     /// Sharded per-thread allocation arenas (see `alloc` module docs).
     pub(crate) arena: crate::alloc::ArenaState,
 }
@@ -228,6 +232,7 @@ impl Pool {
             },
             alloc_lock: Mutex::new(()),
             tx_lock: Mutex::new(()),
+            deferred: Mutex::new(crate::txlog::DeferredState::default()),
             arena: crate::alloc::ArenaState::new(crate::alloc::arenas_env()),
         }
     }

@@ -57,6 +57,11 @@ pub struct PoolStats {
     pub grouped_txns: AtomicU64,
     /// Arena slab refills from the global allocator.
     pub arena_refills: AtomicU64,
+    /// Transactions applied with deferred durability (`tx_apply_deferred`):
+    /// undo entries fenced, data flush left to the next checkpoint.
+    pub deferred_txns: AtomicU64,
+    /// Checkpoint drains: deferred data flushed + undo log truncated.
+    pub checkpoints: AtomicU64,
 }
 
 impl PoolStats {
@@ -77,6 +82,8 @@ impl PoolStats {
             &self.commit_groups,
             &self.grouped_txns,
             &self.arena_refills,
+            &self.deferred_txns,
+            &self.checkpoints,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -99,6 +106,8 @@ impl PoolStats {
             commit_groups: self.commit_groups.load(Ordering::Relaxed),
             grouped_txns: self.grouped_txns.load(Ordering::Relaxed),
             arena_refills: self.arena_refills.load(Ordering::Relaxed),
+            deferred_txns: self.deferred_txns.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +129,8 @@ pub struct StatsSnapshot {
     pub commit_groups: u64,
     pub grouped_txns: u64,
     pub arena_refills: u64,
+    pub deferred_txns: u64,
+    pub checkpoints: u64,
 }
 
 impl std::ops::Sub for StatsSnapshot {
@@ -141,6 +152,8 @@ impl std::ops::Sub for StatsSnapshot {
             commit_groups: self.commit_groups - rhs.commit_groups,
             grouped_txns: self.grouped_txns - rhs.grouped_txns,
             arena_refills: self.arena_refills - rhs.arena_refills,
+            deferred_txns: self.deferred_txns - rhs.deferred_txns,
+            checkpoints: self.checkpoints - rhs.checkpoints,
         }
     }
 }

@@ -145,13 +145,31 @@ fn rollback_log(pool: &Pool, valid_len: u64) {
     pool.set_log_len(0);
 }
 
-/// Recovery entry point: roll back a logged-but-uncommitted transaction.
+/// Recovery entry point: roll back a logged-but-uncommitted transaction —
+/// or, under a deferred-durability ladder, the whole un-checkpointed tail
+/// of transactions the accumulated log still covers.
 pub(crate) fn recover(pool: &Pool) -> Result<()> {
     let valid = pool.log_len();
     if valid > 0 {
         rollback_log(pool, valid);
     }
+    // Any volatile deferred bookkeeping refers to pre-crash state.
+    let mut def = pool.deferred.lock();
+    def.data.clear();
+    def.txns = 0;
     Ok(())
+}
+
+/// Volatile bookkeeping for the tiered-durability ladder
+/// ([`Pool::tx_apply_deferred`]): every data line applied in place since
+/// the last checkpoint, plus how many transactions did so. The accumulated
+/// undo log covers all of it, so a crash rolls the whole tail back.
+#[derive(Debug, Default)]
+pub(crate) struct DeferredState {
+    /// Dirty data lines awaiting the checkpoint's one coalesced flush.
+    pub(crate) data: FlushSet,
+    /// Transactions applied since the last checkpoint.
+    pub(crate) txns: u64,
 }
 
 /// A pre-staged atomic write set: every target range and its replacement
@@ -211,6 +229,10 @@ impl Pool {
     /// One transaction runs at a time per pool (see module docs).
     pub fn tx<R>(&self, f: impl FnOnce(&mut UndoTx<'_>) -> Result<R>) -> Result<R> {
         let _g = self.tx_lock.lock();
+        // A pending deferred tail still owns the log: drain it first, or
+        // this transaction's truncation would discard the undo coverage of
+        // data that is not durable yet.
+        self.checkpoint_locked();
         debug_assert_eq!(self.log_len(), 0, "log must be empty between txs");
         let mut tx = UndoTx {
             pool: self,
@@ -254,6 +276,9 @@ impl Pool {
     /// the first store; on `Err` the pool is untouched.
     pub fn tx_apply_batches(&self, batches: &[&TxBatch]) -> Result<()> {
         let _g = self.tx_lock.lock();
+        // Implicit checkpoint: if a deferred tail is pending, its data must
+        // become durable before this transaction truncates the shared log.
+        self.checkpoint_locked();
         debug_assert_eq!(self.log_len(), 0, "log must be empty between txs");
         let (log_off, log_cap) = self.log_region();
         let mut need = 0u64;
@@ -323,6 +348,136 @@ impl Pool {
                 .fetch_add(batches.len() as u64, Ordering::Relaxed);
         }
         Ok(())
+    }
+
+    /// Apply [`TxBatch`]es with **deferred durability**: the undo-log
+    /// entries are made durable exactly as in [`Pool::tx_apply_batches`]
+    /// (append + fence, publish `log_len` + fence — two fences per call),
+    /// but the in-place data stores are *not* flushed and the log is *not*
+    /// truncated. The log keeps accumulating across calls until a
+    /// [`Pool::checkpoint`] flushes all deferred data lines in one
+    /// coalesced pass and truncates the log.
+    ///
+    /// Crash contract: entries are fenced before any covered data store is
+    /// issued, so recovery can always roll back the *entire*
+    /// un-checkpointed tail — transactions applied this way may be lost on
+    /// a crash, but the pool always recovers to the last checkpoint (the
+    /// `SyncMode::EveryN`/`CheckpointOnly` ladder in `gtxn` builds on
+    /// exactly this guarantee).
+    ///
+    /// Returns [`PmemError::LogFull`] without touching the pool when the
+    /// accumulated log cannot take this call's entries; the caller should
+    /// checkpoint and retry.
+    pub fn tx_apply_deferred(&self, batches: &[&TxBatch]) -> Result<()> {
+        let _g = self.tx_lock.lock();
+        let (log_off, log_cap) = self.log_region();
+        let start = self.log_len();
+        let mut need = 0u64;
+        for b in batches {
+            for (off, data) in &b.writes {
+                self.check_range(*off, data.len())?;
+            }
+            need += b.log_bytes();
+        }
+        if start + need > log_cap {
+            return Err(PmemError::LogFull);
+        }
+        let stats = self.stats();
+        if need == 0 {
+            stats.tx_commits.fetch_add(batches.len() as u64, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        // Phase 1: append this call's pre-image entries at the current log
+        // tail, one coalesced flush + one fence.
+        let mut fs = FlushSet::new();
+        let mut pos = start;
+        let mut snap_bytes = 0u64;
+        for b in batches {
+            for (off, data) in &b.writes {
+                let len = data.len();
+                let padded = len.div_ceil(8) * 8;
+                let entry = log_off + pos;
+                self.write_u64(entry, *off);
+                self.write_u64(entry + 8, len as u64);
+                let mut buf = vec![0u8; padded];
+                self.read_slice(*off, &mut buf[..len]);
+                self.write_bytes(entry + 16, &buf);
+                fs.add(entry, 16 + padded);
+                pos += 16 + padded as u64;
+                snap_bytes += len as u64;
+            }
+        }
+        fs.flush_all(self);
+        self.drain();
+
+        // Phase 2: publish the extended log (flush + fence). From here the
+        // whole tail — earlier deferred transactions included — rolls back
+        // as one on recovery.
+        self.set_log_len(pos);
+
+        // Phase 3: apply the data stores in place WITHOUT flushing; the
+        // lines join the deferred set the next checkpoint drains. Unflushed
+        // stores may still reach the media through cache eviction
+        // (`CrashPolicy::Torn`), which is exactly why phase 1 fenced the
+        // pre-images first.
+        let mut def = self.deferred.lock();
+        for b in batches {
+            for (off, data) in &b.writes {
+                self.write_bytes(*off, data);
+                def.data.add(*off, data.len());
+            }
+        }
+        def.txns += batches.len() as u64;
+        drop(def);
+
+        stats
+            .tx_snapshot_bytes
+            .fetch_add(snap_bytes, Ordering::Relaxed);
+        stats.tx_commits.fetch_add(batches.len() as u64, Ordering::Relaxed);
+        stats.commit_groups.fetch_add(1, Ordering::Relaxed);
+        if batches.len() > 1 {
+            stats
+                .grouped_txns
+                .fetch_add(batches.len() as u64, Ordering::Relaxed);
+        }
+        stats
+            .deferred_txns
+            .fetch_add(batches.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Checkpoint the deferred-durability tail: flush every data line
+    /// deferred by [`Pool::tx_apply_deferred`] in one coalesced pass, fence,
+    /// and truncate the undo log. After this returns, everything applied
+    /// before the call is durable and survives any crash. A no-op (zero
+    /// fences) when nothing is deferred.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _g = self.tx_lock.lock();
+        self.checkpoint_locked();
+        Ok(())
+    }
+
+    /// True if un-checkpointed deferred transactions are pending.
+    pub fn deferred_pending(&self) -> bool {
+        self.deferred.lock().txns > 0
+    }
+
+    /// Checkpoint body; caller must hold `tx_lock`.
+    pub(crate) fn checkpoint_locked(&self) {
+        let mut def = self.deferred.lock();
+        if def.txns == 0 && def.data.is_empty() && self.log_len() == 0 {
+            return;
+        }
+        // Data durable first, then the truncation that discards its undo
+        // coverage — the same order as phase 3 → phase 4 of the batch path.
+        def.data.flush_all(self);
+        def.data.clear();
+        def.txns = 0;
+        drop(def);
+        self.drain();
+        self.set_log_len(0);
+        self.stats().checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -664,6 +819,159 @@ mod tests {
         assert_eq!(d.fences, 0);
         assert_eq!(d.write_bytes, 0);
         assert_eq!(d.tx_commits, 2);
+    }
+
+    #[test]
+    fn deferred_commit_costs_two_fences_and_checkpoint_two_more() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let b = p.alloc(64).unwrap();
+        let before = p.stats().snapshot();
+        let mut b1 = TxBatch::new();
+        b1.write_u64(a, 1);
+        p.tx_apply_deferred(&[&b1]).unwrap();
+        let mut b2 = TxBatch::new();
+        b2.write_u64(b, 2);
+        p.tx_apply_deferred(&[&b2]).unwrap();
+        let mid = p.stats().snapshot() - before;
+        assert_eq!(mid.fences, 4, "two fences per deferred call");
+        assert_eq!(mid.deferred_txns, 2);
+        assert_eq!(mid.checkpoints, 0);
+        assert!(p.deferred_pending());
+        assert!(p.log_len() > 0, "log accumulates across deferred calls");
+        assert_eq!(p.read_u64(a), 1);
+        assert_eq!(p.read_u64(b), 2);
+
+        p.checkpoint().unwrap();
+        let after = p.stats().snapshot() - before;
+        assert_eq!(after.fences, 6, "checkpoint drains with two fences");
+        assert_eq!(after.checkpoints, 1);
+        assert!(!p.deferred_pending());
+        assert_eq!(p.log_len(), 0);
+        // Idempotent: a second checkpoint with nothing pending is free.
+        p.checkpoint().unwrap();
+        assert_eq!((p.stats().snapshot() - before).fences, 6);
+    }
+
+    #[test]
+    fn deferred_crash_sweep_rolls_back_whole_uncheckpointed_tail() {
+        // Three deferred transactions, crash at every flush point before the
+        // checkpoint: recovery must restore the pre-tail state for ALL of
+        // them — the ladder loses the tail but never tears it.
+        for crash_at in 0..16i64 {
+            for policy in [CrashPolicy::DropUnflushed, CrashPolicy::Torn(42)] {
+                let p = pool();
+                let a = p.alloc(64).unwrap();
+                let b = p.alloc(256).unwrap();
+                p.write_u64(a, 7);
+                p.write_bytes(b, &[3u8; 100]);
+                p.persist(a, 8);
+                p.persist(b, 100);
+
+                p.inject_crash_after_flushes(crash_at);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut b1 = TxBatch::new();
+                    b1.write_u64(a, 8);
+                    p.tx_apply_deferred(&[&b1])?;
+                    let mut b2 = TxBatch::new();
+                    b2.write_bytes(b, &[4u8; 100]);
+                    p.tx_apply_deferred(&[&b2])?;
+                    let mut b3 = TxBatch::new();
+                    b3.write_u64(a, 9); // overlaps b1's range
+                    p.tx_apply_deferred(&[&b3])
+                }));
+                p.clear_crash_injection();
+                if outcome.is_ok() {
+                    continue; // budget not exhausted; nothing crashed
+                }
+                assert!(outcome.unwrap_err().downcast_ref::<CrashPoint>().is_some());
+                p.simulate_crash(policy).unwrap();
+                p.recover().unwrap();
+                let va = p.read_u64(a);
+                let mut vb = [0u8; 100];
+                p.read_slice(b, &mut vb);
+                assert_eq!(va, 7, "crash_at={crash_at} {policy:?}");
+                assert_eq!(vb, [3u8; 100], "crash_at={crash_at} {policy:?}");
+                assert_eq!(p.log_len(), 0);
+                assert!(!p.deferred_pending());
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_makes_deferred_tail_survive_crash() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        p.write_u64(a, 7);
+        p.persist(a, 8);
+        let mut b1 = TxBatch::new();
+        b1.write_u64(a, 8);
+        p.tx_apply_deferred(&[&b1]).unwrap();
+        p.checkpoint().unwrap();
+        p.simulate_crash(CrashPolicy::DropUnflushed).unwrap();
+        p.recover().unwrap();
+        assert_eq!(p.read_u64(a), 8, "checkpointed write is durable");
+    }
+
+    #[test]
+    fn strict_paths_checkpoint_a_pending_deferred_tail_first() {
+        // A strict transaction truncates the log; if a deferred tail were
+        // still covered by it, truncation would orphan unflushed data. Both
+        // strict entry points must drain the tail first.
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let b = p.alloc(64).unwrap();
+        let mut d = TxBatch::new();
+        d.write_u64(a, 1);
+        p.tx_apply_deferred(&[&d]).unwrap();
+        assert!(p.deferred_pending());
+        let mut s = TxBatch::new();
+        s.write_u64(b, 2);
+        p.tx_apply_batches(&[&s]).unwrap();
+        assert!(!p.deferred_pending(), "tx_apply_batches drains the tail");
+        assert_eq!(p.stats().snapshot().checkpoints, 1);
+        // The drained deferred write is now durable even after a crash.
+        p.simulate_crash(CrashPolicy::DropUnflushed).unwrap();
+        p.recover().unwrap();
+        assert_eq!(p.read_u64(a), 1);
+        assert_eq!(p.read_u64(b), 2);
+
+        let mut d2 = TxBatch::new();
+        d2.write_u64(a, 3);
+        p.tx_apply_deferred(&[&d2]).unwrap();
+        p.tx(|tx| tx.write_u64(b, 4)).unwrap();
+        assert!(!p.deferred_pending(), "UndoTx path drains the tail too");
+        p.simulate_crash(CrashPolicy::DropUnflushed).unwrap();
+        p.recover().unwrap();
+        assert_eq!(p.read_u64(a), 3);
+        assert_eq!(p.read_u64(b), 4);
+    }
+
+    #[test]
+    fn deferred_log_full_reported_and_checkpoint_unblocks() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pmem-deferred-logfull-{}", std::process::id()));
+        let p = crate::Pool::create_with_log(&path, 4 << 20, crate::DeviceProfile::dram(), 256)
+            .unwrap();
+        let a = p.alloc(1024).unwrap();
+        let mut b1 = TxBatch::new();
+        b1.write_bytes(a, &[1u8; 100]); // 16 + 104 = 120 log bytes
+        p.tx_apply_deferred(&[&b1]).unwrap();
+        let mut b2 = TxBatch::new();
+        b2.write_bytes(a, &[2u8; 100]); // accumulated 240 ≤ 256, fits
+        p.tx_apply_deferred(&[&b2]).unwrap();
+        let mut b3 = TxBatch::new();
+        b3.write_bytes(a, &[3u8; 100]); // would exceed the 256-byte log
+        let r = p.tx_apply_deferred(&[&b3]);
+        assert!(matches!(r, Err(PmemError::LogFull)));
+        // The caller's recovery: checkpoint, then retry.
+        p.checkpoint().unwrap();
+        p.tx_apply_deferred(&[&b3]).unwrap();
+        let mut buf = [0u8; 100];
+        p.read_slice(a, &mut buf);
+        assert_eq!(buf, [3u8; 100]);
+        drop(p);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

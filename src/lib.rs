@@ -8,6 +8,7 @@
 //! The individual layers are available both as standalone crates and as
 //! re-exported modules here:
 //!
+//! * [`gconfig`] — the registry of `PMEMGRAPH_*` environment knobs.
 //! * [`pmem`] — persistent-memory emulation (pools, flushes, crash sim).
 //! * [`gstore`] — chunked tables, dictionary, B+-tree indexes.
 //! * [`gtxn`] — MVTO multi-version concurrency control.
@@ -18,7 +19,11 @@
 //! * [`gdisk`] — disk-based baseline engine.
 //! * [`gserver`] — concurrent network query server (sessions, admission
 //!   control, wire protocol, blocking client).
+//! * [`ganalytics`] — the OLAP lane: DRAM CSR snapshots, morsel-scheduled
+//!   BFS/PageRank/WCC, tiered durability for bulk ingest.
 
+pub use ganalytics;
+pub use gconfig;
 pub use gdisk;
 pub use gjit;
 pub use gquery;
