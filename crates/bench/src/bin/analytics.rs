@@ -23,7 +23,7 @@
 
 use std::time::Duration;
 
-use bench::{fmt_dur, meta_json, scale_params, setup_dram, threads, time_once, tmpfile};
+use bench::{fmt_dur, meta_json, scale_name, scale_params, setup_dram, threads, time_once, tmpfile};
 use ganalytics::{algo, CsrSnapshot, SnapshotCache, SnapshotSpec};
 use gquery::ExecCtx;
 use graphcore::{DbOptions, GraphDb, GraphView, Value};
@@ -153,7 +153,7 @@ fn run_ingest(mode: SyncMode, label: &'static str, txns: usize) -> IngestResult 
 }
 
 fn main() {
-    let scale = std::env::var("SCALE").unwrap_or_else(|_| "small".to_string());
+    let scale = scale_name();
     let params = scale_params(42);
     let workers = threads();
     let iters = 20usize;
@@ -242,11 +242,7 @@ fn main() {
         algos.wcc_ms,
         ingest_json.join(",\n")
     );
-    let _ = std::fs::create_dir_all("results");
-    match std::fs::write("results/BENCH_analytics.json", &json) {
-        Ok(()) => println!("\nwrote results/BENCH_analytics.json"),
-        Err(e) => println!("\ncould not write results/BENCH_analytics.json: {e}"),
-    }
+    bench::write_results("analytics", &json);
 
     if std::env::var("ASSERT_ANALYTICS").is_ok() {
         assert!(

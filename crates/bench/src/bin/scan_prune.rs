@@ -18,7 +18,7 @@
 
 use std::time::Duration;
 
-use bench::{fmt_dur, runs, threads, time_avg};
+use bench::{fmt_dur, runs, scale_name, threads, time_avg};
 use gquery::{
     execute_collect, execute_parallel, execute_parallel_ctx, CmpOp, ExecCtx, Op, PPar, Plan, Pred,
 };
@@ -117,7 +117,7 @@ fn measure(
 }
 
 fn main() {
-    let scale = std::env::var("SCALE").unwrap_or_else(|_| "small".to_string());
+    let scale = scale_name();
     let n = item_count(&scale);
     let n_runs = runs();
     let nthreads = threads();
@@ -219,9 +219,5 @@ fn main() {
         p.fast_path_morsels,
         p.residual_rows
     );
-    let _ = std::fs::create_dir_all("results");
-    match std::fs::write("results/BENCH_scan_prune.json", &json) {
-        Ok(()) => println!("\nwrote results/BENCH_scan_prune.json"),
-        Err(e) => println!("\ncould not write results/BENCH_scan_prune.json: {e}"),
-    }
+    bench::write_results("scan_prune", &json);
 }

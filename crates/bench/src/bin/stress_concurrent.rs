@@ -13,13 +13,6 @@ use std::time::{Duration, Instant};
 use bench::*;
 use graphcore::{DbOptions, GraphDb, PropOwner, Value};
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
-
 fn main() {
     let nthreads = env_u64("THREADS", 4) as usize;
     let duration = Duration::from_millis(env_u64("DURATION_MS", 2000));

@@ -22,13 +22,6 @@ use gobs::{HistSnapshot, Histogram};
 use gserver::{serve, Client, ClientError, Param, ServerConfig};
 use rand::Rng;
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
-
 /// One latency summary line for stdout plus its JSON object.
 fn latency_json(class: &str, s: &HistSnapshot) -> String {
     let count = s.count();
@@ -204,9 +197,6 @@ fn main() {
         total_ok as f64 / elapsed.as_secs_f64(),
         lat_json.join(",\n    "),
     );
-    match std::fs::write("results/BENCH_stress_latency.json", &json) {
-        Ok(()) => println!("\nwrote results/BENCH_stress_latency.json"),
-        Err(e) => println!("\ncould not write results/BENCH_stress_latency.json: {e}"),
-    }
+    bench::write_results("stress_latency", &json);
     println!("clean shutdown OK");
 }

@@ -24,6 +24,15 @@
 //! multi-writer record updates average < 2 fences/txn" into a hard
 //! failure for CI.
 //!
+//! A fourth section sweeps the **shards** dimension (DESIGN.md §13): a
+//! partition-affine multi-writer insert workload against an N-shard
+//! database for N = 1/2/4/8. Writer `t` pins its nodes to shard `t % N`,
+//! so every transaction is single-shard and writers on different shards
+//! commit without sharing a txlog, a tx_lock or a pool — txns/s should
+//! rise with N while fences/txn stays flat at the ungrouped four-phase
+//! cost. `ASSERT_SHARD_SCALING=1` turns "4 shards beat 1 shard on
+//! txns/s" into a hard failure.
+//!
 //! Toggles: `GraphDb::set_group_commit` per series (the global default is
 //! `PMEMGRAPH_GROUP_COMMIT`); `PMEMGRAPH_GROUP_WAIT_US` bounds the leader's
 //! straggler wait; `PMEMGRAPH_ALLOC_ARENAS` keeps per-thread allocation
@@ -33,7 +42,8 @@
 
 use std::time::Instant;
 
-use bench::{threads, tmpfile};
+use bench::{scale_name, threads, tmpfile};
+use graphcore::shard::{shard_path, ShardOptions, ShardedDb};
 use graphcore::{DbOptions, GraphDb, PropOwner, Value};
 use gtxn::TableTag;
 use pmem::DeviceProfile;
@@ -197,8 +207,71 @@ fn setprop_phase(db: &GraphDb, ids: &[Vec<u64>], per_thread: usize) {
     })
 }
 
+/// Shards dimension: a partition-affine multi-writer insert workload
+/// against an N-shard database — writer `t` creates its nodes on shard
+/// `t % N`, so every transaction takes the single-shard fast path and the
+/// N commit pipelines (txlog, tx_lock, flush set each) run independently.
+/// Grouping is off: the series measures how raw pipeline serialization
+/// splits across pools, not group formation. Costs are summed over every
+/// shard's pool.
+fn sharded_insert_series(nshards: usize, nthreads: usize, per_thread: usize) -> Measured {
+    let base = tmpfile(&format!("write-commit-shards-{nshards}"));
+    let db = ShardedDb::create(
+        ShardOptions::pmem(&base, 256 << 20)
+            .shards(nshards)
+            .profile(DeviceProfile::pmem()),
+    )
+    .unwrap();
+    for shard in db.shards() {
+        shard.set_group_commit(false);
+    }
+    let before: Vec<_> = db
+        .shards()
+        .iter()
+        .map(|s| s.pool().stats().snapshot())
+        .collect();
+    let t0 = Instant::now();
+    let dbr = &db;
+    std::thread::scope(|s| {
+        for t in 0..nthreads {
+            s.spawn(move || {
+                let home = t % nshards;
+                for i in 0..per_thread {
+                    let mut tx = dbr.begin();
+                    tx.create_node_on(home, "W", &[("v", Value::Int((t * per_thread + i) as i64))])
+                        .unwrap();
+                    tx.commit().unwrap();
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let mut m = Measured {
+        txns: (nthreads * per_thread) as u64,
+        secs,
+        lines: 0,
+        fences: 0,
+        blocks: 0,
+        groups: 0,
+        grouped: 0,
+    };
+    for (shard, s0) in db.shards().iter().zip(before) {
+        let d = shard.pool().stats().snapshot() - s0;
+        m.lines += d.lines_flushed;
+        m.fences += d.fences;
+        m.blocks += d.blocks_flushed;
+        m.groups += d.commit_groups;
+        m.grouped += d.grouped_txns;
+    }
+    drop(db);
+    for i in 0..nshards {
+        let _ = std::fs::remove_file(shard_path(&base, i, nshards));
+    }
+    m
+}
+
 fn main() {
-    let scale = std::env::var("SCALE").unwrap_or_else(|_| "small".to_string());
+    let scale = scale_name();
     let per_thread = txns_per_thread(&scale);
     let max_threads = threads();
     let thread_counts: Vec<usize> = if max_threads > 1 { vec![1, max_threads] } else { vec![1] };
@@ -272,16 +345,59 @@ fn main() {
         );
     }
 
+    // Shards dimension: PMEMGRAPH_SHARDS-style pool splitting, swept here
+    // explicitly (1/2/4/8) with a fixed multi-writer insert workload.
+    let swriters = max_threads.max(2);
+    println!(
+        "\n{:>7} {:>8} {:>6} {:>11} {:>10} {:>10} {:>10} {:>8}",
+        "shards", "writers", "group", "txns/s", "fences/tx", "lines/tx", "blocks/tx", "groups"
+    );
+    let mut shard_rates: Vec<(usize, f64)> = Vec::new();
+    for nshards in [1usize, 2, 4, 8] {
+        let m = sharded_insert_series(nshards, swriters, per_thread);
+        let rate = m.txns as f64 / m.secs.max(1e-9);
+        println!("{}", m.row(&format!("s={nshards}"), swriters, false));
+        json_series.push(format!(
+            "    {{\"phase\": \"shard_insert\", \"shards\": {nshards}, \"threads\": {swriters}, \
+             \"group_commit\": false, \"txns\": {}, \"txns_per_s\": {rate:.0}, \
+             \"fences_per_txn\": {:.3}, \"lines_per_txn\": {:.3}, \"blocks_per_txn\": {:.3}, \
+             \"commit_groups\": {}, \"grouped_txns\": {}}}",
+            m.txns,
+            m.per_txn(m.fences),
+            m.per_txn(m.lines),
+            m.per_txn(m.blocks),
+            m.groups,
+            m.grouped,
+        ));
+        shard_rates.push((nshards, rate));
+    }
+    let rate_of = |n: usize| shard_rates.iter().find(|(s, _)| *s == n).map(|(_, r)| *r);
+    if let (Some(one), Some(four)) = (rate_of(1), rate_of(4)) {
+        println!(
+            "\n{swriters}-writer inserts: {one:.0} txns/s at 1 shard -> {four:.0} at 4 shards \
+             ({:.2}x)",
+            four / one.max(1e-9)
+        );
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"write_commit\",\n  \"meta\": {},\n  \"scale\": \"{scale}\",\n  \
          \"txns_per_writer\": {per_thread},\n  \"series\": [\n{}\n  ]\n}}\n",
         bench::meta_json(),
         json_series.join(",\n")
     );
-    let _ = std::fs::create_dir_all("results");
-    match std::fs::write("results/BENCH_write_commit.json", &json) {
-        Ok(()) => println!("\nwrote results/BENCH_write_commit.json"),
-        Err(e) => println!("\ncould not write results/BENCH_write_commit.json: {e}"),
+    bench::write_results("write_commit", &json);
+
+    // CI gate: the shard sweep must show multi-pool scaling — 4 shards
+    // beating 1 shard on multi-writer insert throughput.
+    if std::env::var("ASSERT_SHARD_SCALING").is_ok() {
+        let (one, four) = (rate_of(1).unwrap(), rate_of(4).unwrap());
+        if four > one {
+            println!("ASSERT_SHARD_SCALING ok: {four:.0} txns/s (4 shards) > {one:.0} (1 shard)");
+        } else {
+            eprintln!("ASSERT_SHARD_SCALING FAILED: {four:.0} txns/s (4 shards) <= {one:.0} (1 shard)");
+            std::process::exit(1);
+        }
     }
 
     // CI gate: grouped multi-writer updates must beat 2 fences/txn (the

@@ -33,10 +33,36 @@ pub fn scale_params(seed: u64) -> SnbParams {
 /// Number of measured runs per query (`RUNS` env var, default 20; the
 /// paper used 50).
 pub fn runs() -> usize {
-    std::env::var("RUNS")
+    env_u64("RUNS", 20) as usize
+}
+
+/// The `SCALE` name as the benchmarks print and embed it (default
+/// `small`) — pairs with [`scale_params`], which parses the same
+/// variable into generator parameters.
+pub fn scale_name() -> String {
+    std::env::var("SCALE").unwrap_or_else(|_| "small".to_string())
+}
+
+/// An unsigned-integer environment knob: unset or unparsable yields
+/// `default`. The shared parser behind every bench binary's ad-hoc
+/// tunables (`RUNS`, `DURATION_MS`, `HOT`, ...).
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(20)
+        .unwrap_or(default)
+}
+
+/// Write one `results/BENCH_*.json` artifact: create `results/`, write
+/// `results/BENCH_<name>.json`, and report the outcome on stdout (the
+/// shared tail of every bench binary).
+pub fn write_results(name: &str, json: &str) {
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/BENCH_{name}.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
 }
 
 /// A fresh temp file path for a pool/page file.

@@ -1,4 +1,4 @@
-//! Epoch-validated snapshot cache.
+//! Epoch-validated, LRU-bounded snapshot cache.
 //!
 //! Building a CSR snapshot costs a full scan; analytic verbs typically
 //! arrive in bursts against an unchanged graph. The cache keys snapshots
@@ -7,8 +7,15 @@
 //! epoch, so a hit is served only while the snapshot provably reflects the
 //! latest committed state. No invalidation hooks, no staleness window —
 //! the epoch comparison *is* the validity check.
+//!
+//! Capacity: snapshots are large (flat CSR arrays), so the cache is
+//! bounded to `PMEMGRAPH_SNAPSHOT_CACHE_CAP` entries (default 8; 0 =
+//! unbounded). Inserting past the cap evicts the least-recently-*used*
+//! spec — a hit refreshes recency, a stale rebuild replaces in place
+//! without eviction.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use graphcore::{GraphDb, Result};
@@ -17,22 +24,65 @@ use parking_lot::Mutex;
 use crate::obs;
 use crate::snapshot::{CsrSnapshot, SnapshotSpec};
 
+struct Entry {
+    snap: Arc<CsrSnapshot>,
+    /// Logical LRU stamp: the cache-wide tick at last hit or insert.
+    used: u64,
+}
+
+struct Inner {
+    map: HashMap<SnapshotSpec, Entry>,
+    tick: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, spec: &SnapshotSpec) -> Option<Arc<CsrSnapshot>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(spec).map(|e| {
+            e.used = tick;
+            e.snap.clone()
+        })
+    }
+}
+
 /// Snapshot cache, one per server/embedding. Cheap to share (`&self` API).
-#[derive(Default)]
 pub struct SnapshotCache {
-    inner: Mutex<HashMap<SnapshotSpec, Arc<CsrSnapshot>>>,
+    inner: Mutex<Inner>,
+    /// Max retained specs; 0 = unbounded.
+    cap: usize,
+    evictions: AtomicU64,
+}
+
+impl Default for SnapshotCache {
+    fn default() -> Self {
+        SnapshotCache::new()
+    }
 }
 
 impl SnapshotCache {
+    /// A cache bounded by `PMEMGRAPH_SNAPSHOT_CACHE_CAP` (default 8).
     pub fn new() -> SnapshotCache {
-        SnapshotCache::default()
+        SnapshotCache::with_capacity(gconfig::snapshot_cache_cap() as usize)
+    }
+
+    /// A cache bounded to `cap` specs (0 = unbounded).
+    pub fn with_capacity(cap: usize) -> SnapshotCache {
+        SnapshotCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            cap,
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// The cached snapshot for `spec` if it is still current (its epoch
     /// matches the database's mutation epoch). Never builds.
     pub fn get_if_current(&self, db: &GraphDb, spec: &SnapshotSpec) -> Option<Arc<CsrSnapshot>> {
         let epoch = db.mutation_epoch();
-        let hit = self.inner.lock().get(spec).cloned()?;
+        let hit = self.inner.lock().touch(spec)?;
         (hit.epoch() == epoch).then(|| {
             obs::snapshot_reuse().inc();
             hit
@@ -45,30 +95,60 @@ impl SnapshotCache {
     /// last insert wins, both snapshots are correct.
     pub fn get_or_build(&self, db: &GraphDb, spec: &SnapshotSpec) -> Result<Arc<CsrSnapshot>> {
         let epoch = db.mutation_epoch();
-        if let Some(hit) = self.inner.lock().get(spec) {
+        if let Some(hit) = self.inner.lock().touch(spec) {
             if hit.epoch() == epoch {
                 obs::snapshot_reuse().inc();
-                return Ok(hit.clone());
+                return Ok(hit);
             }
         }
         let snap = Arc::new(CsrSnapshot::build(db, spec.clone())?);
-        self.inner.lock().insert(spec.clone(), snap.clone());
+        self.insert(spec.clone(), snap.clone());
         Ok(snap)
+    }
+
+    /// Insert a snapshot, evicting the least-recently-used spec if the
+    /// cache is full and `spec` is not already present.
+    fn insert(&self, spec: SnapshotSpec, snap: Arc<CsrSnapshot>) {
+        let mut inner = self.inner.lock();
+        if self.cap > 0 && !inner.map.contains_key(&spec) && inner.map.len() >= self.cap {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.tick += 1;
+        let used = inner.tick;
+        inner.map.insert(spec, Entry { snap, used });
+    }
+
+    /// Snapshots evicted to respect the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// Drop every cached snapshot.
     pub fn clear(&self) {
-        self.inner.lock().clear();
+        self.inner.lock().map.clear();
     }
 
     /// Number of cached snapshots (current or stale).
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().map.len()
     }
 
     /// True if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().map.is_empty()
     }
 }
 
@@ -129,5 +209,61 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_bound_evicts_least_recently_used() {
+        let db = GraphDb::create(DbOptions::dram(64 << 20)).unwrap();
+        let mut tx = db.begin();
+        tx.create_node("A", &[]).unwrap();
+        tx.create_node("B", &[]).unwrap();
+        tx.create_node("C", &[]).unwrap();
+        tx.commit().unwrap();
+        let spec_for = |label: &str| SnapshotSpec {
+            node_label: Some(db.intern(label).unwrap()),
+            ..Default::default()
+        };
+
+        let cache = SnapshotCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let sa = cache.get_or_build(&db, &spec_for("A")).unwrap();
+        cache.get_or_build(&db, &spec_for("B")).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+
+        // Touch A so B becomes the LRU victim; C's insert evicts B.
+        assert!(cache.get_if_current(&db, &spec_for("A")).is_some());
+        cache.get_or_build(&db, &spec_for("C")).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+
+        // A survived (same Arc), B must rebuild.
+        let sa2 = cache.get_or_build(&db, &spec_for("A")).unwrap();
+        assert!(Arc::ptr_eq(&sa, &sa2), "recently-used entry survived");
+        assert!(
+            cache.get_if_current(&db, &spec_for("B")).is_none(),
+            "LRU entry was evicted"
+        );
+        // Rebuilding B evicts the new LRU (C).
+        cache.get_or_build(&db, &spec_for("B")).unwrap();
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let db = GraphDb::create(DbOptions::dram(64 << 20)).unwrap();
+        let mut tx = db.begin();
+        tx.create_node("N", &[]).unwrap();
+        tx.commit().unwrap();
+        let cache = SnapshotCache::with_capacity(0);
+        for i in 0..12u32 {
+            let spec = SnapshotSpec {
+                rel_label: Some(i),
+                ..Default::default()
+            };
+            cache.get_or_build(&db, &spec).unwrap();
+        }
+        assert_eq!(cache.len(), 12);
+        assert_eq!(cache.evictions(), 0);
     }
 }

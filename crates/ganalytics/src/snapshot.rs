@@ -24,6 +24,7 @@
 
 use std::time::{Duration, Instant};
 
+use graphcore::shard::{self, ShardedDb};
 use graphcore::{GraphDb, GraphTxn, NodeId, PropOwner, Result};
 use gstore::PVal;
 use gtxn::TableTag;
@@ -95,6 +96,104 @@ impl CsrSnapshot {
     pub fn build_at(txn: &GraphTxn<'_>, spec: SnapshotSpec) -> Result<CsrSnapshot> {
         let db = txn.db();
         Self::build_in(db, txn, spec, db.mutation_epoch())
+    }
+
+    /// Materialise a snapshot of a sharded database: every shard is
+    /// scanned **in parallel** in its own read transaction (ids translated
+    /// to global on the fly, mirror halves of cross-shard edges skipped so
+    /// each edge counts once), then the per-shard results are stitched
+    /// into one canonical CSR. With one shard this is exactly [`build`].
+    ///
+    /// Consistency: each shard's slice is a transactionally consistent
+    /// MVTO snapshot of that shard; the stitch is *per-shard* snapshot
+    /// isolated, not a single global timestamp (per-shard timestamp
+    /// domains — DESIGN.md §13). The epoch tag sums the shards' mutation
+    /// epochs, so the cache revalidation discipline is unchanged: any
+    /// commit anywhere forces a rebuild.
+    ///
+    /// [`build`]: CsrSnapshot::build
+    pub fn build_sharded(db: &ShardedDb, spec: SnapshotSpec) -> Result<CsrSnapshot> {
+        if db.shard_count() == 1 {
+            return Self::build(db.shard(0), spec);
+        }
+        let span = gobs::span_start();
+        let start = Instant::now();
+        let epoch = db.mutation_epoch();
+
+        // ---- fan out: one scan per shard ----
+        let mut slots: Vec<Option<Result<ShardScan>>> =
+            (0..db.shard_count()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let spec = &spec;
+                scope.spawn(move || *slot = Some(scan_shard(db, i, spec)));
+            }
+        });
+        let scans = slots
+            .into_iter()
+            .map(|s| s.expect("shard scan thread completed"))
+            .collect::<Result<Vec<_>>>()?;
+
+        // ---- stitch: merge node sets, re-densify edges, pack ----
+        let mut stats = BuildStats::default();
+        for s in &scans {
+            stats.fast_chunks += s.stats.fast_chunks;
+            stats.slow_chunks += s.stats.slow_chunks;
+        }
+        let mut nodes: Vec<NodeId> = scans.iter().flat_map(|s| s.nodes.iter().copied()).collect();
+        nodes.sort_unstable();
+        assert!(
+            nodes.len() < u32::MAX as usize,
+            "CSR snapshot limited to u32 dense indexes"
+        );
+        let dense = |id: NodeId| nodes.binary_search(&id).ok().map(|i| i as u32);
+
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for s in &scans {
+            for &(sg, dg) in &s.edges {
+                if let (Some(a), Some(b)) = (dense(sg), dense(dg)) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let n = nodes.len();
+        edges.sort_unstable();
+        let (out_offsets, out_targets) = pack(&edges, n, |&(s, d)| (s, d));
+        edges.sort_unstable_by_key(|&(s, d)| (d, s));
+        let (in_offsets, in_targets) = pack(&edges, n, |&(s, d)| (d, s));
+
+        // ---- scatter per-shard property columns into merged order ----
+        let mut props = Vec::with_capacity(spec.node_props.len());
+        for (ki, &key) in spec.node_props.iter().enumerate() {
+            let mut col = vec![PVal::Null; n];
+            for s in &scans {
+                for (j, &gid) in s.nodes.iter().enumerate() {
+                    if let Some(d) = dense(gid) {
+                        col[d as usize] = s.cols[ki][j];
+                    }
+                }
+            }
+            props.push((key, col));
+        }
+
+        let read_ts = scans[0].read_ts;
+        stats.build_time = start.elapsed();
+        obs::snapshot_build().inc();
+        obs::fast_chunks(stats.fast_chunks);
+        obs::slow_chunks(stats.slow_chunks);
+        obs::build_span(span);
+        Ok(CsrSnapshot {
+            spec,
+            read_ts,
+            epoch,
+            nodes,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            props,
+            stats,
+        })
     }
 
     fn build_in(
@@ -298,6 +397,97 @@ fn pack(
     (offsets, targets)
 }
 
+/// One shard's contribution to a sharded build, in **global** ids.
+struct ShardScan {
+    /// Visible matching node ids (ascending — local order is ascending and
+    /// `gid = lid * N + shard` preserves it within a shard).
+    nodes: Vec<NodeId>,
+    /// Owned edges `(src gid, dst gid)`: every same-shard edge plus the
+    /// out-half of every cross-shard edge (mirror halves are skipped).
+    edges: Vec<(u64, u64)>,
+    /// One column per requested property key, aligned with `nodes`.
+    cols: Vec<Vec<PVal>>,
+    stats: BuildStats,
+    read_ts: u64,
+}
+
+fn scan_shard(sdb: &ShardedDb, shard_idx: usize, spec: &SnapshotSpec) -> Result<ShardScan> {
+    let db = sdb.shard(shard_idx);
+    let router = sdb.router();
+    let txn = db.begin();
+    let mut stats = BuildStats::default();
+    let mut ids: Vec<u64> = Vec::new();
+
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for ci in 0..db.nodes().chunk_count() {
+        let fast = txn.try_fast_chunk(TableTag::Node, ci);
+        if fast {
+            stats.fast_chunks += 1;
+        } else {
+            stats.slow_chunks += 1;
+        }
+        ids.clear();
+        db.nodes().for_each_live_id(ci, &mut |id| ids.push(id));
+        for &id in &ids {
+            let rec = if fast { txn.node_fast(id)? } else { txn.node(id)? };
+            if let Some(rec) = rec {
+                if spec.node_label.is_none_or(|l| rec.label == l) {
+                    nodes.push(router.global_of(shard_idx, id));
+                }
+            }
+        }
+    }
+
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    for ci in 0..db.rels().chunk_count() {
+        let fast = txn.try_fast_chunk(TableTag::Rel, ci);
+        if fast {
+            stats.fast_chunks += 1;
+        } else {
+            stats.slow_chunks += 1;
+        }
+        ids.clear();
+        db.rels().for_each_live_id(ci, &mut |id| ids.push(id));
+        for &id in &ids {
+            let rec = if fast { txn.rel_fast(id)? } else { txn.rel(id)? };
+            if let Some(rec) = rec {
+                // A mirror in-half (tagged src) is the destination shard's
+                // copy of an edge owned by the source shard: skip it so
+                // the stitched CSR counts the edge exactly once.
+                if shard::is_remote(rec.src) {
+                    continue;
+                }
+                if spec.rel_label.is_none_or(|l| rec.label == l) {
+                    edges.push((
+                        sdb.endpoint_global(shard_idx, rec.src),
+                        sdb.endpoint_global(shard_idx, rec.dst),
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut cols = Vec::with_capacity(spec.node_props.len());
+    for &key in &spec.node_props {
+        let mut col = Vec::with_capacity(nodes.len());
+        for &gid in &nodes {
+            let lid = router.local_of(gid);
+            col.push(txn.prop_pval(PropOwner::Node(lid), key)?.unwrap_or(PVal::Null));
+        }
+        cols.push(col);
+    }
+
+    let read_ts = txn.id();
+    txn.commit()?;
+    Ok(ShardScan {
+        nodes,
+        edges,
+        cols,
+        stats,
+        read_ts,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +561,65 @@ mod tests {
         assert_eq!(col[0], PVal::Int(30));
         assert_eq!(col[1], PVal::Int(40));
         assert_eq!(col[2], PVal::Null, "City has no age");
+    }
+
+    #[test]
+    fn sharded_build_stitches_cross_shard_edges_once() {
+        use graphcore::shard::ShardOptions;
+        let db = ShardedDb::create(ShardOptions::dram(48 << 20).shards(4)).unwrap();
+        let mut tx = db.begin();
+        // Round-robin spreads these across all four shards.
+        let ids: Vec<_> = (0..8)
+            .map(|i| tx.create_node("Person", &[("age", Value::Int(i))]).unwrap())
+            .collect();
+        // A ring: seven of the eight edges are cross-shard.
+        for i in 0..8 {
+            tx.create_rel(ids[i], "KNOWS", ids[(i + 1) % 8], &[]).unwrap();
+        }
+        tx.commit().unwrap();
+
+        let age = db.intern("age").unwrap();
+        let snap = CsrSnapshot::build_sharded(
+            &db,
+            SnapshotSpec {
+                node_label: None,
+                rel_label: None,
+                node_props: vec![age],
+            },
+        )
+        .unwrap();
+        assert_eq!(snap.node_count(), 8);
+        assert_eq!(snap.edge_count(), 8, "each cross-shard edge counted once");
+        // Every node has exactly one out- and one in-neighbour, and the
+        // adjacency matches the ring in global ids.
+        for (i, &id) in ids.iter().enumerate() {
+            let u = snap.index_of(id).unwrap();
+            assert_eq!(snap.out_deg(u), 1);
+            assert_eq!(snap.inc(u).len(), 1);
+            let next = snap.index_of(ids[(i + 1) % 8]).unwrap();
+            assert_eq!(snap.out(u), &[next]);
+        }
+        // Property columns scattered back into merged dense order.
+        let col = snap.prop_col(age).unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            let u = snap.index_of(id).unwrap();
+            assert_eq!(col[u as usize], PVal::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn sharded_build_single_shard_matches_plain_build() {
+        use graphcore::shard::ShardOptions;
+        let db = ShardedDb::create(ShardOptions::dram(48 << 20).shards(1)).unwrap();
+        let mut tx = db.begin();
+        let a = tx.create_node("N", &[]).unwrap();
+        let b = tx.create_node("N", &[]).unwrap();
+        tx.create_rel(a, "E", b, &[]).unwrap();
+        tx.commit().unwrap();
+        let sharded = CsrSnapshot::build_sharded(&db, SnapshotSpec::default()).unwrap();
+        let plain = CsrSnapshot::build(db.shard(0), SnapshotSpec::default()).unwrap();
+        assert_eq!(sharded.nodes(), plain.nodes());
+        assert_eq!(sharded.edge_count(), plain.edge_count());
     }
 
     #[test]

@@ -90,6 +90,18 @@ pub const KNOBS: &[Knob] = &[
         default: "disabled",
         help: "standalone Prometheus exporter listen address (unset = no exporter)",
     },
+    Knob {
+        name: "PMEMGRAPH_SHARDS",
+        kind: KnobKind::U64,
+        default: "1",
+        help: "number of PMem pool shards (per-shard txn/commit/recovery domains; 1 = unsharded layout)",
+    },
+    Knob {
+        name: "PMEMGRAPH_SNAPSHOT_CACHE_CAP",
+        kind: KnobKind::U64,
+        default: "8",
+        help: "max CSR snapshots retained by the analytics cache before LRU eviction (0 = unbounded)",
+    },
 ];
 
 /// Parse a boolean knob: on unless set to `0`/`false`/`off`/`no`. An unset
@@ -154,6 +166,18 @@ pub fn slow_query_us() -> u64 {
 /// `PMEMGRAPH_METRICS_ADDR`: exporter listen address, if configured.
 pub fn metrics_addr() -> Option<String> {
     str_knob("PMEMGRAPH_METRICS_ADDR")
+}
+
+/// `PMEMGRAPH_SHARDS`: pool shard count (default 1 = unsharded layout).
+/// Values below 1 are clamped to 1.
+pub fn shards() -> u64 {
+    u64_knob("PMEMGRAPH_SHARDS", 1).max(1)
+}
+
+/// `PMEMGRAPH_SNAPSHOT_CACHE_CAP`: analytics snapshot-cache capacity
+/// (default 8 entries; 0 disables the bound).
+pub fn snapshot_cache_cap() -> u64 {
+    u64_knob("PMEMGRAPH_SNAPSHOT_CACHE_CAP", 8)
 }
 
 /// One knob's effective state: `(name, value, is_default, help)`.

@@ -18,25 +18,45 @@ fn escape_help(help: &str, out: &mut String) {
     }
 }
 
-/// Render a snapshot as Prometheus text exposition.
+/// Render a snapshot as Prometheus text exposition. A labeled family
+/// (several entries sharing one name) gets one `# HELP`/`# TYPE` header —
+/// emitted at its first entry — and one sample line per label set.
 pub fn render(snap: &Snapshot) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
     for e in &snap.entries {
-        out.push_str("# HELP ");
-        out.push_str(&e.name);
-        out.push(' ');
-        escape_help(&e.help, &mut out);
-        out.push('\n');
+        let first = !seen.contains(&e.name.as_str());
+        if first {
+            seen.push(&e.name);
+            out.push_str("# HELP ");
+            out.push_str(&e.name);
+            out.push(' ');
+            escape_help(&e.help, &mut out);
+            out.push('\n');
+        }
+        let series: String = if e.labels.is_empty() {
+            e.name.clone()
+        } else {
+            format!("{}{{{}}}", e.name, e.labels)
+        };
         match &e.value {
             SnapValue::Counter(v) => {
-                let _ = writeln!(out, "# TYPE {} counter\n{} {v}", e.name, e.name);
+                if first {
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                }
+                let _ = writeln!(out, "{series} {v}");
             }
             SnapValue::Gauge(v) => {
-                let _ = writeln!(out, "# TYPE {} gauge\n{} {v}", e.name, e.name);
+                if first {
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                }
+                let _ = writeln!(out, "{series} {v}");
             }
             SnapValue::Histogram(h) => {
-                let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                if first {
+                    let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                }
                 let mut cum = 0u64;
                 for (i, &c) in h.buckets.iter().enumerate() {
                     cum += c;
@@ -184,6 +204,32 @@ mod tests {
         }
         assert_eq!(bucket_lines, crate::BUCKET_COUNT);
         assert_eq!(last, 5, "+Inf bucket must equal the total count");
+    }
+
+    #[test]
+    fn labeled_family_renders_one_header_many_samples() {
+        let r = Registry::new();
+        for shard in 0..3u64 {
+            r.fn_counter_labeled(
+                "expo_shard_commits_total",
+                &format!("shard=\"{shard}\""),
+                "commits per shard",
+                move || shard * 10,
+            );
+        }
+        let text = render(&Snapshot::collect(&[&r]));
+        validate_exposition(&text).expect("valid exposition with labels");
+        assert_eq!(
+            text.matches("# TYPE expo_shard_commits_total counter").count(),
+            1,
+            "one TYPE header per family"
+        );
+        assert!(text.contains("expo_shard_commits_total{shard=\"0\"} 0"));
+        assert!(text.contains("expo_shard_commits_total{shard=\"2\"} 20"));
+        let snap = Snapshot::collect(&[&r]);
+        assert_eq!(snap.value_labeled("expo_shard_commits_total", "shard=\"1\""), Some(10));
+        assert_eq!(snap.sum("expo_shard_commits_total"), Some(30));
+        assert_eq!(snap.value("expo_shard_commits_total"), None, "no unlabeled series");
     }
 
     #[test]

@@ -86,6 +86,8 @@ enum Metric {
 
 struct Entry {
     name: String,
+    /// Pre-rendered label body (`key="value",...`); empty = unlabeled.
+    labels: String,
     help: String,
     metric: Metric,
 }
@@ -108,6 +110,20 @@ pub fn valid_metric_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
+/// `true` if `body` is a valid label body: empty, or comma-separated
+/// `name="value"` pairs (the exact shape the exposition grammar accepts
+/// between `{` and `}`).
+pub fn valid_label_body(body: &str) -> bool {
+    if body.is_empty() {
+        return true;
+    }
+    body.split(',').all(|pair| {
+        pair.split_once('=').is_some_and(|(k, v)| {
+            valid_metric_name(k) && v.starts_with('"') && v.ends_with('"') && v.len() >= 2
+        })
+    })
+}
+
 impl Registry {
     pub fn new() -> Registry {
         Registry::default()
@@ -122,13 +138,14 @@ impl Registry {
     ) -> T {
         assert!(valid_metric_name(name), "invalid metric name {name:?}");
         let mut entries = self.entries.lock();
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
+        if let Some(e) = entries.iter().find(|e| e.name == name && e.labels.is_empty()) {
             return reuse(&e.metric)
                 .unwrap_or_else(|| panic!("metric {name:?} already registered with another kind"));
         }
         let (handle, metric) = make();
         entries.push(Entry {
             name: name.to_string(),
+            labels: String::new(),
             help: help.to_string(),
             metric,
         });
@@ -189,24 +206,52 @@ impl Registry {
     /// registration under the same name replaces the closure, so a
     /// restarted consumer re-binds cleanly.
     pub fn fn_counter(&self, name: &str, help: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
-        self.register_fn(name, help, Metric::FnCounter(Arc::new(f)));
+        self.register_fn(name, "", help, Metric::FnCounter(Arc::new(f)));
     }
 
     /// Register a gauge read through a closure (current level; may fall).
     pub fn fn_gauge(&self, name: &str, help: &str, f: impl Fn() -> i64 + Send + Sync + 'static) {
-        self.register_fn(name, help, Metric::FnGauge(Arc::new(f)));
+        self.register_fn(name, "", help, Metric::FnGauge(Arc::new(f)));
     }
 
-    fn register_fn(&self, name: &str, help: &str, metric: Metric) {
+    /// Register a **labeled** series of an fn-counter: `labels` is the
+    /// pre-rendered label body (e.g. `shard="2"`). Series with the same
+    /// name but different labels coexist; the same `(name, labels)` pair
+    /// re-binds its closure. Per-shard metrics use this so the fleet of
+    /// pools shows up as one metric family.
+    pub fn fn_counter_labeled(
+        &self,
+        name: &str,
+        labels: &str,
+        help: &str,
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.register_fn(name, labels, help, Metric::FnCounter(Arc::new(f)));
+    }
+
+    /// Register a labeled fn-gauge series (see [`Registry::fn_counter_labeled`]).
+    pub fn fn_gauge_labeled(
+        &self,
+        name: &str,
+        labels: &str,
+        help: &str,
+        f: impl Fn() -> i64 + Send + Sync + 'static,
+    ) {
+        self.register_fn(name, labels, help, Metric::FnGauge(Arc::new(f)));
+    }
+
+    fn register_fn(&self, name: &str, labels: &str, help: &str, metric: Metric) {
         assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        assert!(valid_label_body(labels), "invalid label body {labels:?}");
         let mut entries = self.entries.lock();
-        if let Some(e) = entries.iter_mut().find(|e| e.name == name) {
+        if let Some(e) = entries.iter_mut().find(|e| e.name == name && e.labels == labels) {
             e.metric = metric;
             e.help = help.to_string();
             return;
         }
         entries.push(Entry {
             name: name.to_string(),
+            labels: labels.to_string(),
             help: help.to_string(),
             metric,
         });
@@ -224,7 +269,7 @@ impl Registry {
     fn snapshot_into(&self, out: &mut Vec<SnapEntry>) {
         let entries = self.entries.lock();
         for e in entries.iter() {
-            if out.iter().any(|s| s.name == e.name) {
+            if out.iter().any(|s| s.name == e.name && s.labels == e.labels) {
                 debug_assert!(false, "duplicate metric {:?} across registries", e.name);
                 continue;
             }
@@ -237,6 +282,7 @@ impl Registry {
             };
             out.push(SnapEntry {
                 name: e.name.clone(),
+                labels: e.labels.clone(),
                 help: e.help.clone(),
                 value,
             });
@@ -254,10 +300,13 @@ pub enum SnapValue {
     Histogram(Box<HistSnapshot>),
 }
 
-/// One snapshotted metric.
+/// One snapshotted metric (one series: a labeled family contributes one
+/// entry per label set).
 #[derive(Debug, Clone)]
 pub struct SnapEntry {
     pub name: String,
+    /// Pre-rendered label body; empty for plain metrics.
+    pub labels: String,
     pub help: String,
     pub value: SnapValue,
 }
@@ -282,7 +331,7 @@ impl Snapshot {
     }
 
     fn find(&self, name: &str) -> Option<&SnapEntry> {
-        self.entries.iter().find(|e| e.name == name)
+        self.entries.iter().find(|e| e.name == name && e.labels.is_empty())
     }
 
     /// Counter or gauge value by name, as an i64 (counters saturate).
@@ -292,6 +341,32 @@ impl Snapshot {
             SnapValue::Gauge(v) => Some(*v),
             SnapValue::Histogram(_) => None,
         }
+    }
+
+    /// One labeled series' value: exact `(name, labels)` match.
+    pub fn value_labeled(&self, name: &str, labels: &str) -> Option<i64> {
+        let e = self.entries.iter().find(|e| e.name == name && e.labels == labels)?;
+        match &e.value {
+            SnapValue::Counter(v) => Some((*v).min(i64::MAX as u64) as i64),
+            SnapValue::Gauge(v) => Some(*v),
+            SnapValue::Histogram(_) => None,
+        }
+    }
+
+    /// Sum a metric family across every label set (labeled and plain
+    /// series alike) — the aggregate view of a per-shard family.
+    pub fn sum(&self, name: &str) -> Option<i64> {
+        let mut total: i64 = 0;
+        let mut any = false;
+        for e in self.entries.iter().filter(|e| e.name == name) {
+            match &e.value {
+                SnapValue::Counter(v) => total += (*v).min(i64::MAX as u64) as i64,
+                SnapValue::Gauge(v) => total += *v,
+                SnapValue::Histogram(_) => continue,
+            }
+            any = true;
+        }
+        any.then_some(total)
     }
 
     /// Histogram snapshot by name.

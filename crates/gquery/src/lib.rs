@@ -22,6 +22,7 @@ pub mod parallel;
 pub mod plan;
 pub mod pushdown;
 pub mod sched;
+pub mod shard;
 
 pub use exec::{execute, execute_collect, execute_prebuffered, QueryError};
 pub use parallel::{execute_parallel, execute_parallel_ctx};
@@ -31,3 +32,4 @@ pub use sched::{
     execute_collect_ctx, execute_morsels, morsel_eligible, parallel_for, CompiledTask, ExecCtx,
     ExecMode, ExecProfile, FallbackReason, MorselSource, TaskSlot,
 };
+pub use shard::{for_each_node_parallel, for_each_rel_parallel, ShardMorsel, ShardReaders};

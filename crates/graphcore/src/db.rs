@@ -196,7 +196,20 @@ impl GraphDb {
     /// reclamation, and index reopening (hybrid indexes rebuild their DRAM
     /// inner levels from the persistent leaf chain).
     pub fn open(path: impl AsRef<Path>, profile: DeviceProfile) -> Result<GraphDb> {
-        let pool = Arc::new(Pool::open(path, profile)?);
+        Self::open_with_decider(path, profile, &|_| false)
+    }
+
+    /// [`open`](Self::open) with a cross-shard epoch decider: a trailing
+    /// epoch marker in the undo log is settled forward when `decider`
+    /// accepts its epoch, rolled back otherwise (see `pmem::commit_epoch`).
+    /// Standalone databases never see markers; [`crate::shard::ShardedDb`]
+    /// passes the decider derived from the epoch-decider shard.
+    pub fn open_with_decider(
+        path: impl AsRef<Path>,
+        profile: DeviceProfile,
+        decider: &dyn Fn(u64) -> bool,
+    ) -> Result<GraphDb> {
+        let pool = Arc::new(Pool::open_with_decider(path, profile, decider)?);
         let root_off = pool.root::<GraphRoot>().raw();
         if root_off == 0 {
             return Err(GraphError::Pmem(pmem::PmemError::BadPool(

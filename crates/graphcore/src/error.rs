@@ -19,6 +19,9 @@ pub enum GraphError {
     IndexExists { label: String, key: String },
     /// The transaction handle was already committed or aborted.
     TxnFinished,
+    /// An operation the shard router does not support (e.g. deleting a
+    /// cross-shard relationship through a single-shard handle).
+    CrossShard(String),
 }
 
 impl fmt::Display for GraphError {
@@ -35,6 +38,7 @@ impl fmt::Display for GraphError {
                 write!(f, "index on (:{label} {{{key}}}) already exists")
             }
             GraphError::TxnFinished => write!(f, "transaction already finished"),
+            GraphError::CrossShard(msg) => write!(f, "cross-shard: {msg}"),
         }
     }
 }

@@ -22,6 +22,7 @@ pub mod analytics;
 mod db;
 mod error;
 mod index;
+pub mod shard;
 mod txn;
 mod value;
 
@@ -30,6 +31,7 @@ pub use analytics::GraphView;
 pub use db::{DbOptions, GraphDb, GraphRoot};
 pub use error::GraphError;
 pub use index::IndexDef;
+pub use shard::{ShardOptions, ShardRouter, ShardedDb, ShardedTxn};
 pub use txn::{Dir, GraphTxn, PropOwner};
 pub use value::Value;
 

@@ -627,6 +627,57 @@ impl<'db> GraphTxn<'db> {
         Ok(id)
     }
 
+    /// Create the source half of a cross-shard relationship: the record
+    /// lives in this shard, linked into `src`'s out-list only; `dst` is a
+    /// router-level remote reference (global id with the REMOTE tag bit),
+    /// never a local record id. The in-half lives in the destination
+    /// shard (see [`crate::shard::ShardedTxn`]).
+    pub(crate) fn create_rel_out_half(
+        &mut self,
+        src: NodeId,
+        label: u32,
+        remote_dst: u64,
+        props: &[(u32, PVal)],
+    ) -> Result<RelId> {
+        let snode = self.node(src)?.ok_or(GraphError::NodeNotFound(src))?;
+        let mut rec = RelRecord::new(label, src, remote_dst);
+        rec.next_src = snode.first_out;
+        let (db, txn) = self.parts()?;
+        let id = db.mgr().insert(txn, TableTag::Rel, db.rels(), rec)?;
+        db.accel().note_rel_label(id, label);
+        if !props.is_empty() {
+            let head = self.build_prop_chain(PropOwner::Rel(id), props)?;
+            let (db, txn) = self.parts()?;
+            db.mgr()
+                .update(txn, TableTag::Rel, db.rels(), id, |r| r.props = head)?;
+        }
+        let (db, txn) = self.parts()?;
+        db.mgr().update(txn, TableTag::Node, db.nodes(), src, |n| {
+            n.first_out = id
+        })?;
+        Ok(id)
+    }
+
+    /// Create the destination half (mirror) of a cross-shard relationship:
+    /// linked into `dst`'s in-list only; `src` carries the REMOTE tag bit.
+    pub(crate) fn create_rel_in_half(
+        &mut self,
+        remote_src: u64,
+        label: u32,
+        dst: NodeId,
+    ) -> Result<RelId> {
+        let dnode = self.node(dst)?.ok_or(GraphError::NodeNotFound(dst))?;
+        let mut rec = RelRecord::new(label, remote_src, dst);
+        rec.next_dst = dnode.first_in;
+        let (db, txn) = self.parts()?;
+        let id = db.mgr().insert(txn, TableTag::Rel, db.rels(), rec)?;
+        db.accel().note_rel_label(id, label);
+        let (db, txn) = self.parts()?;
+        db.mgr()
+            .update(txn, TableTag::Node, db.nodes(), dst, |n| n.first_in = id)?;
+        Ok(id)
+    }
+
     /// Set one property by code (plan-level path).
     pub fn set_prop_coded(&mut self, owner: PropOwner, key_code: u32, pv: PVal) -> Result<()> {
         let mut current: Vec<(u32, PVal)> = Vec::new();
@@ -729,6 +780,37 @@ impl<'db> GraphTxn<'db> {
         self.db
             .mgr()
             .commit(txn, self.db.nodes(), self.db.rels(), self.db.props())?;
+        self.post_commit(commit_ts);
+        Ok(())
+    }
+
+    /// First half of [`commit`](Self::commit) for the cross-shard
+    /// two-phase epoch commit: runs the MVTO prepare (history moves,
+    /// staged-version extraction, persist-batch build) but does not
+    /// persist anything. Returns `None` for a read-only transaction,
+    /// which is finished immediately. On `Some`, the caller must make the
+    /// pending batch durable (via `pmem::commit_epoch` together with the
+    /// other shards' batches) and then call
+    /// [`finish_commit`](Self::finish_commit) on this same handle.
+    pub(crate) fn prepare_commit(&mut self) -> Result<Option<gtxn::PendingCommit>> {
+        let txn = self.inner.take().ok_or(GraphError::TxnFinished)?;
+        Ok(self
+            .db
+            .mgr()
+            .prepare_commit(txn, self.db.nodes(), self.db.rels(), self.db.props())?)
+    }
+
+    /// Second half of [`commit`](Self::commit): run after the pending
+    /// batch has been persisted by the cross-shard epoch commit.
+    pub(crate) fn finish_commit(&mut self, pending: gtxn::PendingCommit) {
+        let commit_ts = pending.txn_id();
+        self.db.mgr().finish_commit(pending, self.db.props());
+        self.post_commit(commit_ts);
+    }
+
+    /// Post-persist bookkeeping shared by the single-shard and cross-shard
+    /// commit paths.
+    fn post_commit(&mut self, commit_ts: u64) {
         // Replay staged property writes into the zone maps: the eager notes
         // at write time no-op for keys that were not yet registered, so
         // this covers keys indexed while the transaction was in flight.
@@ -741,7 +823,6 @@ impl<'db> GraphTxn<'db> {
             self.db.defer_slot_free(commit_ts, tag, id);
         }
         self.db.reclaim_deleted();
-        Ok(())
     }
 
     /// Abort the transaction explicitly (drop does the same).

@@ -1346,6 +1346,47 @@ fn stats_response(shared: &Shared) -> String {
                 ("rels", v("pmemgraph_graph_rels")),
             ]),
         ),
+        ("shards", shards_section(&snap)),
+    ])
+}
+
+/// The `STATS` shards section: per-shard series (commits, fences, nodes —
+/// the labeled families registered by `metrics::register_shard_series`)
+/// plus family aggregates. The single-pool server reports one shard.
+fn shards_section(snap: &Snapshot) -> Json {
+    let count = snap
+        .entries
+        .iter()
+        .filter(|e| e.name == "pmemgraph_shard_txn_commits_total")
+        .count();
+    let mut per_shard = Vec::with_capacity(count);
+    for i in 0..count {
+        let labels = format!("shard=\"{i}\"");
+        let lv = |name: &str| Json::Int(snap.value_labeled(name, &labels).unwrap_or(0));
+        per_shard.push(obj(vec![
+            ("shard", Json::Int(i as i64)),
+            ("commits", lv("pmemgraph_shard_txn_commits_total")),
+            ("aborts", lv("pmemgraph_shard_txn_aborts_total")),
+            ("conflicts", lv("pmemgraph_shard_txn_conflicts_total")),
+            ("fences", lv("pmemgraph_shard_pmem_fences_total")),
+            ("lines_flushed", lv("pmemgraph_shard_pmem_lines_flushed_total")),
+            ("write_bytes", lv("pmemgraph_shard_pmem_write_bytes_total")),
+            ("nodes", lv("pmemgraph_shard_nodes")),
+            ("rels", lv("pmemgraph_shard_rels")),
+        ]));
+    }
+    let sum = |name: &str| Json::Int(snap.sum(name).unwrap_or(0));
+    obj(vec![
+        ("count", Json::Int(count as i64)),
+        ("commits", sum("pmemgraph_shard_txn_commits_total")),
+        ("fences", sum("pmemgraph_shard_pmem_fences_total")),
+        ("nodes", sum("pmemgraph_shard_nodes")),
+        ("rels", sum("pmemgraph_shard_rels")),
+        (
+            "cross_shard_commits",
+            Json::Int(snap.value("pmemgraph_cross_shard_commits_total").unwrap_or(0)),
+        ),
+        ("per_shard", Json::Arr(per_shard)),
     ])
 }
 

@@ -78,6 +78,30 @@ impl Txn {
     }
 }
 
+/// A write transaction carried past batch construction: produced by
+/// [`TxnManager::prepare_commit`], consumed by
+/// [`TxnManager::finish_commit`] once the batch has been made durable.
+/// The staged versions are already in the batch and the write locks are
+/// still held, so the bytes may be persisted by any mechanism — the
+/// shard-local [`CommitPipeline`] or a cross-shard `pmem::commit_epoch`.
+pub struct PendingCommit {
+    txn: Txn,
+    batch: TxBatch,
+}
+
+impl PendingCommit {
+    /// The persist batch staged for this transaction. Borrow it to hand
+    /// to [`pmem::Pool::tx_prepare_batches`] / `pmem::commit_epoch`.
+    pub fn batch(&self) -> &TxBatch {
+        &self.batch
+    }
+
+    /// Transaction id (= begin timestamp) of the pending transaction.
+    pub fn txn_id(&self) -> u64 {
+        self.txn.id
+    }
+}
+
 /// Deferred frees of superseded property chains: reclaimed once the oldest
 /// active transaction is newer than the committing transaction.
 struct DeferredProps {
@@ -631,20 +655,48 @@ impl TxnManager {
     /// version chains (transaction-level GC, §5.3).
     pub fn commit(
         &self,
-        mut txn: Txn,
+        txn: Txn,
         nodes: &ChunkedTable<NodeRecord>,
         rels: &ChunkedTable<RelRecord>,
         props: &ChunkedTable<PropRecord>,
     ) -> Result<(), TxnError> {
+        let span = gobs::span_start();
+        let Some(pending) = self.prepare_commit(txn, nodes, rels, props)? else {
+            return Ok(());
+        };
+        let PendingCommit { txn, batch } = pending;
+        let persist_span = gobs::span_start();
+        self.pipeline.commit(batch)?;
+        crate::obs::persist(persist_span);
+        self.finish_committed(txn, props);
+        crate::obs::commit(span);
+        Ok(())
+    }
+
+    /// First half of [`commit`](Self::commit): build the persist batch but
+    /// do not persist it. Returns `None` for read-only transactions (they
+    /// are finished immediately; there is nothing to persist). The caller
+    /// must either persist the batch — through the [`CommitPipeline`] or a
+    /// cross-shard [`pmem::commit_epoch`] — and then call
+    /// [`finish_commit`](Self::finish_commit), or drop the `PendingCommit`
+    /// and abort via recovery. This split lets a router commit several
+    /// shards' batches under one atomic epoch while each shard's manager
+    /// keeps ownership of its own version chains and GC.
+    pub fn prepare_commit(
+        &self,
+        mut txn: Txn,
+        nodes: &ChunkedTable<NodeRecord>,
+        rels: &ChunkedTable<RelRecord>,
+        props: &ChunkedTable<PropRecord>,
+    ) -> Result<Option<PendingCommit>, TxnError> {
         if txn.finished {
             return Err(TxnError::Finished);
         }
-        let span = gobs::span_start();
         txn.finished = true;
         if txn.is_read_only() {
             self.finish(&txn, props);
             self.stats.commits.fetch_add(1, Ordering::Relaxed);
-            return Ok(());
+            return Ok(None);
         }
 
         // Move the current committed versions into DRAM history *before*
@@ -709,10 +761,17 @@ impl TxnManager {
             };
             batch.write_u64(off, 0);
         }
-        let persist_span = gobs::span_start();
-        self.pipeline.commit(batch)?;
-        crate::obs::persist(persist_span);
+        Ok(Some(PendingCommit { txn, batch }))
+    }
 
+    /// Second half of [`commit`](Self::commit): run after the pending
+    /// batch has been made durable by the caller. Releases write intents,
+    /// finishes the transaction, and prunes version chains.
+    pub fn finish_commit(&self, pending: PendingCommit, props: &ChunkedTable<PropRecord>) {
+        self.finish_committed(pending.txn, props);
+    }
+
+    fn finish_committed(&self, mut txn: Txn, props: &ChunkedTable<PropRecord>) {
         self.retire_write_intents(&txn);
 
         // Superseded property chains become garbage at our commit time.
@@ -738,8 +797,6 @@ impl TxnManager {
             pruned += self.chains.gc_all(oldest);
         }
         self.stats.gc_pruned.fetch_add(pruned as u64, Ordering::Relaxed);
-        crate::obs::commit(span);
-        Ok(())
     }
 
     /// Retire the chunk write intents registered by this transaction's

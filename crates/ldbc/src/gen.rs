@@ -7,6 +7,7 @@
 //! [`SnbParams`] always produce the same graph.
 
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
 use graphcore::{DbOptions, GraphDb, Value};
 use gstore::IndexKind;
@@ -141,9 +142,11 @@ impl SnbData {
     }
 }
 
-/// A loaded SNB database: engine + codes + id catalog.
+/// A loaded SNB database: engine + codes + id catalog. The engine handle
+/// is an `Arc` so metric closures and shard helpers can hold their own
+/// references without tying their lifetime to the `SnbDb`.
 pub struct SnbDb {
-    pub db: GraphDb,
+    pub db: Arc<GraphDb>,
     pub codes: SnbCodes,
     pub data: SnbData,
 }
@@ -198,7 +201,7 @@ impl Gen<'_> {
 
 /// Build the social network. Deterministic in `params.seed`.
 pub fn generate(params: &SnbParams, opts: DbOptions) -> graphcore::Result<SnbDb> {
-    let db = GraphDb::create(opts)?;
+    let db = Arc::new(GraphDb::create(opts)?);
     let codes = SnbCodes::resolve(&db)?;
     let mut g = Gen {
         rng: StdRng::seed_from_u64(params.seed),
@@ -456,7 +459,7 @@ pub fn reopen(
     path: impl AsRef<std::path::Path>,
     profile: pmem::DeviceProfile,
 ) -> graphcore::Result<SnbDb> {
-    let db = GraphDb::open(path, profile)?;
+    let db = Arc::new(GraphDb::open(path, profile)?);
     let codes = SnbCodes::resolve(&db)?;
     let txn = db.begin();
     let mut catalog: std::collections::HashMap<u32, Vec<i64>> = Default::default();

@@ -43,7 +43,7 @@ pub use latency::DeviceProfile;
 pub use pool::{CrashPoint, CrashPolicy, Pool, PoolKind, CACHE_LINE, PMEM_BLOCK, POOL_HEADER_SIZE};
 pub use pptr::{PPtr, POff};
 pub use stats::{PoolStats, StatsSnapshot};
-pub use txlog::{TxBatch, UndoTx};
+pub use txlog::{commit_epoch, PreparedTx, TxBatch, UndoTx};
 
 /// Marker for plain-old-data types that may be stored in a pool.
 ///

@@ -58,6 +58,9 @@ pub(crate) struct Header {
     pub log_len: u64,
     /// Free-list heads per size class (0 = empty).
     pub free_heads: [u64; NUM_CLASSES],
+    /// Highest decided cross-pool epoch (see `txlog::commit_epoch`). Only
+    /// meaningful on the pool elected as the epoch decider; 0 = none.
+    pub committed_epoch: u64,
 }
 
 pub(crate) const fn header_field(off: usize) -> u64 {
@@ -186,6 +189,21 @@ impl Pool {
     /// Open an existing persistent pool, running undo-log recovery if the
     /// previous session did not shut down cleanly.
     pub fn open(path: impl AsRef<Path>, profile: DeviceProfile) -> Result<Pool> {
+        Self::open_with_decider(path, profile, &|_| false)
+    }
+
+    /// Open a pool that may have crashed mid-way through a cross-pool epoch
+    /// commit. `decider` is consulted with the epoch id of a trailing
+    /// prepare marker in the log (see [`Pool::tx_prepare_batches`]): `true`
+    /// means the epoch was decided committed (the prepared writes are kept,
+    /// the log is just truncated), `false` rolls them back. Plain
+    /// [`Pool::open`] passes an always-`false` decider, which is correct
+    /// for pools that never participate in cross-pool epochs.
+    pub fn open_with_decider(
+        path: impl AsRef<Path>,
+        profile: DeviceProfile,
+        decider: &dyn Fn(u64) -> bool,
+    ) -> Result<Pool> {
         let path = path.as_ref().to_path_buf();
         let file = std::fs::OpenOptions::new().read(true).write(true).open(&path)?;
         let len = file.metadata()?.len();
@@ -200,10 +218,27 @@ impl Pool {
         if pool.read_header_u64(hoff!(pool_size)) != len {
             return Err(PmemError::BadPool("size mismatch".into()));
         }
-        pool.recover()?;
+        pool.recover_with(decider)?;
         pool.write_u64(hoff!(clean_shutdown), 0);
         pool.persist(hoff!(clean_shutdown), 8);
         Ok(pool)
+    }
+
+    /// Read the committed-epoch header word of a pool file *without*
+    /// opening it (and therefore without triggering recovery). A sharded
+    /// database must learn the decided epoch before any shard recovers, and
+    /// every shard's recovery — including the decider pool's own — depends
+    /// on it.
+    pub fn peek_committed_epoch(path: impl AsRef<Path>) -> Result<u64> {
+        use std::io::Read;
+        let mut file = std::fs::File::open(path)?;
+        let mut buf = vec![0u8; std::mem::size_of::<Header>()];
+        file.read_exact(&mut buf)?;
+        let word = |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        if word(std::mem::offset_of!(Header, magic)) != MAGIC {
+            return Err(PmemError::BadPool("bad magic".into()));
+        }
+        Ok(word(std::mem::offset_of!(Header, committed_epoch)))
     }
 
     /// Create an anonymous, volatile pool: the DRAM baseline. Identical API,
@@ -258,6 +293,7 @@ impl Pool {
         for i in 0..NUM_CLASSES {
             self.write_u64(hoff!(free_heads) + 8 * i as u64, 0);
         }
+        self.write_u64(hoff!(committed_epoch), 0);
         self.persist(0, std::mem::size_of::<Header>());
         // Magic last: an interrupted create leaves an unopenable file rather
         // than a half-formatted "valid" pool.
@@ -668,7 +704,28 @@ impl Pool {
     /// Run undo-log recovery: roll back any transaction that was logged but
     /// not committed. Idempotent; called automatically by [`Pool::open`].
     pub fn recover(&self) -> Result<()> {
-        crate::txlog::recover(self)
+        crate::txlog::recover_with(self, &|_| false)
+    }
+
+    /// Undo-log recovery with a cross-pool epoch decider (see
+    /// [`Pool::open_with_decider`]). Idempotent.
+    pub fn recover_with(&self, decider: &dyn Fn(u64) -> bool) -> Result<()> {
+        crate::txlog::recover_with(self, decider)
+    }
+
+    /// Highest decided cross-pool epoch recorded on this pool (0 = none).
+    pub fn committed_epoch(&self) -> u64 {
+        self.read_header_u64(hoff!(committed_epoch))
+    }
+
+    /// Persist a decided cross-pool epoch: one failure-atomic 8-byte store
+    /// plus flush + fence. This is the single decision point of
+    /// [`commit_epoch`](crate::commit_epoch) — once durable, every
+    /// participant's prepared writes are committed.
+    pub fn persist_committed_epoch(&self, epoch: u64) {
+        debug_assert!(epoch >= self.committed_epoch(), "epochs are monotonic");
+        self.write_u64(hoff!(committed_epoch), epoch);
+        self.persist(hoff!(committed_epoch), 8);
     }
 
     /// Number of cache lines currently written but not yet flushed

@@ -120,8 +120,15 @@ impl<'p> UndoTx<'p> {
     }
 }
 
+/// Sentinel target offset marking a log entry as a cross-pool epoch
+/// prepare marker rather than a pre-image (no real target can sit at
+/// `u64::MAX`: entries are bounds-checked against the pool size). The
+/// entry's 8 data bytes hold the epoch id.
+const EPOCH_MARKER: u64 = u64::MAX;
+
 /// Apply undo entries in `[0, valid_len)` in reverse order, restoring all
-/// pre-images, then truncate the log.
+/// pre-images, then truncate the log. Epoch prepare markers carry no
+/// pre-image and are skipped.
 fn rollback_log(pool: &Pool, valid_len: u64) {
     let (log_off, _) = pool.log_region();
     // Collect entry positions to undo them newest-first (overlapping
@@ -132,7 +139,9 @@ fn rollback_log(pool: &Pool, valid_len: u64) {
         let off = pool.read_u64(log_off + pos);
         let len = pool.read_u64(log_off + pos + 8);
         let padded = len.div_ceil(8) * 8;
-        entries.push((pos, off, len as usize));
+        if off != EPOCH_MARKER {
+            entries.push((pos, off, len as usize));
+        }
         pos += 16 + padded;
     }
     for (pos, off, len) in entries.into_iter().rev() {
@@ -145,18 +154,127 @@ fn rollback_log(pool: &Pool, valid_len: u64) {
     pool.set_log_len(0);
 }
 
+/// If the last valid log entry is an epoch prepare marker, its epoch id.
+/// A trailing marker means the crash happened between a completed prepare
+/// (all pre-images *and* the in-place writes fenced) and the log
+/// truncation — whether the writes stand depends on the epoch decision.
+fn trailing_epoch_marker(pool: &Pool, valid_len: u64) -> Option<u64> {
+    let (log_off, _) = pool.log_region();
+    let mut pos = 0u64;
+    let mut last = None;
+    while pos < valid_len {
+        let off = pool.read_u64(log_off + pos);
+        let len = pool.read_u64(log_off + pos + 8);
+        let padded = len.div_ceil(8) * 8;
+        last = Some((off, log_off + pos + 16));
+        pos += 16 + padded;
+    }
+    match last {
+        Some((off, data)) if off == EPOCH_MARKER => Some(pool.read_u64(data)),
+        _ => None,
+    }
+}
+
 /// Recovery entry point: roll back a logged-but-uncommitted transaction —
 /// or, under a deferred-durability ladder, the whole un-checkpointed tail
-/// of transactions the accumulated log still covers.
-pub(crate) fn recover(pool: &Pool) -> Result<()> {
+/// of transactions the accumulated log still covers. When the log ends in
+/// an epoch prepare marker, `decider` settles the prepared transaction's
+/// fate: decided-committed epochs keep their (already fenced) in-place
+/// writes and only truncate the log; undecided ones roll back.
+pub(crate) fn recover_with(pool: &Pool, decider: &dyn Fn(u64) -> bool) -> Result<()> {
     let valid = pool.log_len();
     if valid > 0 {
-        rollback_log(pool, valid);
+        match trailing_epoch_marker(pool, valid) {
+            Some(epoch) if decider(epoch) => pool.set_log_len(0),
+            _ => rollback_log(pool, valid),
+        }
     }
     // Any volatile deferred bookkeeping refers to pre-crash state.
     let mut def = pool.deferred.lock();
     def.data.clear();
     def.txns = 0;
+    Ok(())
+}
+
+/// A transaction prepared on one pool as part of a cross-pool epoch
+/// commit ([`commit_epoch`]): every pre-image is logged and fenced, the
+/// in-place writes are applied and fenced, and a trailing epoch marker in
+/// the log records which epoch decides its fate. The pool's transaction
+/// lock is held until [`PreparedTx::commit`] or [`PreparedTx::abort`]
+/// (drop aborts), so no other transaction can truncate the shared log
+/// while the prepare is pending.
+pub struct PreparedTx<'p> {
+    pool: &'p Pool,
+    _guard: parking_lot::MutexGuard<'p, ()>,
+    write_pos: u64,
+    ntxns: u64,
+    done: bool,
+}
+
+impl PreparedTx<'_> {
+    /// Finish a decided epoch on this pool: truncate the log (flush +
+    /// fence — the in-place writes were already fenced during prepare).
+    pub fn commit(mut self) {
+        self.pool.set_log_len(0);
+        let stats = self.pool.stats();
+        stats.tx_commits.fetch_add(self.ntxns, Ordering::Relaxed);
+        stats.commit_groups.fetch_add(1, Ordering::Relaxed);
+        if self.ntxns > 1 {
+            stats.grouped_txns.fetch_add(self.ntxns, Ordering::Relaxed);
+        }
+        self.done = true;
+    }
+
+    /// Roll the prepared writes back (restores every pre-image, truncates).
+    pub fn abort(mut self) {
+        rollback_log(self.pool, self.write_pos);
+        self.done = true;
+    }
+}
+
+impl Drop for PreparedTx<'_> {
+    fn drop(&mut self) {
+        // During a panic-driven unwind (the crash injector's `CrashPoint`
+        // in particular) the pool must be left exactly as the crash found
+        // it: recovery, not this destructor, settles the prepare.
+        if !self.done && !std::thread::panicking() {
+            rollback_log(self.pool, self.write_pos);
+        }
+    }
+}
+
+/// Commit one epoch atomically across several pools (the sharded
+/// database's cross-shard commit). Each participant's batches are
+/// prepared in slice order — callers must use a globally consistent order
+/// (the shard router locks ascending shard ids) — then a single
+/// failure-atomic store of `epoch` on `decider_pool` decides the whole
+/// epoch, and each participant truncates its log.
+///
+/// Fence budget: 3 per participant (prepare) + 1 (decision) + 1 per
+/// participant (truncate).
+///
+/// Crash contract: before the decision store is durable, every
+/// participant's recovery rolls its prepared writes back (the decider
+/// answers `false` for this epoch); after it, every participant's log
+/// ends in a marker for `epoch` and recovery keeps the writes. Either
+/// way, all pools agree — the all-or-nothing guarantee the crash sweep
+/// asserts. If any prepare fails (validation or log capacity), the
+/// already-prepared participants are rolled back and the pools are left
+/// untouched.
+pub fn commit_epoch(
+    participants: &[(&Pool, &[&TxBatch])],
+    decider_pool: &Pool,
+    epoch: u64,
+) -> Result<()> {
+    let mut prepared = Vec::with_capacity(participants.len());
+    for (pool, batches) in participants {
+        // An Err drops `prepared`, aborting every earlier participant.
+        prepared.push(pool.tx_prepare_batches(batches, epoch)?);
+    }
+    decider_pool.persist_committed_epoch(epoch);
+    for p in prepared {
+        p.commit();
+    }
     Ok(())
 }
 
@@ -348,6 +466,93 @@ impl Pool {
                 .fetch_add(batches.len() as u64, Ordering::Relaxed);
         }
         Ok(())
+    }
+
+    /// Prepare [`TxBatch`]es on this pool as one participant of a
+    /// cross-pool epoch commit ([`commit_epoch`]). Runs phases 1–3 of
+    /// [`Pool::tx_apply_batches`] — log append, log publication, in-place
+    /// apply, three fences — but appends a trailing *epoch marker* entry
+    /// to the log and stops before the truncation. The returned
+    /// [`PreparedTx`] holds the pool's transaction lock; dropping it
+    /// without [`PreparedTx::commit`] rolls everything back.
+    ///
+    /// All ranges and the total log demand (marker included) are validated
+    /// before the first store, so once every participant's prepare has
+    /// returned `Ok`, nothing but the epoch decision can fail the commit.
+    pub fn tx_prepare_batches(&self, batches: &[&TxBatch], epoch: u64) -> Result<PreparedTx<'_>> {
+        let guard = self.tx_lock.lock();
+        // Implicit checkpoint, as in the strict path: a deferred tail must
+        // not share the log with a prepare we may keep after a crash.
+        self.checkpoint_locked();
+        debug_assert_eq!(self.log_len(), 0, "log must be empty between txs");
+        let (log_off, log_cap) = self.log_region();
+        let mut need = 24u64; // the epoch marker entry
+        for b in batches {
+            for (off, data) in &b.writes {
+                self.check_range(*off, data.len())?;
+            }
+            need += b.log_bytes();
+        }
+        if need > log_cap {
+            return Err(PmemError::LogFull);
+        }
+
+        // Phase 1: append all pre-image entries plus the epoch marker,
+        // one coalesced flush pass + one fence.
+        let mut fs = FlushSet::new();
+        let mut pos = 0u64;
+        let mut snap_bytes = 0u64;
+        for b in batches {
+            for (off, data) in &b.writes {
+                let len = data.len();
+                let padded = len.div_ceil(8) * 8;
+                let entry = log_off + pos;
+                self.write_u64(entry, *off);
+                self.write_u64(entry + 8, len as u64);
+                let mut buf = vec![0u8; padded];
+                self.read_slice(*off, &mut buf[..len]);
+                self.write_bytes(entry + 16, &buf);
+                fs.add(entry, 16 + padded);
+                pos += 16 + padded as u64;
+                snap_bytes += len as u64;
+            }
+        }
+        let marker = log_off + pos;
+        self.write_u64(marker, EPOCH_MARKER);
+        self.write_u64(marker + 8, 8);
+        self.write_u64(marker + 16, epoch);
+        fs.add(marker, 24);
+        pos += 24;
+        fs.flush_all(self);
+        self.drain();
+
+        // Phase 2: publish the log (flush + fence). From here recovery
+        // sees the trailing marker and defers to the epoch decision.
+        self.set_log_len(pos);
+
+        // Phase 3: apply all in-place writes in order, flush once, fence.
+        // The writes are durable *before* prepare returns, which is what
+        // lets a decided epoch recover without redo information.
+        fs.clear();
+        for b in batches {
+            for (off, data) in &b.writes {
+                self.write_bytes(*off, data);
+                fs.add(*off, data.len());
+            }
+        }
+        fs.flush_all(self);
+        self.drain();
+
+        self.stats()
+            .tx_snapshot_bytes
+            .fetch_add(snap_bytes, Ordering::Relaxed);
+        Ok(PreparedTx {
+            pool: self,
+            _guard: guard,
+            write_pos: pos,
+            ntxns: batches.len() as u64,
+            done: false,
+        })
     }
 
     /// Apply [`TxBatch`]es with **deferred durability**: the undo-log
@@ -971,6 +1176,211 @@ mod tests {
         p.read_slice(a, &mut buf);
         assert_eq!(buf, [3u8; 100]);
         drop(p);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prepared_tx_commit_applies_and_abort_rolls_back() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let b = p.alloc(64).unwrap();
+        p.write_u64(a, 1);
+        p.write_u64(b, 2);
+        p.persist(a, 8);
+        p.persist(b, 8);
+
+        let mut batch = TxBatch::new();
+        batch.write_u64(a, 10);
+        let prep = p.tx_prepare_batches(&[&batch], 1).unwrap();
+        assert_eq!(p.read_u64(a), 10, "prepare applies in place");
+        assert!(p.log_len() > 0, "log still owns the prepare");
+        prep.commit();
+        assert_eq!(p.log_len(), 0);
+        assert_eq!(p.read_u64(a), 10);
+
+        let mut batch = TxBatch::new();
+        batch.write_u64(b, 20);
+        let prep = p.tx_prepare_batches(&[&batch], 2).unwrap();
+        assert_eq!(p.read_u64(b), 20);
+        prep.abort();
+        assert_eq!(p.read_u64(b), 2, "abort restores the pre-image");
+        assert_eq!(p.log_len(), 0);
+
+        // Dropping without commit aborts too.
+        let mut batch = TxBatch::new();
+        batch.write_u64(b, 30);
+        drop(p.tx_prepare_batches(&[&batch], 3).unwrap());
+        assert_eq!(p.read_u64(b), 2);
+        assert_eq!(p.log_len(), 0);
+    }
+
+    #[test]
+    fn prepare_fence_budget_is_three_plus_one_to_finish() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let mut batch = TxBatch::new();
+        batch.write_u64(a, 1);
+        let before = p.stats().snapshot();
+        let prep = p.tx_prepare_batches(&[&batch], 1).unwrap();
+        assert_eq!((p.stats().snapshot() - before).fences, 3);
+        prep.commit();
+        assert_eq!((p.stats().snapshot() - before).fences, 4);
+    }
+
+    #[test]
+    fn recover_with_decider_settles_a_trailing_marker() {
+        // Crash between prepare and truncation: the epoch decision alone
+        // determines whether the prepared write survives recovery.
+        for decided in [false, true] {
+            let p = pool();
+            let a = p.alloc(64).unwrap();
+            p.write_u64(a, 7);
+            p.persist(a, 8);
+            let mut batch = TxBatch::new();
+            batch.write_u64(a, 8);
+            let prep = p.tx_prepare_batches(&[&batch], 5).unwrap();
+            std::mem::forget(prep); // crash: no commit, no abort
+            p.simulate_crash(CrashPolicy::DropUnflushed).unwrap();
+            p.recover_with(&|e| decided && e == 5).unwrap();
+            let expect = if decided { 8 } else { 7 };
+            assert_eq!(p.read_u64(a), expect, "decided={decided}");
+            assert_eq!(p.log_len(), 0);
+        }
+    }
+
+    #[test]
+    fn commit_epoch_is_atomic_across_pools_under_crash_sweep() {
+        // Two pools, one cross-pool transaction; crash at every flush
+        // point. After recovery (decider = "epoch <= durable decision
+        // word"), both pools must agree: either both show the new values
+        // or both the old — never a mix.
+        for crash_at in 0..24i64 {
+            let p0 = pool();
+            let p1 = pool();
+            let a = p0.alloc(64).unwrap();
+            let b = p1.alloc(64).unwrap();
+            p0.write_u64(a, 1);
+            p1.write_u64(b, 2);
+            p0.persist(a, 8);
+            p1.persist(b, 8);
+
+            let mut b0 = TxBatch::new();
+            b0.write_u64(a, 11);
+            let mut b1 = TxBatch::new();
+            b1.write_u64(b, 22);
+
+            // Inject the crash on whichever pool flushes: split the budget
+            // by injecting on both (each counts its own flushed lines).
+            p0.inject_crash_after_flushes(crash_at);
+            p1.inject_crash_after_flushes(crash_at);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                commit_epoch(&[(&p0, &[&b0]), (&p1, &[&b1])], &p0, 1)
+            }));
+            p0.clear_crash_injection();
+            p1.clear_crash_injection();
+            if let Ok(r) = outcome {
+                r.unwrap();
+                assert_eq!(p0.read_u64(a), 11);
+                assert_eq!(p1.read_u64(b), 22);
+                continue;
+            }
+            p0.simulate_crash(CrashPolicy::DropUnflushed).unwrap();
+            p1.simulate_crash(CrashPolicy::DropUnflushed).unwrap();
+            let committed = p0.committed_epoch();
+            p0.recover_with(&|e| e <= committed).unwrap();
+            p1.recover_with(&|e| e <= committed).unwrap();
+            let va = p0.read_u64(a);
+            let vb = p1.read_u64(b);
+            let old = va == 1 && vb == 2;
+            let new = va == 11 && vb == 22;
+            assert!(
+                old || new,
+                "crash_at={crash_at}: cross-pool tear va={va} vb={vb} epoch={committed}"
+            );
+            assert_eq!(p0.log_len(), 0);
+            assert_eq!(p1.log_len(), 0);
+        }
+    }
+
+    #[test]
+    fn commit_epoch_torn_crash_sweep_stays_atomic() {
+        for crash_at in [0i64, 1, 2, 4, 6, 8] {
+            for seed in [1u64, 42] {
+                let p0 = pool();
+                let p1 = pool();
+                let a = p0.alloc(256).unwrap();
+                let b = p1.alloc(256).unwrap();
+                p0.write_bytes(a, &[1u8; 256]);
+                p1.write_bytes(b, &[2u8; 256]);
+                p0.persist(a, 256);
+                p1.persist(b, 256);
+                let mut b0 = TxBatch::new();
+                b0.write_bytes(a, &[11u8; 256]);
+                let mut b1 = TxBatch::new();
+                b1.write_bytes(b, &[22u8; 256]);
+                p0.inject_crash_after_flushes(crash_at);
+                p1.inject_crash_after_flushes(crash_at);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    commit_epoch(&[(&p0, &[&b0]), (&p1, &[&b1])], &p0, 1)
+                }));
+                p0.clear_crash_injection();
+                p1.clear_crash_injection();
+                if outcome.is_ok() {
+                    continue;
+                }
+                p0.simulate_crash(CrashPolicy::Torn(seed)).unwrap();
+                p1.simulate_crash(CrashPolicy::Torn(seed ^ 0xabcd)).unwrap();
+                let committed = p0.committed_epoch();
+                p0.recover_with(&|e| e <= committed).unwrap();
+                p1.recover_with(&|e| e <= committed).unwrap();
+                let mut va = [0u8; 256];
+                let mut vb = [0u8; 256];
+                p0.read_slice(a, &mut va);
+                p1.read_slice(b, &mut vb);
+                let old = va == [1u8; 256] && vb == [2u8; 256];
+                let new = va == [11u8; 256] && vb == [22u8; 256];
+                assert!(
+                    old || new,
+                    "crash_at={crash_at} seed={seed}: torn cross-pool state"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_prepare_aborts_earlier_participants() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pmem-epoch-logfull-{}", std::process::id()));
+        let p0 = pool();
+        let p1 = crate::Pool::create_with_log(&path, 4 << 20, crate::DeviceProfile::dram(), 64)
+            .unwrap();
+        let a = p0.alloc(64).unwrap();
+        let b = p1.alloc(1024).unwrap();
+        p0.write_u64(a, 1);
+        p0.persist(a, 8);
+        let mut b0 = TxBatch::new();
+        b0.write_u64(a, 11);
+        let mut b1 = TxBatch::new();
+        b1.write_bytes(b, &[9u8; 512]); // exceeds p1's 64-byte log
+        let r = commit_epoch(&[(&p0, &[&b0]), (&p1, &[&b1])], &p0, 1);
+        assert!(matches!(r, Err(PmemError::LogFull)));
+        assert_eq!(p0.read_u64(a), 1, "first participant rolled back");
+        assert_eq!(p0.log_len(), 0);
+        assert_eq!(p0.committed_epoch(), 0, "epoch never decided");
+        drop(p1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn peek_committed_epoch_reads_without_recovery() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pmem-peek-epoch-{}", std::process::id()));
+        {
+            let p = crate::Pool::create(&path, 4 << 20, crate::DeviceProfile::dram()).unwrap();
+            assert_eq!(crate::Pool::peek_committed_epoch(&path).unwrap(), 0);
+            p.persist_committed_epoch(7);
+        }
+        assert_eq!(crate::Pool::peek_committed_epoch(&path).unwrap(), 7);
         std::fs::remove_file(&path).unwrap();
     }
 
