@@ -1,0 +1,227 @@
+//! Expression tier: interpreted vs compiled residual-filter throughput.
+//!
+//! Data is deliberately *scattered* — `v = (i*7) % 1000` spans the full
+//! value range inside every 64-record chunk, so zone maps prune nothing
+//! and every surviving row goes through the residual filter. The filter
+//! is a wide Or-chain of equality terms (~1% selective), the shape where
+//! walking the `Pred` AST per row hurts most and the compiled function's
+//! hoisted property fetch pays.
+//!
+//! Three arms, same plan and rows:
+//!   * `interp`        — the AST interpreter (no expression slot armed).
+//!   * `compiled_cold` — a fresh engine compiles the residual (latency
+//!     reported separately), then runs through the compiled function.
+//!   * `compiled_warm` — a *second* fresh engine on the same on-disk
+//!     code cache: the probe loads the bytes compiled by the first
+//!     engine, so this arm must report **zero** compiles — the
+//!     restart-survival path, timed.
+//!
+//! `ASSERT_EXPR_JIT=1` gates warm speedup ≥ 1.5x over interpreted (CI).
+//! Output: a table on stdout plus `results/BENCH_jit_expr.json`.
+
+use std::time::{Duration, Instant};
+
+use bench::{fmt_dur, runs, scale_name, time_avg, tmpfile};
+use gjit::{attach_residual_expr, expr_key, ExprSource, ExprTier, JitEngine};
+use gquery::{
+    execute_collect_ctx, pred_fingerprint, CmpOp, ExecCtx, Op, PPar, Plan, Pred,
+};
+use graphcore::{DbOptions, GraphDb, Value};
+use gstore::{PVal, IndexKind};
+use std::sync::Arc;
+
+fn item_count(scale: &str) -> usize {
+    match scale {
+        "tiny" => 4_096,
+        "bench" => 262_144,
+        _ => 65_536,
+    }
+}
+
+/// How many Or-terms the residual carries (`TERMS` env, default 10 ⇒
+/// ~1% selectivity over the 1000-value domain).
+fn term_count() -> usize {
+    bench::env_u64("TERMS", 10) as usize
+}
+
+struct Fx {
+    db: GraphDb,
+    item: u32,
+    v: u32,
+}
+
+/// `n` Item nodes with `v = (i*7) % 1000`: every chunk spans the whole
+/// domain, so chunk pruning never fires and the residual filter sees
+/// every live row.
+fn fixture(n: usize) -> Fx {
+    let db = GraphDb::create(DbOptions::dram(1 << 30)).unwrap();
+    db.create_index("Item", "v", IndexKind::Volatile).unwrap();
+    let batch = 4_096;
+    for start in (0..n).step_by(batch) {
+        let mut tx = db.begin();
+        for i in start..(start + batch).min(n) {
+            tx.create_node("Item", &[("v", Value::Int(((i * 7) % 1000) as i64))])
+                .unwrap();
+        }
+        tx.commit().unwrap();
+    }
+    let item = db.intern("Item").unwrap();
+    let v = db.intern("v").unwrap();
+    Fx { db, item, v }
+}
+
+/// The Or-chain residual: `v == 13 || v == 113 || ...` — `terms` values
+/// spread over the domain, folded left-associatively like the planner's
+/// filter order.
+fn residual(fx: &Fx, terms: usize) -> Pred {
+    let eq = |val: i64| Pred::Prop {
+        col: 0,
+        key: fx.v,
+        op: CmpOp::Eq,
+        value: PPar::Const(PVal::Int(val)),
+    };
+    let mut pred = eq(13);
+    for t in 1..terms {
+        pred = Pred::Or(Box::new(pred), Box::new(eq((13 + 100 * t as i64) % 1000)));
+    }
+    pred
+}
+
+fn plan_for(fx: &Fx, pred: &Pred) -> Plan {
+    Plan::new(
+        vec![
+            Op::NodeScan { label: Some(fx.item) },
+            Op::Filter(pred.clone()),
+            Op::Count,
+        ],
+        0,
+    )
+}
+
+/// One counted execution; arms the expression slot through the public
+/// attach/record path when an engine is supplied (probe-only: the caller
+/// made sure the cache is hot, so no compile happens mid-measurement).
+fn run_once(fx: &Fx, plan: &Plan, engine: Option<&Arc<JitEngine>>) -> (i64, u64) {
+    let mut txn = fx.db.begin();
+    let mut ctx = ExecCtx::new(&[]);
+    if let Some(e) = engine {
+        let _pgo = attach_residual_expr(e, plan, &mut ctx);
+        assert!(
+            ctx.residual_expr.as_ref().is_some_and(|s| s.is_compiled()),
+            "compiled arm must run through the published expression"
+        );
+    }
+    let rows = execute_collect_ctx(plan, &mut txn, &mut ctx).unwrap();
+    ctx.residual_expr = None;
+    let count = rows[0][0].as_pval().and_then(|p| match p {
+        PVal::Int(v) => Some(v),
+        _ => None,
+    });
+    (count.unwrap_or(-1), ctx.profile.residual_rows())
+}
+
+fn main() {
+    let scale = scale_name();
+    let n = item_count(&scale);
+    let n_runs = runs();
+    let terms = term_count();
+    println!("# jit_expr — residual filters: interpreter vs compiled expression tier");
+    println!(
+        "# scale: {scale} ({n} Item nodes, scattered v=(i*7)%1000), \
+         {terms}-term Or residual, runs: {n_runs}"
+    );
+    if !gjit::expr::supported() {
+        println!("# expression tier unsupported on this target; nothing to measure");
+        let json = format!(
+            "{{\n  \"bench\": \"jit_expr\",\n  \"meta\": {},\n  \"supported\": false\n}}\n",
+            bench::meta_json()
+        );
+        bench::write_results("jit_expr", &json);
+        return;
+    }
+
+    let fx = fixture(n);
+    let pred = residual(&fx, terms);
+    let plan = plan_for(&fx, &pred);
+    let key = expr_key(ExprSource::Node, pred_fingerprint(&pred), ExprTier::Generic, 0);
+    let cache_path = tmpfile("jit-expr-cache");
+
+    // --- interp: no slot armed, the AST interpreter per row.
+    let (expect, resid) = run_once(&fx, &plan, None); // warm
+    println!("# match count: {expect} of {resid} residual rows");
+    let interp = time_avg(n_runs, |_| {
+        run_once(&fx, &plan, None);
+    });
+
+    // --- compiled_cold: engine A compiles (timed separately), then runs
+    // through the freshly compiled function and persists it to disk.
+    let engine_a = Arc::new(JitEngine::new());
+    engine_a.attach_disk_cache(&cache_path);
+    let t0 = Instant::now();
+    engine_a
+        .get_or_compile_expr(key, ExprSource::Node, &pred, None)
+        .expect("residual compiles");
+    let compile_latency = t0.elapsed();
+    assert_eq!(engine_a.stats().compiles.load(std::sync::atomic::Ordering::Relaxed), 1);
+    let (got, _) = run_once(&fx, &plan, Some(&engine_a));
+    assert_eq!(got, expect, "compiled expression must agree with the interpreter");
+    let cold = time_avg(n_runs, |_| {
+        run_once(&fx, &plan, Some(&engine_a));
+    });
+
+    // --- compiled_warm: engine B reopens the same disk cache — the
+    // restart path. Zero compiles allowed.
+    let engine_b = Arc::new(JitEngine::new());
+    engine_b.attach_disk_cache(&cache_path);
+    let (got, _) = run_once(&fx, &plan, Some(&engine_b));
+    assert_eq!(got, expect, "disk-cached expression must agree with the interpreter");
+    let warm = time_avg(n_runs, |_| {
+        run_once(&fx, &plan, Some(&engine_b));
+    });
+    let warm_compiles = engine_b.stats().compiles.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(warm_compiles, 0, "warm reopen must execute straight from the disk cache");
+
+    let speed = |base: Duration, x: Duration| base.as_nanos() as f64 / x.as_nanos().max(1) as f64;
+    println!(
+        "\n{:>16} {:>12} {:>9}",
+        "arm", "avg latency", "vs interp"
+    );
+    println!("{:>16} {:>12} {:>9}", "interp", fmt_dur(interp), "1.00x");
+    for (name, d) in [("compiled_cold", cold), ("compiled_warm", warm)] {
+        println!("{:>16} {:>12} {:>8.2}x", name, fmt_dur(d), speed(interp, d));
+    }
+    println!("compile latency: {} (cold arm, once)", fmt_dur(compile_latency));
+    println!(
+        "disk cache: {} entr{} / {} bytes at {}",
+        engine_b.disk_cache_len(),
+        if engine_b.disk_cache_len() == 1 { "y" } else { "ies" },
+        engine_b.disk_cache_bytes(),
+        cache_path.display()
+    );
+
+    let warm_speedup = speed(interp, warm);
+    let json = format!(
+        "{{\n  \"bench\": \"jit_expr\",\n  \"meta\": {},\n  \"supported\": true,\n  \
+         \"scale\": \"{scale}\",\n  \"n_items\": {n},\n  \"or_terms\": {terms},\n  \
+         \"runs\": {n_runs},\n  \"match_count\": {expect},\n  \"residual_rows\": {resid},\n  \
+         \"interp_ns\": {},\n  \"compiled_cold_ns\": {},\n  \"compiled_warm_ns\": {},\n  \
+         \"compile_latency_ns\": {},\n  \"warm_speedup\": {warm_speedup:.3},\n  \
+         \"warm_compiles\": {warm_compiles},\n  \"disk_cache_bytes\": {}\n}}\n",
+        bench::meta_json(),
+        interp.as_nanos(),
+        cold.as_nanos(),
+        warm.as_nanos(),
+        compile_latency.as_nanos(),
+        engine_b.disk_cache_bytes()
+    );
+    bench::write_results("jit_expr", &json);
+    let _ = std::fs::remove_file(&cache_path.with_extension("jitcache"));
+
+    if std::env::var("ASSERT_EXPR_JIT").is_ok() {
+        assert!(
+            warm_speedup >= 1.5,
+            "expression tier regression: warm speedup {warm_speedup:.3} < 1.5x over interpreted"
+        );
+        println!("ASSERT_EXPR_JIT: warm {warm_speedup:.2}x >= 1.5x — ok");
+    }
+}

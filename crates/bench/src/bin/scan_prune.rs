@@ -205,7 +205,9 @@ fn main() {
     let p = &ctx.profile;
     println!(
         "\nprofile (node_selective, parallel): chunks_pruned={} fast_path_morsels={} residual_rows={}",
-        p.chunks_pruned, p.fast_path_morsels, p.residual_rows
+        p.chunks_pruned,
+        p.fast_path_morsels,
+        p.residual_rows()
     );
 
     let json = format!(
@@ -217,7 +219,7 @@ fn main() {
         json_series.join(",\n"),
         p.chunks_pruned,
         p.fast_path_morsels,
-        p.residual_rows
+        p.residual_rows()
     );
     bench::write_results("scan_prune", &json);
 }

@@ -10,17 +10,147 @@
 //! Compilation time and PMem latency are hidden behind useful
 //! interpretation work.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use gquery::plan::Row;
 use gquery::{
-    execute_collect_ctx, execute_morsels, morsel_eligible, ExecCtx, ExecMode, ExecProfile,
-    FallbackReason, Plan, QueryError, TaskSlot,
+    execute_collect_ctx, execute_morsels, morsel_eligible, pred_fingerprint, CompiledPred,
+    ExecCtx, ExecMode, ExecProfile, ExprSlot, FallbackReason, Op, Plan, Pred, QueryError,
+    TaskSlot,
 };
 use graphcore::{GraphDb, GraphTxn};
 use gstore::PVal;
 
 use crate::engine::{run_compiled_range, JitEngine};
+use crate::expr::{expr_key, params_hash, CompiledExpr, ExprSource};
+use crate::pgo::ExprTier;
+
+/// The process-wide engine used by embedded callers (the LDBC driver's
+/// interpreted/parallel modes) that have no engine of their own. Lazily
+/// created; the server builds and owns its engine explicitly instead.
+pub fn default_engine() -> &'static Arc<JitEngine> {
+    static ENGINE: OnceLock<Arc<JitEngine>> = OnceLock::new();
+    ENGINE.get_or_init(|| Arc::new(JitEngine::new()))
+}
+
+/// Handle returned by [`attach_residual_expr`]: identifies the plan's PGO
+/// profile so the caller can record the run once it finishes.
+pub struct ResidualPgo {
+    fp: u64,
+}
+
+/// Wrap a compiled expression as the scheduler's boxed residual callback.
+fn expr_task(ce: Arc<CompiledExpr>) -> CompiledPred {
+    Box::new(move |txn: &mut GraphTxn<'_>, params: &[PVal], row| ce.eval(txn, params, row))
+}
+
+/// The residual conjunction the expression tier would compile for `plan`:
+/// the leading `Op::Filter` run after the first segment's scan access
+/// path, folded left-associatively (the same order the interpreter
+/// applies the filters in).
+fn residual_conjunction(plan: &Plan) -> Option<(ExprSource, Pred)> {
+    let (seg, _) = plan.split_first_segment();
+    let (first, rest) = seg.split_first()?;
+    let src = match first {
+        Op::NodeScan { .. } => ExprSource::Node,
+        Op::RelScan { .. } => ExprSource::Rel,
+        _ => return None,
+    };
+    let mut filters = rest
+        .iter()
+        .take_while(|op| matches!(op, Op::Filter(_)))
+        .map(|op| match op {
+            Op::Filter(p) => p,
+            _ => unreachable!(),
+        });
+    let mut pred = filters.next()?.clone();
+    for f in filters {
+        pred = Pred::And(Box::new(pred), Box::new(f.clone()));
+    }
+    Some((src, pred))
+}
+
+/// Arm the expression tier for one execution of `plan` under `ctx`.
+///
+/// Probes the engine's expression caches (memory, then disk) for code
+/// matching the plan's residual conjunction — a hit is published into the
+/// context's [`ExprSlot`] immediately, so even the first morsel runs
+/// compiled (this is what makes a warm reopen zero-compile: cached code
+/// costs nothing, so it is used regardless of the PGO tier). On a miss
+/// the PGO ladder decides: cold plans keep interpreting; plans past the
+/// tier-1 threshold compile on a detached background thread and switch
+/// mid-run through the slot, exactly like the pipeline tier's
+/// [`TaskSlot`] protocol; plans past tier 2 recompile with the current
+/// parameters inlined.
+///
+/// Returns a [`ResidualPgo`] handle whenever the plan *has* a compilable
+/// residual (even while still interpreting) so the caller can feed the
+/// profile with [`record_residual_run`]. The caller must clear
+/// `ctx.residual_expr` once the execution finishes — the slot is specific
+/// to this plan.
+pub fn attach_residual_expr(
+    engine: &Arc<JitEngine>,
+    plan: &Plan,
+    ctx: &mut ExecCtx<'_>,
+) -> Option<ResidualPgo> {
+    if !gconfig::expr_jit() || !crate::expr::supported() {
+        return None;
+    }
+    let (src, pred) = residual_conjunction(plan)?;
+    let fp = plan.fingerprint();
+    let pred_fp = pred_fingerprint(&pred);
+    let generic_key = expr_key(src, pred_fp, ExprTier::Generic, 0);
+    let inlined_key = expr_key(src, pred_fp, ExprTier::Inlined, params_hash(ctx.params));
+
+    // Cached code is free: probe the more specific (parameter-inlined)
+    // variant first, then the generic one, before consulting the tier.
+    if let Some(ce) = engine
+        .probe_expr(inlined_key)
+        .or_else(|| engine.probe_expr(generic_key))
+    {
+        let slot = Arc::new(ExprSlot::new());
+        slot.publish(expr_task(ce));
+        ctx.residual_expr = Some(slot);
+        return Some(ResidualPgo { fp });
+    }
+
+    let tier = engine.expr_tier(fp);
+    if tier == ExprTier::Interpret {
+        // Too cold to pay for compilation; keep profiling.
+        return Some(ResidualPgo { fp });
+    }
+    let (key, inline_params) = match tier {
+        ExprTier::Inlined => (inlined_key, Some(ctx.params.to_vec())),
+        _ => (generic_key, None),
+    };
+    let slot = Arc::new(ExprSlot::new());
+    ctx.residual_expr = Some(slot.clone());
+    let engine = engine.clone();
+    // Detached: the slot is shared through the Arc, so the switch happens
+    // mid-run if the execution is still going, and the cache is warm for
+    // the next run either way.
+    std::thread::spawn(move || {
+        let switch_span = gobs::span_start();
+        match engine.get_or_compile_expr(key, src, &pred, inline_params.as_deref()) {
+            Ok(ce) => slot.publish(expr_task(ce)),
+            Err(_) => slot.publish_failure(),
+        }
+        crate::obs::adaptive_switch(switch_span);
+    });
+    Some(ResidualPgo { fp })
+}
+
+/// Feed one finished execution into the plan's PGO profile: `rows`
+/// residual rows evaluated over `elapsed` of execution time.
+pub fn record_residual_run(
+    engine: &Arc<JitEngine>,
+    handle: &ResidualPgo,
+    rows: u64,
+    elapsed: Duration,
+) {
+    engine.pgo().record(handle.fp, rows, elapsed);
+}
 
 /// Outcome of an adaptive execution, including how many morsels ran in
 /// each mode (the observable "switch point").
@@ -71,12 +201,24 @@ pub fn execute_adaptive_ctx(
     let interp_before = ctx.profile.interpreted_morsels;
     let jit_before = ctx.profile.compiled_morsels;
 
+    // Arm the expression tier: residual filters of interpreted morsels run
+    // through the compiled predicate once (if) it is published.
+    let residual = attach_residual_expr(engine, plan, ctx);
+    let resid_before = ctx.profile.residual_rows();
+    let resid_start = Instant::now();
+
     if !morsel_eligible(plan) {
         // Non-morsel access path: a single short task — interpretation
         // wins the compile race by construction, so don't start one.
         ctx.profile.note_fallback(FallbackReason::AccessPath);
         let mut reader = db.reader_at(snapshot.id());
-        let rows = execute_collect_ctx(plan, &mut reader, ctx)?;
+        let result = execute_collect_ctx(plan, &mut reader, ctx);
+        ctx.residual_expr = None;
+        if let Some(h) = &residual {
+            let delta = ctx.profile.residual_rows().saturating_sub(resid_before);
+            record_residual_run(engine, h, delta, resid_start.elapsed());
+        }
+        let rows = result?;
         return Ok(AdaptiveReport {
             rows,
             interpreted_morsels: (ctx.profile.interpreted_morsels - interp_before) as usize,
@@ -108,7 +250,13 @@ pub fn execute_adaptive_ctx(
             });
         }
         execute_morsels(plan, db, snapshot, ctx, nthreads, Some(&task))
-    })?;
+    });
+    ctx.residual_expr = None;
+    if let Some(h) = &residual {
+        let delta = ctx.profile.residual_rows().saturating_sub(resid_before);
+        record_residual_run(engine, h, delta, resid_start.elapsed());
+    }
+    let scheduled = scheduled?;
 
     if task.compile_failed() {
         ctx.profile.note_fallback(FallbackReason::JitUnsupported);

@@ -14,7 +14,8 @@
 //!   compile/hit counters, so a restarted instance knows which queries are
 //!   hot and can recompile them eagerly ([`JitEngine::known_fingerprints`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,6 +30,9 @@ use graphcore::GraphTxn;
 use gstore::PVal;
 
 use crate::codegen::{build_function, new_module};
+use crate::diskcache::DiskCache;
+use crate::expr::{CompiledExpr, ExprSource};
+use crate::pgo::{ExprTier, PgoTable};
 use crate::runtime::RtCtx;
 
 /// Errors from compilation or compiled execution.
@@ -128,18 +132,19 @@ pub struct JitStats {
     pub evictions: AtomicU64,
 }
 
-/// The bounded in-process code cache: fingerprint → compiled query, with a
+/// A bounded in-process code cache: key → compiled artifact, with a
 /// logical-clock LRU stamp per entry. Eviction scans for the minimum stamp;
 /// the cache is small (hundreds of shapes) so the O(n) scan is noise next
-/// to a compilation.
-struct CodeCache {
-    map: HashMap<u64, (Arc<CompiledQuery>, u64)>,
+/// to a compilation. Pipeline code is keyed by plan fingerprint,
+/// expression code by [`crate::expr::expr_key`].
+struct CodeCache<T> {
+    map: HashMap<u64, (T, u64)>,
     clock: u64,
     capacity: usize,
 }
 
-impl CodeCache {
-    fn new(capacity: usize) -> CodeCache {
+impl<T: Clone> CodeCache<T> {
+    fn new(capacity: usize) -> CodeCache<T> {
         CodeCache {
             map: HashMap::new(),
             clock: 0,
@@ -148,7 +153,7 @@ impl CodeCache {
     }
 
     /// Fetch an entry, refreshing its LRU stamp.
-    fn touch(&mut self, fp: u64) -> Option<Arc<CompiledQuery>> {
+    fn touch(&mut self, fp: u64) -> Option<T> {
         self.clock += 1;
         let clock = self.clock;
         self.map.get_mut(&fp).map(|e| {
@@ -159,7 +164,7 @@ impl CodeCache {
 
     /// Insert an entry and evict down to capacity. Returns the number of
     /// evicted entries.
-    fn insert(&mut self, fp: u64, cq: Arc<CompiledQuery>) -> usize {
+    fn insert(&mut self, fp: u64, cq: T) -> usize {
         self.clock += 1;
         let clock = self.clock;
         self.map.insert(fp, (cq, clock));
@@ -214,7 +219,17 @@ impl CodeCache {
 /// assert_eq!(jit.len(), 50);
 /// ```
 pub struct JitEngine {
-    cache: Mutex<CodeCache>,
+    cache: Mutex<CodeCache<Arc<CompiledQuery>>>,
+    /// Compiled residual expressions, keyed by [`crate::expr::expr_key`].
+    exprs: Mutex<CodeCache<Arc<CompiledExpr>>>,
+    /// Expression keys whose compilation failed (unsupported shapes):
+    /// remembered so hot loops do not retry a doomed compile per run.
+    failed_exprs: Mutex<HashSet<u64>>,
+    /// On-disk expression code cache (`{base}.jitcache`), attached when the
+    /// database path is known.
+    disk: Mutex<Option<DiskCache>>,
+    /// Per-plan residual-row profiles driving the expression tier ladder.
+    pgo: PgoTable,
     persist: Option<(Arc<Pool>, u64)>,
     stats: JitStats,
     /// Artificial delay added to every cache-miss compilation, in
@@ -229,6 +244,10 @@ impl JitEngine {
     pub fn new() -> JitEngine {
         JitEngine {
             cache: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
+            exprs: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
+            failed_exprs: Mutex::new(HashSet::new()),
+            disk: Mutex::new(None),
+            pgo: PgoTable::new(),
             persist: None,
             stats: JitStats::default(),
             compile_delay_ns: AtomicU64::new(0),
@@ -242,6 +261,10 @@ impl JitEngine {
         Ok((
             JitEngine {
                 cache: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
+                exprs: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
+                failed_exprs: Mutex::new(HashSet::new()),
+                disk: Mutex::new(None),
+                pgo: PgoTable::new(),
                 persist: Some((pool, root)),
                 stats: JitStats::default(),
                 compile_delay_ns: AtomicU64::new(0),
@@ -255,6 +278,10 @@ impl JitEngine {
     pub fn open_persistent_cache(pool: Arc<Pool>, root: u64) -> JitEngine {
         JitEngine {
             cache: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
+            exprs: Mutex::new(CodeCache::new(DEFAULT_CODE_CACHE_CAP)),
+            failed_exprs: Mutex::new(HashSet::new()),
+            disk: Mutex::new(None),
+            pgo: PgoTable::new(),
             persist: Some((pool, root)),
             stats: JitStats::default(),
             compile_delay_ns: AtomicU64::new(0),
@@ -400,6 +427,152 @@ impl JitEngine {
     /// Drop all in-process compiled code (cold-cache measurements).
     pub fn clear_code_cache(&self) {
         self.cache.lock().map.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Expression tier
+    // ------------------------------------------------------------------
+
+    /// Attach the on-disk expression code cache at `{base}.jitcache`
+    /// (`base` is the PMem pool path, or the router base path of a sharded
+    /// database). Call once after the database path is known; compiled
+    /// expressions then survive restarts of this process.
+    pub fn attach_disk_cache(&self, base: &Path) {
+        *self.disk.lock() = Some(DiskCache::open(base));
+    }
+
+    /// The per-plan PGO profile table.
+    pub fn pgo(&self) -> &PgoTable {
+        &self.pgo
+    }
+
+    /// The tier the plan fingerprint has earned (see [`PgoTable::tier`]).
+    pub fn expr_tier(&self, plan_fp: u64) -> ExprTier {
+        self.pgo.tier(plan_fp)
+    }
+
+    /// Probe the in-memory and on-disk expression caches for `key`. A disk
+    /// hit re-maps the cached bytes (no Cranelift) and promotes them into
+    /// the in-memory cache. Never compiles — this is how a warm reopen
+    /// executes a previously-compiled plan with `compiles == 0`.
+    pub fn probe_expr(&self, key: u64) -> Option<Arc<CompiledExpr>> {
+        let hit_span = gobs::span_start();
+        if let Some(ce) = self.exprs.lock().touch(key) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            crate::obs::cache_hit(hit_span);
+            return Some(ce);
+        }
+        let bytes = {
+            let mut disk = self.disk.lock();
+            disk.as_mut().and_then(|d| d.get(key).map(<[u8]>::to_vec))
+        }?;
+        let ce = Arc::new(CompiledExpr::from_bytes(&bytes).ok()?);
+        let evicted = self.exprs.lock().insert(key, ce.clone());
+        if evicted > 0 {
+            self.stats
+                .evictions
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        crate::obs::cache_hit(hit_span);
+        Some(ce)
+    }
+
+    /// Fetch-or-compile the residual expression for `key`. Cache hits (in
+    /// memory or on disk) never compile; a miss runs Cranelift, stores the
+    /// relocation-free bytes in both caches, and counts one compile.
+    /// Unsupported predicates are remembered so they fail fast afterwards.
+    pub fn get_or_compile_expr(
+        &self,
+        key: u64,
+        src: ExprSource,
+        pred: &gquery::Pred,
+        inline_params: Option<&[PVal]>,
+    ) -> Result<Arc<CompiledExpr>, JitError> {
+        if let Some(ce) = self.probe_expr(key) {
+            return Ok(ce);
+        }
+        if self.failed_exprs.lock().contains(&key) {
+            return Err(JitError::Unsupported(
+                "expression previously failed to compile".into(),
+            ));
+        }
+        let delay_ns = self.compile_delay_ns.load(Ordering::Relaxed);
+        if delay_ns > 0 {
+            std::thread::sleep(Duration::from_nanos(delay_ns));
+        }
+        let span = gobs::span_start();
+        let ce = match CompiledExpr::compile(src, pred, inline_params) {
+            Ok(ce) => Arc::new(ce),
+            Err(e) => {
+                self.failed_exprs.lock().insert(key);
+                return Err(e);
+            }
+        };
+        self.stats.compiles.fetch_add(1, Ordering::Relaxed);
+        crate::obs::expr_compile(span);
+        let evicted = self.exprs.lock().insert(key, ce.clone());
+        if evicted > 0 {
+            self.stats
+                .evictions
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        if let Some(disk) = self.disk.lock().as_mut() {
+            // Disk evictions count into the same stat as memory evictions
+            // (the cache is one logical tier with two levels).
+            if let Ok(evicted) = disk.insert(key, ce.code_bytes()) {
+                if evicted > 0 {
+                    self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(ce)
+    }
+
+    /// Map every disk-cached expression into memory (server warm-up verb).
+    /// Returns how many entries were mapped; none count as compiles.
+    pub fn warm_exprs(&self) -> usize {
+        let keys = match self.disk.lock().as_ref() {
+            Some(d) => d.keys(),
+            None => return 0,
+        };
+        let mut warmed = 0;
+        for key in keys {
+            if self.probe_expr(key).is_some() {
+                warmed += 1;
+            }
+        }
+        warmed
+    }
+
+    /// Number of compiled expressions resident in memory.
+    pub fn expr_cache_len(&self) -> usize {
+        self.exprs.lock().map.len()
+    }
+
+    /// Total code bytes in the on-disk expression cache (0 when detached).
+    pub fn disk_cache_bytes(&self) -> u64 {
+        self.disk.lock().as_ref().map_or(0, DiskCache::bytes)
+    }
+
+    /// Entry count of the on-disk expression cache (0 when detached).
+    pub fn disk_cache_len(&self) -> usize {
+        self.disk.lock().as_ref().map_or(0, DiskCache::len)
+    }
+
+    /// Drop in-memory compiled expressions (and the failure memo). The
+    /// disk cache is untouched — use [`JitEngine::clear_disk_cache`].
+    pub fn clear_expr_cache(&self) {
+        self.exprs.lock().map.clear();
+        self.failed_exprs.lock().clear();
+    }
+
+    /// Drop the on-disk expression cache and its file.
+    pub fn clear_disk_cache(&self) -> Result<(), JitError> {
+        match self.disk.lock().as_mut() {
+            Some(d) => d.clear(),
+            None => Ok(()),
+        }
     }
 
     /// Eagerly compile every plan whose fingerprint appears in the

@@ -22,15 +22,29 @@
 //!   Execution", Fig. 3): interpretation starts immediately, a background
 //!   thread compiles, and the task function is atomically redirected to the
 //!   compiled code as soon as it is ready.
+//! * [`expr`] — the expression tier (DESIGN.md §14): residual filter
+//!   predicates lowered to relocation-free native functions, cached on
+//!   disk ([`diskcache`]) so compiled plans survive restart, and tiered by
+//!   per-plan profiles ([`pgo`]): interpret → compile → recompile with
+//!   parameters inlined.
 
 pub mod adaptive;
 pub mod codegen;
+pub mod diskcache;
 pub mod engine;
+pub mod expr;
 mod obs;
+pub mod pgo;
 pub mod runtime;
 
-pub use adaptive::{execute_adaptive, execute_adaptive_ctx, AdaptiveReport};
+pub use adaptive::{
+    attach_residual_expr, default_engine, execute_adaptive, execute_adaptive_ctx,
+    record_residual_run, AdaptiveReport, ResidualPgo,
+};
+pub use diskcache::DiskCache;
 pub use engine::{
     execute_jit, execute_jit_ctx, run_compiled_range, CompiledQuery, JitEngine, JitError,
     DEFAULT_CODE_CACHE_CAP,
 };
+pub use expr::{expr_key, params_hash, CompiledExpr, ExprSource};
+pub use pgo::{ExprTier, PgoTable, PlanCounters};

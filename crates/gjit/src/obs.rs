@@ -53,3 +53,28 @@ pub fn adaptive_switch(span: Option<Instant>) {
         span,
     );
 }
+
+/// One Cranelift compilation of a residual expression (the expression
+/// tier — distinct from whole-segment pipeline compiles).
+pub fn expr_compile(span: Option<Instant>) {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    observe(
+        &H,
+        "pmemgraph_jit_expr_compile_us",
+        "Cranelift compilation of one residual filter expression",
+        span,
+    );
+}
+
+/// Register the per-plan residual-row series for one plan fingerprint:
+/// `pmemgraph_jit_plan_rows_total{plan="<fp>"}` reads the PGO counter
+/// directly. Called once per fingerprint (cardinality-capped by the
+/// caller, `PgoTable::record`).
+pub fn plan_rows_series(plan_fp: u64, counters: std::sync::Arc<crate::pgo::PlanCounters>) {
+    gobs::global().fn_counter_labeled(
+        "pmemgraph_jit_plan_rows_total",
+        &format!("plan=\"{plan_fp:016x}\""),
+        "residual rows evaluated per plan fingerprint (PGO profile)",
+        move || counters.rows.load(std::sync::atomic::Ordering::Relaxed),
+    );
+}

@@ -1,0 +1,209 @@
+//! Profile-guided tiering of residual expressions.
+//!
+//! Every plan fingerprint accumulates row/time counters as its residual
+//! filter runs. The counters drive a three-tier ladder:
+//!
+//! * [`ExprTier::Interpret`] — cold plans walk the AST; compilation would
+//!   cost more than it saves.
+//! * [`ExprTier::Generic`] — past `tier1_rows` cumulative residual rows
+//!   the predicate is compiled with `PPar::Param` holes resolved through
+//!   `rt_param` at run time, so one function serves every parameter
+//!   binding.
+//! * [`ExprTier::Inlined`] — past `tier2_rows` the expression is
+//!   *recompiled* with the current execution's parameters folded to
+//!   constants (keyed by parameter hash), turning parameter loads into
+//!   immediates — the PGO recompilation step.
+//!
+//! With `PMEMGRAPH_PGO=0` the ladder collapses: everything compiles
+//! generically on first sight and never recompiles.
+//!
+//! Counters are process-local (DRAM): a restart restarts the profile.
+//! Warm restarts still skip compilation because the *code* survives in
+//! the disk cache — [`crate::JitEngine`] probes caches before consulting
+//! the tier, so the ladder only gates *new* compilation work.
+//!
+//! Per-plan row counters are mirrored into the gobs registry as
+//! `pmemgraph_jit_plan_rows_total{plan="<fingerprint>"}`, capped at
+//! [`MAX_PLAN_SERIES`] registered series so an ad-hoc workload cannot
+//! blow up metric cardinality.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Execution tier of one plan's residual expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ExprTier {
+    /// Walk the predicate AST per row.
+    Interpret = 0,
+    /// Compiled, parameters resolved at run time.
+    Generic = 1,
+    /// Recompiled with parameters folded to constants.
+    Inlined = 2,
+}
+
+/// Default tier-promotion thresholds (cumulative residual rows).
+pub const DEFAULT_TIER1_ROWS: u64 = 4_096;
+pub const DEFAULT_TIER2_ROWS: u64 = 262_144;
+
+/// Cap on per-plan series registered with the gobs registry.
+const MAX_PLAN_SERIES: usize = 64;
+
+/// Lifetime profile of one plan fingerprint's residual filter.
+#[derive(Default)]
+pub struct PlanCounters {
+    /// Residual rows evaluated (interpreted or compiled).
+    pub rows: AtomicU64,
+    /// Wall-clock microseconds spent in runs of this plan.
+    pub micros: AtomicU64,
+    /// Number of recorded runs.
+    pub runs: AtomicU64,
+}
+
+impl PlanCounters {
+    /// Rows per second over the recorded lifetime (0 until time accrues).
+    pub fn throughput(&self) -> u64 {
+        let us = self.micros.load(Ordering::Relaxed);
+        if us == 0 {
+            return 0;
+        }
+        self.rows
+            .load(Ordering::Relaxed)
+            .saturating_mul(1_000_000)
+            / us
+    }
+}
+
+/// All per-plan profiles plus the tier thresholds.
+pub struct PgoTable {
+    plans: Mutex<HashMap<u64, Arc<PlanCounters>>>,
+    tier1_rows: AtomicU64,
+    tier2_rows: AtomicU64,
+    /// Number of plan fingerprints mirrored into gobs so far.
+    series: AtomicU64,
+}
+
+impl Default for PgoTable {
+    fn default() -> Self {
+        PgoTable {
+            plans: Mutex::new(HashMap::new()),
+            tier1_rows: AtomicU64::new(DEFAULT_TIER1_ROWS),
+            tier2_rows: AtomicU64::new(DEFAULT_TIER2_ROWS),
+            series: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PgoTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the promotion thresholds (tests and benches).
+    pub fn set_thresholds(&self, tier1_rows: u64, tier2_rows: u64) {
+        self.tier1_rows.store(tier1_rows, Ordering::Relaxed);
+        self.tier2_rows.store(tier2_rows.max(tier1_rows), Ordering::Relaxed);
+    }
+
+    /// The counters for `plan_fp`, creating them on first sight.
+    pub fn counters(&self, plan_fp: u64) -> Arc<PlanCounters> {
+        let mut plans = self.plans.lock().unwrap();
+        plans
+            .entry(plan_fp)
+            .or_insert_with(|| Arc::new(PlanCounters::default()))
+            .clone()
+    }
+
+    /// Record one run: `rows` residual rows evaluated in `elapsed`. The
+    /// first record of a fingerprint registers its gobs series
+    /// (cardinality-capped at [`MAX_PLAN_SERIES`] fingerprints).
+    pub fn record(&self, plan_fp: u64, rows: u64, elapsed: std::time::Duration) {
+        let c = self.counters(plan_fp);
+        let prior = c.rows.fetch_add(rows, Ordering::Relaxed);
+        c.micros
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        c.runs.fetch_add(1, Ordering::Relaxed);
+        if rows > 0
+            && prior == 0
+            && self.series.fetch_add(1, Ordering::Relaxed) < MAX_PLAN_SERIES as u64
+        {
+            crate::obs::plan_rows_series(plan_fp, c);
+        }
+    }
+
+    /// The tier `plan_fp` has earned. With PGO disabled everything is
+    /// [`ExprTier::Generic`] (compile immediately, never recompile).
+    pub fn tier(&self, plan_fp: u64) -> ExprTier {
+        if !gconfig::pgo() {
+            return ExprTier::Generic;
+        }
+        let rows = self.counters(plan_fp).rows.load(Ordering::Relaxed);
+        if rows >= self.tier2_rows.load(Ordering::Relaxed) {
+            ExprTier::Inlined
+        } else if rows >= self.tier1_rows.load(Ordering::Relaxed) {
+            ExprTier::Generic
+        } else {
+            ExprTier::Interpret
+        }
+    }
+
+    /// Snapshot `(fingerprint, rows, runs, rows/s)` per plan, sorted by
+    /// rows descending — the STATS `pgo` section.
+    pub fn snapshot(&self) -> Vec<(u64, u64, u64, u64)> {
+        let plans = self.plans.lock().unwrap();
+        let mut v: Vec<_> = plans
+            .iter()
+            .map(|(&fp, c)| {
+                (
+                    fp,
+                    c.rows.load(Ordering::Relaxed),
+                    c.runs.load(Ordering::Relaxed),
+                    c.throughput(),
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ladder_promotes_on_row_volume() {
+        // PGO defaults on; only sound if no outer harness disabled it.
+        if !gconfig::pgo() {
+            return;
+        }
+        let t = PgoTable::new();
+        t.set_thresholds(100, 1000);
+        assert_eq!(t.tier(7), ExprTier::Interpret);
+        t.record(7, 99, Duration::from_micros(10));
+        assert_eq!(t.tier(7), ExprTier::Interpret);
+        t.record(7, 1, Duration::from_micros(10));
+        assert_eq!(t.tier(7), ExprTier::Generic);
+        t.record(7, 900, Duration::from_micros(10));
+        assert_eq!(t.tier(7), ExprTier::Inlined);
+        // Other plans are unaffected.
+        assert_eq!(t.tier(8), ExprTier::Interpret);
+        let snap = t.snapshot();
+        assert_eq!(snap[0].0, 7);
+        assert_eq!(snap[0].1, 1000);
+        assert_eq!(snap[0].2, 3);
+    }
+
+    #[test]
+    fn thresholds_keep_order() {
+        let t = PgoTable::new();
+        t.set_thresholds(500, 100); // tier2 clamped up to tier1
+        let c = t.counters(1);
+        c.rows.store(400, Ordering::Relaxed);
+        if gconfig::pgo() {
+            assert_eq!(t.tier(1), ExprTier::Interpret);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Differential testing of the expression tier: random residual predicate
+//! ASTs evaluated three ways — the `gquery` AST interpreter, the compiled
+//! expression (generic and parameter-inlined tiers), and a plan execution
+//! whose [`ExprSlot`] is published mid-run — must agree row for row.
+//!
+//! The fixtures are deliberately hostile: nodes carry random *subsets* of
+//! the four properties (missing-property rows) with mixed value types
+//! (type-mismatch comparisons), and the whole sweep runs on shard counts
+//! {1, 4} of a [`ShardedDb`], materializing the predicate against each
+//! shard's own dictionary.
+//!
+//! Floats are drawn from a finite set without NaN or -0.0 — bitwise
+//! equality of encoded PVals diverges from IEEE semantics only on those
+//! two values (documented in `gjit::expr`).
+
+#![cfg(target_arch = "x86_64")]
+
+use std::sync::{Arc, OnceLock};
+
+use gjit::{CompiledExpr, ExprSource};
+use gquery::{
+    eval_pred, execute_collect_ctx, CmpOp, ExecCtx, ExprSlot, Op, PPar, Plan, Pred, Slot,
+};
+use graphcore::shard::{ShardOptions, ShardedDb};
+use graphcore::{GraphDb, Value};
+use gstore::PVal;
+use proptest::prelude::*;
+
+// -------------------------------------------------------------------
+// Fixtures: one ShardedDb per shard count, built once.
+// -------------------------------------------------------------------
+
+const NODES: usize = 48;
+
+fn fixtures() -> &'static Vec<ShardedDb> {
+    static FX: OnceLock<Vec<ShardedDb>> = OnceLock::new();
+    FX.get_or_init(|| [1usize, 4].iter().map(|&n| build(n)).collect())
+}
+
+/// Nodes with random-looking but deterministic property subsets: every
+/// key is missing somewhere, every key holds more than one value type
+/// somewhere, and some nodes carry a LOOP self-relationship (the only
+/// shape `Pred::Connected { a: 0, b: 0 }` can observe).
+fn build(shards: usize) -> ShardedDb {
+    let db = ShardedDb::create(ShardOptions::dram(96 << 20).shards(shards)).unwrap();
+    let mut tx = db.begin();
+    for i in 0..NODES {
+        let label = if i % 2 == 0 { "A" } else { "B" };
+        let mut props: Vec<(&str, Value)> = Vec::new();
+        if i % 3 != 0 {
+            props.push(("p0", Value::Int((i as i64 * 7) % 10 - 3)));
+        }
+        if i % 2 == 0 {
+            if i % 4 == 0 {
+                props.push(("p1", Value::Bool(i % 8 == 0)));
+            } else {
+                props.push((
+                    "p1",
+                    Value::Str(if i % 3 == 0 { "alpha" } else { "beta" }.to_string()),
+                ));
+            }
+        }
+        if i % 5 != 1 {
+            if i % 3 == 0 {
+                props.push(("p2", Value::Date((i as i64 % 7) * 1000)));
+            } else {
+                props.push(("p2", Value::Int(i as i64 % 5)));
+            }
+        }
+        if i % 7 < 5 {
+            if i % 2 == 0 {
+                props.push(("p3", Value::Double(0.5 * (i % 8) as f64)));
+            } else {
+                props.push(("p3", Value::Int(-(i as i64 % 6))));
+            }
+        }
+        let id = tx.create_node(label, &props).unwrap();
+        if i % 4 == 0 {
+            tx.create_rel(id, "LOOP", id, &[]).unwrap();
+        }
+    }
+    tx.commit().unwrap();
+    db
+}
+
+/// Dictionary codes of one shard — predicates are materialized per shard
+/// because each shard interns its own dictionary.
+struct Codes {
+    keys: [u32; 4],
+    labels: [u32; 2],
+    strs: [u32; 2],
+    loop_label: u32,
+}
+
+fn codes(db: &GraphDb) -> Codes {
+    Codes {
+        keys: [
+            db.intern("p0").unwrap(),
+            db.intern("p1").unwrap(),
+            db.intern("p2").unwrap(),
+            db.intern("p3").unwrap(),
+        ],
+        labels: [db.intern("A").unwrap(), db.intern("B").unwrap()],
+        strs: [db.intern("alpha").unwrap(), db.intern("beta").unwrap()],
+        loop_label: db.intern("LOOP").unwrap(),
+    }
+}
+
+fn params_for(c: &Codes) -> Vec<PVal> {
+    vec![
+        PVal::Int(2),
+        PVal::Bool(true),
+        PVal::Date(3000),
+        PVal::Str(c.strs[0]),
+    ]
+}
+
+// -------------------------------------------------------------------
+// Symbolic predicate ASTs: dictionary-code-free so one generated value
+// can be materialized against every shard's dictionary.
+// -------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SymConst {
+    Int(i64),
+    Dbl(f64),
+    Bool(bool),
+    Date(i64),
+    Str(usize),
+    Null,
+}
+
+#[derive(Debug, Clone)]
+enum SymVal {
+    Const(SymConst),
+    Param(usize),
+}
+
+#[derive(Debug, Clone)]
+enum SymPred {
+    Prop { key: usize, op: CmpOp, val: SymVal },
+    /// 0 = "A", 1 = "B", 2 = a code no node carries.
+    LabelIs(usize),
+    ColEq,
+    ColNe,
+    /// 0 = "LOOP" (self-loops exist), 1 = "A" (no rels), 2 = unknown.
+    Connected(usize),
+    And(Box<SymPred>, Box<SymPred>),
+    Or(Box<SymPred>, Box<SymPred>),
+    Not(Box<SymPred>),
+}
+
+fn concretize(s: &SymPred, c: &Codes) -> Pred {
+    match s {
+        SymPred::Prop { key, op, val } => Pred::Prop {
+            col: 0,
+            key: c.keys[*key],
+            op: *op,
+            value: match val {
+                SymVal::Param(i) => PPar::Param(*i),
+                SymVal::Const(sc) => PPar::Const(match sc {
+                    SymConst::Int(v) => PVal::Int(*v),
+                    SymConst::Dbl(v) => PVal::Double(*v),
+                    SymConst::Bool(v) => PVal::Bool(*v),
+                    SymConst::Date(v) => PVal::Date(*v),
+                    SymConst::Str(i) => PVal::Str(c.strs[*i]),
+                    SymConst::Null => PVal::Null,
+                }),
+            },
+        },
+        SymPred::LabelIs(i) => Pred::LabelIs {
+            col: 0,
+            label: *c.labels.get(*i).unwrap_or(&4_000_000),
+        },
+        SymPred::ColEq => Pred::ColEq { a: 0, b: 0 },
+        SymPred::ColNe => Pred::ColNe { a: 0, b: 0 },
+        SymPred::Connected(i) => Pred::Connected {
+            a: 0,
+            b: 0,
+            label: match i {
+                0 => c.loop_label,
+                1 => c.labels[0],
+                _ => 4_000_001,
+            },
+        },
+        SymPred::And(l, r) => Pred::And(
+            Box::new(concretize(l, c)),
+            Box::new(concretize(r, c)),
+        ),
+        SymPred::Or(l, r) => Pred::Or(
+            Box::new(concretize(l, c)),
+            Box::new(concretize(r, c)),
+        ),
+        SymPred::Not(p) => Pred::Not(Box::new(concretize(p, c))),
+    }
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn sym_const() -> impl Strategy<Value = SymConst> {
+    prop_oneof![
+        (-5i64..10).prop_map(SymConst::Int),
+        (0i64..8).prop_map(|k| SymConst::Dbl(0.5 * k as f64)),
+        any::<bool>().prop_map(SymConst::Bool),
+        (0i64..7).prop_map(|d| SymConst::Date(d * 1000)),
+        (0usize..2).prop_map(SymConst::Str),
+        Just(SymConst::Null),
+    ]
+}
+
+fn sym_val() -> impl Strategy<Value = SymVal> {
+    prop_oneof![
+        3 => sym_const().prop_map(SymVal::Const),
+        1 => (0usize..4).prop_map(SymVal::Param),
+    ]
+}
+
+fn leaf() -> impl Strategy<Value = SymPred> {
+    prop_oneof![
+        4 => (0usize..4, cmp_op(), sym_val())
+            .prop_map(|(key, op, val)| SymPred::Prop { key, op, val }),
+        1 => (0usize..3).prop_map(SymPred::LabelIs),
+        1 => Just(SymPred::ColEq),
+        1 => Just(SymPred::ColNe),
+        1 => (0usize..3).prop_map(SymPred::Connected),
+    ]
+}
+
+fn sym_pred() -> impl Strategy<Value = SymPred> {
+    leaf().prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| SymPred::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| SymPred::Or(Box::new(l), Box::new(r))),
+            inner.prop_map(|p| SymPred::Not(Box::new(p))),
+        ]
+    })
+}
+
+// -------------------------------------------------------------------
+// The differential sweep.
+// -------------------------------------------------------------------
+
+fn live_nodes(db: &GraphDb) -> Vec<u64> {
+    let mut ids = Vec::new();
+    db.nodes().for_each_live(|id, _| ids.push(id));
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn compiled_interpreter_and_midrun_switch_agree(sym in sym_pred()) {
+        prop_assume!(gjit::expr::supported());
+        for db in fixtures() {
+            for shard in db.shards() {
+                let c = codes(shard);
+                let pred = concretize(&sym, &c);
+                let params = params_for(&c);
+                let generic = CompiledExpr::compile(ExprSource::Node, &pred, None)
+                    .expect("generic residual compiles");
+                let inlined = Arc::new(
+                    CompiledExpr::compile(ExprSource::Node, &pred, Some(&params))
+                        .expect("inlined residual compiles"),
+                );
+
+                // Row-for-row: interpreter vs both compiled tiers. Nodes
+                // are spread round-robin, so each shard holds its share.
+                let ids = live_nodes(shard);
+                prop_assert!(!ids.is_empty(), "every shard must hold nodes");
+                let mut txn = shard.begin();
+                for &id in &ids {
+                    let row = [Slot::node(id)];
+                    let want = eval_pred(&pred, &row, &txn, &params);
+                    let got_g = generic.eval(&mut txn, &params, &row);
+                    let got_i = inlined.eval(&mut txn, &params, &row);
+                    match want {
+                        Ok(w) => {
+                            prop_assert_eq!(w, got_g.unwrap(), "generic tier, node {}", id);
+                            prop_assert_eq!(w, got_i.unwrap(), "inlined tier, node {}", id);
+                        }
+                        Err(_) => {
+                            prop_assert!(got_g.is_err(), "generic must also error, node {}", id);
+                            prop_assert!(got_i.is_err(), "inlined must also error, node {}", id);
+                        }
+                    }
+                }
+                drop(txn);
+
+                // Plan-level: pure interpretation vs an execution whose
+                // ExprSlot is published from another thread mid-run (the
+                // adaptive switch protocol).
+                let plan = Plan::new(
+                    vec![
+                        Op::NodeScan { label: None },
+                        Op::Filter(pred.clone()),
+                        Op::Count,
+                    ],
+                    0,
+                );
+                let mut t1 = shard.begin();
+                let mut cx1 = ExecCtx::new(&params);
+                let interp = execute_collect_ctx(&plan, &mut t1, &mut cx1);
+                drop(t1);
+
+                let slot = Arc::new(ExprSlot::new());
+                let publisher = {
+                    let slot = slot.clone();
+                    let ce = inlined.clone();
+                    std::thread::spawn(move || {
+                        slot.publish(Box::new(move |txn: &mut _, ps: &[PVal], row: &[Slot]| {
+                            ce.eval(txn, ps, row)
+                        }));
+                    })
+                };
+                let mut t2 = shard.begin();
+                let mut cx2 = ExecCtx::new(&params);
+                cx2.residual_expr = Some(slot);
+                let switched = execute_collect_ctx(&plan, &mut t2, &mut cx2);
+                publisher.join().unwrap();
+                match (interp, switched) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "mid-run switch changed the count"),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => prop_assert!(false, "one side errored: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+                }
+            }
+        }
+    }
+}
+
+/// The split residual counters: an execution that runs entirely through a
+/// pre-published expression reports compiled rows only; without a slot it
+/// reports interpreted rows only. The combined accessor covers both.
+#[test]
+fn residual_row_split_attributes_rows() {
+    if !gjit::expr::supported() {
+        return;
+    }
+    let db = &fixtures()[0];
+    let shard = &db.shards()[0];
+    let c = codes(shard);
+    let pred = concretize(
+        &SymPred::Prop {
+            key: 0,
+            op: CmpOp::Ge,
+            val: SymVal::Const(SymConst::Int(0)),
+        },
+        &c,
+    );
+    let params = params_for(&c);
+    let plan = Plan::new(
+        vec![
+            Op::NodeScan { label: None },
+            Op::Filter(pred.clone()),
+            Op::Count,
+        ],
+        0,
+    );
+
+    let mut t = shard.begin();
+    let mut cx = ExecCtx::new(&params);
+    execute_collect_ctx(&plan, &mut t, &mut cx).unwrap();
+    assert!(cx.profile.residual_rows_interp > 0);
+    assert_eq!(cx.profile.residual_rows_compiled, 0);
+    assert_eq!(cx.profile.residual_rows(), cx.profile.residual_rows_interp);
+    drop(t);
+
+    let ce = Arc::new(CompiledExpr::compile(ExprSource::Node, &pred, None).unwrap());
+    let slot = Arc::new(ExprSlot::new());
+    slot.publish(Box::new(move |txn: &mut _, ps: &[PVal], row: &[Slot]| {
+        ce.eval(txn, ps, row)
+    }));
+    let mut t = shard.begin();
+    let mut cx = ExecCtx::new(&params);
+    cx.residual_expr = Some(slot);
+    execute_collect_ctx(&plan, &mut t, &mut cx).unwrap();
+    assert_eq!(cx.profile.residual_rows_interp, 0);
+    assert!(cx.profile.residual_rows_compiled > 0);
+    assert_eq!(cx.profile.residual_rows(), cx.profile.residual_rows_compiled);
+}

@@ -34,7 +34,11 @@ pub struct SlowEntry {
     pub compiled_morsels: u64,
     pub chunks_pruned: u64,
     pub fast_path_morsels: u64,
-    pub residual_rows: u64,
+    /// Residual-filter rows evaluated by the AST interpreter.
+    pub residual_rows_interp: u64,
+    /// Residual-filter rows evaluated by a compiled expression
+    /// (the gjit expression tier).
+    pub residual_rows_compiled: u64,
     /// Fallback reason, if the profile recorded one.
     pub fallback: Option<String>,
     /// Per-segment timings `(name, µs)` in execution order.
@@ -131,7 +135,8 @@ mod tests {
             compiled_morsels: 0,
             chunks_pruned: 0,
             fast_path_morsels: 0,
-            residual_rows: 0,
+            residual_rows_interp: 0,
+            residual_rows_compiled: 0,
             fallback: None,
             segments: vec![("interp".to_string(), us)],
         }

@@ -14,6 +14,7 @@ use gtxn::TableTag;
 
 use crate::plan::{split_first_segment, CmpOp, Op, Plan, Pred, Proj, RelEnd, Row, Slot};
 use crate::pushdown::Pushdown;
+use crate::sched::{CompiledPred, ExprSlot};
 
 /// Errors during query execution.
 #[derive(Debug)]
@@ -74,7 +75,8 @@ pub fn execute(
         sink(row);
         Ok(())
     };
-    exec_segments(&plan.ops, txn, params, None, &mut wrapped)?;
+    let mut hook = ResidualHook::new(None);
+    exec_segments(&plan.ops, txn, params, None, &mut hook, &mut wrapped)?;
     Ok(count)
 }
 
@@ -100,7 +102,8 @@ pub fn execute_prebuffered(
     rows: Vec<Row>,
     sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
 ) -> Result<(), QueryError> {
-    exec_segments(ops, txn, params, Some(rows), sink)
+    let mut hook = ResidualHook::new(None);
+    exec_segments(ops, txn, params, Some(rows), &mut hook, sink)
 }
 
 /// Crate-internal re-export for the parallel executor's tail segments.
@@ -111,7 +114,44 @@ pub(crate) fn exec_segments_pub(
     input: Option<Vec<Row>>,
     sink: Sink<'_>,
 ) -> Result<(), QueryError> {
-    exec_segments(ops, txn, params, input, sink)
+    let mut hook = ResidualHook::new(None);
+    exec_segments(ops, txn, params, input, &mut hook, sink)
+}
+
+/// The sequential executor's view of the expression-compilation tier
+/// (see `gjit::expr`): an optional slot a compiled residual predicate may
+/// be published into mid-run, plus counters for how many scan rows went
+/// through the interpreted vs compiled residual pipeline. The slot is
+/// re-resolved per chunk, so the interpret → compiled switch lands the
+/// same way it does in the morsel scheduler.
+pub(crate) struct ResidualHook<'h> {
+    pub slot: Option<&'h ExprSlot>,
+    pub interp_rows: u64,
+    pub compiled_rows: u64,
+}
+
+impl<'h> ResidualHook<'h> {
+    pub fn new(slot: Option<&'h ExprSlot>) -> Self {
+        ResidualHook {
+            slot,
+            interp_rows: 0,
+            compiled_rows: 0,
+        }
+    }
+}
+
+/// [`exec_segments_pub`] with an expression-tier hook — the entry used by
+/// `sched::execute_collect_ctx` so Interp-mode queries pick up compiled
+/// residual filters and report the interp/compiled row split.
+pub(crate) fn exec_segments_hook(
+    ops: &[Op],
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    input: Option<Vec<Row>>,
+    hook: &mut ResidualHook<'_>,
+    sink: Sink<'_>,
+) -> Result<(), QueryError> {
+    exec_segments(ops, txn, params, input, hook, sink)
 }
 
 /// Execute operator list split at pipeline breakers. `input` is `None` for
@@ -122,11 +162,12 @@ fn exec_segments(
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
     input: Option<Vec<Row>>,
+    hook: &mut ResidualHook<'_>,
     sink: Sink<'_>,
 ) -> Result<(), QueryError> {
     let (pipe, tail) = split_first_segment(ops);
     match tail.split_first() {
-        None => exec_pipeline(pipe, txn, params, input, sink),
+        None => exec_pipeline(pipe, txn, params, input, hook, sink),
         Some((breaker, rest)) => {
             let mut buf: Vec<Row> = Vec::new();
             {
@@ -134,10 +175,14 @@ fn exec_segments(
                     buf.push(row.to_vec());
                     Ok(())
                 };
-                exec_pipeline(pipe, txn, params, input, &mut collect)?;
+                exec_pipeline(pipe, txn, params, input, hook, &mut collect)?;
             }
             let buf = apply_breaker(breaker, buf, txn, params)?;
-            exec_segments(rest, txn, params, Some(buf), sink)
+            // Only the first segment has an access path; later segments
+            // replay buffered rows, where the compiled residual expression
+            // (anchored to the leading scan's filters) no longer applies.
+            let mut tail_hook = ResidualHook::new(None);
+            exec_segments(rest, txn, params, Some(buf), &mut tail_hook, sink)
         }
     }
 }
@@ -194,6 +239,7 @@ fn exec_pipeline(
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
     input: Option<Vec<Row>>,
+    hook: &mut ResidualHook<'_>,
     sink: Sink<'_>,
 ) -> Result<(), QueryError> {
     match input {
@@ -207,7 +253,7 @@ fn exec_pipeline(
             if ops.is_empty() {
                 return Err(QueryError::BadPlan("empty pipeline".into()));
             }
-            exec_access_path(ops, txn, params, sink)
+            exec_access_path(ops, txn, params, hook, sink)
         }
     }
 }
@@ -218,6 +264,7 @@ fn exec_access_path(
     ops: &[Op],
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
+    hook: &mut ResidualHook<'_>,
     sink: Sink<'_>,
 ) -> Result<(), QueryError> {
     let rest = &ops[1..];
@@ -233,7 +280,16 @@ fn exec_access_path(
                 if !pd.node_chunk_survives(txn.db().accel(), ci) {
                     continue;
                 }
-                scan_node_chunk(ci, *label, rest, txn, params, sink)?;
+                // Re-resolved per chunk: a compiled expression published
+                // mid-scan takes over for the remaining chunks.
+                let expr = hook.slot.and_then(ExprSlot::get);
+                let (_, rows, compiled) =
+                    scan_node_chunk(ci, *label, rest, txn, params, expr, sink)?;
+                if compiled {
+                    hook.compiled_rows += rows;
+                } else {
+                    hook.interp_rows += rows;
+                }
             }
             Ok(())
         }
@@ -244,7 +300,14 @@ fn exec_access_path(
                 if !pd.rel_chunk_survives(txn.db().accel(), ci) {
                     continue;
                 }
-                scan_rel_chunk(ci, *label, rest, txn, params, sink)?;
+                let expr = hook.slot.and_then(ExprSlot::get);
+                let (_, rows, compiled) =
+                    scan_rel_chunk(ci, *label, rest, txn, params, expr, sink)?;
+                if compiled {
+                    hook.compiled_rows += rows;
+                } else {
+                    hook.interp_rows += rows;
+                }
             }
             Ok(())
         }
@@ -287,21 +350,38 @@ fn exec_access_path(
     }
 }
 
+/// Split the leading run of `Op::Filter`s off a residual pipeline — the
+/// exact conjuncts a compiled residual expression stands in for (the
+/// attach side folds the same run into one `Pred::And` chain, so both
+/// agree on how many operators the compiled function replaces).
+fn split_leading_filters(rest: &[Op]) -> (usize, &[Op]) {
+    let nf = rest
+        .iter()
+        .take_while(|op| matches!(op, Op::Filter(_)))
+        .count();
+    (nf, &rest[nf..])
+}
+
 /// Morsel entry point: run the pipeline on one node-table chunk (used by
 /// the morsel scheduler in [`crate::sched`]). Tries to claim the MVTO
 /// single-version fast path for the chunk first; clean chunks are read
 /// straight from record bytes, dirty ones through the full version-chain
-/// protocol. Returns `(fast path claimed, rows handed to the residual
-/// pipeline)`.
+/// protocol. When `expr` is present and the residual pipeline opens with
+/// filters, the compiled expression replaces that leading filter run.
+/// Returns `(fast path claimed, rows handed to the residual pipeline,
+/// compiled expression used)`.
 pub(crate) fn scan_node_chunk(
     chunk: usize,
     label: Option<u32>,
     rest: &[Op],
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
+    expr: Option<&CompiledPred>,
     sink: Sink<'_>,
-) -> Result<(bool, u64), QueryError> {
+) -> Result<(bool, u64, bool), QueryError> {
     let fast = txn.try_fast_chunk(TableTag::Node, chunk);
+    let (nf, after) = split_leading_filters(rest);
+    let expr = if nf > 0 { expr } else { None };
     let mut ids = Vec::with_capacity(64);
     txn.db().nodes().for_each_live_id(chunk, &mut |id| ids.push(id));
     let mut rows = 0u64;
@@ -310,24 +390,36 @@ pub(crate) fn scan_node_chunk(
         if let Some(n) = n {
             if label.is_none_or(|l| n.label == l) {
                 rows += 1;
-                push(rest, txn, params, &[Slot::node(id)], sink)?;
+                let row = [Slot::node(id)];
+                match expr {
+                    Some(e) => {
+                        if e(txn, params, &row)? {
+                            push(after, txn, params, &row, sink)?;
+                        }
+                    }
+                    None => push(rest, txn, params, &row, sink)?,
+                }
             }
         }
     }
-    Ok((fast, rows))
+    Ok((fast, rows, expr.is_some()))
 }
 
 /// Morsel entry point: run the pipeline on one relationship-table chunk
-/// (same fast-path contract as [`scan_node_chunk`]).
+/// (same fast-path and compiled-expression contract as
+/// [`scan_node_chunk`]).
 pub(crate) fn scan_rel_chunk(
     chunk: usize,
     label: Option<u32>,
     rest: &[Op],
     txn: &mut GraphTxn<'_>,
     params: &[PVal],
+    expr: Option<&CompiledPred>,
     sink: Sink<'_>,
-) -> Result<(bool, u64), QueryError> {
+) -> Result<(bool, u64, bool), QueryError> {
     let fast = txn.try_fast_chunk(TableTag::Rel, chunk);
+    let (nf, after) = split_leading_filters(rest);
+    let expr = if nf > 0 { expr } else { None };
     let mut ids = Vec::with_capacity(64);
     txn.db().rels().for_each_live_id(chunk, &mut |id| ids.push(id));
     let mut rows = 0u64;
@@ -336,11 +428,19 @@ pub(crate) fn scan_rel_chunk(
         if let Some(r) = r {
             if label.is_none_or(|l| r.label == l) {
                 rows += 1;
-                push(rest, txn, params, &[Slot::rel(id)], sink)?;
+                let row = [Slot::rel(id)];
+                match expr {
+                    Some(e) => {
+                        if e(txn, params, &row)? {
+                            push(after, txn, params, &row, sink)?;
+                        }
+                    }
+                    None => push(rest, txn, params, &row, sink)?,
+                }
             }
         }
     }
-    Ok((fast, rows))
+    Ok((fast, rows, expr.is_some()))
 }
 
 /// Candidate node ids for an `IndexRangeScan` with resolved key bounds, in
@@ -562,8 +662,10 @@ fn prop_of(
     Ok(txn.prop_pval(owner, key)?)
 }
 
-/// Evaluate a predicate on a row.
-pub(crate) fn eval_pred(
+/// Evaluate a predicate on a row. Public because the expression-
+/// compilation tier (`gjit::expr`) and its differential tests use this as
+/// the semantic reference for compiled predicates.
+pub fn eval_pred(
     pred: &Pred,
     row: &[Slot],
     txn: &GraphTxn<'_>,

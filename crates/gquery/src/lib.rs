@@ -24,12 +24,14 @@ pub mod pushdown;
 pub mod sched;
 pub mod shard;
 
-pub use exec::{execute, execute_collect, execute_prebuffered, QueryError};
+pub use exec::{eval_pred, execute, execute_collect, execute_prebuffered, QueryError};
 pub use parallel::{execute_parallel, execute_parallel_ctx};
-pub use plan::{split_first_segment, CmpOp, Op, PPar, Plan, Pred, Proj, Row, Slot, SlotTag};
+pub use plan::{
+    pred_fingerprint, split_first_segment, CmpOp, Op, PPar, Plan, Pred, Proj, Row, Slot, SlotTag,
+};
 pub use pushdown::Pushdown;
 pub use sched::{
-    execute_collect_ctx, execute_morsels, morsel_eligible, parallel_for, CompiledTask, ExecCtx,
-    ExecMode, ExecProfile, FallbackReason, MorselSource, TaskSlot,
+    execute_collect_ctx, execute_morsels, morsel_eligible, parallel_for, CompiledPred,
+    CompiledTask, ExecCtx, ExecMode, ExecProfile, ExprSlot, FallbackReason, MorselSource, TaskSlot,
 };
 pub use shard::{for_each_node_parallel, for_each_rel_parallel, ShardMorsel, ShardReaders};

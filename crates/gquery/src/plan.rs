@@ -378,6 +378,17 @@ pub fn split_first_segment(ops: &[Op]) -> (&[Op], &[Op]) {
     ops.split_at(cut)
 }
 
+/// Shape hash of a single predicate — the expression-tier analogue of
+/// [`Plan::fingerprint`]. Parameter positions are holes, constants are
+/// part of the shape, so two invocations of the same residual filter
+/// template share a fingerprint. Keys the compiled-expression caches
+/// (in-memory and the on-disk `{base}.jitcache`).
+pub fn pred_fingerprint(p: &Pred) -> u64 {
+    let mut bytes = Vec::with_capacity(32);
+    hash_pred(p, &mut bytes);
+    fnv1a(&bytes)
+}
+
 fn hash_op(op: &Op, h: &mut Vec<u8>) {
     match op {
         Op::Once => h.push(0),

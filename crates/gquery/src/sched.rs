@@ -27,7 +27,7 @@
 //! scans, key/candidate order for index ranges).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use graphcore::{GraphDb, GraphTxn};
@@ -153,9 +153,14 @@ pub struct ExecProfile {
     /// Morsels that claimed the MVTO single-version fast path (clean
     /// chunks read straight from record bytes).
     pub fast_path_morsels: u64,
-    /// Rows materialized from surviving chunks and handed to the residual
-    /// pipeline (the per-row filtering pushdown could not elide).
-    pub residual_rows: u64,
+    /// Rows materialized from surviving chunks and handed to a residual
+    /// pipeline that walked the predicate AST per row (the per-row
+    /// filtering pushdown could not elide, and no compiled expression was
+    /// available yet).
+    pub residual_rows_interp: u64,
+    /// Rows whose residual filters ran through a compiled expression from
+    /// the `gjit::expr` tier instead of the AST walker.
+    pub residual_rows_compiled: u64,
     /// Per-segment wall-clock timings, in execution order.
     pub segments: Vec<(&'static str, Duration)>,
     /// First fallback hit, if any.
@@ -166,6 +171,13 @@ impl ExecProfile {
     /// Record a fallback; the first reason sticks.
     pub fn note_fallback(&mut self, reason: FallbackReason) {
         self.fallback.get_or_insert(reason);
+    }
+
+    /// Combined residual row count (interpreted + compiled) — the quantity
+    /// the old `residual_rows` field reported before the expression tier
+    /// split it.
+    pub fn residual_rows(&self) -> u64 {
+        self.residual_rows_interp + self.residual_rows_compiled
     }
 
     /// Fold another step's profile into this one.
@@ -179,7 +191,8 @@ impl ExecProfile {
         self.rows += other.rows;
         self.chunks_pruned += other.chunks_pruned;
         self.fast_path_morsels += other.fast_path_morsels;
-        self.residual_rows += other.residual_rows;
+        self.residual_rows_interp += other.residual_rows_interp;
+        self.residual_rows_compiled += other.residual_rows_compiled;
         self.segments.extend(other.segments);
         if self.fallback.is_none() {
             self.fallback = other.fallback;
@@ -200,6 +213,11 @@ pub struct ExecCtx<'a> {
     /// knob that emulates slow media so the compile-vs-interpret race has
     /// a controllable outcome (pairs with `JitEngine::set_compile_delay`).
     pub morsel_pace: Option<Duration>,
+    /// Slot a compiled residual expression may be published into (by
+    /// `gjit::attach_residual_expr`), mirroring the [`TaskSlot`] switch
+    /// protocol at predicate granularity. The expression must correspond
+    /// to the leading `Filter` run of the plan this context executes.
+    pub residual_expr: Option<Arc<ExprSlot>>,
     pub profile: ExecProfile,
 }
 
@@ -210,8 +228,14 @@ impl<'a> ExecCtx<'a> {
             deadline: None,
             cancel: None,
             morsel_pace: None,
+            residual_expr: None,
             profile: ExecProfile::default(),
         }
+    }
+
+    pub fn with_residual_expr(mut self, slot: Arc<ExprSlot>) -> Self {
+        self.residual_expr = Some(slot);
+        self
     }
 
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
@@ -274,13 +298,17 @@ pub trait MorselSource: Send + Sync {
     fn morsel_count(&self) -> usize;
 
     /// Run `rest` (the pipeline after the access path) interpreted over
-    /// morsel `morsel`, pushing rows to `sink`.
+    /// morsel `morsel`, pushing rows to `sink`. A compiled residual
+    /// expression in `expr` replaces the leading `Filter` run of `rest`
+    /// for sources that feed single-entity rows (table chunk scans);
+    /// other sources ignore it.
     fn run_interpreted(
         &self,
         morsel: usize,
         rest: &[Op],
         txn: &mut GraphTxn<'_>,
         params: &[PVal],
+        expr: Option<&CompiledPred>,
         sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
     ) -> Result<(), QueryError>;
 
@@ -290,10 +318,11 @@ pub trait MorselSource: Send + Sync {
     fn compiled_range(&self, morsel: usize) -> Option<(u64, u64)>;
 
     /// Read-acceleration stats accumulated across interpreted morsels:
-    /// `(fast-path morsels, rows handed to the residual pipeline)`.
-    /// Sources without per-morsel instrumentation report zeros.
-    fn drain_stats(&self) -> (u64, u64) {
-        (0, 0)
+    /// `(fast-path morsels, residual rows through the interpreted filter
+    /// walker, residual rows through a compiled expression)`. Sources
+    /// without per-morsel instrumentation report zeros.
+    fn drain_stats(&self) -> (u64, u64, u64) {
+        (0, 0, 0)
     }
 
     /// Access-path name for profiles and diagnostics.
@@ -310,7 +339,8 @@ struct NodeChunks {
     /// morsel-order merging still reproduces the sequential row order).
     chunks: Vec<usize>,
     fast: AtomicU64,
-    residual: AtomicU64,
+    residual_interp: AtomicU64,
+    residual_compiled: AtomicU64,
 }
 
 impl MorselSource for NodeChunks {
@@ -324,14 +354,19 @@ impl MorselSource for NodeChunks {
         rest: &[Op],
         txn: &mut GraphTxn<'_>,
         params: &[PVal],
+        expr: Option<&CompiledPred>,
         sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
     ) -> Result<(), QueryError> {
-        let (fast, rows) =
-            exec::scan_node_chunk(self.chunks[morsel], self.label, rest, txn, params, sink)?;
+        let (fast, rows, compiled) =
+            exec::scan_node_chunk(self.chunks[morsel], self.label, rest, txn, params, expr, sink)?;
         if fast {
             self.fast.fetch_add(1, Ordering::Relaxed);
         }
-        self.residual.fetch_add(rows, Ordering::Relaxed);
+        if compiled {
+            self.residual_compiled.fetch_add(rows, Ordering::Relaxed);
+        } else {
+            self.residual_interp.fetch_add(rows, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -340,10 +375,11 @@ impl MorselSource for NodeChunks {
         Some((c, c + 1))
     }
 
-    fn drain_stats(&self) -> (u64, u64) {
+    fn drain_stats(&self) -> (u64, u64, u64) {
         (
             self.fast.load(Ordering::Relaxed),
-            self.residual.load(Ordering::Relaxed),
+            self.residual_interp.load(Ordering::Relaxed),
+            self.residual_compiled.load(Ordering::Relaxed),
         )
     }
 
@@ -356,7 +392,8 @@ struct RelChunks {
     label: Option<u32>,
     chunks: Vec<usize>,
     fast: AtomicU64,
-    residual: AtomicU64,
+    residual_interp: AtomicU64,
+    residual_compiled: AtomicU64,
 }
 
 impl MorselSource for RelChunks {
@@ -370,14 +407,19 @@ impl MorselSource for RelChunks {
         rest: &[Op],
         txn: &mut GraphTxn<'_>,
         params: &[PVal],
+        expr: Option<&CompiledPred>,
         sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
     ) -> Result<(), QueryError> {
-        let (fast, rows) =
-            exec::scan_rel_chunk(self.chunks[morsel], self.label, rest, txn, params, sink)?;
+        let (fast, rows, compiled) =
+            exec::scan_rel_chunk(self.chunks[morsel], self.label, rest, txn, params, expr, sink)?;
         if fast {
             self.fast.fetch_add(1, Ordering::Relaxed);
         }
-        self.residual.fetch_add(rows, Ordering::Relaxed);
+        if compiled {
+            self.residual_compiled.fetch_add(rows, Ordering::Relaxed);
+        } else {
+            self.residual_interp.fetch_add(rows, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -386,10 +428,11 @@ impl MorselSource for RelChunks {
         Some((c, c + 1))
     }
 
-    fn drain_stats(&self) -> (u64, u64) {
+    fn drain_stats(&self) -> (u64, u64, u64) {
         (
             self.fast.load(Ordering::Relaxed),
-            self.residual.load(Ordering::Relaxed),
+            self.residual_interp.load(Ordering::Relaxed),
+            self.residual_compiled.load(Ordering::Relaxed),
         )
     }
 
@@ -418,8 +461,12 @@ impl MorselSource for IndexRange {
         rest: &[Op],
         txn: &mut GraphTxn<'_>,
         params: &[PVal],
+        _expr: Option<&CompiledPred>,
         sink: &mut dyn FnMut(&[Slot]) -> Result<(), QueryError>,
     ) -> Result<(), QueryError> {
+        // Compiled residual expressions never apply to index-range
+        // morsels: the candidate re-check is not a plan `Filter`, so
+        // there is no leading filter run for the expression to replace.
         for &id in &self.batches[morsel] {
             exec::push_range_candidate(
                 id, self.label, self.key, self.lo, self.hi, rest, txn, params, sink,
@@ -460,7 +507,8 @@ fn source_for(
                     label: *label,
                     chunks,
                     fast: AtomicU64::new(0),
-                    residual: AtomicU64::new(0),
+                    residual_interp: AtomicU64::new(0),
+                    residual_compiled: AtomicU64::new(0),
                 }),
                 pruned,
             ))
@@ -473,7 +521,8 @@ fn source_for(
                     label: *label,
                     chunks,
                     fast: AtomicU64::new(0),
-                    residual: AtomicU64::new(0),
+                    residual_interp: AtomicU64::new(0),
+                    residual_compiled: AtomicU64::new(0),
                 }),
                 pruned,
             ))
@@ -555,6 +604,56 @@ impl TaskSlot {
     }
 }
 
+/// A compiled residual predicate: one native `fn(row) -> bool` standing in
+/// for the leading `Filter` run of a residual pipeline. Published by
+/// `gjit::expr` (as a closure over its `CompiledExpr`) so this crate stays
+/// independent of the JIT backend — same layering as [`CompiledTask`].
+pub type CompiledPred =
+    Box<dyn Fn(&mut GraphTxn<'_>, &[PVal], &[Slot]) -> Result<bool, QueryError> + Send + Sync>;
+
+/// The [`TaskSlot`] switch protocol at predicate granularity: starts empty
+/// (residual filters walk the AST), a background compiler publishes a
+/// compiled expression or a permanent failure exactly once, and scans
+/// observe the publication on their next chunk. Shared via `Arc` across
+/// worker threads and across per-shard executions, so a plan compiled once
+/// serves every shard's scan.
+#[derive(Default)]
+pub struct ExprSlot {
+    cell: OnceLock<Option<CompiledPred>>,
+}
+
+impl ExprSlot {
+    pub fn new() -> ExprSlot {
+        ExprSlot::default()
+    }
+
+    /// Publish the compiled expression (first publication wins).
+    pub fn publish(&self, pred: CompiledPred) {
+        let _ = self.cell.set(Some(pred));
+    }
+
+    /// Record that expression compilation failed; filters keep walking
+    /// the AST.
+    pub fn publish_failure(&self) {
+        let _ = self.cell.set(None);
+    }
+
+    /// The compiled expression, if one has been published.
+    pub fn get(&self) -> Option<&CompiledPred> {
+        self.cell.get().and_then(Option::as_ref)
+    }
+
+    /// True once a compiled expression is available.
+    pub fn is_compiled(&self) -> bool {
+        self.get().is_some()
+    }
+
+    /// True if compilation finished with a failure.
+    pub fn compile_failed(&self) -> bool {
+        matches!(self.cell.get(), Some(None))
+    }
+}
+
 /// Execute a read-only plan through the morsel scheduler.
 ///
 /// Workers pull morsel indexes from a shared counter; each morsel runs the
@@ -592,6 +691,8 @@ pub fn execute_morsels(
     let params = ctx.params;
     let interrupt = ctx.interrupt();
     let pace = ctx.morsel_pace;
+    let expr_slot = ctx.residual_expr.clone();
+    let expr_slot = expr_slot.as_deref();
 
     let head_start = Instant::now();
     let next = AtomicUsize::new(0);
@@ -636,11 +737,15 @@ pub fn execute_morsels(
                             }
                             let mut rows: Vec<Row> = Vec::new();
                             let res = {
+                                // Like the task slot above: whichever
+                                // compiled expression is published *now*
+                                // filters this morsel's residual rows.
+                                let expr = expr_slot.and_then(ExprSlot::get);
                                 let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
                                     rows.push(row.to_vec());
                                     Ok(())
                                 };
-                                source.run_interpreted(m, rest, &mut txn, params, &mut sink)
+                                source.run_interpreted(m, rest, &mut txn, params, expr, &mut sink)
                             };
                             res.map(|()| rows)
                         }
@@ -664,9 +769,10 @@ pub fn execute_morsels(
     ctx.profile.morsels += morsels as u64;
     ctx.profile.interpreted_morsels += interp_count.into_inner();
     ctx.profile.compiled_morsels += jit_count.into_inner();
-    let (fast, residual) = source.drain_stats();
+    let (fast, resid_interp, resid_compiled) = source.drain_stats();
     ctx.profile.fast_path_morsels += fast;
-    ctx.profile.residual_rows += residual;
+    ctx.profile.residual_rows_interp += resid_interp;
+    ctx.profile.residual_rows_compiled += resid_compiled;
     let head_elapsed = gobs::saturating_elapsed(head_start);
     if gobs::spans_enabled() {
         obs::morsel_head(head_elapsed);
@@ -783,6 +889,8 @@ pub fn execute_collect_ctx(
     ctx.check_interrupt()?;
     let start = Instant::now();
     let interrupt = ctx.interrupt();
+    let expr_slot = ctx.residual_expr.clone();
+    let mut hook = exec::ResidualHook::new(expr_slot.as_deref());
     let mut rows: Vec<Row> = Vec::new();
     {
         let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
@@ -792,10 +900,12 @@ pub fn execute_collect_ctx(
             }
             Ok(())
         };
-        exec::exec_segments_pub(&plan.ops, txn, ctx.params, None, &mut sink)?;
+        exec::exec_segments_hook(&plan.ops, txn, ctx.params, None, &mut hook, &mut sink)?;
     }
     ctx.profile.morsels += 1;
     ctx.profile.interpreted_morsels += 1;
+    ctx.profile.residual_rows_interp += hook.interp_rows;
+    ctx.profile.residual_rows_compiled += hook.compiled_rows;
     let elapsed = gobs::saturating_elapsed(start);
     if gobs::spans_enabled() {
         obs::interp(elapsed);

@@ -130,7 +130,29 @@ pub fn build_registry(
         "morsels scanned via the MVTO single-version fast path",
         fast_path_morsels
     );
-    srv!("pmemgraph_exec_residual_rows_total", "rows evaluated by residual filters after pruning", residual_rows);
+    srv!(
+        "pmemgraph_exec_residual_rows_interp_total",
+        "residual-filter rows evaluated by the AST interpreter",
+        residual_rows_interp
+    );
+    srv!(
+        "pmemgraph_exec_residual_rows_compiled_total",
+        "residual-filter rows evaluated by compiled expressions",
+        residual_rows_compiled
+    );
+    {
+        // Combined family kept for existing dashboards; the split series
+        // above are the authoritative cells.
+        let s = stats.clone();
+        reg.fn_counter(
+            "pmemgraph_exec_residual_rows_total",
+            "rows evaluated by residual filters after pruning",
+            move || {
+                s.residual_rows_interp.load(Ordering::Relaxed)
+                    + s.residual_rows_compiled.load(Ordering::Relaxed)
+            },
+        );
+    }
     srv!("pmemgraph_exec_fallback_total", "requests whose profile recorded a fallback", fallback_total);
 
     // MVTO transaction counters: authoritative cells in the txn manager.
@@ -169,6 +191,30 @@ pub fn build_registry(
         reg.fn_gauge("pmemgraph_jit_code_cache_capacity", "code-cache capacity", move || {
             e.code_cache_capacity() as i64
         });
+    }
+    {
+        let e = engine.clone();
+        reg.fn_gauge(
+            "pmemgraph_jit_expr_cache_entries",
+            "compiled residual expressions resident in memory",
+            move || e.expr_cache_len() as i64,
+        );
+    }
+    {
+        let e = engine.clone();
+        reg.fn_gauge(
+            "pmemgraph_jit_disk_cache_entries",
+            "compiled expressions held in the on-disk code cache",
+            move || e.disk_cache_len() as i64,
+        );
+    }
+    {
+        let e = engine.clone();
+        reg.fn_gauge(
+            "pmemgraph_jit_cache_bytes",
+            "bytes of compiled code in the on-disk cache (bounded by PMEMGRAPH_CODE_CACHE_BYTES)",
+            move || e.disk_cache_bytes().min(i64::MAX as u64) as i64,
+        );
     }
 
     // PMem pool counters (flush/fence/allocator/group-commit).

@@ -19,6 +19,9 @@
 //! {"op":"stats"}
 //! {"op":"metrics"}              // Prometheus exposition as a JSON string
 //! {"op":"slowlog"}              // slow-query ring; add "clear":true to drain
+//! {"op":"jitcache"}             // expression-tier cache status + PGO profiles
+//! {"op":"jitcache","action":"warm"}   // preload disk-cached expressions
+//! {"op":"jitcache","action":"clear"}  // drop memory + disk expression caches
 //! {"op":"analytics","algo":"pagerank","iters":10,"damping":0.85}
 //! {"op":"analytics","algo":"bfs","source":42,"rel_label":"KNOWS"}
 //! {"op":"analytics","algo":"wcc","deadline_ms":5000}
@@ -190,6 +193,11 @@ pub enum Request {
     Slowlog {
         clear: bool,
     },
+    /// Inspect or manage the expression tier's code caches:
+    /// `status` (default), `warm` or `clear`.
+    JitCache {
+        action: String,
+    },
     Ping,
     Quit,
     Shutdown,
@@ -281,6 +289,13 @@ impl Request {
             "metrics" => Request::Metrics,
             "slowlog" => Request::Slowlog {
                 clear: v.get("clear").and_then(Json::as_bool).unwrap_or(false),
+            },
+            "jitcache" => Request::JitCache {
+                action: v
+                    .get("action")
+                    .and_then(Json::as_str)
+                    .unwrap_or("status")
+                    .to_string(),
             },
             "ping" => Request::Ping,
             "quit" => Request::Quit,
@@ -403,6 +418,14 @@ mod tests {
             Request::parse("{\"op\":\"slowlog\",\"clear\":true}").unwrap(),
             Request::Slowlog { clear: true }
         ));
+        match Request::parse("{\"op\":\"jitcache\"}").unwrap() {
+            Request::JitCache { action } => assert_eq!(action, "status"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Request::parse("{\"op\":\"jitcache\",\"action\":\"warm\"}").unwrap() {
+            Request::JitCache { action } => assert_eq!(action, "warm"),
+            other => panic!("wrong parse: {other:?}"),
+        }
         assert!(Request::parse("{\"op\":\"execute\"}").is_err());
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse("{\"op\":\"warp\"}").is_err());

@@ -133,8 +133,12 @@ pub struct ServerStats {
     pub chunks_pruned: AtomicU64,
     /// Morsels that scanned through the MVTO single-version fast path.
     pub fast_path_morsels: AtomicU64,
-    /// Rows surviving chunk pruning that the residual filters evaluated.
-    pub residual_rows: AtomicU64,
+    /// Rows surviving chunk pruning whose residual filters ran through
+    /// the AST interpreter.
+    pub residual_rows_interp: AtomicU64,
+    /// Rows surviving chunk pruning whose residual filters ran as a
+    /// compiled expression (the gjit expression tier).
+    pub residual_rows_compiled: AtomicU64,
     /// Requests whose profile recorded a fallback from the mode's fast
     /// path (update plan, non-morsel access path, or JIT-unsupported).
     pub fallback_total: AtomicU64,
@@ -646,6 +650,9 @@ fn dispatch<'db>(
             Flow::Continue,
         )),
         Request::Slowlog { clear } => Ok((slowlog_response(shared, clear), Flow::Continue)),
+        Request::JitCache { action } => {
+            do_jitcache(shared, &action).map(|resp| (resp, Flow::Continue))
+        }
         Request::Shutdown => {
             if shared.config.allow_remote_shutdown {
                 shared.stop.store(true, Ordering::SeqCst);
@@ -816,8 +823,12 @@ fn do_execute(
         .fetch_add(profile.fast_path_morsels, Ordering::Relaxed);
     shared
         .stats
-        .residual_rows
-        .fetch_add(profile.residual_rows, Ordering::Relaxed);
+        .residual_rows_interp
+        .fetch_add(profile.residual_rows_interp, Ordering::Relaxed);
+    shared
+        .stats
+        .residual_rows_compiled
+        .fetch_add(profile.residual_rows_compiled, Ordering::Relaxed);
     if profile.fallback.is_some() {
         shared.stats.fallback_total.fetch_add(1, Ordering::Relaxed);
     }
@@ -879,7 +890,8 @@ fn slow_entry(
         compiled_morsels: profile.compiled_morsels,
         chunks_pruned: profile.chunks_pruned,
         fast_path_morsels: profile.fast_path_morsels,
-        residual_rows: profile.residual_rows,
+        residual_rows_interp: profile.residual_rows_interp,
+        residual_rows_compiled: profile.residual_rows_compiled,
         fallback: profile.fallback.map(|f| f.as_str().to_string()),
         segments: profile
             .segments
@@ -903,7 +915,15 @@ fn profile_json(p: &ExecProfile) -> Json {
         ("rows", Json::Int(p.rows as i64)),
         ("chunks_pruned", Json::Int(p.chunks_pruned as i64)),
         ("fast_path_morsels", Json::Int(p.fast_path_morsels as i64)),
-        ("residual_rows", Json::Int(p.residual_rows as i64)),
+        ("residual_rows", Json::Int(p.residual_rows() as i64)),
+        (
+            "residual_rows_interp",
+            Json::Int(p.residual_rows_interp as i64),
+        ),
+        (
+            "residual_rows_compiled",
+            Json::Int(p.residual_rows_compiled as i64),
+        ),
         (
             "fallback",
             p.fallback
@@ -1236,6 +1256,64 @@ fn do_config(
     ]))
 }
 
+/// The `JITCACHE` verb: inspect or manage the expression tier's code
+/// caches. `status` reports the live cache sizes plus the hottest PGO
+/// plan profiles; `warm` preloads every disk-cached expression into the
+/// in-memory cache (the explicit form of what `attach_residual_expr`
+/// does lazily per plan); `clear` drops both the in-memory expression
+/// cache and the on-disk `.jitcache` file.
+fn do_jitcache(shared: &Shared, action: &str) -> Result<String, ProtoError> {
+    let warmed = match action {
+        "status" => 0,
+        "warm" => shared.engine.warm_exprs(),
+        "clear" => {
+            shared.engine.clear_expr_cache();
+            shared
+                .engine
+                .clear_disk_cache()
+                .map_err(|e| ProtoError::new(ErrorCode::Internal, e.to_string()))?;
+            0
+        }
+        other => {
+            return Err(ProtoError::bad_request(format!(
+                "unknown jitcache action {other:?} (status | warm | clear)"
+            )))
+        }
+    };
+    let pgo: Vec<Json> = shared
+        .engine
+        .pgo()
+        .snapshot()
+        .into_iter()
+        .take(8)
+        .map(|(fp, rows, runs, rps)| {
+            obj(vec![
+                ("plan", Json::Str(format!("{fp:016x}"))),
+                ("rows", Json::Int(rows.min(i64::MAX as u64) as i64)),
+                ("runs", Json::Int(runs.min(i64::MAX as u64) as i64)),
+                ("rows_per_sec", Json::Int(rps.min(i64::MAX as u64) as i64)),
+            ])
+        })
+        .collect();
+    Ok(ok_response(vec![
+        ("action", Json::Str(action.into())),
+        ("warmed", Json::Int(warmed as i64)),
+        (
+            "expr_cache_len",
+            Json::Int(shared.engine.expr_cache_len() as i64),
+        ),
+        (
+            "disk_cache_len",
+            Json::Int(shared.engine.disk_cache_len() as i64),
+        ),
+        (
+            "disk_cache_bytes",
+            Json::Int(shared.engine.disk_cache_bytes().min(i64::MAX as u64) as i64),
+        ),
+        ("pgo", Json::Arr(pgo)),
+    ]))
+}
+
 /// Assemble the `STATS` response: one JSON object per subsystem, all
 /// counters monotonic except the gauges under `sessions`/`jit`.
 ///
@@ -1297,6 +1375,9 @@ fn stats_response(shared: &Shared) -> String {
                 ("evictions", v("pmemgraph_jit_evictions_total")),
                 ("cache_len", v("pmemgraph_jit_code_cache_entries")),
                 ("cache_capacity", v("pmemgraph_jit_code_cache_capacity")),
+                ("expr_cache_len", v("pmemgraph_jit_expr_cache_entries")),
+                ("disk_cache_len", v("pmemgraph_jit_disk_cache_entries")),
+                ("disk_cache_bytes", v("pmemgraph_jit_cache_bytes")),
             ]),
         ),
         (
@@ -1314,6 +1395,14 @@ fn stats_response(shared: &Shared) -> String {
                     v("pmemgraph_exec_fast_path_morsels_total"),
                 ),
                 ("residual_rows", v("pmemgraph_exec_residual_rows_total")),
+                (
+                    "residual_rows_interp",
+                    v("pmemgraph_exec_residual_rows_interp_total"),
+                ),
+                (
+                    "residual_rows_compiled",
+                    v("pmemgraph_exec_residual_rows_compiled_total"),
+                ),
                 ("fallback_total", v("pmemgraph_exec_fallback_total")),
             ]),
         ),
@@ -1427,7 +1516,18 @@ fn slow_entry_json(e: &SlowEntry) -> Json {
         ("compiled_morsels", Json::Int(e.compiled_morsels as i64)),
         ("chunks_pruned", Json::Int(e.chunks_pruned as i64)),
         ("fast_path_morsels", Json::Int(e.fast_path_morsels as i64)),
-        ("residual_rows", Json::Int(e.residual_rows as i64)),
+        (
+            "residual_rows",
+            Json::Int((e.residual_rows_interp + e.residual_rows_compiled) as i64),
+        ),
+        (
+            "residual_rows_interp",
+            Json::Int(e.residual_rows_interp as i64),
+        ),
+        (
+            "residual_rows_compiled",
+            Json::Int(e.residual_rows_compiled as i64),
+        ),
         (
             "fallback",
             e.fallback

@@ -163,10 +163,38 @@ pub fn run_plan(
     run_plan_ctx(plan, txn, &mut ctx, mode)
 }
 
+/// Run `f` with the expression tier armed for `plan` on the process-wide
+/// engine: probe/compile the residual predicate, clear the slot when done,
+/// and feed the PGO profile with the run's residual row count. The AOT
+/// modes (Interp/Parallel) route through this so hot residual filters
+/// reach machine code without the plans themselves being JIT-compiled;
+/// `PMEMGRAPH_EXPR_JIT=0` restores the pure-AOT baseline (the attach
+/// becomes a no-op).
+fn with_residual_expr(
+    plan: &Plan,
+    ctx: &mut ExecCtx<'_>,
+    f: impl FnOnce(&mut ExecCtx<'_>) -> Result<Vec<Row>, QueryError>,
+) -> Result<Vec<Row>, QueryError> {
+    let engine = gjit::default_engine();
+    let handle = gjit::attach_residual_expr(engine, plan, ctx);
+    let before = ctx.profile.residual_rows();
+    let start = std::time::Instant::now();
+    let result = f(ctx);
+    ctx.residual_expr = None;
+    if let Some(h) = &handle {
+        let delta = ctx.profile.residual_rows().saturating_sub(before);
+        gjit::record_residual_run(engine, h, delta, start.elapsed());
+    }
+    result
+}
+
 /// [`run_plan`] with an explicit [`ExecCtx`]: every mode honours the
 /// context's deadline and cancellation flag, and the context's profile
 /// records what actually ran — including the reason whenever a plan falls
-/// back from its mode's fast path.
+/// back from its mode's fast path. In every mode the residual filters of
+/// scan plans go through the adaptive expression tier ([`gjit::expr`]);
+/// the `Jit` mode needs no attach because its pipeline codegen compiles
+/// filters inline.
 pub fn run_plan_ctx(
     plan: &Plan,
     txn: &mut GraphTxn<'_>,
@@ -176,7 +204,11 @@ pub fn run_plan_ctx(
     match mode {
         Mode::Interp => {
             ctx.profile.mode.get_or_insert(ExecMode::Interp);
-            execute_collect_ctx(plan, txn, ctx)
+            if plan.is_update() {
+                execute_collect_ctx(plan, txn, ctx)
+            } else {
+                with_residual_expr(plan, ctx, |ctx| execute_collect_ctx(plan, txn, ctx))
+            }
         }
         Mode::Parallel(n) => {
             ctx.profile.mode.get_or_insert(ExecMode::Parallel);
@@ -187,10 +219,12 @@ pub fn run_plan_ctx(
                 execute_collect_ctx(plan, txn, ctx)
             } else if !morsel_eligible(plan) {
                 ctx.profile.note_fallback(FallbackReason::AccessPath);
-                execute_collect_ctx(plan, txn, ctx)
+                with_residual_expr(plan, ctx, |ctx| execute_collect_ctx(plan, txn, ctx))
             } else {
                 let db = txn.db();
-                execute_parallel_ctx(plan, db, txn, ctx, *n)
+                with_residual_expr(plan, ctx, |ctx| {
+                    execute_parallel_ctx(plan, db, txn, ctx, *n)
+                })
             }
         }
         Mode::Jit(engine) => execute_jit_ctx(engine, plan, txn, ctx),
