@@ -215,7 +215,7 @@ fn main() {
         engine_b.disk_cache_bytes()
     );
     bench::write_results("jit_expr", &json);
-    let _ = std::fs::remove_file(&cache_path.with_extension("jitcache"));
+    let _ = std::fs::remove_file(cache_path.with_extension("jitcache"));
 
     if std::env::var("ASSERT_EXPR_JIT").is_ok() {
         assert!(

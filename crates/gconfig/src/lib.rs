@@ -120,6 +120,30 @@ pub const KNOBS: &[Knob] = &[
         default: "16777216",
         help: "LRU bound, in code bytes, of the on-disk compiled-expression cache ({base}.jitcache)",
     },
+    Knob {
+        name: "PMEMGRAPH_NET_MODE",
+        kind: KnobKind::Str,
+        default: "evented",
+        help: "network front end: evented (epoll reactor + fixed net-worker pool) | threaded (thread per connection; the fallback on non-Linux)",
+    },
+    Knob {
+        name: "PMEMGRAPH_MAX_CONNS",
+        kind: KnobKind::U64,
+        default: "1024",
+        help: "maximum concurrent connections (session-table bound; further connects get SERVER_BUSY)",
+    },
+    Knob {
+        name: "PMEMGRAPH_PIPELINE_DEPTH",
+        kind: KnobKind::U64,
+        default: "32",
+        help: "per-connection in-flight request cap; past it the reactor pauses the socket's read interest instead of erroring",
+    },
+    Knob {
+        name: "PMEMGRAPH_NET_WORKERS",
+        kind: KnobKind::U64,
+        default: "0",
+        help: "evented-mode request-processing threads (0 = auto: max(workers, 4))",
+    },
 ];
 
 /// Parse a boolean knob: on unless set to `0`/`false`/`off`/`no`. An unset
@@ -212,6 +236,30 @@ pub fn pgo() -> bool {
 /// on-disk compiled-expression cache, in code bytes.
 pub fn code_cache_bytes() -> u64 {
     u64_knob("PMEMGRAPH_CODE_CACHE_BYTES", 16 << 20)
+}
+
+/// `PMEMGRAPH_NET_MODE` raw value (default `evented`). Parsing into the
+/// typed mode enum lives in `gserver`.
+pub fn net_mode() -> String {
+    std::env::var("PMEMGRAPH_NET_MODE").unwrap_or_else(|_| "evented".into())
+}
+
+/// `PMEMGRAPH_MAX_CONNS` (default 1024): concurrent-connection bound.
+/// Values below 1 are clamped to 1.
+pub fn max_conns() -> u64 {
+    u64_knob("PMEMGRAPH_MAX_CONNS", 1024).max(1)
+}
+
+/// `PMEMGRAPH_PIPELINE_DEPTH` (default 32): per-connection in-flight
+/// request cap before read interest is paused. Clamped to at least 1.
+pub fn pipeline_depth() -> u64 {
+    u64_knob("PMEMGRAPH_PIPELINE_DEPTH", 32).max(1)
+}
+
+/// `PMEMGRAPH_NET_WORKERS` (default 0 = auto): evented-mode
+/// request-processing threads.
+pub fn net_workers() -> u64 {
+    u64_knob("PMEMGRAPH_NET_WORKERS", 0)
 }
 
 /// One knob's effective state: `(name, value, is_default, help)`.

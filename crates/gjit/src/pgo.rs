@@ -163,7 +163,7 @@ impl PgoTable {
                 )
             })
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 }

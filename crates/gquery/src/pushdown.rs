@@ -48,11 +48,8 @@ impl Pushdown {
     /// (`seg[0]` is the access path; consecutive `Filter`s follow).
     pub fn extract(seg: &[Op], params: &[PVal]) -> Pushdown {
         let mut pd = Pushdown::default();
-        match seg.first() {
-            Some(Op::NodeScan { label: Some(l) } | Op::RelScan { label: Some(l) }) => {
-                pd.labels.push(*l);
-            }
-            _ => {}
+        if let Some(Op::NodeScan { label: Some(l) } | Op::RelScan { label: Some(l) }) = seg.first() {
+            pd.labels.push(*l);
         }
         for op in &seg[1.min(seg.len())..] {
             let Op::Filter(pred) = op else { break };

@@ -895,7 +895,7 @@ pub fn execute_collect_ctx(
     {
         let mut sink = |row: &[Slot]| -> Result<(), QueryError> {
             rows.push(row.to_vec());
-            if rows.len() % 512 == 0 {
+            if rows.len().is_multiple_of(512) {
                 interrupt.check()?;
             }
             Ok(())

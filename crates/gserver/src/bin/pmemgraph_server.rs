@@ -11,19 +11,23 @@
 //! | `PMEM_PATH`       | *(unset = DRAM)* | file-backed persistent pool      |
 //! | `POOL_MB`         | `1024`           | pool size in MiB                 |
 //! | `WORKERS`         | `4`              | execution slots                  |
-//! | `MAX_SESSIONS`    | `64`             | concurrent connections           |
+//! | `MAX_SESSIONS`    | `PMEMGRAPH_MAX_CONNS` (1024) | concurrent connections |
 //! | `IDLE_TIMEOUT_MS` | `60000`          | session idle kill                |
 //! | `DEADLINE_MS`     | `5000`           | default per-request deadline     |
 //! | `EXEC_THREADS`    | `2`              | morsel threads per query         |
 //! | `ALLOW_SHUTDOWN`  | `0`              | honour the remote `shutdown` op  |
 //! | `DEBUG_OPS`       | `0`              | honour the `sleep` debug op      |
 //!
-//! Observability (read by `ServerConfig::default()`):
+//! Network front end and observability (read by `ServerConfig::default()`):
 //!
-//! | variable                 | default     | meaning                            |
-//! |--------------------------|-------------|------------------------------------|
-//! | `PMEMGRAPH_METRICS_ADDR` | *(unset)*   | standalone Prometheus scrape port  |
-//! | `PMEMGRAPH_SLOW_QUERY_US`| *(disabled)*| slow-query capture threshold in µs |
+//! | variable                   | default     | meaning                            |
+//! |----------------------------|-------------|------------------------------------|
+//! | `PMEMGRAPH_NET_MODE`       | `evented`   | `evented` (epoll reactor) \| `threaded` (thread per connection) |
+//! | `PMEMGRAPH_MAX_CONNS`      | `1024`      | connection limit (`MAX_SESSIONS` overrides) |
+//! | `PMEMGRAPH_PIPELINE_DEPTH` | `32`        | per-connection in-flight request cap |
+//! | `PMEMGRAPH_NET_WORKERS`    | `0` (auto)  | evented request-execution threads  |
+//! | `PMEMGRAPH_METRICS_ADDR`   | *(unset)*   | standalone Prometheus scrape port  |
+//! | `PMEMGRAPH_SLOW_QUERY_US`  | *(disabled)*| slow-query capture threshold in µs |
 //!
 //! Prints `listening on <addr>` once ready (plus `metrics on <addr>` when
 //! an exporter is configured); exits cleanly after a remote `shutdown`
@@ -83,7 +87,7 @@ fn main() {
     let config = ServerConfig {
         addr: std::env::var("ADDR").unwrap_or_else(|_| "127.0.0.1:7687".into()),
         workers: env_u64("WORKERS", 4) as usize,
-        max_sessions: env_u64("MAX_SESSIONS", 64) as usize,
+        max_sessions: env_u64("MAX_SESSIONS", gconfig::max_conns()) as usize,
         idle_timeout: Duration::from_millis(env_u64("IDLE_TIMEOUT_MS", 60_000)),
         default_deadline: Duration::from_millis(env_u64("DEADLINE_MS", 5_000)),
         exec_threads: env_u64("EXEC_THREADS", 2) as usize,
@@ -93,7 +97,11 @@ fn main() {
     };
 
     let handle = serve(snb, engine, config).expect("bind server");
-    println!("listening on {}", handle.local_addr());
+    println!(
+        "listening on {} (net mode: {})",
+        handle.local_addr(),
+        handle.net_mode().as_str()
+    );
     if let Some(maddr) = handle.metrics_addr() {
         println!("metrics on {maddr}");
     }

@@ -111,7 +111,68 @@ impl QueryResult {
     }
 }
 
-/// A blocking protocol client: one request in flight at a time.
+/// One request in a pipelined [`Client::send_batch`] call.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    name: Option<String>,
+    query: Option<String>,
+    params: Vec<Param>,
+    deadline: Option<Duration>,
+}
+
+impl BatchItem {
+    /// Execute a previously prepared (or catalog) statement by name.
+    pub fn prepared(name: &str, params: &[Param]) -> BatchItem {
+        BatchItem {
+            name: Some(name.to_string()),
+            query: None,
+            params: params.to_vec(),
+            deadline: None,
+        }
+    }
+
+    /// One-shot query by catalog name or ad-hoc text.
+    pub fn query(text: &str, params: &[Param]) -> BatchItem {
+        BatchItem {
+            name: None,
+            query: Some(text.to_string()),
+            params: params.to_vec(),
+            deadline: None,
+        }
+    }
+
+    /// Attach a per-request deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> BatchItem {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    fn to_line(&self) -> String {
+        let mut fields = vec![("op", Json::Str("execute".into()))];
+        if let Some(n) = &self.name {
+            fields.push(("name", Json::Str(n.clone())));
+        }
+        if let Some(q) = &self.query {
+            fields.push(("query", Json::Str(q.clone())));
+        }
+        fields.push((
+            "params",
+            Json::Arr(self.params.iter().map(Param::to_json).collect()),
+        ));
+        if let Some(d) = self.deadline {
+            fields.push(("deadline_ms", Json::Int(d.as_millis() as i64)));
+        }
+        let mut line = String::new();
+        obj(fields).write(&mut line);
+        line
+    }
+}
+
+/// A blocking protocol client: one synchronous request at a time via the
+/// `execute`/`query` methods, or N requests in flight via [`send_batch`]
+/// (the server pipelines and answers in request order).
+///
+/// [`send_batch`]: Client::send_batch
 pub struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
@@ -173,7 +234,11 @@ impl Client {
         if n == 0 {
             return Err(ClientError::Protocol("connection closed".into()));
         }
-        let v = Json::parse(&resp)
+        Self::parse_frame(&resp)
+    }
+
+    fn parse_frame(resp: &str) -> Result<Json, ClientError> {
+        let v = Json::parse(resp)
             .map_err(|e| ClientError::Protocol(format!("bad response frame: {e}")))?;
         match v.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(v),
@@ -182,7 +247,7 @@ impl Client {
                 let code = err
                     .and_then(|e| e.get("code"))
                     .and_then(Json::as_str)
-                    .and_then(ErrorCode::from_str)
+                    .and_then(ErrorCode::parse)
                     .unwrap_or(ErrorCode::Internal);
                 let message = err
                     .and_then(|e| e.get("message"))
@@ -277,6 +342,10 @@ impl Client {
             fields.push(("deadline_ms", Json::Int(d.as_millis() as i64)));
         }
         let v = self.request(obj(fields))?;
+        Ok(Self::parse_query_result(&v))
+    }
+
+    fn parse_query_result(v: &Json) -> QueryResult {
         let rows = match v.get("rows") {
             Some(Json::Arr(rows)) => rows
                 .iter()
@@ -287,14 +356,54 @@ impl Client {
                 .collect(),
             _ => Vec::new(),
         };
-        Ok(QueryResult {
+        QueryResult {
             rows,
             row_count: v.get("row_count").and_then(Json::as_i64).unwrap_or(0) as u64,
             truncated: v
                 .get("truncated")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
-        })
+        }
+    }
+
+    /// Pipeline a batch: write every request before reading any response.
+    ///
+    /// The server executes each connection's requests in order and writes
+    /// responses back in the same order, so `result[i]` always answers
+    /// `batch[i]`. Against the evented front end this collapses N
+    /// round-trips into one, which is where the pipelining throughput win
+    /// comes from (see DESIGN.md §15).
+    ///
+    /// Per-request failures (`{"ok":false,...}`) land in the matching
+    /// element; transport failures (I/O, malformed frame) abort the whole
+    /// call, as the stream position is no longer trustworthy.
+    pub fn send_batch(
+        &mut self,
+        batch: &[BatchItem],
+    ) -> Result<Vec<Result<QueryResult, ClientError>>, ClientError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut wire = String::new();
+        for item in batch {
+            wire.push_str(&item.to_line());
+            wire.push('\n');
+        }
+        self.stream.write_all(wire.as_bytes())?;
+        let mut results = Vec::with_capacity(batch.len());
+        for _ in batch {
+            let mut resp = String::new();
+            let n = self.reader.read_line(&mut resp)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("connection closed mid-batch".into()));
+            }
+            results.push(match Self::parse_frame(&resp) {
+                Ok(v) => Ok(Self::parse_query_result(&v)),
+                Err(e @ ClientError::Server { .. }) => Err(e),
+                Err(fatal) => return Err(fatal),
+            });
+        }
+        Ok(results)
     }
 
     /// Fetch the server's `STATS` object.

@@ -1,0 +1,761 @@
+//! The evented network front end (DESIGN.md §15): one reactor thread owns
+//! every socket behind an epoll instance, and a fixed pool of net workers
+//! executes decoded requests.
+//!
+//! Division of labour:
+//!
+//! * **Reactor** (`gserver-reactor`) — accepts, reads, frames newline-JSON
+//!   into request lines, writes response bytes, and is the only thread
+//!   that touches the poller or a connection's buffers. A connection here
+//!   is a state machine: read buffer, write buffer + offset, current
+//!   interest set, paused/eof/closing flags.
+//! * **Net workers** (`gserver-net-N`, `PMEMGRAPH_NET_WORKERS`) — pull a
+//!   connection's work cell off the ready queue, pop one request line at
+//!   a time, run it through the same `process_line` the threaded front
+//!   end uses, and push the response frame back. A cell is scheduled on
+//!   at most one worker at a time and requests pop in FIFO order, so
+//!   **pipelined responses keep request order** and the session's open
+//!   transaction has exactly one owner.
+//!
+//! Backpressure never says `SERVER_BUSY`: a connection with
+//! `pipeline_depth` undone requests — or any connection while the global
+//! in-flight count sits above the watermark — simply stops being *read*.
+//! Its socket buffer fills, TCP flow control pushes back on the client,
+//! and read interest resumes once responses drain. The only remaining
+//! busy-rejections are the session-table bound at accept and the
+//! admission semaphore around execution, both of which mean the *engine*
+//! (not the network layer) is saturated.
+//!
+//! Transaction lifetime: a session's open `GraphTxn<'db>` borrows the
+//! database, but here it must live in heap state that hops between
+//! threads. The borrow is transmuted to `'static` when the state cell is
+//! created. Safety rests on a drop-ordering invariant: every `ConnState`
+//! is dropped either by a net worker or by the reactor during teardown —
+//! both threads hold an `Arc` of the server's shared state, which owns
+//! the `Arc<SnbDb>` the borrow points into — and `ServerHandle::join_all`
+//! joins those threads before the last `Arc` can unwind. No `ConnState`
+//! outlives the database.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use graphcore::GraphDb;
+use parking_lot::{Condvar, Mutex};
+
+use crate::reactor::{Event, Interest, Poller, Waker, TOKEN_FIRST_CONN, TOKEN_LISTENER, TOKEN_WAKER};
+use crate::server::{
+    classify_accept_error, greeting, next_backoff, process_line, session_full_response,
+    AcceptError, ConnState, Flow, Shared, ACCEPT_BACKOFF_START, MAX_LINE,
+};
+
+/// Abort any transaction still open in a dropped session state — the
+/// evented analogue of the threaded loop's end-of-connection rollback.
+fn drop_state(shared: &Shared, mut state: ConnState<'_>) {
+    if let Some(txn) = state.txn.take() {
+        txn.abort();
+        shared
+            .stats
+            .disconnect_rollbacks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Reactor poll cadence: how stale the stop flag can get while idle.
+const POLL_TICK: Duration = Duration::from_millis(100);
+/// Faster cadence while draining, so shutdown converges quickly.
+const DRAIN_TICK: Duration = Duration::from_millis(10);
+
+/// Evented-mode coordination shared by the reactor, the net workers and
+/// `ServerHandle`/`request_shutdown`.
+pub(crate) struct NetShared {
+    pub(crate) poller: Poller,
+    waker: Waker,
+    /// Work cells with decoded-but-unscheduled requests.
+    ready: Mutex<VecDeque<Arc<ConnWork>>>,
+    ready_cv: Condvar,
+    /// Tokens with freshly produced response frames, for the reactor.
+    flush: Mutex<Vec<u64>>,
+    /// Set by the reactor after teardown; workers exit once the ready
+    /// queue is empty and this is up.
+    done: AtomicBool,
+}
+
+impl NetShared {
+    pub(crate) fn new() -> std::io::Result<NetShared> {
+        let poller = Poller::new()?;
+        let waker = Waker::new(&poller, TOKEN_WAKER)?;
+        Ok(NetShared {
+            poller,
+            waker,
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            flush: Mutex::new(Vec::new()),
+            done: AtomicBool::new(false),
+        })
+    }
+
+    /// Nudge the reactor out of `epoll_wait` and every worker out of its
+    /// condvar (shutdown, or responses ready to flush).
+    pub(crate) fn wake_all(&self) {
+        self.waker.wake();
+        self.ready_cv.notify_all();
+    }
+
+    fn notify_flush(&self, token: u64) {
+        let wake = {
+            let mut f = self.flush.lock();
+            f.push(token);
+            f.len() == 1
+        };
+        // One eventfd write per reactor round, not per response: the
+        // reactor drains the whole flush list each wakeup, so only the
+        // transition from empty needs a nudge.
+        if wake {
+            self.waker.wake();
+        }
+    }
+}
+
+/// Worker-visible half of a connection. `inner` is the only lock shared
+/// between the reactor and workers, held for queue surgery only — never
+/// across request execution or socket I/O.
+pub(crate) struct ConnWork {
+    token: u64,
+    sid: u64,
+    inner: Mutex<WorkInner>,
+}
+
+struct WorkInner {
+    /// Decoded request lines awaiting execution (FIFO).
+    pending: VecDeque<String>,
+    /// Response frames awaiting the reactor's write path (FIFO).
+    responses: VecDeque<String>,
+    /// Session state; `None` exactly while a worker is executing one of
+    /// this connection's requests.
+    state: Option<ConnState<'static>>,
+    /// In the ready queue or on a worker right now.
+    scheduled: bool,
+    /// The reactor tore the connection down; whoever holds the state
+    /// drops it (aborting any open transaction).
+    closed: bool,
+    /// A processed request asked to close (quit/shutdown): flush, then
+    /// close.
+    close_after: bool,
+}
+
+// Compile-time proof the cross-thread state is actually sendable.
+fn _assert_send<T: Send>() {}
+#[allow(dead_code)]
+fn _assertions() {
+    _assert_send::<ConnState<'static>>();
+    _assert_send::<Arc<ConnWork>>();
+}
+
+/// Reactor-private connection state machine.
+struct Conn {
+    stream: TcpStream,
+    sid: u64,
+    /// Unparsed input bytes (tail may be a partial line).
+    rbuf: Vec<u8>,
+    /// Outgoing bytes; `wpos` is how much of it is already written.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Read interest withdrawn for backpressure.
+    paused: bool,
+    /// Peer finished sending (EOF seen).
+    eof: bool,
+    /// Close once the write buffer drains.
+    closing: bool,
+    work: Arc<ConnWork>,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.wpos >= self.wbuf.len()
+    }
+
+    /// Requests decoded but not yet answered (queued + executing).
+    fn inflight(&self) -> usize {
+        let g = self.work.inner.lock();
+        g.pending.len() + usize::from(g.state.is_none())
+    }
+}
+
+/// Spawn the reactor and the net-worker pool. Returns the reactor handle
+/// (the `accept` slot of `ServerHandle`) plus the worker handles.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+) -> std::io::Result<(JoinHandle<()>, Vec<JoinHandle<()>>)> {
+    let net = shared.net.clone().expect("evented spawn without NetShared");
+    let n_workers = shared.config.net_workers_effective();
+    let mut workers = Vec::with_capacity(n_workers);
+    for i in 0..n_workers {
+        let shared = shared.clone();
+        let net = net.clone();
+        workers.push(
+            thread::Builder::new()
+                .name(format!("gserver-net-{i}"))
+                .spawn(move || worker_loop(shared, net))?,
+        );
+    }
+    let reactor = {
+        let shared = shared.clone();
+        thread::Builder::new()
+            .name("gserver-reactor".into())
+            .spawn(move || reactor_loop(listener, shared, net))?
+    };
+    Ok((reactor, workers))
+}
+
+// ---------------------------------------------------------------------
+// Net workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: Arc<Shared>, net: Arc<NetShared>) {
+    // SAFETY: see the module docs — the borrow is reached through
+    // `Arc<Shared>` (kept alive by this thread), and every `ConnState`
+    // holding a `GraphTxn<'static>` is dropped before the server's
+    // threads are joined.
+    let db: &'static GraphDb = unsafe { &*Arc::as_ptr(&shared.snb.db) };
+    loop {
+        let work = {
+            let mut q = net.ready.lock();
+            loop {
+                if let Some(w) = q.pop_front() {
+                    break w;
+                }
+                if net.done.load(Ordering::SeqCst) {
+                    return;
+                }
+                net.ready_cv.wait(&mut q);
+            }
+        };
+        run_cell(&shared, &net, db, &work);
+    }
+}
+
+/// Drain one connection's pending queue: serial FIFO execution keeps
+/// responses in request order and the txn single-owner.
+fn run_cell(shared: &Shared, net: &NetShared, db: &'static GraphDb, work: &ConnWork) {
+    loop {
+        let (line, mut state) = {
+            let mut g = work.inner.lock();
+            if g.closed {
+                let st = g.state.take();
+                g.scheduled = false;
+                drop(g);
+                if let Some(st) = st {
+                    drop_state(shared, st);
+                }
+                return;
+            }
+            let Some(line) = g.pending.pop_front() else {
+                g.scheduled = false;
+                return;
+            };
+            let Some(state) = g.state.take() else {
+                // Serial ownership makes this unreachable; put the line
+                // back rather than corrupt order if it ever isn't.
+                g.pending.push_front(line);
+                g.scheduled = false;
+                return;
+            };
+            (line, state)
+        };
+
+        let (response, flow) = process_line(shared, db, work.sid, &mut state, &line);
+
+        let mut g = work.inner.lock();
+        shared.stats.net_inflight.fetch_sub(1, Ordering::Relaxed);
+        let first_response = g.responses.is_empty();
+        g.responses.push_back(response);
+        if matches!(flow, Flow::Close) {
+            g.close_after = true;
+            // Parity with the threaded loop: input after quit is unread.
+            let dropped = g.pending.len() as u64;
+            g.pending.clear();
+            if dropped > 0 {
+                shared.stats.net_inflight.fetch_sub(dropped, Ordering::Relaxed);
+            }
+        }
+        if g.closed {
+            g.scheduled = false;
+            drop(g);
+            drop_state(shared, state);
+            return;
+        }
+        g.state = Some(state);
+        drop(g);
+        // A token whose responses queue was already non-empty is already
+        // on the flush list (or being drained this very round — in which
+        // case that drain takes this response too).
+        if first_response {
+            net.notify_flush(work.token);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------
+
+/// Publishes `done` + wakes everyone even if the reactor unwinds, so
+/// workers can never hang on the condvar.
+struct DoneGuard(Arc<NetShared>);
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        self.0.done.store(true, Ordering::SeqCst);
+        self.0.wake_all();
+    }
+}
+
+fn reactor_loop(listener: TcpListener, shared: Arc<Shared>, net: Arc<NetShared>) {
+    let _done = DoneGuard(net.clone());
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = TOKEN_FIRST_CONN;
+    let mut events: Vec<Event> = Vec::new();
+    let mut listener = Some(listener);
+    let mut accept_backoff = ACCEPT_BACKOFF_START;
+    let mut drain_deadline: Option<Instant> = None;
+    let mut global_paused = false;
+
+    if let Some(l) = &listener {
+        if net
+            .poller
+            .register(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+    }
+
+    loop {
+        let tick = if drain_deadline.is_some() { DRAIN_TICK } else { POLL_TICK };
+        shared.stats.epoll_waits.fetch_add(1, Ordering::Relaxed);
+        if net.poller.wait(&mut events, tick).is_err() {
+            break;
+        }
+
+        for &ev in &events {
+            match ev.token {
+                TOKEN_LISTENER => {
+                    if drain_deadline.is_none() {
+                        if let Some(l) = &listener {
+                            accept_ready(
+                                l,
+                                &shared,
+                                &net,
+                                &mut conns,
+                                &mut next_token,
+                                &mut accept_backoff,
+                            );
+                        }
+                    }
+                }
+                TOKEN_WAKER => {
+                    net.waker.drain();
+                    shared.stats.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+                }
+                token => {
+                    let mut close = false;
+                    if let Some(conn) = conns.get_mut(&token) {
+                        if ev.writable && !try_write(conn, &net) {
+                            close = true;
+                        }
+                        if !close
+                            && ev.readable
+                            && !on_readable(conn, &shared, &net, &mut global_paused)
+                        {
+                            close = true;
+                        }
+                        if !close && conn_should_close(conn) {
+                            close = true;
+                        }
+                    }
+                    if close {
+                        close_conn(&mut conns, &shared, &net, token);
+                    }
+                }
+            }
+        }
+
+        flush_responses(&mut conns, &shared, &net);
+
+        // Global backpressure release: once the in-flight queue halves,
+        // resume reads on every connection paused only for the watermark.
+        if global_paused {
+            let inflight = shared.stats.net_inflight.load(Ordering::Relaxed);
+            if inflight < shared.config.global_inflight_high() / 2 {
+                global_paused = false;
+                for conn in conns.values_mut() {
+                    maybe_unpause(conn, &shared, &net, global_paused);
+                }
+            }
+        }
+
+        if drain_deadline.is_none() && shared.stop.load(Ordering::SeqCst) {
+            // Drain: stop accepting (close the listen socket so new
+            // connects are refused), finish decoded requests, flush, then
+            // tear down. Idle connections don't prolong the window — the
+            // threaded front end kills them within one read tick too.
+            drain_deadline = Some(Instant::now() + shared.config.drain_timeout);
+            if let Some(l) = listener.take() {
+                let _ = net.poller.deregister(l.as_raw_fd());
+            }
+        }
+        if let Some(deadline) = drain_deadline {
+            let busy = conns.values().any(|c| {
+                if !c.flushed() {
+                    return true;
+                }
+                let g = c.work.inner.lock();
+                !g.pending.is_empty() || !g.responses.is_empty() || g.state.is_none()
+            });
+            if !busy || Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    let tokens: Vec<u64> = conns.keys().copied().collect();
+    for t in tokens {
+        close_conn(&mut conns, &shared, &net, t);
+    }
+    // DoneGuard publishes `done` and wakes the workers.
+}
+
+fn accept_ready(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    net: &Arc<NetShared>,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    backoff: &mut Duration,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                *backoff = ACCEPT_BACKOFF_START;
+                register_conn(stream, shared, net, conns, next_token);
+            }
+            Err(e) => match classify_accept_error(&e) {
+                AcceptError::Retry => break,
+                AcceptError::PeerAborted => {
+                    shared.stats.accepts_failed.fetch_add(1, Ordering::Relaxed);
+                }
+                AcceptError::Exhausted => {
+                    shared.stats.accepts_failed.fetch_add(1, Ordering::Relaxed);
+                    // Bounded backoff on the reactor itself: with zero fd
+                    // headroom there is nothing better to do than yield.
+                    thread::sleep(*backoff);
+                    *backoff = next_backoff(*backoff);
+                    break;
+                }
+            },
+        }
+    }
+}
+
+fn register_conn(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    net: &Arc<NetShared>,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let Ok(kill_handle) = stream.try_clone() else {
+        return;
+    };
+    let Some(sid) = shared
+        .sessions
+        .try_register(kill_handle, shared.config.max_sessions)
+    else {
+        // Best effort: the rejection frame usually fits the socket buffer.
+        let _ = (&stream).write_all(session_full_response().as_bytes());
+        let _ = (&stream).write_all(b"\n");
+        return;
+    };
+
+    let token = *next_token;
+    *next_token += 1;
+    let mut wbuf = greeting(shared, sid).into_bytes();
+    wbuf.push(b'\n');
+    let mut conn = Conn {
+        stream,
+        sid,
+        rbuf: Vec::new(),
+        wbuf,
+        wpos: 0,
+        interest: Interest::NONE,
+        paused: false,
+        eof: false,
+        closing: false,
+        work: Arc::new(ConnWork {
+            token,
+            sid,
+            inner: Mutex::new(WorkInner {
+                pending: VecDeque::new(),
+                responses: VecDeque::new(),
+                state: Some(ConnState::new()),
+                scheduled: false,
+                closed: false,
+                close_after: false,
+            }),
+        }),
+    };
+    if net
+        .poller
+        .register(conn.stream.as_raw_fd(), token, Interest::READ)
+        .is_err()
+    {
+        shared.sessions.deregister(sid);
+        return;
+    }
+    conn.interest = Interest::READ;
+    shared.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    shared.stats.open_conns.fetch_add(1, Ordering::Relaxed);
+    if !try_write(&mut conn, net) {
+        // Greeting failed outright (peer already gone).
+        shared.sessions.deregister(sid);
+        shared.stats.open_conns.fetch_sub(1, Ordering::Relaxed);
+        let _ = net.poller.deregister(conn.stream.as_raw_fd());
+        return;
+    }
+    conns.insert(token, conn);
+}
+
+/// Write as much of `wbuf` as the socket takes, then fix up interest.
+/// Returns false on a dead socket.
+fn try_write(conn: &mut Conn, net: &NetShared) -> bool {
+    while conn.wpos < conn.wbuf.len() {
+        match (&conn.stream).write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.flushed() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    update_interest(conn, net);
+    true
+}
+
+/// Reconcile the poller registration with what the state machine wants:
+/// read unless paused/eof/closing, write while bytes are buffered.
+fn update_interest(conn: &mut Conn, net: &NetShared) {
+    let want = Interest {
+        read: !conn.paused && !conn.eof && !conn.closing,
+        write: !conn.flushed(),
+    };
+    if want != conn.interest
+        && net
+            .poller
+            .reregister(conn.stream.as_raw_fd(), conn.work.token, want)
+            .is_ok()
+    {
+        conn.interest = want;
+    }
+}
+
+/// Drain the socket into `rbuf`, frame complete lines into the work cell,
+/// apply backpressure. Returns false on a dead socket or protocol abuse.
+fn on_readable(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    net: &Arc<NetShared>,
+    global_paused: &mut bool,
+) -> bool {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match (&conn.stream).read(&mut buf) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&buf[..n]);
+                // Fairness bound: a firehose client yields the reactor
+                // after ~1 MiB; level-triggered epoll re-reports it.
+                if conn.rbuf.len() >= MAX_LINE {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+
+    decode_lines(conn, shared, net);
+
+    // A single line larger than MAX_LINE is a protocol error, exactly as
+    // in the threaded front end.
+    if conn.rbuf.len() > MAX_LINE {
+        return false;
+    }
+    // EOF with a final unterminated line: still a request (parity with
+    // the threaded reader).
+    if conn.eof && !conn.rbuf.is_empty() {
+        let tail = std::mem::take(&mut conn.rbuf);
+        let line = String::from_utf8_lossy(&tail).into_owned();
+        if !line.trim().is_empty() {
+            enqueue_request(conn, shared, net, line);
+        }
+    }
+
+    // Backpressure: pause read interest instead of erroring. Resumed in
+    // `flush_responses` (per-connection cap) or the reactor tick (global
+    // watermark).
+    if !conn.paused && !conn.eof {
+        let global = shared.stats.net_inflight.load(Ordering::Relaxed)
+            >= shared.config.global_inflight_high();
+        if global || conn.inflight() >= shared.config.pipeline_depth.max(1) {
+            conn.paused = true;
+            *global_paused |= global;
+            shared.stats.read_pauses.fetch_add(1, Ordering::Relaxed);
+            update_interest(conn, net);
+        }
+    }
+    true
+}
+
+/// Split complete lines out of `rbuf` and hand them to the work cell.
+fn decode_lines(conn: &mut Conn, shared: &Arc<Shared>, net: &Arc<NetShared>) {
+    let mut start = 0;
+    while let Some(pos) = conn.rbuf[start..].iter().position(|&b| b == b'\n') {
+        let end = start + pos;
+        let line = String::from_utf8_lossy(&conn.rbuf[start..end]).into_owned();
+        start = end + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        enqueue_request(conn, shared, net, line);
+    }
+    if start > 0 {
+        conn.rbuf.drain(..start);
+    }
+}
+
+fn enqueue_request(conn: &mut Conn, shared: &Arc<Shared>, net: &Arc<NetShared>, line: String) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    shared.sessions.touch(conn.sid);
+    shared.stats.net_inflight.fetch_add(1, Ordering::Relaxed);
+    let schedule = {
+        let mut g = conn.work.inner.lock();
+        g.pending.push_back(line);
+        let depth = g.pending.len() + usize::from(g.state.is_none());
+        shared.pipeline_depth.observe_us(depth as u64);
+        let schedule = !g.scheduled && !g.closed;
+        if schedule {
+            g.scheduled = true;
+        }
+        schedule
+    };
+    if schedule {
+        net.ready.lock().push_back(conn.work.clone());
+        net.ready_cv.notify_one();
+    }
+}
+
+/// Move finished response frames into write buffers and push them out.
+fn flush_responses(conns: &mut HashMap<u64, Conn>, shared: &Arc<Shared>, net: &Arc<NetShared>) {
+    let tokens: Vec<u64> = std::mem::take(&mut *net.flush.lock());
+    for token in tokens {
+        let mut close = false;
+        if let Some(conn) = conns.get_mut(&token) {
+            {
+                let mut g = conn.work.inner.lock();
+                while let Some(r) = g.responses.pop_front() {
+                    conn.wbuf.extend_from_slice(r.as_bytes());
+                    conn.wbuf.push(b'\n');
+                }
+                if g.close_after {
+                    conn.closing = true;
+                }
+            }
+            if !try_write(conn, net) || conn_should_close(conn) {
+                close = true;
+            } else {
+                maybe_unpause(conn, shared, net, false);
+            }
+        }
+        if close {
+            close_conn(conns, shared, net, token);
+        }
+    }
+}
+
+/// Resume read interest once the connection is back under its pipeline
+/// cap (and the global watermark, unless the caller is the global-release
+/// sweep itself, which passes `global_still_paused = false`).
+fn maybe_unpause(conn: &mut Conn, shared: &Arc<Shared>, net: &Arc<NetShared>, _global_sweep: bool) {
+    if !conn.paused {
+        return;
+    }
+    let global_ok = shared.stats.net_inflight.load(Ordering::Relaxed)
+        < shared.config.global_inflight_high();
+    if global_ok && conn.inflight() < shared.config.pipeline_depth.max(1) {
+        conn.paused = false;
+        update_interest(conn, net);
+    }
+}
+
+fn conn_should_close(conn: &Conn) -> bool {
+    if conn.closing && conn.flushed() {
+        return true;
+    }
+    if conn.eof && conn.flushed() {
+        let g = conn.work.inner.lock();
+        return g.pending.is_empty() && g.responses.is_empty() && g.state.is_some();
+    }
+    false
+}
+
+/// Tear one connection down: deregister, mark the work cell closed, drop
+/// the session state (aborting any open transaction) if no worker holds
+/// it, release the session slot. The socket closes when `Conn` drops.
+fn close_conn(
+    conns: &mut HashMap<u64, Conn>,
+    shared: &Arc<Shared>,
+    net: &Arc<NetShared>,
+    token: u64,
+) {
+    let Some(conn) = conns.remove(&token) else {
+        return;
+    };
+    let _ = net.poller.deregister(conn.stream.as_raw_fd());
+    let state = {
+        let mut g = conn.work.inner.lock();
+        g.closed = true;
+        let dropped = g.pending.len() as u64;
+        g.pending.clear();
+        g.responses.clear();
+        if dropped > 0 {
+            shared.stats.net_inflight.fetch_sub(dropped, Ordering::Relaxed);
+        }
+        g.state.take()
+    };
+    if let Some(st) = state {
+        drop_state(shared, st);
+    }
+    shared.sessions.deregister(conn.sid);
+    shared.stats.open_conns.fetch_sub(1, Ordering::Relaxed);
+}

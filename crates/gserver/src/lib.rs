@@ -5,8 +5,9 @@
 //! shape the paper's evaluation implies (many LDBC interactive clients
 //! against one persistent graph):
 //!
-//! * **Wire protocol** ([`proto`]) — newline-delimited JSON frames; one
-//!   synchronous request/response conversation per connection.
+//! * **Wire protocol** ([`proto`]) — newline-delimited JSON frames;
+//!   clients may pipeline (N requests in flight per connection) and
+//!   responses come back in request order.
 //! * **Sessions** ([`session`]) — one per connection, with idle-timeout
 //!   kill; an open MVTO transaction belongs to its session and *provably
 //!   rolls back on disconnect* (the transaction handle lives on the
@@ -15,10 +16,14 @@
 //!   plans (`"is1"`, `"iu8"`, `:scan` variants) or use a small ad-hoc
 //!   grammar; plans never travel over the wire, so every client shares
 //!   the same plan fingerprints and the same JIT code cache.
-//! * **Admission control** ([`server`]) — a bounded worker-slot semaphore;
-//!   saturation yields a fast, retryable `SERVER_BUSY`, never unbounded
-//!   queueing; per-request deadlines are enforced at pipeline-step
-//!   granularity.
+//! * **Front ends** ([`server`], [`reactor`], `evented`) — the default
+//!   evented front end is an epoll reactor owning every socket plus a
+//!   fixed net-worker pool (`PMEMGRAPH_NET_MODE=evented`); the classic
+//!   thread-per-connection loop remains as `threaded`. Backpressure
+//!   pauses read interest (TCP pushback) instead of erroring; the
+//!   bounded admission semaphore still yields a fast, retryable
+//!   `SERVER_BUSY` as the last resort when the *engine* saturates;
+//!   per-request deadlines are enforced at pipeline-step granularity.
 //! * **Maintenance** — a background tick sweeps idle sessions and drives
 //!   storage reclamation (`reclaim_deleted` + `vacuum_props`).
 //! * **Observability** ([`metrics`]) — every subsystem counter joins a
@@ -34,15 +39,17 @@
 
 pub mod catalog;
 pub mod client;
+mod evented;
 pub mod json;
 pub mod metrics;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 pub mod session;
 
 pub use catalog::{Catalog, NamedQuery};
-pub use client::{Client, ClientError, Param, QueryResult};
+pub use client::{BatchItem, Client, ClientError, Param, QueryResult};
 pub use json::Json;
 pub use proto::{ErrorCode, ProtoError, Request};
-pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use server::{serve, NetMode, ServerConfig, ServerHandle, ServerStats};
 pub use session::SessionTable;

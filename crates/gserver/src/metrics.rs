@@ -88,8 +88,9 @@ pub fn register_sharded_db(reg: &Registry, db: &Arc<ShardedDb>) {
 
 /// Build the per-server registry. Closures capture `Arc` clones of the
 /// stat-owning structures (never the server's `Shared`, which owns the
-/// registry — that would leak a reference cycle). Returns the registry
-/// and the request-latency histogram the dispatch loop records into.
+/// registry — that would leak a reference cycle). Returns the registry,
+/// the request-latency histogram the dispatch loop records into, and the
+/// pipeline-depth histogram the framing layer records into.
 pub fn build_registry(
     stats: &Arc<ServerStats>,
     sessions: &Arc<SessionTable>,
@@ -97,7 +98,7 @@ pub fn build_registry(
     engine: &Arc<JitEngine>,
     config: &ServerConfig,
     slowlog: &Arc<SlowLog>,
-) -> (Registry, Histogram) {
+) -> (Registry, Histogram, Histogram) {
     let reg = Registry::new();
 
     // Server / exec counters: authoritative cells in `ServerStats`.
@@ -154,6 +155,52 @@ pub fn build_registry(
         );
     }
     srv!("pmemgraph_exec_fallback_total", "requests whose profile recorded a fallback", fallback_total);
+
+    // Network front-end series (both modes maintain open_conns and
+    // accepts_failed; the reactor/backpressure counters move only under
+    // PMEMGRAPH_NET_MODE=evented).
+    srv!(
+        "pmemgraph_server_accepts_failed_total",
+        "accept() failures retried with bounded backoff (EMFILE/ECONNABORTED etc.)",
+        accepts_failed
+    );
+    srv!(
+        "pmemgraph_server_reactor_wakeups_total",
+        "eventfd nudges delivered to the parked reactor",
+        reactor_wakeups
+    );
+    srv!(
+        "pmemgraph_server_epoll_waits_total",
+        "epoll_wait calls made by the reactor",
+        epoll_waits
+    );
+    srv!(
+        "pmemgraph_server_read_pauses_total",
+        "connections paused for backpressure (pipeline cap or global inflight watermark)",
+        read_pauses
+    );
+    {
+        let s = stats.clone();
+        reg.fn_gauge("pmemgraph_server_open_conns", "connections currently open", move || {
+            s.open_conns.load(Ordering::Relaxed) as i64
+        });
+    }
+    {
+        let s = stats.clone();
+        reg.fn_gauge(
+            "pmemgraph_server_net_inflight",
+            "decoded requests not yet answered (evented mode)",
+            move || s.net_inflight.load(Ordering::Relaxed) as i64,
+        );
+    }
+    {
+        let evented = (config.net_mode == crate::server::NetMode::Evented) as i64;
+        reg.fn_gauge(
+            "pmemgraph_server_net_evented",
+            "1 when the epoll front end is serving, 0 under thread-per-connection",
+            move || evented,
+        );
+    }
 
     // MVTO transaction counters: authoritative cells in the txn manager.
     macro_rules! txn {
@@ -294,7 +341,13 @@ pub fn build_registry(
         "pmemgraph_server_request_us",
         "end-to-end execute-request latency (resolve, admission, execution, serialization)",
     );
-    (reg, request_us)
+    // Unit-less log₂ histogram: each observation is the number of requests
+    // in flight on a connection when one more is decoded.
+    let pipeline_depth = reg.histogram(
+        "pmemgraph_server_pipeline_depth",
+        "per-connection in-flight requests observed at decode time (count, not µs)",
+    );
+    (reg, request_us, pipeline_depth)
 }
 
 #[cfg(test)]

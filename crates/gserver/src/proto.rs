@@ -1,10 +1,15 @@
 //! Wire protocol: newline-delimited JSON request/response frames.
 //!
-//! One request per line, one response per line, always in order — the
-//! protocol is strictly synchronous per connection (a session is a single
-//! conversation, like the PostgreSQL simple-query sub-protocol). See
-//! DESIGN.md §7 for the full reference and the mapping onto the paper's
-//! architecture.
+//! One request per line, one response per line, always in order. Clients
+//! may **pipeline**: send up to `PMEMGRAPH_PIPELINE_DEPTH` requests
+//! before reading any response — the server executes a connection's
+//! requests serially and writes responses back in request order, so the
+//! i-th response always answers the i-th request (a session is still a
+//! single conversation, like the PostgreSQL simple-query sub-protocol
+//! with pipelining). A lock-step client that awaits each response before
+//! sending the next remains fully supported. See DESIGN.md §7 for the
+//! protocol reference, §15 for pipelining/backpressure, and the mapping
+//! onto the paper's architecture.
 //!
 //! ## Requests
 //!
@@ -98,7 +103,7 @@ impl ErrorCode {
         )
     }
 
-    pub fn from_str(s: &str) -> Option<ErrorCode> {
+    pub fn parse(s: &str) -> Option<ErrorCode> {
         Some(match s {
             "SERVER_BUSY" => ErrorCode::ServerBusy,
             "DEADLINE_EXCEEDED" => ErrorCode::DeadlineExceeded,
@@ -493,7 +498,7 @@ mod tests {
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
         ] {
-            assert_eq!(ErrorCode::from_str(code.as_str()), Some(code));
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
         assert!(ErrorCode::ServerBusy.retryable());
         assert!(ErrorCode::TxnConflict.retryable());

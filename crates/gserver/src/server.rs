@@ -1,21 +1,36 @@
-//! The query server: accept loop, per-connection sessions, admission
+//! The query server: accept path, per-connection sessions, admission
 //! control, request dispatch, maintenance, graceful shutdown.
 //!
-//! Threading model: **thread per connection**. A session's open
-//! transaction is a `GraphTxn<'db>` borrowing the shared database, so it
-//! lives on the connection thread's stack for exactly as long as the
-//! connection — dropping the thread's state rolls back any uncommitted
-//! write transaction, which makes client crash, idle-timeout kill and
-//! server shutdown one code path (see DESIGN.md §7).
+//! Two network front ends share everything below the framing layer
+//! (`PMEMGRAPH_NET_MODE`, DESIGN.md §15):
 //!
-//! Concurrency is bounded twice:
+//! * **evented** (default on Linux) — an epoll reactor owns every socket
+//!   as a non-blocking state machine and a fixed pool of net workers
+//!   executes decoded requests from per-connection queues, one at a time
+//!   per connection so pipelined responses stay in order. See
+//!   [`crate::evented`].
+//! * **threaded** — thread per connection with blocking reads; the
+//!   fallback on non-Linux targets and the baseline the async bench
+//!   gates against.
+//!
+//! In both modes a session's open transaction is a `GraphTxn` borrowing
+//! the shared database, owned by exactly one thread at a time — dropping
+//! the connection's state rolls back any uncommitted write transaction,
+//! which makes client crash, idle-timeout kill and server shutdown one
+//! code path (see DESIGN.md §7).
+//!
+//! Concurrency is bounded three ways:
 //!
 //! * the **session table** caps concurrent connections (`max_sessions`);
 //! * the **worker pool** caps concurrent query executions (`workers`) —
 //!   a counting semaphore, not a queue. A request that cannot get an
 //!   execution slot within `admission_wait` is rejected with a retryable
 //!   `SERVER_BUSY`, so overload degrades into fast rejections instead of
-//!   unbounded queueing.
+//!   unbounded queueing;
+//! * in evented mode, **read-interest backpressure**: a connection with
+//!   `pipeline_depth` requests in flight (or a globally saturated request
+//!   queue) stops being *read* until responses drain, so a pipelining
+//!   client is flow-controlled by TCP instead of being errored at.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -43,10 +58,45 @@ use crate::session::SessionTable;
 
 /// Longest accepted request line (1 MiB) — a runaway frame is a protocol
 /// error, not an allocation.
-const MAX_LINE: usize = 1 << 20;
+pub(crate) const MAX_LINE: usize = 1 << 20;
 
 /// How often blocked reads wake up to check the stop flag.
 const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Which network front end serves connections (`PMEMGRAPH_NET_MODE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetMode {
+    /// Thread per connection, blocking reads.
+    Threaded,
+    /// Epoll reactor + fixed net-worker pool (Linux only).
+    Evented,
+}
+
+impl NetMode {
+    /// Parse the knob; anything unrecognized keeps the default.
+    pub fn from_env() -> NetMode {
+        match gconfig::net_mode().trim().to_ascii_lowercase().as_str() {
+            "threaded" | "thread" | "blocking" => NetMode::Threaded,
+            _ => NetMode::Evented,
+        }
+    }
+
+    /// The mode that will actually run: evented needs epoll.
+    pub fn resolve(self) -> NetMode {
+        if self == NetMode::Evented && !crate::reactor::supported() {
+            NetMode::Threaded
+        } else {
+            self
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetMode::Threaded => "threaded",
+            NetMode::Evented => "evented",
+        }
+    }
+}
 
 /// Server tuning knobs. `Default` is sized for tests and small
 /// deployments; the binary overrides from the environment.
@@ -57,6 +107,7 @@ pub struct ServerConfig {
     /// Concurrent query-execution slots (admission-control semaphore).
     pub workers: usize,
     /// Maximum concurrent sessions; further connects get `SERVER_BUSY`.
+    /// `Default` reads `PMEMGRAPH_MAX_CONNS`.
     pub max_sessions: usize,
     /// Sessions idle longer than this are force-closed (open transactions
     /// roll back).
@@ -87,6 +138,34 @@ pub struct ServerConfig {
     pub slow_query_us: u64,
     /// Bound on the slow-query ring (oldest entries evicted first).
     pub slowlog_capacity: usize,
+    /// Network front end (`PMEMGRAPH_NET_MODE`); `serve` resolves
+    /// `Evented` down to `Threaded` on targets without epoll.
+    pub net_mode: NetMode,
+    /// Evented-mode request-processing threads (`PMEMGRAPH_NET_WORKERS`;
+    /// 0 = auto: `max(workers, 4)`).
+    pub net_workers: usize,
+    /// Per-connection in-flight request cap (`PMEMGRAPH_PIPELINE_DEPTH`).
+    /// Past it the reactor pauses the socket's read interest.
+    pub pipeline_depth: usize,
+}
+
+impl ServerConfig {
+    /// Net-worker thread count with the auto default applied.
+    pub fn net_workers_effective(&self) -> usize {
+        if self.net_workers == 0 {
+            self.workers.max(4)
+        } else {
+            self.net_workers
+        }
+    }
+
+    /// Global decoded-request watermark: above it the reactor pauses read
+    /// interest on the offending connections; reads resume below half of
+    /// it. Sized so every net worker can stay busy through a full
+    /// per-connection pipeline without the queue growing unboundedly.
+    pub(crate) fn global_inflight_high(&self) -> u64 {
+        (self.net_workers_effective() as u64 * self.pipeline_depth.max(1) as u64).max(64) * 2
+    }
 }
 
 impl Default for ServerConfig {
@@ -94,7 +173,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
-            max_sessions: 64,
+            max_sessions: gconfig::max_conns() as usize,
             idle_timeout: Duration::from_secs(60),
             maintenance_interval: Duration::from_millis(500),
             default_deadline: Duration::from_secs(5),
@@ -107,6 +186,9 @@ impl Default for ServerConfig {
             metrics_addr: gconfig::metrics_addr(),
             slow_query_us: gconfig::slow_query_us(),
             slowlog_capacity: 128,
+            net_mode: NetMode::from_env(),
+            net_workers: gconfig::net_workers() as usize,
+            pipeline_depth: gconfig::pipeline_depth() as usize,
         }
     }
 }
@@ -142,6 +224,20 @@ pub struct ServerStats {
     /// Requests whose profile recorded a fallback from the mode's fast
     /// path (update plan, non-morsel access path, or JIT-unsupported).
     pub fallback_total: AtomicU64,
+    /// Connections currently open (gauge semantics; both net modes).
+    pub open_conns: AtomicU64,
+    /// `accept()` failures other than would-block (EMFILE/ECONNABORTED
+    /// and friends) — each one retried with bounded backoff.
+    pub accepts_failed: AtomicU64,
+    /// Eventfd nudges delivered to a parked reactor (evented mode).
+    pub reactor_wakeups: AtomicU64,
+    /// `epoll_wait` calls made by the reactor (evented mode).
+    pub epoll_waits: AtomicU64,
+    /// Times a connection's read interest was paused for backpressure
+    /// (per-connection pipeline cap or the global inflight watermark).
+    pub read_pauses: AtomicU64,
+    /// Decoded requests not yet answered (gauge; evented mode).
+    pub net_inflight: AtomicU64,
 }
 
 // ---------------------------------------------------------------------
@@ -197,25 +293,31 @@ impl Drop for Permit {
 // Shared server state
 // ---------------------------------------------------------------------
 
-struct Shared {
-    snb: Arc<SnbDb>,
+pub(crate) struct Shared {
+    pub(crate) snb: Arc<SnbDb>,
     engine: Arc<JitEngine>,
-    catalog: Catalog,
-    config: ServerConfig,
+    pub(crate) catalog: Catalog,
+    pub(crate) config: ServerConfig,
     // Arc so registry fn-metrics can capture the stat owners without
     // referencing `Shared` itself (which owns the registry).
-    stats: Arc<ServerStats>,
-    sessions: Arc<SessionTable>,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) sessions: Arc<SessionTable>,
     /// Per-server metric registry (fn-metrics over the cells above plus
     /// the request histogram); `STATS`/`METRICS`/the exporter snapshot it.
     registry: Registry,
     request_us: Histogram,
+    /// In-flight requests per connection, observed as each request is
+    /// decoded (threaded mode always observes 1: no pipelined buffering).
+    pub(crate) pipeline_depth: Histogram,
     slowlog: Arc<SlowLog>,
     pool: Arc<WorkerPool>,
     /// Epoch-validated CSR snapshots backing the `ANALYTICS` verb.
     analytics: SnapshotCache,
-    stop: AtomicBool,
+    pub(crate) stop: AtomicBool,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Evented-mode coordination (ready queue, waker); `None` when the
+    /// resolved net mode is threaded.
+    pub(crate) net: Option<Arc<crate::evented::NetShared>>,
 }
 
 /// Handle to a running server. `wait()` blocks until the server stops
@@ -225,7 +327,11 @@ struct Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    /// Threaded mode: the accept thread. Evented mode: the reactor thread
+    /// (which owns the listener and performs the drain itself).
     accept: Option<JoinHandle<()>>,
+    /// Evented-mode net workers.
+    workers: Vec<JoinHandle<()>>,
     maint: Option<JoinHandle<()>>,
     exporter: Option<Exporter>,
 }
@@ -249,9 +355,17 @@ impl ServerHandle {
         self.shared.sessions.active_count()
     }
 
+    /// The network front end actually serving (post-`resolve`).
+    pub fn net_mode(&self) -> NetMode {
+        self.shared.config.net_mode
+    }
+
     /// Ask the server to stop; returns immediately.
     pub fn request_shutdown(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(net) = &self.shared.net {
+            net.wake_all();
+        }
     }
 
     /// Block until the server stops, then drain in-flight sessions and
@@ -277,9 +391,11 @@ impl ServerHandle {
             let _ = h.join();
         }
         drop(self.exporter.take());
-        // Connection threads notice the stop flag within one READ_TICK and
-        // finish their in-flight request first; force-close whatever is
-        // still around after the drain window.
+        // Threaded mode: connection threads notice the stop flag within
+        // one READ_TICK and finish their in-flight request first;
+        // force-close whatever is still around after the drain window.
+        // (Evented mode drains inside the reactor thread joined above —
+        // `conns` is empty, so this loop exits immediately.)
         let deadline = Instant::now() + self.shared.config.drain_timeout;
         loop {
             if self.shared.conns.lock().iter().all(JoinHandle::is_finished) {
@@ -295,6 +411,14 @@ impl ServerHandle {
         for h in handles {
             let _ = h.join();
         }
+        // Net workers exit once the reactor has published its done flag
+        // and the ready queue is empty; it already has by this point.
+        if let Some(net) = &self.shared.net {
+            net.wake_all();
+        }
+        for h in std::mem::take(&mut self.workers) {
+            let _ = h.join();
+        }
         if let Some(h) = self.maint.take() {
             let _ = h.join();
         }
@@ -303,7 +427,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
+        self.request_shutdown();
         self.join_all();
     }
 }
@@ -313,11 +437,28 @@ impl Drop for ServerHandle {
 pub fn serve(
     snb: Arc<SnbDb>,
     engine: Arc<JitEngine>,
-    config: ServerConfig,
+    mut config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+
+    // Resolve the net mode up front so metrics, STATS and the actual
+    // front end all agree. A reactor that cannot be built (no epoll, fd
+    // exhaustion) downgrades to threaded instead of failing startup.
+    config.net_mode = config.net_mode.resolve();
+    let net = match config.net_mode {
+        NetMode::Evented => match crate::evented::NetShared::new() {
+            Ok(n) => Some(Arc::new(n)),
+            Err(e) => {
+                eprintln!("gserver: evented front end unavailable ({e}); falling back to threaded");
+                config.net_mode = NetMode::Threaded;
+                None
+            }
+        },
+        NetMode::Threaded => None,
+    };
+
     let catalog = Catalog::new(&snb.codes);
     let pool = WorkerPool::new(config.workers);
     let stats = Arc::new(ServerStats::default());
@@ -326,7 +467,7 @@ pub fn serve(
     // A metrics consumer now exists, so turn on the span sites in
     // gtxn/gjit/gquery (they pay one relaxed load each until this).
     gobs::set_spans_enabled(true);
-    let (registry, request_us) =
+    let (registry, request_us, pipeline_depth) =
         crate::metrics::build_registry(&stats, &sessions, &snb, &engine, &config, &slowlog);
     let shared = Arc::new(Shared {
         snb,
@@ -337,11 +478,13 @@ pub fn serve(
         sessions,
         registry,
         request_us,
+        pipeline_depth,
         slowlog,
         pool,
         analytics: SnapshotCache::new(),
         stop: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
+        net,
     });
 
     // Bind the standalone exporter before spawning any server thread so a
@@ -357,11 +500,15 @@ pub fn serve(
         None => None,
     };
 
-    let accept = {
-        let shared = shared.clone();
-        thread::Builder::new()
-            .name("gserver-accept".into())
-            .spawn(move || accept_loop(listener, shared))?
+    let (accept, workers) = match shared.config.net_mode {
+        NetMode::Threaded => {
+            let shared = shared.clone();
+            let h = thread::Builder::new()
+                .name("gserver-accept".into())
+                .spawn(move || accept_loop(listener, shared))?;
+            (h, Vec::new())
+        }
+        NetMode::Evented => crate::evented::spawn(listener, shared.clone())?,
     };
     let maint = {
         let shared = shared.clone();
@@ -374,6 +521,7 @@ pub fn serve(
         addr,
         shared,
         accept: Some(accept),
+        workers,
         maint: Some(maint),
         exporter,
     })
@@ -390,10 +538,48 @@ fn exposition(shared: &Shared) -> String {
 // Accept + maintenance threads
 // ---------------------------------------------------------------------
 
+/// How a failed `accept()` should be handled. Shared by both front ends
+/// so EMFILE/ECONNABORTED get the same counted, bounded-backoff treatment
+/// everywhere (they used to fall through a generic match and silently
+/// sleep).
+pub(crate) enum AcceptError {
+    /// No pending connection (or EINTR): not a failure.
+    Retry,
+    /// The *peer* aborted before we accepted (ECONNABORTED): count it and
+    /// immediately try the next pending connection.
+    PeerAborted,
+    /// Transient local exhaustion (EMFILE/ENFILE out of fds, ENOBUFS/
+    /// ENOMEM): count it and back off — retrying instantly would spin.
+    Exhausted,
+}
+
+pub(crate) fn classify_accept_error(e: &std::io::Error) -> AcceptError {
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted) {
+        return AcceptError::Retry;
+    }
+    if e.kind() == ErrorKind::ConnectionAborted {
+        return AcceptError::PeerAborted;
+    }
+    // EMFILE/ENFILE/ENOBUFS/ENOMEM and anything else unexpected: resource
+    // exhaustion is the only accept failure left that isn't per-peer, and
+    // the safe treatment for an unknown error is the same counted backoff.
+    AcceptError::Exhausted
+}
+
+/// Exponential accept backoff, bounded to 100ms so an fd-exhausted server
+/// keeps probing for headroom instead of wedging.
+pub(crate) fn next_backoff(cur: Duration) -> Duration {
+    (cur * 2).min(Duration::from_millis(100))
+}
+
+pub(crate) const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(1);
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut backoff = ACCEPT_BACKOFF_START;
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                backoff = ACCEPT_BACKOFF_START;
                 let sh = shared.clone();
                 let spawned = thread::Builder::new()
                     .name("gserver-conn".into())
@@ -404,10 +590,21 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     conns.push(h);
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(10)),
+            Err(e) => match classify_accept_error(&e) {
+                AcceptError::Retry => {
+                    if e.kind() == ErrorKind::WouldBlock {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                }
+                AcceptError::PeerAborted => {
+                    shared.stats.accepts_failed.fetch_add(1, Ordering::Relaxed);
+                }
+                AcceptError::Exhausted => {
+                    shared.stats.accepts_failed.fetch_add(1, Ordering::Relaxed);
+                    thread::sleep(backoff);
+                    backoff = next_backoff(backoff);
+                }
+            },
         }
     }
 }
@@ -449,15 +646,62 @@ fn maintenance_loop(shared: Arc<Shared>) {
 // ---------------------------------------------------------------------
 
 /// Per-connection state: the open transaction (if any) and this session's
-/// prepared statements.
-struct ConnState<'db> {
-    txn: Option<GraphTxn<'db>>,
-    prepared: HashMap<String, Arc<NamedQuery>>,
+/// prepared statements. In threaded mode it lives on the connection
+/// thread's stack; in evented mode it is parked in the connection's work
+/// cell between requests and checked out by exactly one net worker at a
+/// time (see [`crate::evented`]).
+pub(crate) struct ConnState<'db> {
+    pub(crate) txn: Option<GraphTxn<'db>>,
+    pub(crate) prepared: HashMap<String, Arc<NamedQuery>>,
 }
 
-enum Flow {
+impl<'db> ConnState<'db> {
+    pub(crate) fn new() -> ConnState<'db> {
+        ConnState {
+            txn: None,
+            prepared: HashMap::new(),
+        }
+    }
+}
+
+pub(crate) enum Flow {
     Continue,
     Close,
+}
+
+/// The greeting frame both front ends write on accept.
+pub(crate) fn greeting(shared: &Shared, sid: u64) -> String {
+    ok_response(vec![
+        ("server", Json::Str("pmemgraph".into())),
+        ("session", Json::Int(sid as i64)),
+        ("queries", Json::Int(shared.catalog.len() as i64)),
+    ])
+}
+
+pub(crate) fn session_full_response() -> String {
+    err_response(&ProtoError::new(
+        ErrorCode::ServerBusy,
+        "session table full",
+    ))
+}
+
+/// Parse + dispatch one request line. The single entry point both front
+/// ends feed decoded frames through, so protocol semantics cannot drift
+/// between net modes.
+pub(crate) fn process_line<'db>(
+    shared: &Shared,
+    db: &'db GraphDb,
+    sid: u64,
+    state: &mut ConnState<'db>,
+    line: &str,
+) -> (String, Flow) {
+    match Request::parse(line) {
+        Ok(req) => dispatch(shared, db, sid, state, req),
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            (err_response(&e), Flow::Continue)
+        }
+    }
 }
 
 fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
@@ -469,33 +713,16 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
         .sessions
         .try_register(kill_handle, shared.config.max_sessions)
     else {
-        let _ = writeln!(
-            &stream,
-            "{}",
-            err_response(&ProtoError::new(
-                ErrorCode::ServerBusy,
-                "session table full",
-            ))
-        );
+        let _ = writeln!(&stream, "{}", session_full_response());
         return;
     };
     shared.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    shared.stats.open_conns.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_read_timeout(Some(READ_TICK));
-    let _ = writeln!(
-        &stream,
-        "{}",
-        ok_response(vec![
-            ("server", Json::Str("pmemgraph".into())),
-            ("session", Json::Int(sid as i64)),
-            ("queries", Json::Int(shared.catalog.len() as i64)),
-        ])
-    );
+    let _ = writeln!(&stream, "{}", greeting(&shared, sid));
 
     let db = &shared.snb.db;
-    let mut state = ConnState {
-        txn: None,
-        prepared: HashMap::new(),
-    };
+    let mut state = ConnState::new();
     let mut reader = BufReader::new(&stream);
     let mut line = String::new();
 
@@ -509,14 +736,11 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
             continue;
         }
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        // Blocking front end: exactly one request in flight per
+        // connection, by construction.
+        shared.pipeline_depth.observe_us(1);
         shared.sessions.touch(sid);
-        let (response, flow) = match Request::parse(&line) {
-            Ok(req) => dispatch(&shared, db, sid, &mut state, req),
-            Err(e) => {
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                (err_response(&e), Flow::Continue)
-            }
-        };
+        let (response, flow) = process_line(&shared, db, sid, &mut state, &line);
         if writeln!(&stream, "{response}").is_err() {
             break;
         }
@@ -535,6 +759,7 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
             .disconnect_rollbacks
             .fetch_add(1, Ordering::Relaxed);
     }
+    shared.stats.open_conns.fetch_sub(1, Ordering::Relaxed);
     shared.sessions.deregister(sid);
 }
 
@@ -1355,6 +1580,30 @@ fn stats_response(shared: &Shared) -> String {
                     "deadline_misses",
                     v("pmemgraph_server_deadline_misses_total"),
                 ),
+            ]),
+        ),
+        (
+            "net",
+            obj(vec![
+                ("mode", Json::Str(shared.config.net_mode.as_str().into())),
+                ("open_conns", v("pmemgraph_server_open_conns")),
+                ("max_conns", Json::Int(shared.config.max_sessions as i64)),
+                (
+                    "pipeline_depth_cap",
+                    Json::Int(shared.config.pipeline_depth as i64),
+                ),
+                (
+                    "net_workers",
+                    Json::Int(shared.config.net_workers_effective() as i64),
+                ),
+                ("inflight", v("pmemgraph_server_net_inflight")),
+                ("accepts_failed", v("pmemgraph_server_accepts_failed_total")),
+                (
+                    "reactor_wakeups",
+                    v("pmemgraph_server_reactor_wakeups_total"),
+                ),
+                ("epoll_waits", v("pmemgraph_server_epoll_waits_total")),
+                ("read_pauses", v("pmemgraph_server_read_pauses_total")),
             ]),
         ),
         (

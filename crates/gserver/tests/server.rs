@@ -7,7 +7,10 @@ use std::time::{Duration, Instant};
 
 use gjit::JitEngine;
 use graphcore::DbOptions;
-use gserver::{serve, Client, ClientError, ErrorCode, Json, Param, ServerConfig, ServerHandle};
+use gserver::{
+    serve, BatchItem, Client, ClientError, ErrorCode, Json, NetMode, Param, ServerConfig,
+    ServerHandle,
+};
 use ldbc::{SnbDb, SnbParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -524,6 +527,158 @@ fn metrics_slowlog_and_exporter() {
     assert!(after.get("entries").and_then(Json::as_array).unwrap().is_empty());
 
     c.quit().expect("quit");
+    handle.shutdown();
+}
+
+/// Pipelining end to end: `send_batch` fires every request before reading
+/// a single response, and the i-th response must answer the i-th request
+/// — including item-level failures, which must not shift later answers.
+/// Run against both front ends; the wire contract is identical.
+fn batch_order_roundtrip(mode: NetMode) {
+    let config = ServerConfig {
+        net_mode: mode,
+        ..test_config()
+    };
+    let (_snb, handle) = start(config);
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+
+    const N: usize = 24;
+    let batch: Vec<BatchItem> = (0..N)
+        .map(|i| {
+            if i == 7 {
+                // A failing item mid-batch: unknown prepared name.
+                BatchItem::prepared("no_such_statement", &[])
+            } else {
+                // Distinct per-index scalar so a shifted response is loud.
+                let k = i % 5 + 1;
+                BatchItem::query(&format!("scan Person limit {k} count"), &[])
+            }
+        })
+        .collect();
+    let results = c.send_batch(&batch).expect("batch transport");
+    assert_eq!(results.len(), N);
+    for (i, r) in results.iter().enumerate() {
+        if i == 7 {
+            assert!(r.is_err(), "item 7 must fail");
+            continue;
+        }
+        let want = (i % 5 + 1) as i64;
+        let got = r.as_ref().expect("batch item").scalar().expect("scalar");
+        assert_eq!(got, want, "response {i} out of order: got {got}, want {want}");
+    }
+
+    // The same connection still works lock-step afterwards.
+    let r = c.query("scan Person limit 3 count", &[]).expect("followup");
+    assert_eq!(r.scalar(), Some(3));
+    c.quit().expect("quit");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_batch_preserves_order_evented() {
+    batch_order_roundtrip(NetMode::Evented);
+}
+
+#[test]
+fn pipelined_batch_preserves_order_threaded() {
+    batch_order_roundtrip(NetMode::Threaded);
+}
+
+/// The evented front end's reason to exist: many idle connections cost
+/// no threads. Park a fleet of idle sessions, then verify a hot client
+/// still gets work done and the session/connection accounting is exact.
+#[test]
+fn evented_holds_many_idle_connections() {
+    let config = ServerConfig {
+        net_mode: NetMode::Evented,
+        ..test_config()
+    };
+    let (_snb, handle) = start(config);
+    if handle.net_mode() != NetMode::Evented {
+        return; // non-Linux fallback: nothing to pin here
+    }
+    let addr = handle.local_addr();
+
+    const IDLE: usize = 128;
+    let fleet: Vec<Client> = (0..IDLE)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("idle conn {i}: {e}")))
+        .collect();
+    assert_eq!(handle.active_sessions(), IDLE);
+    assert_eq!(
+        handle
+            .stats()
+            .open_conns
+            .load(std::sync::atomic::Ordering::Relaxed),
+        IDLE as u64
+    );
+
+    // A hot client pipelines through the same reactor, undisturbed.
+    let mut hot = Client::connect(addr).expect("hot client");
+    let batch: Vec<BatchItem> = (0..16)
+        .map(|_| BatchItem::query("scan Person limit 2 count", &[]))
+        .collect();
+    for r in hot.send_batch(&batch).expect("hot batch") {
+        assert_eq!(r.expect("hot item").scalar(), Some(2));
+    }
+    hot.quit().expect("quit hot");
+
+    drop(fleet);
+    assert!(
+        poll_until(Duration::from_secs(3), || handle.active_sessions() == 0),
+        "idle fleet not cleaned up: {}",
+        handle.active_sessions()
+    );
+    handle.shutdown();
+}
+
+/// Backpressure is TCP pushback, not an error: a client that floods more
+/// requests than `pipeline_depth` gets its reads paused (counted in
+/// `read_pauses`) and still receives every response, in order.
+#[test]
+fn backpressure_pauses_reads_instead_of_erroring() {
+    let config = ServerConfig {
+        net_mode: NetMode::Evented,
+        pipeline_depth: 2,
+        enable_debug_ops: true,
+        ..test_config()
+    };
+    let (_snb, handle) = start(config);
+    if handle.net_mode() != NetMode::Evented {
+        return;
+    }
+
+    // Raw pipelining, below the Client helper: write 16 sleep requests in
+    // one burst so the flood outruns execution by construction.
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).expect("greeting");
+
+    const N: usize = 16;
+    let mut wire = String::new();
+    for _ in 0..N {
+        wire.push_str("{\"op\":\"sleep\",\"ms\":20}\n");
+    }
+    (&stream).write_all(wire.as_bytes()).expect("flood");
+
+    for i in 0..N {
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("response");
+        assert!(
+            resp.contains("\"ok\":true"),
+            "request {i} must succeed, got: {resp}"
+        );
+    }
+    assert!(
+        handle
+            .stats()
+            .read_pauses
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "flooding 16 requests past a depth-2 pipeline must pause reads"
+    );
+    drop(stream);
     handle.shutdown();
 }
 

@@ -28,20 +28,15 @@
 use crate::error::TxnError;
 
 /// Which durability rung commits run on. See the module docs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum SyncMode {
     /// Strict: every commit durable when acknowledged (4 fences/group).
+    #[default]
     PerTxn,
     /// Deferred with automatic checkpoints every `n` transactions.
     EveryN(u64),
     /// Deferred; only explicit `CHECKPOINT` creates a durability point.
     CheckpointOnly,
-}
-
-impl Default for SyncMode {
-    fn default() -> SyncMode {
-        SyncMode::PerTxn
-    }
 }
 
 impl SyncMode {
