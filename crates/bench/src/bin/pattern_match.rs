@@ -1,0 +1,195 @@
+//! Pattern matching: planner-chosen vs forced-worst plans (DESIGN.md §16).
+//!
+//! The fixture is the skew the cost model is built to exploit: Person
+//! nodes with *sequential* indexed ids (tight, disjoint zone-map ranges
+//! per 64-record chunk) wired into a sparse KNOWS ring (out-degree 2).
+//! Point-anchored multi-hop patterns then have a huge spread between the
+//! cheapest physical plan (B+-tree probe on the anchor, expand forward)
+//! and the worst one the planner can construct (full scan of an
+//! unconstrained end, expanding backwards into a final join filter).
+//!
+//! Two patterns, both anchored at `id = ?0`:
+//!   * `hop2` — `(a:Person {id=?0})-[:KNOWS]->(b)-[:KNOWS]->(c)`
+//!   * `hop3` — one more KNOWS segment.
+//!
+//! Arms per pattern: `best` ([`PlanChoice::Best`]) and `worst`
+//! ([`PlanChoice::Worst`], the same enumeration scored upside down — a
+//! real plan, just the most expensive candidate). Both run on the
+//! adaptive backend so compiled pipelines apply equally.
+//!
+//! `ASSERT_PLANNER=1` gates best ≥ 1.3x faster than worst on both
+//! patterns (CI). Output: a table plus `results/BENCH_pattern_match.json`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{fmt_dur, runs, scale_name, time_avg};
+use gjit::JitEngine;
+use gmatch::{
+    execute_match, parse, plan, Backend, DbStats, DictResolver, MatchPlan, PatternGraph,
+    PlanChoice,
+};
+use graphcore::{DbOptions, GraphDb, Value};
+use gstore::{IndexKind, PVal};
+
+fn person_count(scale: &str) -> usize {
+    match scale {
+        "tiny" => 4_096,
+        "bench" => 131_072,
+        _ => 32_768,
+    }
+}
+
+/// Sequential ids (clustered zone maps, indexed) + a KNOWS ring with
+/// out-degree 2 (`i -> i+1`, `i -> i+7`).
+fn fixture(n: usize) -> GraphDb {
+    let db = GraphDb::create(DbOptions::dram(1 << 30)).unwrap();
+    let batch = 4_096;
+    let mut people = Vec::with_capacity(n);
+    for start in (0..n).step_by(batch) {
+        let mut tx = db.begin();
+        for i in start..(start + batch).min(n) {
+            people.push(
+                tx.create_node("Person", &[("id", Value::Int(i as i64))])
+                    .unwrap(),
+            );
+        }
+        tx.commit().unwrap();
+    }
+    for start in (0..n).step_by(batch) {
+        let mut tx = db.begin();
+        for i in start..(start + batch).min(n) {
+            tx.create_rel(people[i], "KNOWS", people[(i + 1) % n], &[])
+                .unwrap();
+            tx.create_rel(people[i], "KNOWS", people[(i + 7) % n], &[])
+                .unwrap();
+        }
+        tx.commit().unwrap();
+    }
+    db.create_index("Person", "id", IndexKind::Volatile).unwrap();
+    db
+}
+
+struct Arm {
+    name: &'static str,
+    summary: String,
+    est_cost: f64,
+    rows: usize,
+    avg: Duration,
+}
+
+fn run_arm(
+    name: &'static str,
+    mp: &MatchPlan,
+    db: &GraphDb,
+    engine: &Arc<JitEngine>,
+    params: &[PVal],
+    n_runs: usize,
+) -> Arm {
+    let backend = Backend::Adaptive(engine, 2);
+    // Warmup: settles the expression-tier ladder and the JIT code cache
+    // so both arms measure steady-state execution, not compilation.
+    let (rows, _) = execute_match(mp, db, backend, params).unwrap();
+    let avg = time_avg(n_runs, |_| {
+        execute_match(mp, db, backend, params).unwrap();
+    });
+    Arm {
+        name,
+        summary: mp.summary.clone(),
+        est_cost: mp.est_cost,
+        rows: rows.len(),
+        avg,
+    }
+}
+
+fn main() {
+    let scale = scale_name();
+    let n = person_count(&scale);
+    let n_runs = runs();
+    println!("# pattern_match — cost-based planner vs forced-worst plans");
+    println!("# scale: {scale} ({n} Person nodes, indexed sequential ids, KNOWS out-degree 2), runs: {n_runs}");
+
+    let db = fixture(n);
+    let stats = DbStats(&db);
+    let params = [PVal::Int((n / 2) as i64)];
+    let patterns = [
+        (
+            "hop2",
+            "match (a:Person {id = ?0})-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) return c",
+        ),
+        (
+            "hop3",
+            "match (a:Person {id = ?0})-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person)-[:KNOWS]->(d:Person) return d",
+        ),
+    ];
+
+    let mut report = Vec::new();
+    for (pat_name, text) in patterns {
+        let pg = PatternGraph::resolve(&parse(text).unwrap(), &DictResolver(db.dict())).unwrap();
+        let engine = Arc::new(JitEngine::new());
+        let best_plan = plan(&pg, &stats, &params, Some(engine.pgo()), PlanChoice::Best).unwrap();
+        assert!(
+            best_plan.summary.contains("index_eq"),
+            "the anchored pattern must pick the B+-tree probe: {}",
+            best_plan.summary
+        );
+        let worst_plan = plan(&pg, &stats, &params, Some(engine.pgo()), PlanChoice::Worst).unwrap();
+        let best = run_arm("best", &best_plan, &db, &engine, &params, n_runs);
+        let worst = run_arm("worst", &worst_plan, &db, &engine, &params, n_runs);
+        assert_eq!(
+            best.rows, worst.rows,
+            "{pat_name}: both plans must return the same rows"
+        );
+
+        let speedup = worst.avg.as_nanos() as f64 / best.avg.as_nanos().max(1) as f64;
+        println!("\n## {pat_name} ({} rows)", best.rows);
+        for a in [&best, &worst] {
+            println!(
+                "{:>6} {:>12}  est_cost {:>12.0}  {}",
+                a.name,
+                fmt_dur(a.avg),
+                a.est_cost,
+                a.summary
+            );
+        }
+        println!("planner speedup: {speedup:.2}x");
+        report.push((pat_name, best, worst, speedup));
+    }
+
+    let arms_json: Vec<String> = report
+        .iter()
+        .map(|(pat, best, worst, speedup)| {
+            format!(
+                "    {{\n      \"pattern\": \"{pat}\",\n      \"rows\": {},\n      \
+                 \"best_ns\": {},\n      \"worst_ns\": {},\n      \
+                 \"best_est_cost\": {:.1},\n      \"worst_est_cost\": {:.1},\n      \
+                 \"best_plan\": {:?},\n      \"worst_plan\": {:?},\n      \
+                 \"planner_speedup\": {speedup:.3}\n    }}",
+                best.rows,
+                best.avg.as_nanos(),
+                worst.avg.as_nanos(),
+                best.est_cost,
+                worst.est_cost,
+                best.summary,
+                worst.summary,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pattern_match\",\n  \"meta\": {},\n  \"scale\": \"{scale}\",\n  \
+         \"n_persons\": {n},\n  \"runs\": {n_runs},\n  \"patterns\": [\n{}\n  ]\n}}\n",
+        bench::meta_json(),
+        arms_json.join(",\n"),
+    );
+    bench::write_results("pattern_match", &json);
+
+    if std::env::var("ASSERT_PLANNER").is_ok() {
+        for (pat, _, _, speedup) in &report {
+            assert!(
+                *speedup >= 1.3,
+                "planner regression on {pat}: chosen plan only {speedup:.2}x over forced-worst (< 1.3x)"
+            );
+            println!("ASSERT_PLANNER: {pat} {speedup:.2}x >= 1.3x — ok");
+        }
+    }
+}

@@ -47,4 +47,4 @@ pub use engine::{
     DEFAULT_CODE_CACHE_CAP,
 };
 pub use expr::{expr_key, params_hash, CompiledExpr, ExprSource};
-pub use pgo::{ExprTier, PgoTable, PlanCounters};
+pub use pgo::{ExprTier, PgoTable, PlanCounters, SegmentCounters};

@@ -78,3 +78,24 @@ pub fn plan_rows_series(plan_fp: u64, counters: std::sync::Arc<crate::pgo::PlanC
         move || counters.rows.load(std::sync::atomic::Ordering::Relaxed),
     );
 }
+
+/// Register the per-segment surviving-row series for one
+/// `(plan fingerprint, pipeline segment)` pair:
+/// `pmemgraph_jit_segment_rows_total{plan="<fp>",segment="<n>"}` reads
+/// the segment's `rows_out` counter directly. Called once per pair
+/// (cardinality-capped by the caller, `PgoTable::record_segment`). The
+/// matching `rows_in` lives in the same counters and surfaces through
+/// `PgoTable::segment_snapshot` — the ratio is the observed selectivity
+/// the gmatch cost model feeds back on replan.
+pub fn segment_rows_series(
+    plan_fp: u64,
+    segment: u32,
+    counters: std::sync::Arc<crate::pgo::SegmentCounters>,
+) {
+    gobs::global().fn_counter_labeled(
+        "pmemgraph_jit_segment_rows_total",
+        &format!("plan=\"{plan_fp:016x}\",segment=\"{segment}\""),
+        "rows surviving each pipeline segment per plan fingerprint (PGO profile)",
+        move || counters.rows_out.load(std::sync::atomic::Ordering::Relaxed),
+    );
+}

@@ -75,22 +75,51 @@ impl PlanCounters {
     }
 }
 
+/// Lifetime profile of one pipeline segment of one plan: how many rows
+/// entered the segment and how many survived it. The ratio is the
+/// segment's *observed selectivity*, which the gmatch cost model prefers
+/// over zone-map estimates on replan (the §14 feedback loop extended
+/// from per-plan row counts to per-segment counters).
+#[derive(Default)]
+pub struct SegmentCounters {
+    pub rows_in: AtomicU64,
+    pub rows_out: AtomicU64,
+    pub runs: AtomicU64,
+}
+
+impl SegmentCounters {
+    /// Observed `rows_out / rows_in`, or `None` before any row has been
+    /// seen (no evidence beats no evidence).
+    pub fn selectivity(&self) -> Option<f64> {
+        let rin = self.rows_in.load(Ordering::Relaxed);
+        if rin == 0 {
+            return None;
+        }
+        Some(self.rows_out.load(Ordering::Relaxed) as f64 / rin as f64)
+    }
+}
+
 /// All per-plan profiles plus the tier thresholds.
 pub struct PgoTable {
     plans: Mutex<HashMap<u64, Arc<PlanCounters>>>,
+    segments: Mutex<HashMap<(u64, u32), Arc<SegmentCounters>>>,
     tier1_rows: AtomicU64,
     tier2_rows: AtomicU64,
     /// Number of plan fingerprints mirrored into gobs so far.
     series: AtomicU64,
+    /// Number of (plan, segment) pairs mirrored into gobs so far.
+    seg_series: AtomicU64,
 }
 
 impl Default for PgoTable {
     fn default() -> Self {
         PgoTable {
             plans: Mutex::new(HashMap::new()),
+            segments: Mutex::new(HashMap::new()),
             tier1_rows: AtomicU64::new(DEFAULT_TIER1_ROWS),
             tier2_rows: AtomicU64::new(DEFAULT_TIER2_ROWS),
             series: AtomicU64::new(0),
+            seg_series: AtomicU64::new(0),
         }
     }
 }
@@ -148,6 +177,59 @@ impl PgoTable {
         }
     }
 
+    /// The segment counters for `(plan_fp, segment)`, creating them on
+    /// first sight.
+    pub fn segment_counters(&self, plan_fp: u64, segment: u32) -> Arc<SegmentCounters> {
+        let mut segs = self.segments.lock().unwrap();
+        segs.entry((plan_fp, segment))
+            .or_insert_with(|| Arc::new(SegmentCounters::default()))
+            .clone()
+    }
+
+    /// Record one run of pipeline segment `segment` of plan `plan_fp`:
+    /// `rows_in` binding rows entered, `rows_out` survived. First sight of
+    /// a pair registers its gobs series
+    /// `pmemgraph_jit_segment_rows_total{plan=,segment=}` (cardinality
+    /// capped at [`MAX_PLAN_SERIES`] pairs).
+    pub fn record_segment(&self, plan_fp: u64, segment: u32, rows_in: u64, rows_out: u64) {
+        let c = self.segment_counters(plan_fp, segment);
+        let prior = c.rows_in.fetch_add(rows_in, Ordering::Relaxed);
+        c.rows_out.fetch_add(rows_out, Ordering::Relaxed);
+        c.runs.fetch_add(1, Ordering::Relaxed);
+        if rows_in > 0
+            && prior == 0
+            && self.seg_series.fetch_add(1, Ordering::Relaxed) < MAX_PLAN_SERIES as u64
+        {
+            crate::obs::segment_rows_series(plan_fp, segment, c);
+        }
+    }
+
+    /// Observed selectivity of `(plan_fp, segment)`, if any rows have been
+    /// recorded. This is what the gmatch planner asks for on replan.
+    pub fn segment_selectivity(&self, plan_fp: u64, segment: u32) -> Option<f64> {
+        let segs = self.segments.lock().unwrap();
+        segs.get(&(plan_fp, segment))?.selectivity()
+    }
+
+    /// Snapshot `(plan fp, segment, rows_in, rows_out)` sorted by plan
+    /// then segment — the STATS `pgo_segments` section.
+    pub fn segment_snapshot(&self) -> Vec<(u64, u32, u64, u64)> {
+        let segs = self.segments.lock().unwrap();
+        let mut v: Vec<_> = segs
+            .iter()
+            .map(|(&(fp, s), c)| {
+                (
+                    fp,
+                    s,
+                    c.rows_in.load(Ordering::Relaxed),
+                    c.rows_out.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Snapshot `(fingerprint, rows, runs, rows/s)` per plan, sorted by
     /// rows descending — the STATS `pgo` section.
     pub fn snapshot(&self) -> Vec<(u64, u64, u64, u64)> {
@@ -194,6 +276,21 @@ mod tests {
         assert_eq!(snap[0].0, 7);
         assert_eq!(snap[0].1, 1000);
         assert_eq!(snap[0].2, 3);
+    }
+
+    #[test]
+    fn segment_counters_expose_selectivity() {
+        let t = PgoTable::new();
+        assert_eq!(t.segment_selectivity(9, 0), None, "no evidence yet");
+        t.record_segment(9, 0, 100, 25);
+        t.record_segment(9, 0, 100, 35);
+        let sel = t.segment_selectivity(9, 0).unwrap();
+        assert!((sel - 0.3).abs() < 1e-9, "60/200 survived: {sel}");
+        // Other segments and plans are independent.
+        assert_eq!(t.segment_selectivity(9, 1), None);
+        assert_eq!(t.segment_selectivity(8, 0), None);
+        let snap = t.segment_snapshot();
+        assert_eq!(snap, vec![(9, 0, 200, 60)]);
     }
 
     #[test]

@@ -1,0 +1,697 @@
+//! Pattern execution: scan heads through the four execution modes,
+//! expansion segments over binding tables, per-segment PGO feedback.
+//!
+//! A [`MatchPlan`]'s pipelines run one after another; the result is their
+//! union (then `LIMIT`, then `COUNT`). Each pipeline splits at its
+//! segment boundaries:
+//!
+//! * **Head** — the access-path segment (scan or index probe plus its
+//!   residual filters) is a plain [`Plan`], so it runs through whichever
+//!   backend the caller picked: the AOT interpreter, the morsel
+//!   scheduler, the JIT code cache, or adaptive execution. Engine-bearing
+//!   backends arm the §14 expression tier for the head's residual
+//!   conjunction exactly like ad-hoc queries do.
+//! * **Expansions** — each later segment walks adjacency over the binding
+//!   table ([`gquery::execute_prebuffered`]) and then applies the
+//!   segment's trailing filters. The node-local part of that filter
+//!   conjunction (label + property predicates on the freshly bound
+//!   column) is *rebased to column 0* and routed through the expression
+//!   tier — compiled residual code only reads the scanned column, so the
+//!   executor hands it a one-column view of the binding row. Join filters
+//!   (`ColEq` from closing edges) stay interpreted.
+//!
+//! Every segment records `(rows_in, rows_out)` into the engine's PGO
+//! table ([`gjit::PgoTable::record_segment`]); the planner prefers those
+//! observed selectivities over zone-map estimates on replan. The same
+//! numbers surface in [`ExecProfile::expansions`] for `EXPLAIN`-style
+//! introspection and the slow log.
+//!
+//! [`execute_match_sharded`] fans the head out across every pool of a
+//! [`ShardedDb`] (local ids are rewritten to global ids as rows leave a
+//! shard) and walks expansions through the §13 router: a stored endpoint
+//! is resolved with [`ShardedDb::endpoint_global`], so `REMOTE`
+//! half-edges land on the owning shard and mirror in-halves are never
+//! double-walked (out-walks only read out-lists, in-walks only in-lists).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gjit::{
+    attach_residual_expr, execute_adaptive_ctx, execute_jit_ctx, expr_key, params_hash,
+    record_residual_run, ExprSource, ExprTier, JitEngine,
+};
+use gquery::{
+    eval_pred, execute_collect_ctx, execute_morsels, execute_prebuffered, pred_fingerprint,
+    ExecCtx, ExecProfile, Op, Plan, Pred, Proj, QueryError, RelEnd, Row, Slot,
+};
+use gstore::hash::fnv1a;
+use gstore::PVal;
+use graphcore::{GraphDb, GraphTxn, PropOwner, ShardedDb};
+
+use crate::planner::{MatchPlan, Pipeline};
+
+/// How pipeline heads execute. Expansion segments always run in-process
+/// over the binding table; the backend decides how the (potentially
+/// large) head scan is driven and whether compiled expressions apply.
+#[derive(Clone, Copy)]
+pub enum Backend<'e> {
+    /// Sequential AOT interpretation.
+    Interp,
+    /// Morsel-parallel interpretation across N workers.
+    Parallel(usize),
+    /// JIT-compiled pipeline (single-threaded driver).
+    Jit(&'e Arc<JitEngine>),
+    /// Adaptive: interpret immediately, switch to compiled mid-run.
+    Adaptive(&'e Arc<JitEngine>, usize),
+}
+
+impl<'e> Backend<'e> {
+    fn engine(&self) -> Option<&'e Arc<JitEngine>> {
+        match self {
+            Backend::Jit(e) | Backend::Adaptive(e, _) => Some(e),
+            Backend::Interp | Backend::Parallel(_) => None,
+        }
+    }
+}
+
+/// Ladder fingerprint of one pipeline segment: the expression tier keys
+/// its promotion decisions per (pipeline shape, segment index).
+fn segment_fp(plan_fp: u64, segment: usize) -> u64 {
+    let mut bytes = [0u8; 12];
+    bytes[..8].copy_from_slice(&plan_fp.to_le_bytes());
+    bytes[8..].copy_from_slice(&(segment as u32).to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// Execute a planned pattern against one database. Returns the result
+/// rows (after `LIMIT`/`COUNT`) and the merged execution profile.
+pub fn execute_match(
+    mplan: &MatchPlan,
+    db: &GraphDb,
+    backend: Backend<'_>,
+    params: &[PVal],
+) -> Result<(Vec<Row>, ExecProfile), QueryError> {
+    let mut profile = ExecProfile::default();
+    let mut out: Vec<Row> = Vec::new();
+    for pipe in &mplan.pipelines {
+        out.extend(run_pipeline(pipe, db, backend, params, &mut profile)?);
+        if mplan.limit.is_some_and(|l| out.len() >= l) {
+            break;
+        }
+    }
+    Ok(finish(out, mplan, profile))
+}
+
+fn finish(mut rows: Vec<Row>, mplan: &MatchPlan, mut profile: ExecProfile) -> (Vec<Row>, ExecProfile) {
+    if let Some(l) = mplan.limit {
+        rows.truncate(l);
+    }
+    if mplan.count {
+        rows = vec![vec![Slot::val(PVal::Int(rows.len() as i64))]];
+    }
+    profile.rows = rows.len() as u64;
+    (rows, profile)
+}
+
+fn run_pipeline(
+    pipe: &Pipeline,
+    db: &GraphDb,
+    backend: Backend<'_>,
+    params: &[PVal],
+    profile: &mut ExecProfile,
+) -> Result<Vec<Row>, QueryError> {
+    let fp = pipe.plan.fingerprint();
+    let mut txn = db.begin();
+    let head = &pipe.segments[0];
+    let head_plan = Plan::new(pipe.plan.ops[head.ops.clone()].to_vec(), pipe.plan.n_params);
+    let mut ctx = ExecCtx::new(params);
+
+    let start = Instant::now();
+    let handle = backend
+        .engine()
+        .and_then(|e| attach_residual_expr(e, &head_plan, &mut ctx));
+    let mut rows = run_head(&head_plan, db, &mut txn, backend, &mut ctx)?;
+    if let (Some(engine), Some(h)) = (backend.engine(), handle.as_ref()) {
+        record_residual_run(engine, h, ctx.profile.residual_rows(), start.elapsed());
+    }
+    ctx.residual_expr = None;
+
+    let node_total = db.node_count() as u64;
+    if let Some(engine) = backend.engine() {
+        engine.pgo().record_segment(fp, 0, node_total, rows.len() as u64);
+    }
+    ctx.profile
+        .expansions
+        .push((head.desc.clone(), node_total, rows.len() as u64));
+
+    for (i, seg) in pipe.segments.iter().enumerate().skip(1) {
+        let ops = &pipe.plan.ops[seg.ops.clone()];
+        let (walk, filters, project) = split_segment(ops)?;
+        let rows_in = rows.len() as u64;
+
+        let mut walked: Vec<Row> = Vec::new();
+        execute_prebuffered(walk, &mut txn, params, std::mem::take(&mut rows), &mut |r| {
+            walked.push(r.to_vec());
+            Ok(())
+        })?;
+
+        rows = apply_segment_filters(
+            &filters,
+            walked,
+            &mut txn,
+            params,
+            backend.engine(),
+            segment_fp(fp, i),
+            &mut ctx.profile,
+        )?;
+
+        let rows_out = rows.len() as u64;
+        if let Some(engine) = backend.engine() {
+            engine.pgo().record_segment(fp, i as u32, rows_in, rows_out);
+        }
+        ctx.profile
+            .expansions
+            .push((seg.desc.clone(), rows_in, rows_out));
+
+        if let Some(projs) = project {
+            let mut projected = Vec::with_capacity(rows.len());
+            let ops = [Op::Project(projs.clone())];
+            execute_prebuffered(&ops, &mut txn, params, std::mem::take(&mut rows), &mut |r| {
+                projected.push(r.to_vec());
+                Ok(())
+            })?;
+            rows = projected;
+        }
+    }
+
+    profile.absorb(std::mem::take(&mut ctx.profile));
+    Ok(rows)
+}
+
+fn run_head(
+    head_plan: &Plan,
+    db: &GraphDb,
+    txn: &mut GraphTxn<'_>,
+    backend: Backend<'_>,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<Vec<Row>, QueryError> {
+    match backend {
+        Backend::Interp => execute_collect_ctx(head_plan, txn, ctx),
+        Backend::Parallel(threads) => {
+            match execute_morsels(head_plan, db, txn, ctx, threads, None)? {
+                Some(rows) => Ok(rows),
+                // Not morsel-splittable (e.g. an index point probe):
+                // sequential interpretation, same snapshot.
+                None => execute_collect_ctx(head_plan, txn, ctx),
+            }
+        }
+        Backend::Jit(engine) => execute_jit_ctx(engine, head_plan, txn, ctx),
+        Backend::Adaptive(engine, threads) => {
+            Ok(execute_adaptive_ctx(engine, head_plan, db, txn, ctx, threads)?.rows)
+        }
+    }
+}
+
+/// Split one lowered segment into its adjacency walk, its trailing
+/// filter run, and (last segment only) the final projection.
+fn split_segment<'p>(
+    ops: &'p [Op],
+) -> Result<(&'p [Op], Vec<&'p Pred>, Option<&'p Vec<Proj>>), QueryError> {
+    let mut end = ops.len();
+    let project = match ops.last() {
+        Some(Op::Project(p)) => {
+            end -= 1;
+            Some(p)
+        }
+        _ => None,
+    };
+    let mut start = end;
+    while start > 0 && matches!(ops[start - 1], Op::Filter(_)) {
+        start -= 1;
+    }
+    let filters = ops[start..end]
+        .iter()
+        .map(|op| match op {
+            Op::Filter(p) => Ok(p),
+            other => Err(QueryError::BadPlan(format!(
+                "unexpected {other:?} in segment filter run"
+            ))),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((&ops[..start], filters, project))
+}
+
+/// Apply a segment's trailing filters to the walked binding rows.
+///
+/// The label/property conjunction over the segment's newly bound node
+/// column is rebased to column 0 and offered to the expression tier
+/// (compiled code reads only the scanned column); each row is then
+/// evaluated against a one-column view `[row[col]]`. Anything else —
+/// `ColEq` join filters, or conjuncts spanning multiple columns — walks
+/// the predicate AST on the full row.
+#[allow(clippy::too_many_arguments)]
+fn apply_segment_filters(
+    filters: &[&Pred],
+    walked: Vec<Row>,
+    txn: &mut GraphTxn<'_>,
+    params: &[PVal],
+    engine: Option<&Arc<JitEngine>>,
+    seg_fp: u64,
+    profile: &mut ExecProfile,
+) -> Result<Vec<Row>, QueryError> {
+    if filters.is_empty() {
+        return Ok(walked);
+    }
+
+    // Partition: single-column node conjunction vs everything else.
+    let mut node_col: Option<usize> = None;
+    let mut node_preds: Vec<&Pred> = Vec::new();
+    let mut rest: Vec<&Pred> = Vec::new();
+    for p in filters {
+        let col = match p {
+            Pred::Prop { col, .. } | Pred::LabelIs { col, .. } => Some(*col),
+            _ => None,
+        };
+        match col {
+            Some(c) if node_col.is_none() || node_col == Some(c) => {
+                node_col = Some(c);
+                node_preds.push(p);
+            }
+            _ => rest.push(p),
+        }
+    }
+
+    // Compiled path for the node conjunction, when an engine is present
+    // and the PGO ladder (or a cache hit) admits it.
+    let compiled = match (engine, node_col) {
+        (Some(engine), Some(_)) => {
+            let rebased = rebase_conjunction(&node_preds);
+            compiled_filter(engine, seg_fp, &rebased, params, walked.len() as u64)
+        }
+        _ => None,
+    };
+
+    let mut kept = Vec::with_capacity(walked.len());
+    let start = Instant::now();
+    let rows_before = profile.residual_rows();
+    for row in walked {
+        let mut ok = true;
+        if let Some(col) = node_col {
+            match &compiled {
+                Some(ce) => {
+                    let view = [*row
+                        .get(col)
+                        .ok_or_else(|| QueryError::BadPlan(format!("column {col} out of range")))?];
+                    ok = ce.eval(txn, params, &view)?;
+                    profile.residual_rows_compiled += 1;
+                }
+                None => {
+                    for p in &node_preds {
+                        if !eval_pred(p, &row, txn, params)? {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    profile.residual_rows_interp += 1;
+                }
+            }
+        }
+        if ok {
+            for p in &rest {
+                if !eval_pred(p, &row, txn, params)? {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            kept.push(row);
+        }
+    }
+    if let (Some(engine), Some(_)) = (engine, node_col) {
+        // Drive the segment's tier ladder with the rows it evaluated.
+        engine
+            .pgo()
+            .record(seg_fp, profile.residual_rows() - rows_before, start.elapsed());
+    }
+    Ok(kept)
+}
+
+/// Rewrite a single-column conjunction so every predicate reads column 0
+/// — the only column the expression tier compiles — for evaluation
+/// against a one-column row view.
+fn rebase_conjunction(preds: &[&Pred]) -> Pred {
+    let mut rebased = preds.iter().map(|p| match p {
+        Pred::Prop {
+            key, op, value, ..
+        } => Pred::Prop {
+            col: 0,
+            key: *key,
+            op: *op,
+            value: *value,
+        },
+        Pred::LabelIs { label, .. } => Pred::LabelIs { col: 0, label: *label },
+        other => (*other).clone(),
+    });
+    let first = rebased.next().expect("non-empty conjunction");
+    rebased.fold(first, |acc, p| Pred::And(Box::new(acc), Box::new(p)))
+}
+
+/// Probe/compile the expression tier for a segment's rebased node
+/// conjunction. Mirrors `gjit::attach_residual_expr`'s key scheme but
+/// compiles synchronously — expansion filters run over an already
+/// materialized binding table, so there is no scan to overlap with.
+fn compiled_filter(
+    engine: &Arc<JitEngine>,
+    seg_fp: u64,
+    pred: &Pred,
+    params: &[PVal],
+    _rows: u64,
+) -> Option<Arc<gjit::CompiledExpr>> {
+    if !gconfig::expr_jit() || !gjit::expr::supported() {
+        return None;
+    }
+    let pred_fp = pred_fingerprint(pred);
+    let generic_key = expr_key(ExprSource::Node, pred_fp, ExprTier::Generic, 0);
+    let inlined_key = expr_key(ExprSource::Node, pred_fp, ExprTier::Inlined, params_hash(params));
+    if let Some(ce) = engine
+        .probe_expr(inlined_key)
+        .or_else(|| engine.probe_expr(generic_key))
+    {
+        return Some(ce);
+    }
+    match engine.expr_tier(seg_fp) {
+        ExprTier::Interpret => None,
+        ExprTier::Generic => engine
+            .get_or_compile_expr(generic_key, ExprSource::Node, pred, None)
+            .ok(),
+        ExprTier::Inlined => engine
+            .get_or_compile_expr(inlined_key, ExprSource::Node, pred, Some(params))
+            .ok(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded execution
+// ---------------------------------------------------------------------
+
+/// Execute a planned pattern against a sharded database. The head plan
+/// fans out to every shard (rows leave each shard with ids rewritten to
+/// global ids); expansions walk adjacency through the router, resolving
+/// `REMOTE` half-edges to their owning shard. One MVTO reader per shard
+/// serves the whole pattern.
+pub fn execute_match_sharded(
+    mplan: &MatchPlan,
+    db: &ShardedDb,
+    backend: Backend<'_>,
+    params: &[PVal],
+) -> Result<(Vec<Row>, ExecProfile), QueryError> {
+    if db.shard_count() == 1 {
+        // gid == lid: the unsharded executor is exact (and keeps the
+        // morsel scheduler + expression tier on their fast paths).
+        return execute_match(mplan, db.shard(0), backend, params);
+    }
+    let mut profile = ExecProfile::default();
+    let mut out: Vec<Row> = Vec::new();
+    for pipe in &mplan.pipelines {
+        out.extend(run_pipeline_sharded(pipe, db, backend, params, &mut profile)?);
+        if mplan.limit.is_some_and(|l| out.len() >= l) {
+            break;
+        }
+    }
+    Ok(finish(out, mplan, profile))
+}
+
+fn run_pipeline_sharded(
+    pipe: &Pipeline,
+    db: &ShardedDb,
+    backend: Backend<'_>,
+    params: &[PVal],
+    profile: &mut ExecProfile,
+) -> Result<Vec<Row>, QueryError> {
+    let fp = pipe.plan.fingerprint();
+    let router = db.router();
+    let head = &pipe.segments[0];
+    let head_ops_full = &pipe.plan.ops[head.ops.clone()];
+    // Projection must see global ids; peel it off the head (single-
+    // segment pipelines) and evaluate it through the router at the end.
+    let (head_ops, mut pending_project) = match head_ops_full.last() {
+        Some(Op::Project(p)) => (&head_ops_full[..head_ops_full.len() - 1], Some(p)),
+        _ => (head_ops_full, None),
+    };
+    let head_plan = Plan::new(head_ops.to_vec(), pipe.plan.n_params);
+
+    let mut txns: Vec<GraphTxn<'_>> = db.shards().iter().map(|s| s.begin()).collect();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut node_total = 0u64;
+    for s in 0..db.shard_count() {
+        let shard_db = db.shard(s);
+        node_total += shard_db.node_count() as u64;
+        let mut ctx = ExecCtx::new(params);
+        let start = Instant::now();
+        let handle = backend
+            .engine()
+            .and_then(|e| attach_residual_expr(e, &head_plan, &mut ctx));
+        let shard_rows = run_head(&head_plan, shard_db, &mut txns[s], backend, &mut ctx)?;
+        if let (Some(engine), Some(h)) = (backend.engine(), handle.as_ref()) {
+            record_residual_run(engine, h, ctx.profile.residual_rows(), start.elapsed());
+        }
+        ctx.residual_expr = None;
+        profile.absorb(std::mem::take(&mut ctx.profile));
+        for mut r in shard_rows {
+            for slot in r.iter_mut() {
+                if let Some(lid) = slot.as_node() {
+                    *slot = Slot::node(router.global_of(s, lid));
+                } else if let Some(lid) = slot.as_rel() {
+                    *slot = Slot::rel(router.global_of(s, lid));
+                }
+            }
+            rows.push(r);
+        }
+    }
+    if let Some(engine) = backend.engine() {
+        engine.pgo().record_segment(fp, 0, node_total, rows.len() as u64);
+    }
+    profile
+        .expansions
+        .push((head.desc.clone(), node_total, rows.len() as u64));
+
+    for (i, seg) in pipe.segments.iter().enumerate().skip(1) {
+        let ops = &pipe.plan.ops[seg.ops.clone()];
+        let rows_in = rows.len() as u64;
+        let mut j = 0;
+        while j < ops.len() {
+            match &ops[j] {
+                Op::ForeachRel { col, dir, label } => {
+                    // Fused with the GetNode that names the landing end —
+                    // the walker needs the record to resolve REMOTE.
+                    let end = match ops.get(j + 1) {
+                        Some(Op::GetNode { end, .. }) => *end,
+                        other => {
+                            return Err(QueryError::BadPlan(format!(
+                                "sharded walk: ForeachRel not followed by GetNode ({other:?})"
+                            )))
+                        }
+                    };
+                    let mut next = Vec::new();
+                    for r in &rows {
+                        let gid = r
+                            .get(*col)
+                            .and_then(Slot::as_node)
+                            .ok_or_else(|| bad_node_col(*col))?;
+                        let s = router.shard_of(gid);
+                        let lid = router.local_of(gid);
+                        for (rid, rec) in txns[s].rels_of(lid, *dir, *label)? {
+                            let raw = match end {
+                                RelEnd::Dst => rec.dst,
+                                RelEnd::Src => rec.src,
+                                RelEnd::Other(_) => {
+                                    return Err(QueryError::BadPlan(
+                                        "sharded walk: RelEnd::Other unsupported".into(),
+                                    ))
+                                }
+                            };
+                            let mut nr = r.clone();
+                            nr.push(Slot::rel(router.global_of(s, rid)));
+                            nr.push(Slot::node(db.endpoint_global(s, raw)));
+                            next.push(nr);
+                        }
+                    }
+                    rows = next;
+                    j += 2;
+                }
+                Op::Filter(p) => {
+                    let mut kept = Vec::with_capacity(rows.len());
+                    for r in std::mem::take(&mut rows) {
+                        if matches!(p, Pred::Prop { .. } | Pred::LabelIs { .. }) {
+                            profile.residual_rows_interp += 1;
+                        }
+                        if eval_pred_global(db, &txns, p, &r, params)? {
+                            kept.push(r);
+                        }
+                    }
+                    rows = kept;
+                    j += 1;
+                }
+                Op::Project(p) => {
+                    pending_project = Some(p);
+                    j += 1;
+                }
+                other => {
+                    return Err(QueryError::BadPlan(format!(
+                        "operator {other:?} not supported in sharded match segments"
+                    )))
+                }
+            }
+        }
+        let rows_out = rows.len() as u64;
+        if let Some(engine) = backend.engine() {
+            engine.pgo().record_segment(fp, i as u32, rows_in, rows_out);
+        }
+        profile
+            .expansions
+            .push((seg.desc.clone(), rows_in, rows_out));
+    }
+
+    if let Some(projs) = pending_project {
+        let mut projected = Vec::with_capacity(rows.len());
+        for r in &rows {
+            let mut pr = Vec::with_capacity(projs.len());
+            for p in projs {
+                pr.push(eval_proj_global(db, &txns, p, r)?);
+            }
+            projected.push(pr);
+        }
+        rows = projected;
+    }
+    Ok(rows)
+}
+
+fn bad_node_col(col: usize) -> QueryError {
+    QueryError::BadPlan(format!("column {col} is not a node"))
+}
+
+fn owner_global(
+    db: &ShardedDb,
+    row: &[Slot],
+    col: usize,
+) -> Result<(usize, PropOwner), QueryError> {
+    let slot = row
+        .get(col)
+        .ok_or_else(|| QueryError::BadPlan(format!("column {col} out of range")))?;
+    let r = db.router();
+    if let Some(gid) = slot.as_node() {
+        Ok((r.shard_of(gid), PropOwner::Node(r.local_of(gid))))
+    } else if let Some(gid) = slot.as_rel() {
+        Ok((r.shard_of(gid), PropOwner::Rel(r.local_of(gid))))
+    } else {
+        Err(QueryError::BadPlan(format!("column {col} is not an entity")))
+    }
+}
+
+/// [`gquery::eval_pred`] against global ids: entity columns route to the
+/// owning shard's reader. Same comparison semantics (missing property ⇒
+/// false; Eq/Ne on value equality; ordered operators on the index key).
+fn eval_pred_global(
+    db: &ShardedDb,
+    txns: &[GraphTxn<'_>],
+    pred: &Pred,
+    row: &[Slot],
+    params: &[PVal],
+) -> Result<bool, QueryError> {
+    Ok(match pred {
+        Pred::Prop {
+            col,
+            key,
+            op,
+            value,
+        } => {
+            let (s, owner) = owner_global(db, row, *col)?;
+            match txns[s].prop_pval(owner, *key)? {
+                Some(actual) => {
+                    let expect = value.resolve(params);
+                    match op {
+                        gquery::CmpOp::Eq => actual == expect,
+                        gquery::CmpOp::Ne => actual != expect,
+                        _ => op.eval_u64(actual.index_key(), expect.index_key()),
+                    }
+                }
+                None => false,
+            }
+        }
+        Pred::LabelIs { col, label } => {
+            let (s, owner) = owner_global(db, row, *col)?;
+            match owner {
+                PropOwner::Node(id) => txns[s].node(id)?.is_some_and(|n| n.label == *label),
+                PropOwner::Rel(id) => txns[s].rel(id)?.is_some_and(|r| r.label == *label),
+            }
+        }
+        Pred::ColEq { a, b } => {
+            let sa = row.get(*a).ok_or_else(|| bad_node_col(*a))?;
+            let sb = row.get(*b).ok_or_else(|| bad_node_col(*b))?;
+            sa.tag == sb.tag && sa.val == sb.val
+        }
+        Pred::ColNe { a, b } => !eval_pred_global(db, txns, &Pred::ColEq { a: *a, b: *b }, row, params)?,
+        Pred::And(l, r) => {
+            eval_pred_global(db, txns, l, row, params)?
+                && eval_pred_global(db, txns, r, row, params)?
+        }
+        Pred::Or(l, r) => {
+            eval_pred_global(db, txns, l, row, params)?
+                || eval_pred_global(db, txns, r, row, params)?
+        }
+        Pred::Not(x) => !eval_pred_global(db, txns, x, row, params)?,
+        Pred::Connected { .. } => {
+            return Err(QueryError::BadPlan(
+                "Connected predicate unsupported in sharded match".into(),
+            ))
+        }
+    })
+}
+
+/// [`Proj`] evaluation against global ids (ids project as their global
+/// form — the one the client handed in and gets back).
+fn eval_proj_global(
+    db: &ShardedDb,
+    txns: &[GraphTxn<'_>],
+    proj: &Proj,
+    row: &[Slot],
+) -> Result<Slot, QueryError> {
+    Ok(match proj {
+        Proj::Col(c) => *row
+            .get(*c)
+            .ok_or_else(|| QueryError::BadPlan(format!("column {c} out of range")))?,
+        Proj::Id { col } => {
+            let slot = row
+                .get(*col)
+                .ok_or_else(|| QueryError::BadPlan(format!("column {col} out of range")))?;
+            Slot::val(PVal::Int(slot.val as i64))
+        }
+        Proj::Prop { col, key } => {
+            let (s, owner) = owner_global(db, row, *col)?;
+            match txns[s].prop_pval(owner, *key)? {
+                Some(p) => Slot::val(p),
+                None => Slot::NULL,
+            }
+        }
+        Proj::Label { col } => {
+            let (s, owner) = owner_global(db, row, *col)?;
+            let label = match owner {
+                PropOwner::Node(id) => txns[s]
+                    .node(id)?
+                    .ok_or(QueryError::BadPlan(format!("node {id} vanished")))?
+                    .label,
+                PropOwner::Rel(id) => txns[s]
+                    .rel(id)?
+                    .ok_or(QueryError::BadPlan(format!("rel {id} vanished")))?
+                    .label,
+            };
+            Slot::val(PVal::Int(label as i64))
+        }
+        Proj::ConnectedFlag { .. } => {
+            return Err(QueryError::BadPlan(
+                "ConnectedFlag unsupported in sharded match".into(),
+            ))
+        }
+    })
+}

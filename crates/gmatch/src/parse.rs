@@ -1,0 +1,616 @@
+//! The Cypher-lite pattern grammar (DESIGN.md §16):
+//!
+//! ```text
+//! query    := path (',' path)* [where] [return] [limit] ['count']
+//! path     := node (edge node)*
+//! node     := '(' [var] [':' Label] ['{' prop (',' prop)* '}'] ')'
+//! prop     := Key cmp value
+//! edge     := '-[' [':' Label] ['*' min '..' max] ']->'
+//!           | '<-[' [':' Label] ['*' min '..' max] ']-'
+//! where    := 'where' cond ('and' cond)*
+//! cond     := var '.' Key cmp value
+//! return   := 'return' item (',' item)*      (default: every named var's id)
+//! item     := var | var '.' Key
+//! cmp      := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! value    := int | float | 'string' | true | false | null | ?N
+//! ```
+//!
+//! Edges are directed (no undirected form) and anonymous (no edge
+//! variables); variable-length bounds are `1 <= min <= max <= 8`. Values
+//! use the same literal syntax as the server's ad-hoc verbs, including
+//! `?N` parameter holes. Labels, keys and string literals stay *names* in
+//! the AST — [`crate::pattern`] resolves them to dictionary codes.
+
+use gquery::CmpOp;
+
+/// A parse or semantic error, with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchError(pub String);
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+pub(crate) fn err<T>(msg: impl Into<String>) -> Result<T, MatchError> {
+    Err(MatchError(msg.into()))
+}
+
+/// A literal in the pattern text (unresolved: strings are not interned).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    /// `?N` parameter hole.
+    Param(usize),
+}
+
+/// One property constraint, `key cmp value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropPat {
+    pub key: String,
+    pub op: CmpOp,
+    pub value: Lit,
+}
+
+/// One node pattern.
+#[derive(Debug, Clone, Default)]
+pub struct NodePat {
+    /// Binding variable; `None` for anonymous nodes.
+    pub var: Option<String>,
+    pub label: Option<String>,
+    pub props: Vec<PropPat>,
+}
+
+/// Edge direction relative to the textual left-to-right order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeDir {
+    /// `-[..]->`: left node is the source.
+    Right,
+    /// `<-[..]-`: right node is the source.
+    Left,
+}
+
+/// One edge pattern.
+#[derive(Debug, Clone)]
+pub struct EdgePat {
+    pub label: Option<String>,
+    pub dir: EdgeDir,
+    /// Hop bounds; `(1, 1)` for a plain edge.
+    pub min_hops: u32,
+    pub max_hops: u32,
+}
+
+/// One linear path: a node followed by (edge, node) pairs.
+#[derive(Debug, Clone)]
+pub struct PathPat {
+    pub start: NodePat,
+    pub hops: Vec<(EdgePat, NodePat)>,
+}
+
+/// A `where` conjunct: `var.key cmp value`.
+#[derive(Debug, Clone)]
+pub struct CondPat {
+    pub var: String,
+    pub prop: PropPat,
+}
+
+/// One `return` item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnItem {
+    /// `var` — the bound entity's id.
+    Var(String),
+    /// `var.key` — a property of the bound entity.
+    Prop(String, String),
+}
+
+/// The parsed query.
+#[derive(Debug, Clone)]
+pub struct Ast {
+    pub paths: Vec<PathPat>,
+    pub conds: Vec<CondPat>,
+    /// Empty ⇒ default projection (every named variable's id, in first
+    /// appearance order).
+    pub returns: Vec<ReturnItem>,
+    pub limit: Option<usize>,
+    pub count: bool,
+}
+
+/// Upper bound on variable-length hops, so a typo cannot request an
+/// exponential expansion.
+pub const MAX_HOPS: u32 = 8;
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Param(usize),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Colon,
+    Comma,
+    Dot,
+    DotDot,
+    Star,
+    Dash,
+    Arrow,     // ->
+    BackArrow, // <-
+    Cmp(CmpOp),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, MatchError> {
+    let b: Vec<char> = text.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                toks.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Tok::RBracket);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '.' => {
+                if b.get(i + 1) == Some(&'.') {
+                    toks.push(Tok::DotDot);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Dot);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if b.get(i + 1) == Some(&'>') {
+                    toks.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Dash);
+                    i += 1;
+                }
+            }
+            '<' => match b.get(i + 1) {
+                Some('-') => {
+                    toks.push(Tok::BackArrow);
+                    i += 2;
+                }
+                Some('=') => {
+                    toks.push(Tok::Cmp(CmpOp::Le));
+                    i += 2;
+                }
+                _ => {
+                    toks.push(Tok::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if b.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Cmp(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '=' => {
+                toks.push(Tok::Cmp(CmpOp::Eq));
+                i += 1;
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Cmp(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    return err("unexpected '!'");
+                }
+            }
+            '?' => {
+                let mut j = i + 1;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return err("expected digits after '?'");
+                }
+                let n: usize = b[i + 1..j]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .map_err(|_| MatchError("parameter index out of range".into()))?;
+                toks.push(Tok::Param(n));
+                i = j;
+            }
+            '\'' => {
+                let mut j = i + 1;
+                while j < b.len() && b[j] != '\'' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return err("unterminated string literal");
+                }
+                toks.push(Tok::Str(b[i + 1..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // A '.' starts a float only when followed by a digit —
+                // `1..3` must tokenize as Int(1) DotDot Int(3).
+                let is_float = b.get(j) == Some(&'.')
+                    && b.get(j + 1).is_some_and(|d| d.is_ascii_digit());
+                if is_float {
+                    j += 1;
+                    while j < b.len() && b[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    let s: String = b[i..j].iter().collect();
+                    toks.push(Tok::Float(s.parse().map_err(|_| {
+                        MatchError(format!("bad float literal '{s}'"))
+                    })?));
+                } else {
+                    let s: String = b[i..j].iter().collect();
+                    toks.push(Tok::Int(s.parse().map_err(|_| {
+                        MatchError(format!("integer literal '{s}' out of range"))
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok::Ident(b[i..j].iter().collect()));
+                i = j;
+            }
+            other => return err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), MatchError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            err(format!("expected {what}"))
+        }
+    }
+
+    /// A keyword is a case-insensitive bare identifier.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, MatchError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => err(format!("expected {what}")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Lit, MatchError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Lit::Int(v)),
+            Some(Tok::Float(v)) => Ok(Lit::Float(v)),
+            Some(Tok::Str(s)) => Ok(Lit::Str(s)),
+            Some(Tok::Param(n)) => Ok(Lit::Param(n)),
+            // Unary minus on numeric literals.
+            Some(Tok::Dash) => match self.next() {
+                Some(Tok::Int(v)) => Ok(Lit::Int(-v)),
+                Some(Tok::Float(v)) => Ok(Lit::Float(-v)),
+                _ => err("expected number after '-'"),
+            },
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Lit::Bool(true)),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Lit::Bool(false)),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Lit::Null),
+            _ => err("expected value (int, float, 'str', true, false, null or ?N)"),
+        }
+    }
+
+    fn prop(&mut self) -> Result<PropPat, MatchError> {
+        let key = self.ident("property key")?;
+        let op = match self.next() {
+            Some(Tok::Cmp(op)) => op,
+            _ => return err("expected comparison operator after property key"),
+        };
+        let value = self.value()?;
+        Ok(PropPat { key, op, value })
+    }
+
+    fn node(&mut self) -> Result<NodePat, MatchError> {
+        self.expect(Tok::LParen, "'(' starting a node pattern")?;
+        let mut n = NodePat::default();
+        if let Some(Tok::Ident(_)) = self.peek() {
+            n.var = Some(self.ident("variable")?);
+        }
+        if self.eat(&Tok::Colon) {
+            n.label = Some(self.ident("label after ':'")?);
+        }
+        if self.eat(&Tok::LBrace) {
+            loop {
+                n.props.push(self.prop()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RBrace, "'}' closing the property map")?;
+        }
+        self.expect(Tok::RParen, "')' closing the node pattern")?;
+        Ok(n)
+    }
+
+    /// Parse one edge if the next token starts one.
+    fn edge(&mut self) -> Result<Option<EdgePat>, MatchError> {
+        let dir = match self.peek() {
+            Some(Tok::Dash) => EdgeDir::Right,
+            Some(Tok::BackArrow) => EdgeDir::Left,
+            _ => return Ok(None),
+        };
+        self.pos += 1;
+        self.expect(Tok::LBracket, "'[' in edge pattern")?;
+        if let Some(Tok::Ident(v)) = self.peek() {
+            return err(format!("edge variables are not supported (got '{v}')"));
+        }
+        let mut label = None;
+        if self.eat(&Tok::Colon) {
+            label = Some(self.ident("label after ':'")?);
+        }
+        let (mut min_hops, mut max_hops) = (1, 1);
+        if self.eat(&Tok::Star) {
+            min_hops = match self.next() {
+                Some(Tok::Int(v)) if v >= 0 => v as u32,
+                _ => return err("expected hop count after '*'"),
+            };
+            max_hops = min_hops;
+            if self.eat(&Tok::DotDot) {
+                max_hops = match self.next() {
+                    Some(Tok::Int(v)) if v >= 0 => v as u32,
+                    _ => return err("expected upper hop bound after '..'"),
+                };
+            }
+            if min_hops == 0 {
+                return err("zero-length paths (*0..) are not supported");
+            }
+            if min_hops > max_hops {
+                return err(format!("empty hop range *{min_hops}..{max_hops}"));
+            }
+            if max_hops > MAX_HOPS {
+                return err(format!("hop bound {max_hops} exceeds the maximum {MAX_HOPS}"));
+            }
+        }
+        self.expect(Tok::RBracket, "']' in edge pattern")?;
+        match dir {
+            EdgeDir::Right => self.expect(Tok::Arrow, "'->' after ']'")?,
+            EdgeDir::Left => self.expect(Tok::Dash, "'-' after ']'")?,
+        }
+        Ok(Some(EdgePat {
+            label,
+            dir,
+            min_hops,
+            max_hops,
+        }))
+    }
+
+    fn path(&mut self) -> Result<PathPat, MatchError> {
+        let start = self.node()?;
+        let mut hops = Vec::new();
+        while let Some(edge) = self.edge()? {
+            let node = self.node()?;
+            hops.push((edge, node));
+        }
+        Ok(PathPat { start, hops })
+    }
+}
+
+/// Parse a pattern query. A leading `match` keyword is accepted and
+/// ignored, so both the bare pattern and the full server verb parse.
+pub fn parse(text: &str) -> Result<Ast, MatchError> {
+    let mut p = P {
+        toks: tokenize(text)?,
+        pos: 0,
+    };
+    p.eat_kw("match");
+    let mut paths = vec![p.path()?];
+    while p.eat(&Tok::Comma) {
+        paths.push(p.path()?);
+    }
+    let mut conds = Vec::new();
+    if p.eat_kw("where") {
+        loop {
+            let var = p.ident("variable in where clause")?;
+            p.expect(Tok::Dot, "'.' after variable")?;
+            let prop = p.prop()?;
+            conds.push(CondPat { var, prop });
+            if !p.eat_kw("and") {
+                break;
+            }
+        }
+    }
+    let mut returns = Vec::new();
+    if p.eat_kw("return") {
+        loop {
+            let var = p.ident("return item")?;
+            if p.eat(&Tok::Dot) {
+                let key = p.ident("property key after '.'")?;
+                returns.push(ReturnItem::Prop(var, key));
+            } else {
+                returns.push(ReturnItem::Var(var));
+            }
+            if !p.eat(&Tok::Comma) {
+                break;
+            }
+        }
+    }
+    let mut limit = None;
+    let mut count = false;
+    loop {
+        if p.eat_kw("limit") {
+            limit = match p.next() {
+                Some(Tok::Int(v)) if v >= 0 => Some(v as usize),
+                _ => return err("expected row count after 'limit'"),
+            };
+        } else if p.eat_kw("count") {
+            count = true;
+        } else {
+            break;
+        }
+    }
+    if p.pos != p.toks.len() {
+        return err("trailing tokens after pattern query");
+    }
+    Ok(Ast {
+        paths,
+        conds,
+        returns,
+        limit,
+        count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_hop_with_props_and_clauses() {
+        let ast = parse(
+            "match (a:Person {id = ?0})-[:KNOWS*1..3]->(b)<-[:HAS_CREATOR]-(m:Post) \
+             where b.age >= 21 and m.score != -1 return b, m.content limit 10",
+        )
+        .unwrap();
+        assert_eq!(ast.paths.len(), 1);
+        let path = &ast.paths[0];
+        assert_eq!(path.start.var.as_deref(), Some("a"));
+        assert_eq!(path.start.label.as_deref(), Some("Person"));
+        assert_eq!(path.start.props[0].value, Lit::Param(0));
+        assert_eq!(path.hops.len(), 2);
+        assert_eq!(path.hops[0].0.max_hops, 3);
+        assert_eq!(path.hops[1].0.dir, EdgeDir::Left);
+        assert_eq!(ast.conds.len(), 2);
+        assert_eq!(ast.conds[1].prop.value, Lit::Int(-1));
+        assert_eq!(
+            ast.returns,
+            vec![
+                ReturnItem::Var("b".into()),
+                ReturnItem::Prop("m".into(), "content".into())
+            ]
+        );
+        assert_eq!(ast.limit, Some(10));
+        assert!(!ast.count);
+    }
+
+    #[test]
+    fn parses_joined_paths_and_count() {
+        let ast = parse("(a:X)-[:E]->(b:Y), (b)-[:F]->(a) count").unwrap();
+        assert_eq!(ast.paths.len(), 2);
+        assert!(ast.count);
+        assert!(ast.returns.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_patterns() {
+        assert!(parse("(a)-[:E*0..2]->(b)").is_err(), "zero-length path");
+        assert!(parse("(a)-[:E*3..2]->(b)").is_err(), "empty range");
+        assert!(parse("(a)-[:E*1..99]->(b)").is_err(), "hop cap");
+        assert!(parse("(a)-[e:E]->(b)").is_err(), "edge variable");
+        assert!(parse("(a)-[:E]->(b) nonsense").is_err(), "trailing tokens");
+        assert!(parse("(a:'x')").is_err(), "label must be an identifier");
+    }
+
+    #[test]
+    fn string_and_float_literals() {
+        let ast = parse("(a {name = 'Ada Lovelace', score > 2.5})").unwrap();
+        assert_eq!(
+            ast.paths[0].start.props[0].value,
+            Lit::Str("Ada Lovelace".into())
+        );
+        assert_eq!(ast.paths[0].start.props[1].value, Lit::Float(2.5));
+    }
+}

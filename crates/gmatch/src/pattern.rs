@@ -1,0 +1,359 @@
+//! The logical pattern graph: the parsed AST resolved against a
+//! database dictionary.
+//!
+//! Resolution unifies variables (two occurrences of `b` across paths are
+//! one pattern node — the join on shared bindings), folds `where`
+//! conjuncts into the node they constrain, normalises edge direction to
+//! `src -> dst`, and maps label/key/string names to dictionary codes.
+//! Unknown labels and keys are errors (the query cannot match and the
+//! user almost certainly misspelled a name — the same contract as the
+//! server's ad-hoc verbs); an unknown *string literal* resolves to a
+//! sentinel code that equals no interned string, so `name = 'nobody'`
+//! matches nothing and `name != 'nobody'` matches every node carrying
+//! the key, exactly as if the string were interned but unused.
+
+use gquery::{CmpOp, PPar};
+use gstore::{Dictionary, PVal};
+
+use crate::parse::{err, Ast, EdgeDir, Lit, MatchError, NodePat, PropPat, ReturnItem};
+
+/// Name-to-code resolution, abstracted so planning does not care whether
+/// codes come from a standalone dictionary or a sharded database's
+/// mirrored dictionaries.
+pub trait NameResolver {
+    fn label_code(&self, name: &str) -> Option<u32>;
+    fn key_code(&self, name: &str) -> Option<u32>;
+    /// The dictionary code of an interned string literal, if present.
+    fn str_code(&self, s: &str) -> Option<u32>;
+}
+
+/// Resolver over one [`Dictionary`] (a standalone database, or shard 0 of
+/// a sharded one — interning is mirrored, so every shard agrees).
+pub struct DictResolver<'a>(pub &'a Dictionary);
+
+impl NameResolver for DictResolver<'_> {
+    fn label_code(&self, name: &str) -> Option<u32> {
+        self.0.code_of(name)
+    }
+    fn key_code(&self, name: &str) -> Option<u32> {
+        self.0.code_of(name)
+    }
+    fn str_code(&self, s: &str) -> Option<u32> {
+        self.0.code_of(s)
+    }
+}
+
+/// A resolved property predicate on one pattern node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropPred {
+    pub key: u32,
+    pub op: CmpOp,
+    pub value: PPar,
+}
+
+/// A resolved pattern node.
+#[derive(Debug, Clone)]
+pub struct PNode {
+    /// Variable name; synthesized (`_N`) for anonymous nodes.
+    pub name: String,
+    /// True when the node was written without a variable.
+    pub anon: bool,
+    pub label: Option<u32>,
+    pub preds: Vec<PropPred>,
+}
+
+/// A resolved, direction-normalised pattern edge (`src -> dst`).
+#[derive(Debug, Clone)]
+pub struct PEdge {
+    pub src: usize,
+    pub dst: usize,
+    pub label: Option<u32>,
+    pub min_hops: u32,
+    pub max_hops: u32,
+}
+
+/// One resolved return item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetItem {
+    /// The entity id of a pattern node.
+    Id(usize),
+    /// A property of a pattern node.
+    Prop(usize, u32),
+}
+
+/// The logical pattern graph the planner consumes.
+#[derive(Debug, Clone)]
+pub struct PatternGraph {
+    pub nodes: Vec<PNode>,
+    pub edges: Vec<PEdge>,
+    pub returns: Vec<RetItem>,
+    pub limit: Option<usize>,
+    pub count: bool,
+    /// Parameter slots referenced (`?N` ⇒ at least `N + 1`).
+    pub n_params: usize,
+}
+
+impl PatternGraph {
+    /// Resolve a parsed AST against a dictionary.
+    pub fn resolve(ast: &Ast, names: &dyn NameResolver) -> Result<PatternGraph, MatchError> {
+        let mut pg = PatternGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            returns: Vec::new(),
+            limit: ast.limit,
+            count: ast.count,
+            n_params: 0,
+        };
+        let mut anon = 0usize;
+        for path in &ast.paths {
+            let mut prev = pg.add_node(&path.start, names, &mut anon)?;
+            for (edge, node) in &path.hops {
+                let next = pg.add_node(node, names, &mut anon)?;
+                let label = match &edge.label {
+                    Some(name) => Some(names.label_code(name).ok_or_else(|| {
+                        MatchError(format!("unknown relationship label '{name}'"))
+                    })?),
+                    None => None,
+                };
+                let (src, dst) = match edge.dir {
+                    EdgeDir::Right => (prev, next),
+                    EdgeDir::Left => (next, prev),
+                };
+                pg.edges.push(PEdge {
+                    src,
+                    dst,
+                    label,
+                    min_hops: edge.min_hops,
+                    max_hops: edge.max_hops,
+                });
+                prev = next;
+            }
+        }
+        for cond in &ast.conds {
+            let idx = pg.named(&cond.var).ok_or_else(|| {
+                MatchError(format!("where clause references unknown variable '{}'", cond.var))
+            })?;
+            let pred = resolve_prop(&cond.prop, names, &mut pg.n_params)?;
+            pg.nodes[idx].preds.push(pred);
+        }
+        if ast.returns.is_empty() {
+            // Default projection: every named variable's id, in order.
+            for (i, n) in pg.nodes.iter().enumerate() {
+                if !n.anon {
+                    pg.returns.push(RetItem::Id(i));
+                }
+            }
+        } else {
+            for item in &ast.returns {
+                let (var, key) = match item {
+                    ReturnItem::Var(v) => (v, None),
+                    ReturnItem::Prop(v, k) => (v, Some(k)),
+                };
+                let idx = pg.named(var).ok_or_else(|| {
+                    MatchError(format!("return item references unknown variable '{var}'"))
+                })?;
+                match key {
+                    None => pg.returns.push(RetItem::Id(idx)),
+                    Some(k) => {
+                        let code = names
+                            .key_code(k)
+                            .ok_or_else(|| MatchError(format!("unknown property key '{k}'")))?;
+                        pg.returns.push(RetItem::Prop(idx, code));
+                    }
+                }
+            }
+        }
+        if pg.returns.is_empty() && !pg.count {
+            return err("pattern binds no named variables; add a variable or 'count'");
+        }
+        Ok(pg)
+    }
+
+    /// Index of the named pattern node, if any.
+    pub fn named(&self, var: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| !n.anon && n.name == var)
+    }
+
+    fn add_node(
+        &mut self,
+        pat: &NodePat,
+        names: &dyn NameResolver,
+        anon: &mut usize,
+    ) -> Result<usize, MatchError> {
+        let label = match &pat.label {
+            Some(name) => Some(
+                names
+                    .label_code(name)
+                    .ok_or_else(|| MatchError(format!("unknown node label '{name}'")))?,
+            ),
+            None => None,
+        };
+        let idx = match &pat.var {
+            Some(var) => {
+                if let Some(i) = self.named(var) {
+                    // Shared binding: merge constraints into the one node.
+                    match (self.nodes[i].label, label) {
+                        (Some(a), Some(b)) if a != b => {
+                            return err(format!("variable '{var}' bound to two different labels"));
+                        }
+                        (None, Some(b)) => self.nodes[i].label = Some(b),
+                        _ => {}
+                    }
+                    i
+                } else {
+                    self.nodes.push(PNode {
+                        name: var.clone(),
+                        anon: false,
+                        label,
+                        preds: Vec::new(),
+                    });
+                    self.nodes.len() - 1
+                }
+            }
+            None => {
+                *anon += 1;
+                self.nodes.push(PNode {
+                    name: format!("_{anon}"),
+                    anon: true,
+                    label,
+                    preds: Vec::new(),
+                });
+                self.nodes.len() - 1
+            }
+        };
+        for prop in &pat.props {
+            let mut n_params = self.n_params;
+            let pred = resolve_prop(prop, names, &mut n_params)?;
+            self.n_params = n_params;
+            self.nodes[idx].preds.push(pred);
+        }
+        Ok(idx)
+    }
+
+    /// True when every pattern node is reachable from node 0 through
+    /// pattern edges (in either direction). The planner only handles
+    /// connected patterns — a cartesian product has no expansion to
+    /// order.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            for e in &self.edges {
+                for (a, b) in [(e.src, e.dst), (e.dst, e.src)] {
+                    if a == i && !seen[b] {
+                        seen[b] = true;
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+/// Sentinel dictionary code for string literals that were never interned:
+/// equal to no stored string, so `=` matches nothing and `!=` matches
+/// every row carrying the key.
+const UNINTERNED: u32 = u32::MAX;
+
+fn resolve_prop(
+    prop: &PropPat,
+    names: &dyn NameResolver,
+    n_params: &mut usize,
+) -> Result<PropPred, MatchError> {
+    let key = names
+        .key_code(&prop.key)
+        .ok_or_else(|| MatchError(format!("unknown property key '{}'", prop.key)))?;
+    let value = match &prop.value {
+        Lit::Int(v) => PPar::Const(PVal::Int(*v)),
+        Lit::Float(v) => PPar::Const(PVal::Double(*v)),
+        Lit::Bool(v) => PPar::Const(PVal::Bool(*v)),
+        Lit::Null => PPar::Const(PVal::Null),
+        Lit::Str(s) => PPar::Const(PVal::Str(names.str_code(s).unwrap_or(UNINTERNED))),
+        Lit::Param(n) => {
+            *n_params = (*n_params).max(n + 1);
+            PPar::Param(*n)
+        }
+    };
+    Ok(PropPred {
+        key,
+        op: prop.op,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapResolver(HashMap<String, u32>);
+
+    impl NameResolver for MapResolver {
+        fn label_code(&self, name: &str) -> Option<u32> {
+            self.0.get(name).copied()
+        }
+        fn key_code(&self, name: &str) -> Option<u32> {
+            self.0.get(name).copied()
+        }
+        fn str_code(&self, s: &str) -> Option<u32> {
+            self.0.get(s).copied()
+        }
+    }
+
+    fn resolver() -> MapResolver {
+        MapResolver(
+            [("Person", 1), ("KNOWS", 2), ("id", 3), ("age", 4)]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn unifies_shared_bindings_across_paths() {
+        let ast = crate::parse("(a:Person)-[:KNOWS]->(b), (b)-[:KNOWS]->(a) where b.age > 30")
+            .unwrap();
+        let pg = PatternGraph::resolve(&ast, &resolver()).unwrap();
+        assert_eq!(pg.nodes.len(), 2, "a and b each resolve once");
+        assert_eq!(pg.edges.len(), 2);
+        assert_eq!(pg.edges[0].src, 0);
+        assert_eq!(pg.edges[1].src, 1);
+        assert_eq!(pg.nodes[1].preds.len(), 1, "where folded into b");
+        assert_eq!(pg.returns, vec![RetItem::Id(0), RetItem::Id(1)]);
+        assert!(pg.is_connected());
+    }
+
+    #[test]
+    fn left_edges_normalise_direction() {
+        let ast = crate::parse("(a:Person)<-[:KNOWS]-(b:Person)").unwrap();
+        let pg = PatternGraph::resolve(&ast, &resolver()).unwrap();
+        assert_eq!(pg.edges[0].src, 1, "b is the source");
+        assert_eq!(pg.edges[0].dst, 0);
+    }
+
+    #[test]
+    fn params_count_and_unknown_names_error() {
+        let ast = crate::parse("(a:Person {id = ?2})").unwrap();
+        let pg = PatternGraph::resolve(&ast, &resolver()).unwrap();
+        assert_eq!(pg.n_params, 3);
+
+        let ast = crate::parse("(a:Nope)").unwrap();
+        assert!(PatternGraph::resolve(&ast, &resolver()).is_err());
+        let ast = crate::parse("(a:Person {nope = 1})").unwrap();
+        assert!(PatternGraph::resolve(&ast, &resolver()).is_err());
+        let ast = crate::parse("(a:Person) where q.age > 1").unwrap();
+        assert!(PatternGraph::resolve(&ast, &resolver()).is_err());
+    }
+
+    #[test]
+    fn disconnected_patterns_detected() {
+        let ast = crate::parse("(a:Person), (b:Person)").unwrap();
+        let pg = PatternGraph::resolve(&ast, &resolver()).unwrap();
+        assert!(!pg.is_connected());
+    }
+}

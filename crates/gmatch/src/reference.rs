@@ -1,0 +1,194 @@
+//! Brute-force reference matcher for differential testing.
+//!
+//! [`reference_rows`] evaluates a resolved [`PatternGraph`] over a plain
+//! in-memory graph by exhaustive enumeration, with the same semantics the
+//! engine implements:
+//!
+//! * **walk semantics** — a variable-length edge of fixed length `L`
+//!   contributes one result per distinct directed edge *sequence* of
+//!   length `L` (interior nodes are unconstrained and may repeat);
+//! * **bag results** — the result is the union over all fixed-length
+//!   assignments of every variable-length edge, with multiplicity;
+//! * **predicate semantics** — a missing property never satisfies any
+//!   comparison; `=`/`<>` compare decoded values, ordered operators
+//!   compare order-preserving index keys (mirroring
+//!   [`gquery::eval_pred`]).
+//!
+//! Instead of materializing interior nodes, the matcher enumerates
+//! bindings for the *pattern* nodes only (small graphs: `V^k`) and scales
+//! each surviving binding by the product of per-edge walk counts — the
+//!   number of length-`L` label-matching walks between its endpoints,
+//! computed by dynamic programming. Row order is unspecified, like the
+//! engine's; tests compare sorted multisets.
+
+use std::collections::HashMap;
+
+use gquery::CmpOp;
+use gstore::PVal;
+
+use crate::pattern::{PatternGraph, PropPred, RetItem};
+
+/// A node in the reference graph (ids are arbitrary, typically the
+/// engine-assigned global ids so projections line up).
+#[derive(Debug, Clone)]
+pub struct RefNode {
+    pub id: u64,
+    pub label: u32,
+    pub props: Vec<(u32, PVal)>,
+}
+
+/// A directed, labelled edge.
+#[derive(Debug, Clone)]
+pub struct RefEdge {
+    pub src: u64,
+    pub dst: u64,
+    pub label: u32,
+}
+
+/// A plain in-memory property graph.
+#[derive(Debug, Clone, Default)]
+pub struct RefGraph {
+    pub nodes: Vec<RefNode>,
+    pub edges: Vec<RefEdge>,
+}
+
+impl RefGraph {
+    pub fn add_node(&mut self, id: u64, label: u32, props: &[(u32, PVal)]) {
+        self.nodes.push(RefNode {
+            id,
+            label,
+            props: props.to_vec(),
+        });
+    }
+
+    pub fn add_edge(&mut self, src: u64, dst: u64, label: u32) {
+        self.edges.push(RefEdge { src, dst, label });
+    }
+
+    fn node(&self, id: u64) -> Option<&RefNode> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    fn prop(&self, id: u64, key: u32) -> Option<PVal> {
+        self.node(id)?
+            .props
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Number of directed walks of exactly `hops` label-matching edges
+    /// from `from` to `to` (interior nodes unconstrained).
+    fn walk_count(&self, from: u64, to: u64, label: Option<u32>, hops: u32) -> u64 {
+        let mut cur: HashMap<u64, u64> = HashMap::from([(from, 1)]);
+        for _ in 0..hops {
+            let mut next: HashMap<u64, u64> = HashMap::new();
+            for e in &self.edges {
+                if label.is_some_and(|l| l != e.label) {
+                    continue;
+                }
+                if let Some(&c) = cur.get(&e.src) {
+                    *next.entry(e.dst).or_insert(0) += c;
+                }
+            }
+            cur = next;
+        }
+        cur.get(&to).copied().unwrap_or(0)
+    }
+}
+
+fn pred_holds(g: &RefGraph, id: u64, p: &PropPred, params: &[PVal]) -> bool {
+    let Some(actual) = g.prop(id, p.key) else {
+        return false;
+    };
+    let expect = p.value.resolve(params);
+    match p.op {
+        CmpOp::Eq => actual == expect,
+        CmpOp::Ne => actual != expect,
+        op => op.eval_u64(actual.index_key(), expect.index_key()),
+    }
+}
+
+fn node_admits(g: &RefGraph, pg: &PatternGraph, pat: usize, id: u64, params: &[PVal]) -> bool {
+    let pn = &pg.nodes[pat];
+    if let Some(label) = pn.label {
+        if g.node(id).is_none_or(|n| n.label != label) {
+            return false;
+        }
+    }
+    pn.preds.iter().all(|p| pred_holds(g, id, p, params))
+}
+
+/// All result rows (as decoded values; `Null` marks a missing projected
+/// property) for `pg` over `g`, with multiplicity, in unspecified order.
+pub fn reference_rows(pg: &PatternGraph, g: &RefGraph, params: &[PVal]) -> Vec<Vec<PVal>> {
+    // Fixed-length assignments of every pattern edge.
+    let mut assignments: Vec<Vec<u32>> = vec![vec![]];
+    for e in &pg.edges {
+        let mut next = Vec::new();
+        for a in &assignments {
+            for len in e.min_hops..=e.max_hops {
+                let mut a = a.clone();
+                a.push(len);
+                next.push(a);
+            }
+        }
+        assignments = next;
+    }
+
+    let ids: Vec<u64> = g.nodes.iter().map(|n| n.id).collect();
+    let k = pg.nodes.len();
+    let mut rows = Vec::new();
+    for lens in &assignments {
+        // Enumerate bindings of pattern nodes to graph nodes.
+        let mut binding = vec![0u64; k];
+        enumerate(pg, g, params, lens, &ids, &mut binding, 0, &mut rows);
+    }
+    if let Some(l) = pg.limit {
+        rows.truncate(l);
+    }
+    if pg.count {
+        return vec![vec![PVal::Int(rows.len() as i64)]];
+    }
+    rows
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    pg: &PatternGraph,
+    g: &RefGraph,
+    params: &[PVal],
+    lens: &[u32],
+    ids: &[u64],
+    binding: &mut [u64],
+    depth: usize,
+    rows: &mut Vec<Vec<PVal>>,
+) {
+    if depth == binding.len() {
+        let mut mult: u64 = 1;
+        for (e, &len) in pg.edges.iter().zip(lens) {
+            mult *= g.walk_count(binding[e.src], binding[e.dst], e.label, len);
+            if mult == 0 {
+                return;
+            }
+        }
+        let row: Vec<PVal> = pg
+            .returns
+            .iter()
+            .map(|r| match r {
+                RetItem::Id(i) => PVal::Int(binding[*i] as i64),
+                RetItem::Prop(i, key) => g.prop(binding[*i], *key).unwrap_or(PVal::Null),
+            })
+            .collect();
+        for _ in 0..mult {
+            rows.push(row.clone());
+        }
+        return;
+    }
+    for &id in ids {
+        if node_admits(g, pg, depth, id, params) {
+            binding[depth] = id;
+            enumerate(pg, g, params, lens, ids, binding, depth + 1, rows);
+        }
+    }
+}

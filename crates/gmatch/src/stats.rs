@@ -1,0 +1,137 @@
+//! Statistics feeding the cost model.
+//!
+//! The planner never touches storage directly; it asks a [`StatsSource`]
+//! for row counts, index presence, and zone-map selectivity estimates.
+//! Selectivity comes from the same DRAM zone maps the executor prunes
+//! with ([`gquery::Pushdown`]): the fraction of chunks that would survive
+//! a pruned scan under the segment's sargable conjuncts. That makes the
+//! estimate *self-consistent* — a plan the model scores cheap because
+//! most chunks prune is exactly the plan whose scan skips those chunks.
+//!
+//! [`DbStats`] reads one [`GraphDb`]; [`ShardStats`] aggregates a
+//! [`ShardedDb`] by summing counts and chunk-weighting survival
+//! fractions, so one plan is chosen for all shards (patterns are planned
+//! once and fanned out, DESIGN.md §13).
+
+use graphcore::{GraphDb, ShardedDb};
+use gquery::{Op, Pushdown};
+
+/// Everything the cost model may ask of a database.
+pub trait StatsSource {
+    fn node_count(&self) -> u64;
+    fn rel_count(&self) -> u64;
+    /// Is there a B+-tree over `(label, key)`?
+    fn has_index(&self, label: u32, key: u32) -> bool;
+    /// Fraction of node chunks (0.0..=1.0) surviving zone-map pruning
+    /// under the given required labels and per-key index-key ranges.
+    /// 1.0 when acceleration is off or the table is empty (no pruning).
+    fn node_survival(&self, labels: &[u32], ranges: &[(u32, u64, u64)]) -> f64;
+    /// Fraction of relationship chunks whose label bitset admits `label`.
+    fn rel_survival(&self, label: Option<u32>) -> f64;
+}
+
+fn pushdown(labels: &[u32], ranges: &[(u32, u64, u64)]) -> Pushdown {
+    Pushdown {
+        labels: labels.to_vec(),
+        ranges: ranges.to_vec(),
+        never: false,
+    }
+}
+
+/// Stats over one standalone [`GraphDb`].
+pub struct DbStats<'a>(pub &'a GraphDb);
+
+impl StatsSource for DbStats<'_> {
+    fn node_count(&self) -> u64 {
+        self.0.node_count() as u64
+    }
+
+    fn rel_count(&self) -> u64 {
+        self.0.rel_count() as u64
+    }
+
+    fn has_index(&self, label: u32, key: u32) -> bool {
+        self.0.index_for(label, key).is_some()
+    }
+
+    fn node_survival(&self, labels: &[u32], ranges: &[(u32, u64, u64)]) -> f64 {
+        let chunks = self.0.nodes().chunk_count();
+        if chunks == 0 || !self.0.accel().enabled() {
+            return 1.0;
+        }
+        let (list, _) = pushdown(labels, ranges).surviving_node_chunks(self.0.accel(), chunks);
+        list.len() as f64 / chunks as f64
+    }
+
+    fn rel_survival(&self, label: Option<u32>) -> f64 {
+        let chunks = self.0.rels().chunk_count();
+        let Some(label) = label else { return 1.0 };
+        if chunks == 0 || !self.0.accel().enabled() {
+            return 1.0;
+        }
+        let pd = pushdown(&[label], &[]);
+        let (list, _) = pd.surviving_rel_chunks(self.0.accel(), chunks);
+        list.len() as f64 / chunks as f64
+    }
+}
+
+/// Aggregated stats over every pool of a [`ShardedDb`].
+pub struct ShardStats<'a>(pub &'a ShardedDb);
+
+impl ShardStats<'_> {
+    /// Chunk-weighted average of a per-shard fraction.
+    fn weighted<F>(&self, chunks_of: impl Fn(&GraphDb) -> usize, frac_of: F) -> f64
+    where
+        F: Fn(DbStats<'_>) -> f64,
+    {
+        let mut total = 0usize;
+        let mut surviving = 0.0f64;
+        for s in self.0.shards() {
+            let c = chunks_of(s);
+            total += c;
+            surviving += frac_of(DbStats(s)) * c as f64;
+        }
+        if total == 0 {
+            1.0
+        } else {
+            surviving / total as f64
+        }
+    }
+}
+
+impl StatsSource for ShardStats<'_> {
+    fn node_count(&self) -> u64 {
+        self.0.shards().iter().map(|s| s.node_count() as u64).sum()
+    }
+
+    fn rel_count(&self) -> u64 {
+        self.0.shards().iter().map(|s| s.rel_count() as u64).sum()
+    }
+
+    fn has_index(&self, label: u32, key: u32) -> bool {
+        // Indexes are created on every shard; presence on shard 0 decides.
+        self.0.shard(0).index_for(label, key).is_some()
+    }
+
+    fn node_survival(&self, labels: &[u32], ranges: &[(u32, u64, u64)]) -> f64 {
+        self.weighted(
+            |db| db.nodes().chunk_count(),
+            |s| s.node_survival(labels, ranges),
+        )
+    }
+
+    fn rel_survival(&self, label: Option<u32>) -> f64 {
+        self.weighted(|db| db.rels().chunk_count(), |s| s.rel_survival(label))
+    }
+}
+
+/// Survival fraction for a lowered head segment (access path + leading
+/// filters), the quantity the planner prices scans with. Extracts the
+/// sargable conjuncts exactly as the executor's pushdown will.
+pub fn segment_survival(stats: &dyn StatsSource, seg: &[Op], params: &[gstore::PVal]) -> f64 {
+    let pd = Pushdown::extract(seg, params);
+    if pd.never {
+        return 0.0;
+    }
+    stats.node_survival(&pd.labels, &pd.ranges)
+}

@@ -27,7 +27,8 @@ pub mod shard;
 pub use exec::{eval_pred, execute, execute_collect, execute_prebuffered, QueryError};
 pub use parallel::{execute_parallel, execute_parallel_ctx};
 pub use plan::{
-    pred_fingerprint, split_first_segment, CmpOp, Op, PPar, Plan, Pred, Proj, Row, Slot, SlotTag,
+    pred_fingerprint, split_first_segment, CmpOp, Op, PPar, Plan, Pred, Proj, RelEnd, Row, Slot,
+    SlotTag,
 };
 pub use pushdown::Pushdown;
 pub use sched::{

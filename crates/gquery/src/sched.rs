@@ -163,6 +163,11 @@ pub struct ExecProfile {
     pub residual_rows_compiled: u64,
     /// Per-segment wall-clock timings, in execution order.
     pub segments: Vec<(&'static str, Duration)>,
+    /// Pattern-pipeline segment stats, in execution order: segment
+    /// description, binding rows entering, binding rows surviving. Filled
+    /// by the gmatch executor (the scan head counts the node table as its
+    /// input), empty for single-segment plans.
+    pub expansions: Vec<(String, u64, u64)>,
     /// First fallback hit, if any.
     pub fallback: Option<FallbackReason>,
 }
@@ -194,6 +199,7 @@ impl ExecProfile {
         self.residual_rows_interp += other.residual_rows_interp;
         self.residual_rows_compiled += other.residual_rows_compiled;
         self.segments.extend(other.segments);
+        self.expansions.extend(other.expansions);
         if self.fallback.is_none() {
             self.fallback = other.fallback;
         }

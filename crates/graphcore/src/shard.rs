@@ -510,17 +510,23 @@ impl<'d> ShardedTxn<'d> {
     }
 
     /// Delete a same-shard relationship. Cross-shard relationships are
-    /// not yet deletable through the router.
+    /// not yet deletable through the router; the error names both
+    /// participating shards so the caller can tell *which* epoch domain
+    /// pair the half-edges live in (DESIGN.md §13).
     pub fn delete_rel(&mut self, rel: RelId) -> Result<()> {
         let shard = self.db.router.shard_of(rel);
         let lid = self.db.router.local_of(rel);
         {
             let txn = self.shard_txn(shard);
             if let Some(rec) = txn.rel(lid)? {
-                if is_remote(rec.src) || is_remote(rec.dst) {
-                    return Err(GraphError::CrossShard(
-                        "cross-shard relationships cannot be deleted yet".into(),
-                    ));
+                let remote_end = [rec.src, rec.dst].into_iter().find(|&e| is_remote(e));
+                if let Some(raw) = remote_end {
+                    let other = self.db.router.shard_of(strip_remote(raw));
+                    return Err(GraphError::CrossShard(format!(
+                        "relationship {rel} spans shards {shard} and {other}: \
+                         cross-shard deletes are not supported yet (both halves \
+                         would need one epoch commit)"
+                    )));
                 }
             }
         }
@@ -714,6 +720,30 @@ mod tests {
         let mut tx = db.begin();
         assert_eq!(tx.degree(a, Dir::Out).unwrap(), 0);
         assert_eq!(tx.degree(b, Dir::In).unwrap(), 0);
+    }
+
+    #[test]
+    fn cross_shard_delete_error_names_both_shards() {
+        let db = dram(4);
+        let mut tx = db.begin();
+        let ids: Vec<NodeId> = (0..4).map(|_| tx.create_node("N", &[]).unwrap()).collect();
+        // Round-robin placement: ids[0] is on shard 0, ids[2] on shard 2.
+        let r = tx.create_rel(ids[0], "E", ids[2], &[]).unwrap();
+        tx.commit().unwrap();
+
+        let mut tx = db.begin();
+        let err = tx.delete_rel(r).unwrap_err();
+        match err {
+            GraphError::CrossShard(msg) => {
+                let s = db.router().shard_of(ids[0]);
+                let o = db.router().shard_of(ids[2]);
+                assert!(
+                    msg.contains(&format!("shards {s} and {o}")),
+                    "error must name both shards: {msg}"
+                );
+            }
+            other => panic!("expected CrossShard, got {other:?}"),
+        }
     }
 
     #[test]

@@ -25,10 +25,16 @@ pub struct Catalog {
 
 /// A resolved catalog entry: the spec plus the number of client-supplied
 /// parameters it needs (feed-chained parameters excluded).
+///
+/// A `match` query carries its resolved [`gmatch::PatternGraph`] instead
+/// of a fixed plan: physical planning is deferred to execution time,
+/// where the cost model sees the actual parameter values and the PGO
+/// table's observed per-segment selectivities (`spec` stays empty).
 pub struct NamedQuery {
     pub spec: QuerySpec,
     pub n_params: usize,
     pub is_update: bool,
+    pub pattern: Option<gmatch::PatternGraph>,
 }
 
 impl NamedQuery {
@@ -39,6 +45,7 @@ impl NamedQuery {
             spec,
             n_params,
             is_update,
+            pattern: None,
         }
     }
 }
@@ -101,6 +108,9 @@ impl Catalog {
         if let Some(first) = text.split_whitespace().next() {
             if matches!(first, "count" | "scan" | "range") {
                 return parse_adhoc(db, text).map(Arc::new);
+            }
+            if first == "match" {
+                return parse_match(db, text).map(Arc::new);
             }
         }
         Err(ProtoError::new(
@@ -212,6 +222,27 @@ fn parse_adhoc(db: &GraphDb, text: &str) -> Result<NamedQuery, ProtoError> {
                 feed_col: None,
             }],
         },
+        pattern: None,
+    })
+}
+
+/// Parse a `match` pattern (DESIGN.md §16) and resolve it against the
+/// dictionary. Only the logical pattern graph is built here — the
+/// cost-based planner runs per execution, against the request's actual
+/// parameter values and the live PGO table.
+fn parse_match(db: &GraphDb, text: &str) -> Result<NamedQuery, ProtoError> {
+    let ast = gmatch::parse(text)
+        .map_err(|e| ProtoError::bad_request(format!("match: {e}")))?;
+    let pg = gmatch::PatternGraph::resolve(&ast, &gmatch::DictResolver(db.dict()))
+        .map_err(|e| ProtoError::new(ErrorCode::UnknownQuery, format!("match: {e}")))?;
+    Ok(NamedQuery {
+        n_params: pg.n_params,
+        is_update: false,
+        spec: QuerySpec {
+            name: "match",
+            steps: vec![],
+        },
+        pattern: Some(pg),
     })
 }
 

@@ -1015,20 +1015,47 @@ fn do_execute(
     };
     shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
 
-    let mode = Mode::Adaptive(&shared.engine, shared.config.exec_threads.max(1));
-    let (rows, profile) = match state.txn.as_mut() {
-        Some(txn) => run_steps(&q.spec, txn, &params, &mode, deadline)?,
-        None => {
-            // Autocommit: reads commit trivially, updates commit here; an
-            // error (including a missed deadline) drops the transaction,
-            // aborting any partial writes.
-            let mut txn = db.begin();
-            let out = run_steps(&q.spec, &mut txn, &params, &mode, deadline)?;
-            if q.is_update {
-                txn.commit().map_err(graph_err)?;
-            }
-            out
+    let threads = shared.config.exec_threads.max(1);
+    let (rows, profile, match_plan) = if let Some(pg) = &q.pattern {
+        // MATCH: plan per request (the cost model prices zone-map survival
+        // against the actual parameter values, and PGO observations from
+        // earlier runs reprice mis-estimated segments), then execute the
+        // chosen pipelines adaptively. Patterns read their own snapshot.
+        if state.txn.is_some() {
+            return Err(ProtoError::bad_request(
+                "match queries run autocommit only (not inside an open transaction)",
+            ));
         }
+        let stats = gmatch::DbStats(db);
+        let mp = gmatch::plan(
+            pg,
+            &stats,
+            &params,
+            Some(shared.engine.pgo()),
+            gmatch::PlanChoice::Best,
+        )
+        .map_err(|e| ProtoError::bad_request(format!("match: {e}")))?;
+        let backend = gmatch::Backend::Adaptive(&shared.engine, threads);
+        let (rows, profile) = gmatch::execute_match(&mp, db, backend, &params)
+            .map_err(|e| ProtoError::new(ErrorCode::Internal, format!("match: {e}")))?;
+        (rows, profile, Some(mp.summary))
+    } else {
+        let mode = Mode::Adaptive(&shared.engine, threads);
+        let (rows, profile) = match state.txn.as_mut() {
+            Some(txn) => run_steps(&q.spec, txn, &params, &mode, deadline)?,
+            None => {
+                // Autocommit: reads commit trivially, updates commit here;
+                // an error (including a missed deadline) drops the
+                // transaction, aborting any partial writes.
+                let mut txn = db.begin();
+                let out = run_steps(&q.spec, &mut txn, &params, &mode, deadline)?;
+                if q.is_update {
+                    txn.commit().map_err(graph_err)?;
+                }
+                out
+            }
+        };
+        (rows, profile, None)
     };
     shared
         .stats
@@ -1070,7 +1097,14 @@ fn do_execute(
         gobs::saturating_elapsed(start).as_micros().min(u64::MAX as u128) as u64;
     shared.request_us.observe_us(elapsed_us);
     shared.slowlog.maybe_record(elapsed_us, || {
-        slow_entry(&q, name.as_deref(), query.as_deref(), elapsed_us, &profile)
+        slow_entry(
+            &q,
+            name.as_deref(),
+            query.as_deref(),
+            match_plan.as_deref(),
+            elapsed_us,
+            &profile,
+        )
     });
 
     Ok(ok_response(vec![
@@ -1089,6 +1123,7 @@ fn slow_entry(
     q: &NamedQuery,
     name: Option<&str>,
     query: Option<&str>,
+    match_plan: Option<&str>,
     elapsed_us: u64,
     profile: &ExecProfile,
 ) -> SlowEntry {
@@ -1096,13 +1131,18 @@ fn slow_entry(
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
         .unwrap_or(0);
-    let plan = q
-        .spec
-        .steps
-        .iter()
-        .map(|s| s.plan.summary())
-        .collect::<Vec<_>>()
-        .join("; ");
+    // MATCH queries report the planner's chosen order + access paths;
+    // everything else reports the fixed operator chain of its steps.
+    let plan = match match_plan {
+        Some(s) => s.to_string(),
+        None => q
+            .spec
+            .steps
+            .iter()
+            .map(|s| s.plan.summary())
+            .collect::<Vec<_>>()
+            .join("; "),
+    };
     SlowEntry {
         at_unix_ms,
         query: query.or(name).unwrap_or(q.spec.name).to_string(),
@@ -1163,6 +1203,21 @@ fn profile_json(p: &ExecProfile) -> Json {
                         obj(vec![
                             ("name", Json::Str((*name).into())),
                             ("us", Json::Int(d.as_micros() as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "expansions",
+            Json::Arr(
+                p.expansions
+                    .iter()
+                    .map(|(desc, rows_in, rows_out)| {
+                        obj(vec![
+                            ("segment", Json::Str(desc.clone())),
+                            ("rows_in", Json::Int((*rows_in).min(i64::MAX as u64) as i64)),
+                            ("rows_out", Json::Int((*rows_out).min(i64::MAX as u64) as i64)),
                         ])
                     })
                     .collect(),

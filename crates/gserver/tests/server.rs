@@ -530,6 +530,101 @@ fn metrics_slowlog_and_exporter() {
     handle.shutdown();
 }
 
+#[test]
+fn match_patterns_over_the_wire() {
+    let config = ServerConfig {
+        slow_query_us: 0, // capture every execute
+        slowlog_capacity: 16,
+        ..test_config()
+    };
+    let (snb, handle) = start(config);
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+
+    // Find a person with at least one KNOWS edge via a 1-hop pattern.
+    let mut anchor = None;
+    for &p in &snb.data.person_ids {
+        let res = c
+            .query(
+                "match (a:Person {id = ?0})-[:KNOWS]->(b:Person) return b.id",
+                &[Param::Int(p)],
+            )
+            .expect("match 1-hop");
+        if res.row_count > 0 {
+            anchor = Some((p, res.row_count));
+            break;
+        }
+    }
+    let (person, friends) = anchor.expect("tiny graph has at least one KNOWS edge");
+
+    // A variable-length path reaches at least the direct friends, and
+    // every projected id decodes as an integer.
+    let fof = c
+        .query(
+            "match (a:Person {id = ?0})-[:KNOWS*1..2]->(b:Person) return b.id",
+            &[Param::Int(person)],
+        )
+        .expect("match var-length");
+    assert!(
+        fof.row_count >= friends,
+        "1..2 hops ({}) must cover the 1-hop rows ({friends})",
+        fof.row_count
+    );
+    assert!(fof.rows.iter().all(|r| r[0].as_i64().is_some()));
+
+    // Prepared match statements resolve the pattern once and replan per
+    // execution; `count` agrees with the materialized row count.
+    let n = c
+        .prepare(
+            "fof",
+            "match (a:Person {id = ?0})-[:KNOWS*1..2]->(b:Person) return b.id count",
+        )
+        .expect("prepare match");
+    assert_eq!(n, 1, "pattern takes one parameter");
+    let counted = c.execute("fof", &[Param::Int(person)]).expect("execute fof");
+    assert_eq!(
+        counted.rows[0][0].as_i64(),
+        Some(fof.row_count as i64),
+        "count must agree with the materialized rows"
+    );
+
+    // Unknown names are resolution errors, not empty scans.
+    let err = c.query("match (a:Noope) return a", &[]).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::UnknownQuery), "got {err}");
+
+    // MATCH runs autocommit only: inside an explicit transaction it is
+    // refused (patterns read their own snapshot).
+    c.begin().expect("begin");
+    let err = c
+        .query(
+            "match (a:Person {id = ?0})-[:KNOWS]->(b) return b",
+            &[Param::Int(person)],
+        )
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::BadRequest), "got {err}");
+    c.rollback().expect("rollback");
+
+    // The slow log captured the cost-based plan summary (start node +
+    // access path + expansion order), not an empty operator chain.
+    let log = c.slowlog(false).expect("slowlog");
+    let entries = log.get("entries").and_then(Json::as_array).expect("entries");
+    let m = entries
+        .iter()
+        .find(|e| {
+            e.get("query")
+                .and_then(Json::as_str)
+                .is_some_and(|q| q.starts_with("match") && q.contains("*1..2"))
+        })
+        .expect("match query in slowlog");
+    let plan = m.get("plan").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        plan.contains("start=a") && plan.contains("expand"),
+        "planner summary must be captured, got {plan:?}"
+    );
+
+    c.quit().expect("quit");
+    handle.shutdown();
+}
+
 /// Pipelining end to end: `send_batch` fires every request before reading
 /// a single response, and the i-th response must answer the i-th request
 /// — including item-level failures, which must not shift later answers.
